@@ -1,0 +1,130 @@
+package "alt" (
+  directory = "alt"
+  description = ""
+  requires = "arc.core arc.value fmt"
+  archive(byte) = "arc_alt.cma"
+  archive(native) = "arc_alt.cmxa"
+  plugin(byte) = "arc_alt.cma"
+  plugin(native) = "arc_alt.cmxs"
+)
+package "catalog" (
+  directory = "catalog"
+  description = ""
+  requires =
+  "arc.alt
+   arc.core
+   arc.datalog
+   arc.engine
+   arc.higraph
+   arc.intent
+   arc.relation
+   arc.rellang
+   arc.sql
+   arc.syntax
+   arc.trc
+   arc.value
+   fmt"
+  archive(byte) = "arc_catalog.cma"
+  archive(native) = "arc_catalog.cmxa"
+  plugin(byte) = "arc_catalog.cma"
+  plugin(native) = "arc_catalog.cmxs"
+)
+package "core" (
+  directory = "core"
+  description = ""
+  requires = "arc.relation arc.value fmt"
+  archive(byte) = "arc_core.cma"
+  archive(native) = "arc_core.cmxa"
+  plugin(byte) = "arc_core.cma"
+  plugin(native) = "arc_core.cmxs"
+)
+package "datalog" (
+  directory = "datalog"
+  description = ""
+  requires = "arc.core arc.relation arc.value fmt"
+  archive(byte) = "arc_datalog.cma"
+  archive(native) = "arc_datalog.cmxa"
+  plugin(byte) = "arc_datalog.cma"
+  plugin(native) = "arc_datalog.cmxs"
+)
+package "engine" (
+  directory = "engine"
+  description = ""
+  requires = "arc.core arc.relation arc.value fmt"
+  archive(byte) = "arc_engine.cma"
+  archive(native) = "arc_engine.cmxa"
+  plugin(byte) = "arc_engine.cma"
+  plugin(native) = "arc_engine.cmxs"
+)
+package "higraph" (
+  directory = "higraph"
+  description = ""
+  requires = "arc.core arc.value fmt"
+  archive(byte) = "arc_higraph.cma"
+  archive(native) = "arc_higraph.cmxa"
+  plugin(byte) = "arc_higraph.cma"
+  plugin(native) = "arc_higraph.cmxs"
+)
+package "intent" (
+  directory = "intent"
+  description = ""
+  requires = "arc.core arc.engine arc.relation arc.sql arc.value fmt"
+  archive(byte) = "arc_intent.cma"
+  archive(native) = "arc_intent.cmxa"
+  plugin(byte) = "arc_intent.cma"
+  plugin(native) = "arc_intent.cmxs"
+)
+package "relation" (
+  directory = "relation"
+  description = ""
+  requires = "arc.value fmt"
+  archive(byte) = "arc_relation.cma"
+  archive(native) = "arc_relation.cmxa"
+  plugin(byte) = "arc_relation.cma"
+  plugin(native) = "arc_relation.cmxs"
+)
+package "rellang" (
+  directory = "rellang"
+  description = ""
+  requires = "arc.core arc.value fmt"
+  archive(byte) = "arc_rellang.cma"
+  archive(native) = "arc_rellang.cmxa"
+  plugin(byte) = "arc_rellang.cma"
+  plugin(native) = "arc_rellang.cmxs"
+)
+package "sql" (
+  directory = "sql"
+  description = ""
+  requires = "arc.core arc.engine arc.relation arc.value fmt"
+  archive(byte) = "arc_sql.cma"
+  archive(native) = "arc_sql.cmxa"
+  plugin(byte) = "arc_sql.cma"
+  plugin(native) = "arc_sql.cmxs"
+)
+package "syntax" (
+  directory = "syntax"
+  description = ""
+  requires = "arc.core arc.value fmt"
+  archive(byte) = "arc_syntax.cma"
+  archive(native) = "arc_syntax.cmxa"
+  plugin(byte) = "arc_syntax.cma"
+  plugin(native) = "arc_syntax.cmxs"
+)
+package "trc" (
+  directory = "trc"
+  description = ""
+  requires = "arc.core arc.syntax arc.value fmt"
+  archive(byte) = "arc_trc.cma"
+  archive(native) = "arc_trc.cmxa"
+  plugin(byte) = "arc_trc.cma"
+  plugin(native) = "arc_trc.cmxs"
+)
+package "value" (
+  directory = "value"
+  description = ""
+  requires = "fmt"
+  archive(byte) = "arc_value.cma"
+  archive(native) = "arc_value.cmxa"
+  plugin(byte) = "arc_value.cma"
+  plugin(native) = "arc_value.cmxs"
+)

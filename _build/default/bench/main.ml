@@ -1,0 +1,241 @@
+(* The benchmark harness: regenerates every table/figure behavior the paper
+   reports (Part 1), times each experiment and the library's main code paths
+   with Bechamel (Parts 2-3), and reports modality-size metrics as a proxy
+   for the paper's cited user studies (Part 4).
+
+   Run with:  dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+module Catalog = Arc_catalog.Catalog
+module Data = Arc_catalog.Data
+module V = Arc_value.Value
+module Relation = Arc_relation.Relation
+module Database = Arc_relation.Database
+module Eval = Arc_engine.Eval
+
+let rule () = print_endline (String.make 78 '=')
+
+let section title =
+  rule ();
+  print_endline title;
+  rule ()
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: reproduction of every figure/table behavior                 *)
+(* ------------------------------------------------------------------ *)
+
+let reproduce () =
+  section "PART 1 — Paper reproduction: every figure and equation";
+  let total = ref 0 and failed = ref 0 in
+  List.iter
+    (fun (e : Catalog.entry) ->
+      Printf.printf "\n%-18s %s\n%-18s (%s)\n" e.Catalog.id e.Catalog.title ""
+        e.Catalog.paper_ref;
+      List.iter
+        (fun o ->
+          incr total;
+          if not o.Catalog.ok then incr failed;
+          Printf.printf "    %s\n" (Catalog.outcome_to_string o))
+        (e.Catalog.run ()))
+    Catalog.all;
+  Printf.printf "\n>>> %d checks, %d failures across %d experiments\n" !total
+    !failed
+    (List.length Catalog.all)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel plumbing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let run_bench ~name tests =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.2) ~kde:(Some 500) ()
+  in
+  let raw =
+    Benchmark.all cfg instances (Test.make_grouped ~name tests)
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  Printf.printf "\n%-58s %14s\n" "benchmark" "time/run";
+  print_endline (String.make 74 '-');
+  List.iter
+    (fun (name, ols) ->
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some (e :: _) -> e
+        | _ -> nan
+      in
+      let human =
+        if Float.is_nan est then "n/a"
+        else if est > 1e9 then Printf.sprintf "%8.2f s " (est /. 1e9)
+        else if est > 1e6 then Printf.sprintf "%8.2f ms" (est /. 1e6)
+        else if est > 1e3 then Printf.sprintf "%8.2f µs" (est /. 1e3)
+        else Printf.sprintf "%8.0f ns" est
+      in
+      Printf.printf "%-58s %14s\n" name human)
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: one timed benchmark per experiment                          *)
+(* ------------------------------------------------------------------ *)
+
+let experiment_benches () =
+  section "PART 2 — Timing: one benchmark per paper experiment";
+  let tests =
+    List.map
+      (fun (e : Catalog.entry) ->
+        Test.make ~name:e.Catalog.id
+          (Staged.stage (fun () -> ignore (e.Catalog.run ()))))
+      Catalog.all
+  in
+  run_bench ~name:"experiments" tests
+
+(* ------------------------------------------------------------------ *)
+(* Part 3: ablations on the design choices DESIGN.md calls out         *)
+(* ------------------------------------------------------------------ *)
+
+let grouped_db n =
+  Database.of_list
+    [
+      ( "R",
+        Relation.of_rows [ "A"; "B" ]
+          (List.init n (fun i -> [ V.Int (i mod 10); V.Int i ])) );
+    ]
+
+let ablation_benches () =
+  section
+    "PART 3 — Ablations: FIO vs FOI cost, translation, parsing, recursion";
+  let db40 = grouped_db 40 and db160 = grouped_db 160 in
+  let chain n =
+    Database.of_list
+      [
+        ( "P",
+          Relation.of_rows [ "s"; "t" ]
+            (List.init n (fun i -> [ V.Int i; V.Int (i + 1) ])) );
+      ]
+  in
+  let fio db () = ignore (Eval.run_rows ~db (Arc_core.Ast.program (Arc_core.Ast.Coll Data.eq3)))
+  and foi db () = ignore (Eval.run_rows ~db (Arc_core.Ast.program (Arc_core.Ast.Coll Data.eq7))) in
+  let sql_text = Data.sql_fig6a in
+  let sql_schemas = [ ("R", [ "empl"; "dept" ]); ("S", [ "empl"; "sal" ]) ] in
+  let arc_prog =
+    Arc_sql.To_arc.statement ~schemas:sql_schemas
+      (Arc_sql.Parse.statement_of_string sql_text)
+  in
+  let comp_text = Arc_syntax.Printer.query (Arc_core.Ast.Coll Data.eq22) in
+  let tests =
+    [
+      Test.make ~name:"eval: FIO grouped aggregate, |R|=40"
+        (Staged.stage (fio db40));
+      Test.make ~name:"eval: FOI per-tuple aggregate, |R|=40"
+        (Staged.stage (foi db40));
+      Test.make ~name:"eval: FIO grouped aggregate, |R|=160"
+        (Staged.stage (fio db160));
+      Test.make ~name:"eval: FOI per-tuple aggregate, |R|=160"
+        (Staged.stage (foi db160));
+      Test.make ~name:"eval: recursion naive, chain 24"
+        (Staged.stage (fun () ->
+             ignore
+               (Eval.run_rows ~strategy:Eval.Naive ~db:(chain 24)
+                  {
+                    Arc_core.Ast.defs = Data.eq16_defs;
+                    main = Arc_core.Ast.Coll Data.eq16_main;
+                  })));
+      Test.make ~name:"eval: recursion semi-naive, chain 24"
+        (Staged.stage (fun () ->
+             ignore
+               (Eval.run_rows ~strategy:Eval.Seminaive ~db:(chain 24)
+                  {
+                    Arc_core.Ast.defs = Data.eq16_defs;
+                    main = Arc_core.Ast.Coll Data.eq16_main;
+                  })));
+      Test.make ~name:"eval: unique-set (4 nested negations), 5 drinkers"
+        (Staged.stage (fun () ->
+             ignore
+               (Eval.run_rows ~db:Data.db_beers
+                  (Arc_core.Ast.program (Arc_core.Ast.Coll Data.eq22)))));
+      Test.make ~name:"translate: SQL → ARC (Fig 6a)"
+        (Staged.stage (fun () ->
+             ignore
+               (Arc_sql.To_arc.statement ~schemas:sql_schemas
+                  (Arc_sql.Parse.statement_of_string sql_text))));
+      Test.make ~name:"translate: ARC → SQL (Fig 6a)"
+        (Staged.stage (fun () -> ignore (Arc_sql.Of_arc.statement arc_prog)));
+      Test.make ~name:"parse: comprehension syntax (Eq 22)"
+        (Staged.stage (fun () ->
+             ignore (Arc_syntax.Parser.query_of_string comp_text)));
+      Test.make ~name:"modality: build+link ALT (Eq 22)"
+        (Staged.stage (fun () ->
+             ignore
+               (Arc_alt.Alt.link
+                  (Arc_alt.Alt.of_query (Arc_core.Ast.Coll Data.eq22)))));
+      Test.make ~name:"modality: build+render higraph (Eq 22)"
+        (Staged.stage (fun () ->
+             ignore
+               (Arc_higraph.Higraph.render
+                  (Arc_higraph.Higraph.of_query (Arc_core.Ast.Coll Data.eq22)))));
+      Test.make ~name:"canon: canonical form (Eq 22)"
+        (Staged.stage (fun () ->
+             ignore (Arc_core.Canon.canonical_query (Arc_core.Ast.Coll Data.eq22))));
+      Test.make ~name:"intent: similarity Eq3 vs Eq7"
+        (Staged.stage (fun () ->
+             ignore
+               (Arc_intent.Intent.similarity (Arc_core.Ast.Coll Data.eq3)
+                  (Arc_core.Ast.Coll Data.eq7))));
+    ]
+  in
+  run_bench ~name:"ablations" tests
+
+(* ------------------------------------------------------------------ *)
+(* Part 4: modality size metrics (proxy for the cited user studies)    *)
+(* ------------------------------------------------------------------ *)
+
+let modality_metrics () =
+  section
+    "PART 4 — Modality sizes (proxy metrics for the paper's user-study \
+     citations)";
+  Printf.printf "%-22s %12s %10s %10s %10s %10s\n" "query" "sql chars"
+    "comp chars" "ALT nodes" "ALT edges" "hg boxes";
+  let row name c sql_text =
+    let q = Arc_core.Ast.Coll c in
+    let comp = Arc_syntax.Printer.query q in
+    let alt = Arc_alt.Alt.link (Arc_alt.Alt.of_query q) in
+    let hg = Arc_higraph.Higraph.of_query q in
+    let st = Arc_higraph.Higraph.stats hg in
+    Printf.printf "%-22s %12d %10d %10d %10d %10d\n" name
+      (String.length sql_text) (String.length comp) (Arc_alt.Alt.size alt)
+      (List.length alt.Arc_alt.Alt.edges)
+      (st.Arc_higraph.Higraph.n_tables + st.Arc_higraph.Higraph.n_regions)
+  in
+  row "eq1 (TRC)" Data.eq1 "select r.A from R r, S s where r.B = s.B and s.C = 0";
+  row "eq3 (FIO)" Data.eq3 Data.sql_fig4a;
+  row "eq7 (FOI)" Data.eq7 Data.sql_fig5b;
+  row "eq8 (multi-agg)" Data.eq8 Data.sql_fig6a;
+  row "eq17 (not-in)" Data.eq17 Data.sql_fig11b;
+  row "eq22 (unique-set)" Data.eq22 Data.sql_fig17;
+  row "eq26 (matmul)" Data.eq26 "n/a";
+  row "eq27 (count bug)" Data.eq27 Data.sql_fig21a;
+  print_endline
+    "\nThe paper's claim (Section 4) is about reading speed and accuracy of\n\
+     the diagrammatic modality; these sizes quantify the representations'\n\
+     footprints, not human performance.";
+  Printf.printf
+    "\nFIO vs FOI comparative shape (paper: FOI needs two logical copies of R):\n";
+  let p3 = Arc_core.Pattern.of_collection Data.eq3 in
+  let p7 = Arc_core.Pattern.of_collection Data.eq7 in
+  Printf.printf "  eq3: %s\n  eq7: %s\n"
+    (Arc_core.Pattern.to_string p3)
+    (Arc_core.Pattern.to_string p7)
+
+let () =
+  reproduce ();
+  experiment_benches ();
+  ablation_benches ();
+  modality_metrics ();
+  rule ();
+  print_endline "bench complete."

@@ -1,0 +1,426 @@
+(* The arc CLI: parse SQL or ARC comprehension text, validate it, render any
+   modality, evaluate against inline data, compare candidate queries by
+   intent, and browse the paper catalog.
+
+   Examples:
+     arc render -i sql -o alt "select R.A from R, S where R.B = S.B"
+     arc render -o higraph "{Q(A) | exists r in R[Q.A = r.A]}"
+     arc eval -t "R(A,B)=1,10;2,20" "{Q(A) | exists r in R[Q.A = r.A and r.B > 15]}"
+     arc validate -s "R:A,B" "{Q(A) | exists r in R[Q.A = r.zz]}"
+     arc compare -s "R:A,B" "select R.A from R" "select r.A from R r"
+     arc catalog E19-count-bug *)
+
+open Cmdliner
+module A = Arc_core.Ast
+module V = Arc_value.Value
+module Relation = Arc_relation.Relation
+module Database = Arc_relation.Database
+
+(* ------------------------------------------------------------------ *)
+(* Shared parsing helpers                                              *)
+(* ------------------------------------------------------------------ *)
+
+let die fmt = Printf.ksprintf (fun s -> raise (Failure s)) fmt
+
+(* "R:A,B" schema syntax *)
+let parse_schema s =
+  match String.split_on_char ':' s with
+  | [ name; attrs ] -> (String.trim name, String.split_on_char ',' (String.trim attrs))
+  | _ -> die "bad schema %S (expected Name:attr1,attr2)" s
+
+(* "R(A,B)=1,10;2,20" inline table syntax *)
+let parse_table s =
+  match String.index_opt s '=' with
+  | None -> die "bad table %S (expected R(A,B)=v,v;v,v)" s
+  | Some eq ->
+      let header = String.sub s 0 eq in
+      let data = String.sub s (eq + 1) (String.length s - eq - 1) in
+      let name, attrs =
+        match String.index_opt header '(' with
+        | Some l when String.length header > 0 && header.[String.length header - 1] = ')' ->
+            ( String.trim (String.sub header 0 l),
+              String.split_on_char ','
+                (String.sub header (l + 1) (String.length header - l - 2))
+              |> List.map String.trim )
+        | _ -> die "bad table header %S" header
+      in
+      let parse_value v =
+        let v = String.trim v in
+        if v = "null" then V.Null
+        else if String.length v >= 2 && v.[0] = '\'' then
+          V.Str (String.sub v 1 (String.length v - 2))
+        else
+          match int_of_string_opt v with
+          | Some n -> V.Int n
+          | None -> (
+              match float_of_string_opt v with
+              | Some f -> V.Float f
+              | None -> V.Str v)
+      in
+      let rows =
+        if String.trim data = "" then []
+        else
+          String.split_on_char ';' data
+          |> List.map (fun row ->
+                 String.split_on_char ',' row |> List.map parse_value)
+      in
+      (name, Relation.of_rows attrs rows)
+
+let parse_input lang text schemas =
+  match lang with
+  | `Arc -> Arc_syntax.Parser.program_of_string text
+  | `Sql ->
+      Arc_sql.To_arc.statement ~schemas
+        (Arc_sql.Parse.statement_of_string text)
+  | `Trc ->
+      { A.defs = []; main = A.Coll (Arc_trc.Trc.to_arc text) }
+  | `Datalog ->
+      let prog = Arc_datalog.Parse.program_of_string text in
+      let query =
+        match Arc_datalog.Ast.head_preds prog with
+        | q :: _ -> q
+        | [] -> die "empty datalog program"
+      in
+      Arc_datalog.Embed.program ~schemas prog ~query
+
+(* ------------------------------------------------------------------ *)
+(* Common args                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let query_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"QUERY" ~doc:"Query text (ARC comprehension, SQL, or Datalog).")
+
+let input_lang =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("arc", `Arc); ("sql", `Sql); ("datalog", `Datalog); ("trc", `Trc) ])
+        `Arc
+    & info [ "i"; "input" ] ~docv:"LANG"
+        ~doc:"Input language: arc, sql, datalog, or trc (textbook notation).")
+
+let schemas_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "s"; "schema" ] ~docv:"SCHEMA"
+        ~doc:"Base relation schema, e.g. R:A,B. Repeatable.")
+
+let tables_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "t"; "table" ] ~docv:"TABLE"
+        ~doc:"Inline table, e.g. 'R(A,B)=1,10;2,20'. Repeatable.")
+
+let conv_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("sql", Arc_value.Conventions.sql);
+             ("sql-set", Arc_value.Conventions.sql_set);
+             ("souffle", Arc_value.Conventions.souffle);
+             ("classical", Arc_value.Conventions.classical);
+           ])
+        Arc_value.Conventions.sql_set
+    & info [ "c"; "convention" ] ~docv:"CONV"
+        ~doc:"Conventions: sql, sql-set, souffle, or classical.")
+
+let wrap f = try `Ok (f ()) with
+  | Failure m
+  | Arc_syntax.Parser.Parse_error m
+  | Arc_sql.Parse.Parse_error m
+  | Arc_sql.To_arc.Unsupported m
+  | Arc_sql.Of_arc.Unsupported m
+  | Arc_datalog.Parse.Parse_error m
+  | Arc_datalog.Embed.Embed_error m
+  | Arc_trc.Trc.Parse_error m
+  | Arc_trc.Trc.Normalize_error m
+  | Arc_engine.Eval.Eval_error m
+  | Arc_sql.Eval_sql.Sql_error m ->
+      `Error (false, m)
+
+(* ------------------------------------------------------------------ *)
+(* render                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let output_fmt =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("arc", `Arc); ("pretty", `Pretty); ("alt", `Alt);
+             ("json", `Json); ("sexp", `Sexp); ("higraph", `Higraph);
+             ("dot", `Dot); ("sql", `Sql); ("pattern", `Pattern);
+             ("skeleton", `Skeleton);
+           ])
+        `Pretty
+    & info [ "o"; "output" ] ~docv:"MODALITY"
+        ~doc:
+          "Output modality: arc, pretty, alt, json, sexp, higraph, dot, sql, \
+           pattern, or skeleton.")
+
+let render lang fmt schemas text =
+  wrap (fun () ->
+      let schemas = List.map parse_schema schemas in
+      let prog = parse_input lang text schemas in
+      let out =
+        match fmt with
+        | `Arc -> Arc_syntax.Printer.program prog
+        | `Pretty ->
+            String.concat "\n"
+              (List.map
+                 (fun (d : A.definition) ->
+                   "def " ^ d.A.def_name ^ " := "
+                   ^ Arc_syntax.Printer.pretty_query (A.Coll d.A.def_body))
+                 prog.A.defs
+              @ [ Arc_syntax.Printer.pretty_query prog.A.main ])
+        | `Alt -> Arc_alt.Alt.render (Arc_alt.Alt.link (Arc_alt.Alt.of_program prog))
+        | `Json -> Arc_alt.Alt.to_json (Arc_alt.Alt.link (Arc_alt.Alt.of_program prog))
+        | `Sexp -> Arc_alt.Alt.to_sexp (Arc_alt.Alt.link (Arc_alt.Alt.of_program prog))
+        | `Higraph ->
+            Arc_higraph.Higraph.render
+              (Arc_higraph.Higraph.of_query ~defs:prog.A.defs prog.A.main)
+        | `Dot ->
+            Arc_higraph.Higraph.to_dot
+              (Arc_higraph.Higraph.of_query ~defs:prog.A.defs prog.A.main)
+        | `Sql -> Arc_sql.Print.statement (Arc_sql.Of_arc.statement prog)
+        | `Pattern -> Arc_core.Pattern.to_string (Arc_core.Pattern.of_query prog.A.main)
+        | `Skeleton -> Arc_core.Canon.skeleton prog.A.main
+      in
+      print_endline out)
+
+let render_cmd =
+  Cmd.v
+    (Cmd.info "render" ~doc:"Translate a query into any ARC modality.")
+    Term.(ret (const render $ input_lang $ output_fmt $ schemas_arg $ query_arg))
+
+(* ------------------------------------------------------------------ *)
+(* validate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let validate lang schemas text =
+  wrap (fun () ->
+      let schemas = List.map parse_schema schemas in
+      let prog = parse_input lang text schemas in
+      let env =
+        if schemas = [] then Arc_core.Analysis.env ()
+        else Arc_core.Analysis.env ~schemas ()
+      in
+      (match Arc_core.Analysis.validate ~env prog with
+      | Ok () -> print_endline "valid: well-scoped variables, grouping, and heads"
+      | Error es ->
+          List.iter
+            (fun e -> print_endline ("error: " ^ Arc_core.Analysis.error_to_string e))
+            es;
+          exit 1);
+      List.iter
+        (fun (name, safety) ->
+          match safety with
+          | Arc_core.Analysis.Safe ->
+              Printf.printf "definition %s: safe (intensional)\n" name
+          | Arc_core.Analysis.Unsafe r ->
+              Printf.printf "definition %s: abstract (%s)\n" name r)
+        (Arc_core.Analysis.program_safety ~env prog))
+
+let validate_cmd =
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Check scoping, grouping legality, and definition safety.")
+    Term.(ret (const validate $ input_lang $ schemas_arg $ query_arg))
+
+(* ------------------------------------------------------------------ *)
+(* eval                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let eval_run lang conv tables text =
+  wrap (fun () ->
+      let tables = List.map parse_table tables in
+      let db = Database.of_list tables in
+      let schemas =
+        List.map
+          (fun (n, r) ->
+            (n, Arc_relation.Schema.attrs (Relation.schema r)))
+          tables
+      in
+      match lang with
+      | `Sql ->
+          (* SQL input runs on the direct SQL evaluator, so SQL-only
+             features (ORDER BY, LIMIT) work without translation *)
+          print_endline
+            (Relation.to_table (Arc_sql.Eval_sql.run_string ~db text))
+      | _ -> (
+          let prog = parse_input lang text schemas in
+          match Arc_engine.Eval.run ~conv ~db prog with
+          | Arc_engine.Eval.Rows r ->
+              print_endline (Relation.to_table (Relation.sort r))
+          | Arc_engine.Eval.Truth t ->
+              print_endline (Arc_value.Bool3.to_string t)))
+
+let eval_cmd =
+  Cmd.v
+    (Cmd.info "eval"
+       ~doc:"Evaluate a query against inline tables under a convention.")
+    Term.(ret (const eval_run $ input_lang $ conv_arg $ tables_arg $ query_arg))
+
+(* ------------------------------------------------------------------ *)
+(* fragment                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fragment lang schemas text =
+  wrap (fun () ->
+      let schemas = List.map parse_schema schemas in
+      let prog = parse_input lang text schemas in
+      let module F = Arc_core.Fragment in
+      Printf.printf "fragment: %s\n" (F.name prog.A.main);
+      if prog.A.defs <> [] then
+        Printf.printf "recursion: %b\n" (F.uses_recursion prog);
+      let f = F.features_program prog in
+      let flags =
+        [
+          ("aggregation", f.F.uses_aggregation);
+          ("grouping", f.F.uses_grouping);
+          ("negation", f.F.uses_negation);
+          ("disjunction", f.F.uses_disjunction);
+          ("join annotations", f.F.uses_join_annotations);
+          ("nested collections", f.F.uses_nested_collections);
+          ("arithmetic", f.F.uses_arithmetic);
+          ("order comparisons", f.F.uses_order_comparisons);
+          ("null predicates", f.F.uses_null_predicates);
+          ("like", f.F.uses_like);
+        ]
+      in
+      List.iter (fun (n, b) -> Printf.printf "  %-20s %b\n" n b) flags;
+      Printf.printf "pattern: %s\n"
+        (Arc_core.Pattern.to_string (Arc_core.Pattern.of_query prog.A.main)))
+
+let fragment_cmd =
+  Cmd.v
+    (Cmd.info "fragment"
+       ~doc:"Classify a query's language fragment and pattern signature.")
+    Term.(ret (const fragment $ input_lang $ schemas_arg $ query_arg))
+
+(* ------------------------------------------------------------------ *)
+(* compare                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let gold_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"GOLD" ~doc:"Gold (reference) SQL query.")
+
+let cand_arg =
+  Arg.(
+    required
+    & pos 1 (some string) None
+    & info [] ~docv:"CANDIDATE" ~doc:"Candidate SQL query.")
+
+let compare_q schemas gold candidate =
+  wrap (fun () ->
+      let schemas = List.map parse_schema schemas in
+      let r = Arc_intent.Intent.compare_sql ~schemas ~gold ~candidate () in
+      print_endline (Arc_intent.Intent.report_to_string r))
+
+let compare_cmd =
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Intent-based comparison of two SQL queries (NL2SQL validation).")
+    Term.(ret (const compare_q $ schemas_arg $ gold_arg $ cand_arg))
+
+(* ------------------------------------------------------------------ *)
+(* catalog                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let catalog_id =
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"ID" ~doc:"Experiment id (omit to list all).")
+
+let show_artifacts =
+  Arg.(value & flag & info [ "a"; "artifacts" ] ~doc:"Print the artifacts too.")
+
+let markdown_flag =
+  Arg.(
+    value & flag
+    & info [ "markdown" ]
+        ~doc:"Emit the whole catalog as a paper-vs-measured markdown report.")
+
+let catalog_markdown () =
+  print_endline "# EXPERIMENTS — paper vs measured";
+  print_endline "";
+  print_endline
+    "Regenerate with `dune exec bin/arc.exe -- catalog --markdown`, or watch \
+     the same\nchecks run inside `dune exec bench/main.exe` (Part 1) and \
+     `dune runtest`\n(suite `arc_catalog`). Every row is produced by \
+     executing the experiment, not\nby hand.";
+  List.iter
+    (fun (e : Arc_catalog.Catalog.entry) ->
+      Printf.printf "\n## %s — %s\n\n*Paper:* %s\n\n"
+        e.Arc_catalog.Catalog.id e.Arc_catalog.Catalog.title
+        e.Arc_catalog.Catalog.paper_ref;
+      print_endline "| paper-reported behavior | expected | measured | ok |";
+      print_endline "|---|---|---|---|";
+      List.iter
+        (fun (o : Arc_catalog.Catalog.outcome) ->
+          Printf.printf "| %s | `%s` | `%s` | %s |\n"
+            o.Arc_catalog.Catalog.label o.Arc_catalog.Catalog.expected
+            o.Arc_catalog.Catalog.measured
+            (if o.Arc_catalog.Catalog.ok then "yes" else "**NO**"))
+        (e.Arc_catalog.Catalog.run ()))
+    Arc_catalog.Catalog.all
+
+let catalog id artifacts markdown =
+  if markdown then wrap catalog_markdown
+  else
+  wrap (fun () ->
+      match id with
+      | None ->
+          List.iter
+            (fun (e : Arc_catalog.Catalog.entry) ->
+              Printf.printf "%-20s %-12s %s\n" e.Arc_catalog.Catalog.id
+                ("(" ^ e.Arc_catalog.Catalog.paper_ref ^ ")")
+                e.Arc_catalog.Catalog.title)
+            Arc_catalog.Catalog.all
+      | Some id -> (
+          match Arc_catalog.Catalog.by_id id with
+          | None -> die "no experiment %S (try 'arc catalog' to list)" id
+          | Some e ->
+              Printf.printf "%s — %s\n(%s)\n\n" e.Arc_catalog.Catalog.id
+                e.Arc_catalog.Catalog.title e.Arc_catalog.Catalog.paper_ref;
+              List.iter
+                (fun o ->
+                  print_endline
+                    ("  " ^ Arc_catalog.Catalog.outcome_to_string o))
+                (e.Arc_catalog.Catalog.run ());
+              if artifacts then
+                List.iter
+                  (fun (name, body) ->
+                    Printf.printf "\n--- %s ---\n%s\n" name body)
+                  (e.Arc_catalog.Catalog.artifacts ())))
+
+let catalog_cmd =
+  Cmd.v
+    (Cmd.info "catalog"
+       ~doc:"Browse and re-run the paper's experiment catalog.")
+    Term.(ret (const catalog $ catalog_id $ show_artifacts $ markdown_flag))
+
+(* ------------------------------------------------------------------ *)
+(* main                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "arc" ~version:"1.0.0"
+       ~doc:
+         "Abstract Relational Calculus: a semantics-first reference \
+          metalanguage for relational queries.")
+    [ render_cmd; validate_cmd; eval_cmd; fragment_cmd; compare_cmd; catalog_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/analytics_workload.mli:

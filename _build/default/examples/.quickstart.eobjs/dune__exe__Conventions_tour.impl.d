@@ -1,0 +1,1 @@
+examples/conventions_tour.ml: Arc_catalog Arc_core Arc_engine Arc_relation Arc_sql Arc_syntax Arc_value List Printf String

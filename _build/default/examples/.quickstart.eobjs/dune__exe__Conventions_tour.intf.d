@@ -1,0 +1,1 @@
+examples/conventions_tour.mli:

@@ -1,0 +1,1 @@
+examples/count_bug.ml: Arc_catalog Arc_core Arc_engine Arc_higraph Arc_relation Arc_syntax List Printf

@@ -1,0 +1,1 @@
+examples/cross_language.ml: Arc_alt Arc_catalog Arc_core Arc_datalog Arc_engine Arc_higraph Arc_relation Arc_rellang Arc_sql Arc_syntax Arc_value List Printf String

@@ -1,0 +1,1 @@
+examples/matrix_mult.ml: Arc_catalog Arc_core Arc_engine Arc_higraph Arc_relation Arc_syntax Arc_value Array List Printf Random String

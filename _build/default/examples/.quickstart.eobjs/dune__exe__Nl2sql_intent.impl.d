@@ -1,0 +1,1 @@
+examples/nl2sql_intent.ml: Arc_intent List Printf

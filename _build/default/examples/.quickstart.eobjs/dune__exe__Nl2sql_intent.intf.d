@@ -1,0 +1,1 @@
+examples/nl2sql_intent.mli:

@@ -1,0 +1,1 @@
+examples/relational_division.ml: Arc_core Arc_engine Arc_higraph Arc_relation Arc_sql Arc_syntax Arc_value List Printf Random

@@ -1,0 +1,1 @@
+examples/unique_set.ml: Arc_catalog Arc_core Arc_engine Arc_higraph Arc_relation Arc_sql Arc_syntax Printf

@@ -1,0 +1,1 @@
+examples/unique_set.mli:

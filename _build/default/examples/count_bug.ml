@@ -1,0 +1,71 @@
+(* The count bug (paper, Section 3.2), end to end.
+
+   The famous decorrelation bug: rewriting a correlated COUNT subquery into
+   a join with a grouped subquery silently loses rows whose correlated group
+   is empty. ARC's vocabulary diagnoses it: Eq 27 uses the aggregate as a
+   *comparison* predicate inside a correlated γ∅ scope; Eq 28's rewrite
+   moves grouping to S alone, so id 9 (no S rows) has no group at all.
+
+   Run with:  dune exec examples/count_bug.exe *)
+
+module Catalog = Arc_catalog.Catalog
+module Data = Arc_catalog.Data
+module Relation = Arc_relation.Relation
+module Eval = Arc_engine.Eval
+
+let header s =
+  Printf.printf "\n────────────────────────────────────────────\n%s\n\n" s
+
+let () =
+  print_endline "The count bug on R(id,q) = {(9,0)}, S(id,d) = {}:";
+
+  header "Eq (27) — the original correlated query";
+  print_endline (Arc_syntax.Printer.pretty_query (Arc_core.Ast.Coll Data.eq27));
+  print_endline "\nSQL (Fig 21a):";
+  print_endline ("  " ^ Data.sql_fig21a);
+  print_endline "\nresult:";
+  print_endline
+    (Relation.to_table
+       (Eval.run_rows ~db:Data.db_countbug (Arc_core.Ast.program (Arc_core.Ast.Coll Data.eq27))));
+
+  header "Eq (28) — Kim's decorrelation: THE BUG";
+  print_endline (Arc_syntax.Printer.pretty_query (Arc_core.Ast.Coll Data.eq28));
+  print_endline "\nSQL (Fig 21b):";
+  print_endline ("  " ^ Data.sql_fig21b);
+  print_endline "\nresult (the row for id 9 is gone):";
+  print_endline
+    (Relation.to_table
+       (Eval.run_rows ~db:Data.db_countbug (Arc_core.Ast.program (Arc_core.Ast.Coll Data.eq28))));
+
+  header "Eq (29) — the correct decorrelation (left join before grouping)";
+  print_endline (Arc_syntax.Printer.pretty_query (Arc_core.Ast.Coll Data.eq29));
+  print_endline "\nSQL (Fig 21c):";
+  print_endline ("  " ^ Data.sql_fig21c);
+  print_endline "\nresult:";
+  print_endline
+    (Relation.to_table
+       (Eval.run_rows ~db:Data.db_countbug (Arc_core.Ast.program (Arc_core.Ast.Coll Data.eq29))));
+
+  header "The diagnosis, in ARC's vocabulary";
+  print_endline
+    "Eq 27's aggregation predicate r.q = count(s.d) is a COMPARISON inside a\n\
+     correlated γ∅ scope: one group always exists, so count() sees the empty\n\
+     group and returns 0 = r.q.  Eq 28 groups S by s.id first: id 9 produces\n\
+     no group, and the join loses the row.  Eq 29 left-joins R before\n\
+     grouping, so the empty group survives NULL-padded.";
+
+  header "The higraph modality shows the difference at a glance";
+  print_endline "Eq 27:";
+  print_endline
+    (Arc_higraph.Higraph.render (Arc_higraph.Higraph.of_query (Arc_core.Ast.Coll Data.eq27)));
+  print_endline "\nEq 28:";
+  print_endline
+    (Arc_higraph.Higraph.render (Arc_higraph.Higraph.of_query (Arc_core.Ast.Coll Data.eq28)));
+
+  header "Catalog verification (paper vs measured)";
+  (match Catalog.by_id "E19-count-bug" with
+  | Some e ->
+      List.iter
+        (fun o -> print_endline ("  " ^ Catalog.outcome_to_string o))
+        (e.Catalog.run ())
+  | None -> assert false)

@@ -1,0 +1,101 @@
+(* Quickstart: build one ARC query, inspect it in all three modalities,
+   validate it, evaluate it, and translate it to SQL.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Arc_core.Build
+module V = Arc_value.Value
+module Relation = Arc_relation.Relation
+module Database = Arc_relation.Database
+
+let section title =
+  Printf.printf "\n=== %s %s\n" title
+    (String.make (max 0 (60 - String.length title)) '=')
+
+let () =
+  (* A small database: employees and their salaries. *)
+  let db =
+    Database.of_list
+      [
+        ( "Emp",
+          Relation.of_rows
+            [ "name"; "dept" ]
+            [
+              [ V.str "ada"; V.str "eng" ];
+              [ V.str "bo"; V.str "eng" ];
+              [ V.str "cy"; V.str "ops" ];
+            ] );
+        ( "Sal",
+          Relation.of_rows
+            [ "name"; "amount" ]
+            [
+              [ V.str "ada"; V.int 120 ];
+              [ V.str "bo"; V.int 90 ];
+              [ V.str "cy"; V.int 80 ];
+            ] );
+      ]
+  in
+
+  (* The ARC query {Q(dept, total) | ∃e ∈ Emp, s ∈ Sal, γ_{e.dept}
+       [Q.dept = e.dept ∧ Q.total = sum(s.amount) ∧ e.name = s.name]}:
+     total salary per department (a grouped aggregate, FIO pattern). *)
+  let q =
+    coll "Q" [ "dept"; "total" ]
+      (exists
+         ~grouping:[ ("e", "dept") ]
+         [ bind "e" "Emp"; bind "s" "Sal" ]
+         (conj
+            [
+              eq (attr "Q" "dept") (attr "e" "dept");
+              eq (attr "Q" "total") (sum (attr "s" "amount"));
+              eq (attr "e" "name") (attr "s" "name");
+            ]))
+  in
+
+  section "Comprehension modality";
+  print_endline (Arc_syntax.Printer.pretty_query q);
+
+  section "The same text parses back";
+  let roundtrip =
+    Arc_syntax.Parser.query_of_string (Arc_syntax.Printer.query q)
+  in
+  Printf.printf "round-trips: %b\n" (Arc_core.Ast.equal_query roundtrip q);
+
+  section "Validation";
+  let env =
+    Arc_core.Analysis.env
+      ~schemas:[ ("Emp", [ "name"; "dept" ]); ("Sal", [ "name"; "amount" ]) ]
+      ()
+  in
+  (match Arc_core.Analysis.validate_query ~env q with
+  | Ok () -> print_endline "well-scoped: bindings, grouping, head all check out"
+  | Error es ->
+      List.iter
+        (fun e -> print_endline (Arc_core.Analysis.error_to_string e))
+        es);
+
+  section "ALT modality (machine-facing, after linking)";
+  print_endline (Arc_alt.Alt.render (Arc_alt.Alt.link (Arc_alt.Alt.of_query q)));
+
+  section "Higraph modality (human-facing)";
+  print_endline (Arc_higraph.Higraph.render (Arc_higraph.Higraph.of_query q));
+
+  section "Evaluation (conceptual evaluation strategy)";
+  print_endline
+    (Relation.to_table (Arc_engine.Eval.run_rows ~db (Arc_core.Ast.program q)));
+
+  section "Relational pattern signature";
+  print_endline (Arc_core.Pattern.to_string (Arc_core.Pattern.of_query q));
+
+  section "Rendered to SQL";
+  print_endline
+    (Arc_sql.Print.statement (Arc_sql.Of_arc.statement (Arc_core.Ast.program q)));
+
+  section "And back from SQL";
+  let sql = "select e.dept, sum(s.amount) total from Emp e, Sal s where e.name = s.name group by e.dept" in
+  let prog =
+    Arc_sql.To_arc.statement
+      ~schemas:[ ("Emp", [ "name"; "dept" ]); ("Sal", [ "name"; "amount" ]) ]
+      (Arc_sql.Parse.statement_of_string sql)
+  in
+  print_endline (Arc_syntax.Printer.program prog)

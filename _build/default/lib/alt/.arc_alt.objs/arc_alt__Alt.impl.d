@@ -1,0 +1,1 @@
+lib/alt/alt.ml: Arc_core Buffer Char List Printf String

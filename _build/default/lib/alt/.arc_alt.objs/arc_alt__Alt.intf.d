@@ -1,0 +1,1 @@
+lib/alt/alt.mli: Arc_core

@@ -1,0 +1,417 @@
+open Arc_core.Ast
+module Pp = Arc_core.Pp
+
+type kind =
+  | Collection_node
+  | Head_node of head
+  | Quantifier_node
+  | Binding_node of var * rel_name option
+  | Grouping_node of grouping
+  | Join_node of join_tree
+  | And_node
+  | Or_node
+  | Not_node
+  | Predicate_node of pred
+  | True_node
+  | Definition_node of rel_name
+
+type node = { id : int; kind : kind; children : node list }
+
+type edge_kind = Var_ref | Group_key
+
+type edge = { src : int; dst : int; label : string; ekind : edge_kind }
+
+type t = { root : node; edges : edge list }
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type builder = { mutable next : int }
+
+let fresh b =
+  let id = b.next in
+  b.next <- id + 1;
+  id
+
+let rec build_formula b f =
+  match f with
+  | True -> { id = fresh b; kind = True_node; children = [] }
+  | Pred p -> { id = fresh b; kind = Predicate_node p; children = [] }
+  | And fs ->
+      let id = fresh b in
+      { id; kind = And_node; children = List.map (build_formula b) fs }
+  | Or fs ->
+      let id = fresh b in
+      { id; kind = Or_node; children = List.map (build_formula b) fs }
+  | Not f ->
+      let id = fresh b in
+      { id; kind = Not_node; children = [ build_formula b f ] }
+  | Exists s ->
+      let id = fresh b in
+      let bindings =
+        List.map
+          (fun bd ->
+            let bid = fresh b in
+            let children, src =
+              match bd.source with
+              | Base n -> ([], Some n)
+              | Nested c -> ([ build_collection b c ], None)
+            in
+            { id = bid; kind = Binding_node (bd.var, src); children })
+          s.bindings
+      in
+      let grouping =
+        match s.grouping with
+        | Some g -> [ { id = fresh b; kind = Grouping_node g; children = [] } ]
+        | None -> []
+      in
+      let join =
+        match s.join with
+        | Some j -> [ { id = fresh b; kind = Join_node j; children = [] } ]
+        | None -> []
+      in
+      let body = build_formula b s.body in
+      { id; kind = Quantifier_node; children = bindings @ grouping @ join @ [ body ] }
+
+and build_collection b c =
+  let id = fresh b in
+  let head = { id = fresh b; kind = Head_node c.head; children = [] } in
+  let body = build_formula b c.body in
+  { id; kind = Collection_node; children = [ head; body ] }
+
+let of_query q =
+  let b = { next = 0 } in
+  match q with
+  | Coll c -> { root = build_collection b c; edges = [] }
+  | Sentence f -> { root = build_formula b f; edges = [] }
+
+let of_program (p : program) =
+  let b = { next = 0 } in
+  let root_id = fresh b in
+  let defs =
+    List.map
+      (fun d ->
+        let id = fresh b in
+        {
+          id;
+          kind = Definition_node d.def_name;
+          children = [ build_collection b d.def_body ];
+        })
+      p.defs
+  in
+  let main =
+    match p.main with
+    | Coll c -> build_collection b c
+    | Sentence f -> build_formula b f
+  in
+  if defs = [] then { root = main; edges = [] }
+  else
+    {
+      root = { id = root_id; kind = Collection_node; children = defs @ [ main ] };
+      edges = [];
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Labels                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let node_label = function
+  | Collection_node -> "COLLECTION"
+  | Head_node h -> "HEAD: " ^ Pp.head h
+  | Quantifier_node -> "QUANTIFIER \xe2\x88\x83"
+  | Binding_node (v, Some rel) -> Printf.sprintf "BINDING: %s \xe2\x88\x88 %s" v rel
+  | Binding_node (v, None) -> Printf.sprintf "BINDING: %s \xe2\x88\x88" v
+  | Grouping_node [] -> "GROUPING: \xe2\x88\x85"
+  | Grouping_node keys ->
+      "GROUPING: "
+      ^ String.concat ", " (List.map (fun (v, a) -> v ^ "." ^ a) keys)
+  | Join_node j -> "JOIN: " ^ Pp.join_tree j
+  | And_node -> "AND \xe2\x88\xa7"
+  | Or_node -> "OR \xe2\x88\xa8"
+  | Not_node -> "NOT \xc2\xac"
+  | Predicate_node p -> "PREDICATE: " ^ Pp.pred p
+  | True_node -> "TRUE"
+  | Definition_node n -> "DEFINITION: " ^ n
+
+(* ------------------------------------------------------------------ *)
+(* Linking                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type linkenv = { vars : (string * int) list; heads : (string * int) list }
+
+let link t =
+  let edges = ref [] in
+  let add src dst label ekind = edges := { src; dst; label; ekind } :: !edges in
+  let resolve env v =
+    match List.assoc_opt v env.vars with
+    | Some id -> Some id
+    | None -> List.assoc_opt v env.heads
+  in
+  let link_pred env n p =
+    List.iter
+      (fun term ->
+        List.iter
+          (fun (v, a) ->
+            match resolve env v with
+            | Some dst -> add n.id dst (v ^ "." ^ a) Var_ref
+            | None -> ())
+          (term_vars term))
+      (pred_terms p)
+  in
+  let rec walk env n =
+    match n.kind with
+    | Collection_node ->
+        let head_entry =
+          List.filter_map
+            (fun ch ->
+              match ch.kind with
+              | Head_node h -> Some (h.head_name, ch.id)
+              | _ -> None)
+            n.children
+        in
+        (* inside its own body, only this collection's head is visible *)
+        let env' = { env with heads = head_entry } in
+        List.iter (walk env') n.children
+    | Quantifier_node ->
+        let env' =
+          List.fold_left
+            (fun acc ch ->
+              match ch.kind with
+              | Binding_node (v, _) ->
+                  (* nested collections see earlier bindings, not this one *)
+                  List.iter (walk acc) ch.children;
+                  { acc with vars = (v, ch.id) :: acc.vars }
+              | _ -> acc)
+            env n.children
+        in
+        List.iter
+          (fun ch ->
+            match ch.kind with
+            | Binding_node _ -> ()
+            | Grouping_node keys ->
+                List.iter
+                  (fun (v, a) ->
+                    match resolve env' v with
+                    | Some dst -> add ch.id dst (v ^ "." ^ a) Group_key
+                    | None -> ())
+                  keys
+            | _ -> walk env' ch)
+          n.children
+    | Predicate_node p -> link_pred env n p
+    | Head_node _ | Grouping_node _ | Join_node _ | True_node
+    | Binding_node _ -> ()
+    | And_node | Or_node | Not_node | Definition_node _ ->
+        List.iter (walk env) n.children
+  in
+  walk { vars = []; heads = [] } t.root;
+  { t with edges = List.rev !edges }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let render t =
+  let buf = Buffer.create 512 in
+  let rec go ~root prefix is_last n =
+    let branch, cont =
+      if root then ("", "")
+      else if is_last then (prefix ^ "\xe2\x94\x94\xe2\x94\x80 ", prefix ^ "   ")
+      else (prefix ^ "\xe2\x94\x9c\xe2\x94\x80 ", prefix ^ "\xe2\x94\x82  ")
+    in
+    Buffer.add_string buf branch;
+    Buffer.add_string buf (node_label n.kind);
+    Buffer.add_string buf (Printf.sprintf "  #%d\n" n.id);
+    let rec children = function
+      | [] -> ()
+      | [ c ] -> go ~root:false cont true c
+      | c :: rest ->
+          go ~root:false cont false c;
+          children rest
+    in
+    children n.children
+  in
+  go ~root:true "" true t.root;
+  if t.edges <> [] then begin
+    Buffer.add_string buf "links:\n";
+    List.iter
+      (fun e ->
+        Buffer.add_string buf
+          (Printf.sprintf "  #%d \xe2\x86\x92 #%d  %s%s\n" e.src e.dst e.label
+             (match e.ekind with Var_ref -> "" | Group_key -> " (grouping key)")))
+      t.edges
+  end;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let kind_name = function
+  | Collection_node -> "collection"
+  | Head_node _ -> "head"
+  | Quantifier_node -> "quantifier"
+  | Binding_node _ -> "binding"
+  | Grouping_node _ -> "grouping"
+  | Join_node _ -> "join"
+  | And_node -> "and"
+  | Or_node -> "or"
+  | Not_node -> "not"
+  | Predicate_node _ -> "predicate"
+  | True_node -> "true"
+  | Definition_node _ -> "definition"
+
+let to_json t =
+  let buf = Buffer.create 1024 in
+  let rec node n =
+    Buffer.add_string buf
+      (Printf.sprintf "{\"id\":%d,\"kind\":\"%s\",\"label\":\"%s\",\"children\":["
+         n.id (kind_name n.kind)
+         (json_escape (node_label n.kind)));
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_char buf ',';
+        node c)
+      n.children;
+    Buffer.add_string buf "]}"
+  in
+  Buffer.add_string buf "{\"root\":";
+  node t.root;
+  Buffer.add_string buf ",\"edges\":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "{\"src\":%d,\"dst\":%d,\"label\":\"%s\",\"kind\":\"%s\"}"
+           e.src e.dst (json_escape e.label)
+           (match e.ekind with Var_ref -> "ref" | Group_key -> "group_key")))
+    t.edges;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let to_sexp t =
+  let buf = Buffer.create 1024 in
+  let atom s =
+    if
+      s <> ""
+      && String.for_all
+           (function
+             | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' | '-' -> true
+             | _ -> false)
+           s
+    then s
+    else "\"" ^ json_escape s ^ "\""
+  in
+  let rec node n =
+    Buffer.add_string buf
+      (Printf.sprintf "(%s %d %s" (kind_name n.kind) n.id
+         (atom (node_label n.kind)));
+    List.iter
+      (fun c ->
+        Buffer.add_char buf ' ';
+        node c)
+      n.children;
+    Buffer.add_char buf ')'
+  in
+  node t.root;
+  if t.edges <> [] then begin
+    Buffer.add_string buf "\n(edges";
+    List.iter
+      (fun e ->
+        Buffer.add_string buf
+          (Printf.sprintf " (%d %d %s)" e.src e.dst (atom e.label)))
+      t.edges;
+    Buffer.add_char buf ')'
+  end;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Reconstruction (the modality is lossless)                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec node_to_formula n : formula =
+  match n.kind with
+  | True_node -> True
+  | Predicate_node p -> Pred p
+  | And_node -> And (List.map node_to_formula n.children)
+  | Or_node -> Or (List.map node_to_formula n.children)
+  | Not_node -> (
+      match n.children with
+      | [ c ] -> Not (node_to_formula c)
+      | _ -> invalid_arg "Alt.to_query: malformed NOT node")
+  | Quantifier_node ->
+      let bindings =
+        List.filter_map
+          (fun c ->
+            match c.kind with
+            | Binding_node (v, Some rel) -> Some { var = v; source = Base rel }
+            | Binding_node (v, None) -> (
+                match c.children with
+                | [ coll ] ->
+                    Some { var = v; source = Nested (node_to_collection coll) }
+                | _ -> invalid_arg "Alt.to_query: malformed nested binding")
+            | _ -> None)
+          n.children
+      in
+      let grouping =
+        List.find_map
+          (fun c ->
+            match c.kind with Grouping_node g -> Some g | _ -> None)
+          n.children
+      in
+      let join =
+        List.find_map
+          (fun c -> match c.kind with Join_node j -> Some j | _ -> None)
+          n.children
+      in
+      let body =
+        match List.rev n.children with
+        | last :: _ -> (
+            match last.kind with
+            | Binding_node _ | Grouping_node _ | Join_node _ ->
+                invalid_arg "Alt.to_query: quantifier without a body"
+            | _ -> node_to_formula last)
+        | [] -> invalid_arg "Alt.to_query: empty quantifier"
+      in
+      Exists { bindings; grouping; join; body }
+  | Collection_node | Head_node _ | Binding_node _ | Grouping_node _
+  | Join_node _ | Definition_node _ ->
+      invalid_arg "Alt.to_query: unexpected node in formula position"
+
+and node_to_collection n : collection =
+  match (n.kind, n.children) with
+  | Collection_node, [ h; body ] -> (
+      match h.kind with
+      | Head_node head -> { head; body = node_to_formula body }
+      | _ -> invalid_arg "Alt.to_query: collection without a head")
+  | _ -> invalid_arg "Alt.to_query: malformed collection node"
+
+let to_query t : query =
+  match t.root.kind with
+  | Collection_node -> Coll (node_to_collection t.root)
+  | _ -> Sentence (node_to_formula t.root)
+
+let size t =
+  let rec count n = 1 + List.fold_left (fun acc c -> acc + count c) 0 n.children in
+  count t.root
+
+let find_node t id =
+  let rec go n =
+    if n.id = id then Some n
+    else List.fold_left (fun acc c -> if acc = None then go c else acc) None n.children
+  in
+  go t.root

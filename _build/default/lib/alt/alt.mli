@@ -1,0 +1,86 @@
+(** The Abstract Language Tree (ALT) modality (paper, Section 2.2).
+
+    An ALT is a hierarchically structured representation of the {e semantics}
+    of a query rather than its syntax: collections, heads, quantifier scopes,
+    bindings, grouping operators, connectives, and predicates appear as typed
+    nodes whose nesting mirrors lexical scoping. After the {e linking step}
+    (name resolution), cross-edges connect every attribute reference to the
+    binding (or head) that declares its range variable, and every grouping
+    key to its binding — turning the tree into the hierarchical graph the
+    paper calls an Abstract Language Higraph (ALH).
+
+    Machine-facing serializations (JSON, s-expressions) and the textual
+    rendering used in the paper's figures are provided. *)
+
+open Arc_core.Ast
+
+type kind =
+  | Collection_node
+  | Head_node of head
+  | Quantifier_node
+  | Binding_node of var * rel_name option
+      (** [Some rel] for base-relation bindings; [None] for nested
+          collections, whose [Collection_node] is the binding's child. *)
+  | Grouping_node of grouping
+  | Join_node of join_tree
+  | And_node
+  | Or_node
+  | Not_node
+  | Predicate_node of pred
+  | True_node
+  | Definition_node of rel_name
+
+type node = { id : int; kind : kind; children : node list }
+
+type edge_kind = Var_ref | Group_key
+
+type edge = { src : int; dst : int; label : string; ekind : edge_kind }
+(** [src] is the referencing node (predicate or grouping), [dst] the
+    binding/head node that declares the variable; [label] is the referenced
+    attribute, e.g. ["r.A"]. *)
+
+type t = {
+  root : node;
+  edges : edge list;  (** Present after {!link}; empty in a bare tree. *)
+}
+
+val of_query : query -> t
+(** Builds the bare (unlinked) ALT. Node ids are assigned in preorder. *)
+
+val of_program : program -> t
+(** Definitions become [Definition_node]s preceding the main query under a
+    synthetic root collection node. *)
+
+val link : t -> t
+(** The linking step: resolves every variable occurrence to its declaring
+    binding/head node and adds {!edge}s. References that cannot be resolved
+    (free variables) are silently skipped — run {!Arc_core.Analysis.validate}
+    first to reject those. *)
+
+val node_label : kind -> string
+(** The figure-style label, e.g. ["BINDING: r \xe2\x88\x88 R"],
+    ["GROUPING: r.A"], ["PREDICATE: Q.sm = sum(r.B)"]. *)
+
+val render : t -> string
+(** Textual tree rendering in the style of the paper's Figures 2a/4b/5c,
+    with box-drawing branches; linked edges are appended as a "links:"
+    section when present. *)
+
+val to_json : t -> string
+(** Machine-facing JSON: nodes with [id], [kind], [label], [children];
+    plus a top-level [edges] array. *)
+
+val to_sexp : t -> string
+
+val to_query : t -> query
+(** Reconstructs the ARC AST from the tree — the inverse of {!of_query}.
+    Modalities are {e lossless} presentations of the relational core (paper,
+    Section 1): [to_query (of_query q) = q] for every query, which the test
+    suite checks both on the paper catalog and on random queries. Raises
+    [Invalid_argument] on trees not produced by {!of_query} (e.g. a
+    definition forest from {!of_program}). *)
+
+val size : t -> int
+(** Number of nodes. *)
+
+val find_node : t -> int -> node option

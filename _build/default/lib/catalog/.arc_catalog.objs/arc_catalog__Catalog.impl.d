@@ -1,0 +1,1 @@
+lib/catalog/catalog.ml: Arc_alt Arc_core Arc_datalog Arc_engine Arc_higraph Arc_intent Arc_relation Arc_rellang Arc_sql Arc_syntax Arc_trc Arc_value Data List Printf String

@@ -1,0 +1,1 @@
+lib/catalog/data.ml: Arc_core Arc_relation Arc_value List

@@ -1,0 +1,1 @@
+lib/catalog/data.mli: Arc_core Arc_relation

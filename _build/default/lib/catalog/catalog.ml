@@ -1,0 +1,915 @@
+open Arc_core.Ast
+module V = Arc_value.Value
+module B3 = Arc_value.Bool3
+module Conventions = Arc_value.Conventions
+module Relation = Arc_relation.Relation
+module Tuple = Arc_relation.Tuple
+module Database = Arc_relation.Database
+module Eval = Arc_engine.Eval
+module Printer = Arc_syntax.Printer
+module Alt = Arc_alt.Alt
+module Higraph = Arc_higraph.Higraph
+module Pattern = Arc_core.Pattern
+module Analysis = Arc_core.Analysis
+
+type outcome = {
+  label : string;
+  expected : string;
+  measured : string;
+  ok : bool;
+}
+
+type entry = {
+  id : string;
+  paper_ref : string;
+  title : string;
+  run : unit -> outcome list;
+  artifacts : unit -> (string * string) list;
+}
+
+let outcome_to_string o =
+  Printf.sprintf "[%s] %s: expected %s, measured %s"
+    (if o.ok then "ok" else "FAIL")
+    o.label o.expected o.measured
+
+(* ------------------------------------------------------------------ *)
+(* Outcome helpers                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rel_to_line r =
+  let r = Relation.sort (Relation.dedup r) in
+  "{"
+  ^ String.concat "; "
+      (List.map
+         (fun tp ->
+           "("
+           ^ String.concat ","
+               (List.map V.to_string (Tuple.values tp))
+           ^ ")")
+         (Relation.tuples r))
+  ^ "}"
+
+let check label ~expected ~measured =
+  { label; expected; measured; ok = expected = measured }
+
+let check_bool label expected measured =
+  check label ~expected:(string_of_bool expected)
+    ~measured:(string_of_bool measured)
+
+let check_rel label expected r =
+  check label ~expected ~measured:(rel_to_line r)
+
+let check_rels_equal label r1 r2 =
+  {
+    label;
+    expected = rel_to_line r1;
+    measured = rel_to_line r2;
+    ok = Relation.equal_set r1 r2;
+  }
+
+let eval ?conv ?(defs = []) ~db c =
+  Eval.run_rows ?conv ~db { defs; main = Coll c }
+
+let sql ~db q = Arc_sql.Eval_sql.run_string ~db q
+
+let arc_artifacts ?(name = "ARC") c =
+  let q = Coll c in
+  [
+    (name ^ " (comprehension)", Printer.pretty_query q);
+    (name ^ " (ALT)", Alt.render (Alt.link (Alt.of_query q)));
+    (name ^ " (higraph)", Higraph.render (Higraph.of_query q));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Entries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let e1 =
+  {
+    id = "E1-trc";
+    paper_ref = "Eq (1), Fig 2";
+    title = "TRC query in ARC: three modalities and evaluation";
+    run =
+      (fun () ->
+        let r = eval ~db:Data.db_rs Data.eq1 in
+        let printed = Printer.query (Coll Data.eq1) in
+        let reparsed = Arc_syntax.Parser.query_of_string printed in
+        let normalized =
+          Arc_trc.Trc.to_arc
+            "{r.A | r in R and exists s[r.B = s.B and s.C = 0 and s in S]}"
+        in
+        let renested = Arc_core.Rewrite.merge_nested_exists (Coll normalized) in
+        [
+          check_rel "evaluation on the worked instance" "{(1)}" r;
+          check_bool
+            "textbook TRC normalizes to Eq 1 (after Section 2.7 unnesting)"
+            true
+            (equal_query
+               (Arc_core.Canon.canonical_query renested)
+               (Arc_core.Canon.canonical_query (Coll Data.eq1)));
+          check_bool "comprehension text round-trips" true
+            (equal_query reparsed (Coll Data.eq1));
+          check_bool "validates" true
+            (Analysis.validate_query (Coll Data.eq1) = Ok ());
+          check "ALT size" ~expected:"9"
+            ~measured:
+              (string_of_int (Alt.size (Alt.of_query (Coll Data.eq1))));
+        ]);
+    artifacts =
+      (fun () ->
+        arc_artifacts Data.eq1
+        @ [
+            ( "SQL (via ARC→SQL)",
+              Arc_sql.Print.statement
+                (Arc_sql.Of_arc.statement (program (Coll Data.eq1))) );
+          ]);
+  }
+
+let e2 =
+  {
+    id = "E2-lateral";
+    paper_ref = "Eq (2), Fig 3";
+    title = "Nested comprehension = SQL lateral join";
+    run =
+      (fun () ->
+        let db =
+          Database.of_list
+            [
+              ("X", Relation.of_rows [ "A" ] [ [ V.Int 1 ]; [ V.Int 5 ] ]);
+              ("Y", Relation.of_rows [ "A" ] [ [ V.Int 2 ]; [ V.Int 6 ] ]);
+            ]
+        in
+        let via_arc = eval ~db Data.eq2 in
+        let via_sql = sql ~db Data.sql_fig3a in
+        [ check_rels_equal "ARC ≡ SQL lateral (Fig 3a)" via_sql via_arc ]);
+    artifacts =
+      (fun () -> arc_artifacts Data.eq2 @ [ ("SQL (Fig 3a)", Data.sql_fig3a) ]);
+  }
+
+let e3 =
+  {
+    id = "E3-fio";
+    paper_ref = "Eq (3), Fig 4";
+    title = "Grouped aggregate, from the inside out (FIO)";
+    run =
+      (fun () ->
+        let via_arc = eval ~db:Data.db_grouping Data.eq3 in
+        let via_sql = sql ~db:Data.db_grouping Data.sql_fig4a in
+        let pat = Pattern.of_collection Data.eq3 in
+        [
+          check_rels_equal "ARC ≡ SQL GROUP BY (Fig 4a)" via_sql via_arc;
+          check "aggregation style" ~expected:"FIO"
+            ~measured:
+              (String.concat ","
+                 (List.map Pattern.agg_style_to_string pat.Pattern.agg_styles));
+          check "relation references" ~expected:"R×1"
+            ~measured:
+              (String.concat ";"
+                 (List.map
+                    (fun (n, c) -> Printf.sprintf "%s×%d" n c)
+                    pat.Pattern.rel_refs));
+        ]);
+    artifacts =
+      (fun () -> arc_artifacts Data.eq3 @ [ ("SQL (Fig 4a)", Data.sql_fig4a) ]);
+  }
+
+let e4 =
+  {
+    id = "E4-foi";
+    paper_ref = "Eqs (4)-(7), Fig 5";
+    title = "From the outside in (Klug, Hella, Soufflé) — four formulations agree";
+    run =
+      (fun () ->
+        let via_fio = eval ~db:Data.db_grouping Data.eq3 in
+        let via_foi = eval ~db:Data.db_grouping Data.eq7 in
+        let via_scalar = sql ~db:Data.db_grouping Data.sql_fig5a in
+        let via_lateral = sql ~db:Data.db_grouping Data.sql_fig5b in
+        let via_souffle =
+          Arc_datalog.Eval.query ~db:Data.db_grouping
+            (Arc_datalog.Parse.program_of_string Data.souffle_eq6)
+            "Q"
+        in
+        let pat = Pattern.of_collection Data.eq7 in
+        [
+          check_rels_equal "FOI ≡ FIO" via_fio via_foi;
+          check_rels_equal "FOI ≡ SQL scalar subquery (Fig 5a)" via_scalar via_foi;
+          check_rels_equal "FOI ≡ SQL lateral (Fig 5b)" via_lateral via_foi;
+          check "Soufflé rule result (Eq 6)" ~expected:(rel_to_line via_fio)
+            ~measured:(rel_to_line via_souffle);
+          check "aggregation style" ~expected:"FOI"
+            ~measured:
+              (String.concat ","
+                 (List.map Pattern.agg_style_to_string pat.Pattern.agg_styles));
+          check "relation references (two logical copies)" ~expected:"R×2"
+            ~measured:
+              (String.concat ";"
+                 (List.map
+                    (fun (n, c) -> Printf.sprintf "%s×%d" n c)
+                    pat.Pattern.rel_refs));
+        ]);
+    artifacts =
+      (fun () ->
+        arc_artifacts Data.eq7
+        @ [
+            ("SQL scalar subquery (Fig 5a)", Data.sql_fig5a);
+            ("SQL lateral join (Fig 5b)", Data.sql_fig5b);
+            ("Soufflé (Eq 6)", Data.souffle_eq6);
+          ]);
+  }
+
+let e5 =
+  {
+    id = "E5-multi-agg";
+    paper_ref = "Eq (8), Fig 6";
+    title = "Multiple aggregates in one scope; HAVING as outer selection";
+    run =
+      (fun () ->
+        let via_arc = eval ~db:Data.db_payroll Data.eq8 in
+        let via_sql = sql ~db:Data.db_payroll Data.sql_fig6a in
+        let pat = Pattern.of_collection Data.eq8 in
+        [
+          check_rels_equal "ARC ≡ SQL (Fig 6a)" via_sql via_arc;
+          check "R and S referenced once each" ~expected:"R×1;S×1"
+            ~measured:
+              (String.concat ";"
+                 (List.map
+                    (fun (n, c) -> Printf.sprintf "%s×%d" n c)
+                    pat.Pattern.rel_refs));
+        ]);
+    artifacts =
+      (fun () -> arc_artifacts Data.eq8 @ [ ("SQL (Fig 6a)", Data.sql_fig6a) ]);
+  }
+
+let e6 =
+  {
+    id = "E6-hella";
+    paper_ref = "Eqs (9)-(10), Fig 7";
+    title = "Hella et al.: same result, modified relational pattern";
+    run =
+      (fun () ->
+        let via_eq8 = eval ~db:Data.db_payroll Data.eq8 in
+        let via_eq10 = eval ~db:Data.db_payroll Data.eq10 in
+        let pat = Pattern.of_collection Data.eq10 in
+        [
+          check_rels_equal "Eq 10 ≡ Eq 8 on the running example" via_eq8
+            via_eq10;
+          check "base relations referenced three times each"
+            ~expected:"R×3;S×3"
+            ~measured:
+              (String.concat ";"
+                 (List.map
+                    (fun (n, c) -> Printf.sprintf "%s×%d" n c)
+                    pat.Pattern.rel_refs));
+        ]);
+    artifacts = (fun () -> arc_artifacts Data.eq10);
+  }
+
+let e7 =
+  {
+    id = "E7-rel";
+    paper_ref = "Eqs (11)-(12), Fig 8";
+    title = "Rel: separate scope per aggregate";
+    run =
+      (fun () ->
+        let via_eq8 = eval ~db:Data.db_payroll Data.eq8 in
+        let via_eq12 = eval ~db:Data.db_payroll Data.eq12 in
+        let rel_schemas =
+          [ ("R", [ "empl"; "dept" ]); ("S", [ "empl"; "sal" ]) ]
+        in
+        let via_rel =
+          eval ~db:Data.db_payroll
+            (Arc_rellang.Rel.to_arc ~schemas:rel_schemas
+               Arc_rellang.Rel.paper_eq11)
+        in
+        let pat = Pattern.of_collection Data.eq12 in
+        [
+          check_rels_equal "Eq 12 ≡ Eq 8" via_eq8 via_eq12;
+          check_bool "Rel embedding (Eq 11) gives the same rows" true
+            (List.sort compare
+               (List.map
+                  (fun tp -> List.map V.to_string (Tuple.values tp))
+                  (Relation.tuples via_rel))
+            = List.sort compare
+                (List.map
+                   (fun tp -> List.map V.to_string (Tuple.values tp))
+                   (Relation.tuples via_eq12)));
+          check "base relations referenced twice each" ~expected:"R×2;S×2"
+            ~measured:
+              (String.concat ";"
+                 (List.map
+                    (fun (n, c) -> Printf.sprintf "%s×%d" n c)
+                    pat.Pattern.rel_refs));
+        ]);
+    artifacts =
+      (fun () ->
+        arc_artifacts Data.eq12
+        @ [ ("Rel (Eq 11)", Arc_rellang.Rel.to_string Arc_rellang.Rel.paper_eq11) ]);
+  }
+
+let e8 =
+  {
+    id = "E8-sentences";
+    paper_ref = "Eqs (13)-(14), Fig 9";
+    title = "Boolean sentences with aggregate comparison predicates";
+    run =
+      (fun () ->
+        let t13 =
+          Eval.run_truth ~db:Data.db_boolean (program (Sentence Data.eq13))
+        in
+        let t14 =
+          Eval.run_truth ~db:Data.db_boolean (program (Sentence Data.eq14))
+        in
+        let sql_unary = sql ~db:Data.db_boolean Data.sql_fig9a in
+        [
+          check "Eq 13 sentence" ~expected:"true" ~measured:(B3.to_string t13);
+          check "Eq 14 sentence" ~expected:"true" ~measured:(B3.to_string t14);
+          check "SQL can only return a unary relation (Fig 9a)" ~expected:"1"
+            ~measured:(string_of_int (Relation.cardinality sql_unary));
+        ]);
+    artifacts =
+      (fun () ->
+        [
+          ("ARC sentence (Eq 13)", Printer.query (Sentence Data.eq13));
+          ("ARC sentence (Eq 14)", Printer.query (Sentence Data.eq14));
+          ( "higraph (Eq 14)",
+            Higraph.render (Higraph.of_query (Sentence Data.eq14)) );
+          ("SQL workaround (Fig 9a)", Data.sql_fig9a);
+        ]);
+  }
+
+let e9 =
+  {
+    id = "E9-conventions";
+    paper_ref = "Eq (15), Section 2.6, Fig 13d";
+    title = "Conventions: sum over empty group — Soufflé 0 vs SQL NULL";
+    run =
+      (fun () ->
+        let souffle_rows =
+          eval ~conv:Conventions.souffle ~db:Data.db_souffle Data.eq15
+        in
+        let sqlish_rows =
+          eval ~conv:Conventions.sql_set ~db:Data.db_souffle Data.eq15
+        in
+        let via_souffle_engine =
+          Arc_datalog.Eval.query ~db:Data.db_souffle
+            (Arc_datalog.Parse.program_of_string Data.souffle_eq15)
+            "Q"
+        in
+        [
+          check_rel "ARC under Soufflé conventions derives Q(1,0)" "{(1,0)}"
+            souffle_rows;
+          check_rel "ARC under SQL conventions derives (1, NULL)"
+            "{(1,null)}" sqlish_rows;
+          check_rel "the Soufflé substrate agrees" "{(1,0)}"
+            via_souffle_engine;
+        ]);
+    artifacts =
+      (fun () ->
+        arc_artifacts Data.eq15
+        @ [ ("Soufflé rule (Eq 15)", Data.souffle_eq15) ]);
+  }
+
+let e10 =
+  {
+    id = "E10-set-bag";
+    paper_ref = "Section 2.7";
+    title = "Set vs bag: (un)nesting is a rewrite only under set semantics";
+    run =
+      (fun () ->
+        let db =
+          Database.of_list
+            [
+              ("R", Relation.of_rows [ "A"; "B" ] [ [ V.Int 1; V.Int 7 ] ]);
+              ("S", Relation.of_rows [ "B" ] [ [ V.Int 7 ]; [ V.Int 7 ] ]);
+            ]
+        in
+        let set_n = eval ~conv:Conventions.sql_set ~db Data.sec27_nested in
+        let set_u = eval ~conv:Conventions.sql_set ~db Data.sec27_unnested in
+        let bag_n = eval ~conv:Conventions.sql ~db Data.sec27_nested in
+        let bag_u = eval ~conv:Conventions.sql ~db Data.sec27_unnested in
+        [
+          check_rels_equal "equal under set semantics" set_n set_u;
+          check "bag: nested, once per r" ~expected:"1"
+            ~measured:(string_of_int (Relation.cardinality bag_n));
+          check "bag: unnested, once per pair" ~expected:"2"
+            ~measured:(string_of_int (Relation.cardinality bag_u));
+        ]);
+    artifacts =
+      (fun () ->
+        [
+          ("nested", Printer.query (Coll Data.sec27_nested));
+          ("unnested", Printer.query (Coll Data.sec27_unnested));
+        ]);
+  }
+
+let e11 =
+  {
+    id = "E11-dedup";
+    paper_ref = "Section 2.7 (Deduplication)";
+    title = "DISTINCT as grouping on all projected attributes";
+    run =
+      (fun () ->
+        let db =
+          Database.of_list
+            [
+              ( "R",
+                Relation.of_rows [ "A"; "B" ]
+                  [
+                    [ V.Int 1; V.Int 2 ]; [ V.Int 1; V.Int 2 ];
+                    [ V.Int 3; V.Int 4 ];
+                  ] );
+            ]
+        in
+        let r = eval ~conv:Conventions.sql ~db Data.dedup_grouping in
+        [
+          check "grouping deduplicates even under bag semantics"
+            ~expected:"2"
+            ~measured:(string_of_int (Relation.cardinality r));
+        ]);
+    artifacts = (fun () -> arc_artifacts Data.dedup_grouping);
+  }
+
+let e12 =
+  {
+    id = "E12-recursion";
+    paper_ref = "Eq (16), Fig 10";
+    title = "Recursion: one definition with a disjunction, LFP semantics";
+    run =
+      (fun () ->
+        let via_arc =
+          Eval.run_rows ~db:Data.db_parent
+            { defs = Data.eq16_defs; main = Coll Data.eq16_main }
+        in
+        let via_datalog =
+          Arc_datalog.Eval.query ~db:Data.db_parent
+            (Arc_datalog.Parse.program_of_string Data.souffle_eq16)
+            "A"
+        in
+        let via_sql =
+          sql ~db:Data.db_parent
+            "with recursive A(s, t) as (select P.s, P.t from P union select \
+             P.s, A.t from P, A where P.t = A.s) select A.s, A.t from A"
+        in
+        [
+          check_rel "ancestor closure" "{(1,2); (1,3); (1,4); (2,3); (2,4); (3,4)}"
+            via_arc;
+          check_bool "Datalog two-rule program agrees" true
+            (Relation.cardinality via_datalog = Relation.cardinality via_arc);
+          check_rels_equal "SQL WITH RECURSIVE agrees" via_sql via_arc;
+        ]);
+    artifacts =
+      (fun () ->
+        [
+          ( "ARC (Eq 16)",
+            Printer.program { defs = Data.eq16_defs; main = Coll Data.eq16_main }
+          );
+          ("Datalog", Data.souffle_eq16);
+          ( "ALT",
+            Alt.render
+              (Alt.of_program
+                 { defs = Data.eq16_defs; main = Coll Data.eq16_main }) );
+        ]);
+  }
+
+let e13 =
+  {
+    id = "E13-not-in";
+    paper_ref = "Eq (17), Fig 11";
+    title = "NOT IN under NULLs: 3VL behavior in two-valued logic";
+    run =
+      (fun () ->
+        let sql_not_in = sql ~db:Data.db_nulls Data.sql_fig11a in
+        let sql_rewrite = sql ~db:Data.db_nulls Data.sql_fig11b in
+        let via_arc =
+          eval ~conv:Conventions.classical ~db:Data.db_nulls Data.eq17
+        in
+        let plain =
+          eval ~conv:Conventions.classical ~db:Data.db_nulls
+            Data.eq17_plain_not_exists
+        in
+        (* and the SQL→ARC translator inserts the checks automatically *)
+        let translated =
+          Arc_sql.To_arc.statement
+            ~schemas:[ ("R", [ "A" ]); ("S", [ "A" ]) ]
+            (Arc_sql.Parse.statement_of_string Data.sql_fig11a)
+        in
+        let via_translation =
+          Eval.run_rows ~conv:Conventions.sql ~db:Data.db_nulls translated
+        in
+        [
+          check "SQL NOT IN returns nothing (S contains NULL)" ~expected:"{}"
+            ~measured:(rel_to_line sql_not_in);
+          check_rels_equal "NOT EXISTS rewrite (Fig 11b) agrees" sql_not_in
+            sql_rewrite;
+          check_rels_equal "ARC Eq 17 under 2VL agrees" sql_not_in via_arc;
+          check_rel "without null checks, 2VL ¬∃ returns {2}" "{(2)}" plain;
+          check_rels_equal "SQL→ARC inserts the null checks" sql_not_in
+            via_translation;
+        ]);
+    artifacts =
+      (fun () ->
+        arc_artifacts Data.eq17
+        @ [
+            ("SQL NOT IN (Fig 11a)", Data.sql_fig11a);
+            ("SQL NOT EXISTS rewrite (Fig 11b)", Data.sql_fig11b);
+          ]);
+  }
+
+let e14 =
+  {
+    id = "E14-outer-join";
+    paper_ref = "Eq (18), Fig 12";
+    title = "Join annotations with a literal leaf: left(r, inner(11, s))";
+    run =
+      (fun () ->
+        let via_arc = eval ~conv:Conventions.sql ~db:Data.db_outer Data.eq18 in
+        let via_sql = sql ~db:Data.db_outer Data.sql_fig12a in
+        [
+          check_rels_equal "ARC ≡ SQL ON-clause semantics" via_sql via_arc;
+          check_rel "r2 survives NULL-padded" "{('r1','s1'); ('r2',null)}"
+            via_arc;
+        ]);
+    artifacts =
+      (fun () ->
+        arc_artifacts Data.eq18 @ [ ("SQL (Fig 12a)", Data.sql_fig12a) ]);
+  }
+
+let e15 =
+  {
+    id = "E15-scalar-lateral";
+    paper_ref = "Fig 13, Section 2.12";
+    title = "Scalar subquery ≡ lateral; LEFT JOIN + GROUP BY is not";
+    run =
+      (fun () ->
+        let scalar = sql ~db:Data.db_fig13 Data.sql_fig13a in
+        let lateral = sql ~db:Data.db_fig13 Data.sql_fig13b in
+        let leftjoin = sql ~db:Data.db_fig13 Data.sql_fig13c in
+        let arc_lateral =
+          eval ~conv:Conventions.sql ~db:Data.db_fig13 Data.fig13_lateral
+        in
+        let arc_leftjoin =
+          eval ~conv:Conventions.sql ~db:Data.db_fig13 Data.fig13_leftjoin
+        in
+        [
+          check_bool "scalar ≡ lateral under bag semantics" true
+            (Relation.equal_bag (Relation.sort scalar) (Relation.sort lateral));
+          check "lateral keeps both duplicate R rows" ~expected:"2"
+            ~measured:(string_of_int (Relation.cardinality lateral));
+          check "left join + group by collapses them" ~expected:"1"
+            ~measured:(string_of_int (Relation.cardinality leftjoin));
+          check "ARC lateral form matches" ~expected:"2"
+            ~measured:(string_of_int (Relation.cardinality arc_lateral));
+          check "ARC left-join form matches" ~expected:"1"
+            ~measured:(string_of_int (Relation.cardinality arc_leftjoin));
+        ]);
+    artifacts =
+      (fun () ->
+        arc_artifacts ~name:"ARC lateral (Fig 13d)" Data.fig13_lateral
+        @ [
+            ("SQL scalar (Fig 13a)", Data.sql_fig13a);
+            ("SQL lateral (Fig 13b)", Data.sql_fig13b);
+            ("SQL left join (Fig 13c, incorrect)", Data.sql_fig13c);
+          ]);
+  }
+
+let e16 =
+  {
+    id = "E16-externals";
+    paper_ref = "Eqs (19)-(21), Fig 15";
+    title = "External relations: relationalized '-' and '>'";
+    run =
+      (fun () ->
+        let r19 = eval ~db:Data.db_external Data.eq19 in
+        let r20 = eval ~db:Data.db_external Data.eq20 in
+        let r21 = eval ~db:Data.db_external Data.eq21 in
+        let env =
+          Analysis.env
+            ~schemas:[ ("R", [ "A"; "B" ]); ("S", [ "B" ]); ("T", [ "B" ]) ]
+            ()
+        in
+        let safe20 = Analysis.collection_safety ~env ~defs:[] Data.eq20 in
+        [
+          check_rel "direct arithmetic (Eq 19)" "{(1)}" r19;
+          check_rels_equal "relationalized Minus (Eq 20)" r19 r20;
+          check_rels_equal "equijoin via Bigger (Eq 21)" r19 r21;
+          check_bool "access patterns restore safety" true (safe20 = Analysis.Safe);
+        ]);
+    artifacts =
+      (fun () ->
+        arc_artifacts ~name:"Eq 21" Data.eq21
+        @ [ ("Eq 19", Printer.query (Coll Data.eq19));
+            ("Eq 20", Printer.query (Coll Data.eq20)) ]);
+  }
+
+let e17 =
+  {
+    id = "E17-unique-set";
+    paper_ref = "Eqs (22)-(24), Figs 16-19";
+    title = "Unique-set query and the abstract relation Subset";
+    run =
+      (fun () ->
+        let plain = eval ~db:Data.db_beers Data.eq22 in
+        let modular =
+          Eval.run_rows ~db:Data.db_beers
+            { defs = [ Data.eq23_subset ]; main = Coll Data.eq24 }
+        in
+        let via_sql = sql ~db:Data.db_beers Data.sql_fig17 in
+        let env = Analysis.env ~schemas:[ ("L", [ "d"; "b" ]) ] () in
+        let subset_safety =
+          Analysis.collection_safety ~env ~defs:[]
+            Data.eq23_subset.def_body
+        in
+        [
+          check_rel "only cal's beer set is unique" "{('cal')}" plain;
+          check_rels_equal "modular Eq 24 ≡ flat Eq 22" plain modular;
+          check_rels_equal "SQL Fig 17 agrees" via_sql plain;
+          check_bool "Subset is unsafe in isolation (abstract)" true
+            (match subset_safety with Analysis.Unsafe _ -> true | _ -> false);
+        ]);
+    artifacts =
+      (fun () ->
+        [
+          ("ARC flat (Eq 22)", Printer.pretty_query (Coll Data.eq22));
+          ( "ARC modular (Eq 24) with def Subset (Eq 23)",
+            Printer.program
+              { defs = [ Data.eq23_subset ]; main = Coll Data.eq24 } );
+          ( "higraph with collapsed module (Fig 16)",
+            Higraph.render
+              (Higraph.of_query ~collapse:[ "Subset" ] (Coll Data.eq24)) );
+          ("SQL (Fig 17)", Data.sql_fig17);
+        ]);
+  }
+
+let e18 =
+  {
+    id = "E18-matmul";
+    paper_ref = "Eqs (25)-(26), Fig 20, Section 3.1";
+    title = "Matrix multiplication over sparse relations";
+    run =
+      (fun () ->
+        let r = eval ~db:Data.db_matrices Data.eq26 in
+        let r_ext = eval ~db:Data.db_matrices Data.eq26_external in
+        (* dense oracle: [[1,2],[3,4]] x [[5,6],[7,8]] = [[19,22],[43,50]] *)
+        [
+          check_rel "C = A×B" "{(1,1,19); (2,1,43); (1,2,22); (2,2,50)}" r;
+          check_rels_equal "external '*' variant (Fig 20) agrees" r r_ext;
+        ]);
+    artifacts =
+      (fun () ->
+        arc_artifacts ~name:"Eq 26" Data.eq26
+        @ [
+            ( "Fig 20 variant (external '*')",
+              Printer.pretty_query (Coll Data.eq26_external) );
+            ( "higraph (Fig 20)",
+              Higraph.render (Higraph.of_query (Coll Data.eq26_external)) );
+          ]);
+  }
+
+let e19 =
+  {
+    id = "E19-count-bug";
+    paper_ref = "Eqs (27)-(29), Fig 21, Section 3.2";
+    title = "The count bug";
+    run =
+      (fun () ->
+        let r27 = eval ~db:Data.db_countbug Data.eq27 in
+        let r28 = eval ~db:Data.db_countbug Data.eq28 in
+        let r29 = eval ~db:Data.db_countbug Data.eq29 in
+        let s21a = sql ~db:Data.db_countbug Data.sql_fig21a in
+        let s21b = sql ~db:Data.db_countbug Data.sql_fig21b in
+        let s21c = sql ~db:Data.db_countbug Data.sql_fig21c in
+        [
+          check_rel "Eq 27 (original) returns 9" "{(9)}" r27;
+          check_rel "Eq 28 (incorrect decorrelation) loses the row" "{}" r28;
+          check_rel "Eq 29 (left-join decorrelation) returns 9" "{(9)}" r29;
+          check_rels_equal "SQL Fig 21a agrees with Eq 27" s21a r27;
+          check_rels_equal "SQL Fig 21b agrees with Eq 28" s21b r28;
+          check_rels_equal "SQL Fig 21c agrees with Eq 29" s21c r29;
+        ]);
+    artifacts =
+      (fun () ->
+        [
+          ("Eq 27", Printer.pretty_query (Coll Data.eq27));
+          ("Eq 28", Printer.pretty_query (Coll Data.eq28));
+          ("Eq 29", Printer.pretty_query (Coll Data.eq29));
+          ("SQL (Fig 21a)", Data.sql_fig21a);
+          ("SQL (Fig 21b)", Data.sql_fig21b);
+          ("SQL (Fig 21c)", Data.sql_fig21c);
+          ( "higraph (Eq 27)",
+            Higraph.render (Higraph.of_query (Coll Data.eq27)) );
+        ]);
+  }
+
+let e20 =
+  {
+    id = "E20-intent";
+    paper_ref = "Sections 1 and 4 (NL2SQL)";
+    title = "Intent-based vs surface-based query comparison";
+    run =
+      (fun () ->
+        let schemas = [ ("R", [ "A"; "B" ]); ("S", [ "B"; "C" ]) ] in
+        let gold = "select R.A from R, S where R.B = S.B and S.C = 0" in
+        let equivalent =
+          "select  r.A\nfrom R r join S s on r.B = s.B\nwhere s.C = 0"
+        in
+        let misleading = "select R.A from R, S where R.B = S.B and S.C = 1" in
+        let r1 =
+          Arc_intent.Intent.compare_sql ~schemas ~gold ~candidate:equivalent ()
+        in
+        let r2 =
+          Arc_intent.Intent.compare_sql ~schemas ~gold ~candidate:misleading ()
+        in
+        [
+          check_bool "equivalent pair: exact string match fails" false
+            r1.Arc_intent.Intent.exact_string_match;
+          check_bool "equivalent pair: intent similarity = 1" true
+            (r1.Arc_intent.Intent.intent_similarity >= 0.999);
+          check_bool "equivalent pair: execution equivalent" true
+            (r1.Arc_intent.Intent.execution_equivalent = Some true);
+          check_bool "misleading pair: surface similarity > 0.9" true
+            (r2.Arc_intent.Intent.surface_similarity > 0.9);
+          check_bool "misleading pair: not equivalent" true
+            (r2.Arc_intent.Intent.execution_equivalent = Some false);
+        ]);
+    artifacts =
+      (fun () ->
+        let schemas = [ ("R", [ "A"; "B" ]); ("S", [ "B"; "C" ]) ] in
+        let gold = "select R.A from R, S where R.B = S.B and S.C = 0" in
+        let equivalent =
+          "select  r.A\nfrom R r join S s on r.B = s.B\nwhere s.C = 0"
+        in
+        [
+          ( "report",
+            Arc_intent.Intent.report_to_string
+              (Arc_intent.Intent.compare_sql ~schemas ~gold
+                 ~candidate:equivalent ()) );
+        ]);
+  }
+
+let e21 =
+  {
+    id = "E21-alt-vs-ast";
+    paper_ref = "Sections 1, 2.2 (the SQLGlot discussion)";
+    title = "ALT reflects semantics where the AST reflects syntax";
+    run =
+      (fun () ->
+        let q = "select R.A, S.C from R join S on R.B = S.B" in
+        let stmt = Arc_sql.Parse.statement_of_string q in
+        (* syntax tree: the join is a FROM item of the SELECT *)
+        let joins_under_select =
+          match stmt.Arc_sql.Ast.body with
+          | Arc_sql.Ast.Q_select s -> (
+              match s.Arc_sql.Ast.from with
+              | [ Arc_sql.Ast.T_join _ ] -> true
+              | _ -> false)
+          | _ -> false
+        in
+        (* ALT: both relations are sibling bindings of one quantifier *)
+        let prog =
+          Arc_sql.To_arc.statement
+            ~schemas:[ ("R", [ "A"; "B" ]); ("S", [ "B"; "C" ]) ]
+            stmt
+        in
+        let alt = Alt.of_program prog in
+        let sibling_bindings =
+          let rec find n =
+            match n.Alt.kind with
+            | Alt.Quantifier_node ->
+                List.length
+                  (List.filter
+                     (fun c ->
+                       match c.Alt.kind with
+                       | Alt.Binding_node _ -> true
+                       | _ -> false)
+                     n.Alt.children)
+            | _ ->
+                List.fold_left (fun acc c -> max acc (find c)) 0 n.Alt.children
+          in
+          find alt.Alt.root
+        in
+        [
+          check_bool "AST: join nested under the SELECT's FROM" true
+            joins_under_select;
+          check "ALT: two sibling bindings in one scope" ~expected:"2"
+            ~measured:(string_of_int sibling_bindings);
+        ]);
+    artifacts =
+      (fun () ->
+        let q = "select R.A, S.C from R join S on R.B = S.B" in
+        let prog =
+          Arc_sql.To_arc.statement
+            ~schemas:[ ("R", [ "A"; "B" ]); ("S", [ "B"; "C" ]) ]
+            (Arc_sql.Parse.statement_of_string q)
+        in
+        [
+          ("SQL", q);
+          ("ALT", Alt.render (Alt.link (Alt.of_program prog)));
+          ("ARC", Printer.program prog);
+        ]);
+  }
+
+let e22 =
+  {
+    id = "E22-fragments";
+    paper_ref = "Sections 2.1, 2.13.2 (strict generalization of TRC)";
+    title = "Fragment classification: ARC strictly generalizes TRC";
+    run =
+      (fun () ->
+        let module F = Arc_core.Fragment in
+        let trc_members =
+          [ Coll Data.eq1; Coll Data.eq17; Coll Data.eq22 ]
+        in
+        let extensions =
+          [ Coll Data.eq3; Coll Data.eq18; Coll Data.eq26 ]
+        in
+        [
+          check_bool "paper's TRC-fragment queries classify as TRC" true
+            (List.for_all F.is_trc trc_members);
+          check_bool "every TRC query validates as ARC" true
+            (List.for_all
+               (fun q -> Analysis.validate_query q = Ok ())
+               trc_members);
+          check_bool "aggregation/join/arith queries are proper extensions"
+            true
+            (List.for_all (fun q -> not (F.is_trc q)) extensions);
+          check "unique-set fragment name" ~expected:"TRC (relationally complete)"
+            ~measured:(F.name (Coll Data.eq22));
+          check_bool "ancestor program uses recursion" true
+            (F.uses_recursion
+               { defs = Data.eq16_defs; main = Coll Data.eq16_main });
+        ]);
+    artifacts =
+      (fun () ->
+        let module F = Arc_core.Fragment in
+        [
+          ( "fragment names",
+            String.concat "\n"
+              (List.map
+                 (fun (n, c) -> Printf.sprintf "%-18s %s" n (F.name (Coll c)))
+                 [
+                   ("eq1", Data.eq1); ("eq3", Data.eq3); ("eq18", Data.eq18);
+                   ("eq22", Data.eq22); ("eq26", Data.eq26);
+                 ]) );
+        ]);
+  }
+
+let e23 =
+  {
+    id = "E23-rewrites";
+    paper_ref = "Sections 2.7, 2.10 (convention-dependent rewrites)";
+    title = "Rewrites: sound under the conventions the paper states";
+    run =
+      (fun () ->
+        let db =
+          Database.of_list
+            [
+              ("R", Arc_relation.Relation.of_rows [ "A"; "B" ] [ [ V.Int 1; V.Int 7 ] ]);
+              ( "S",
+                Arc_relation.Relation.of_rows [ "B"; "C" ]
+                  [ [ V.Int 7; V.Int 0 ]; [ V.Int 7; V.Int 1 ] ] );
+            ]
+        in
+        let nested = Coll Data.sec27_nested in
+        let merged = Arc_core.Rewrite.merge_nested_exists nested in
+        let set_eq =
+          Arc_relation.Relation.equal_set
+            (Eval.run_rows ~conv:Conventions.sql_set ~db (program nested))
+            (Eval.run_rows ~conv:Conventions.sql_set ~db (program merged))
+        in
+        let bag_n =
+          Arc_relation.Relation.cardinality
+            (Eval.run_rows ~conv:Conventions.sql ~db (program nested))
+        in
+        let bag_m =
+          Arc_relation.Relation.cardinality
+            (Eval.run_rows ~conv:Conventions.sql ~db (program merged))
+        in
+        let prog =
+          { defs = [ Data.eq23_subset ]; main = Coll Data.eq24 }
+        in
+        let inlined = Arc_core.Rewrite.inline_definitions prog in
+        [
+          check_bool "unnesting is sound under set semantics" true set_eq;
+          check "…but changes bag multiplicities: nested" ~expected:"1"
+            ~measured:(string_of_int bag_n);
+          check "…unnested" ~expected:"2" ~measured:(string_of_int bag_m);
+          check_bool "inlining keeps abstract definitions" true
+            (List.length inlined.defs = 1);
+        ]);
+    artifacts =
+      (fun () ->
+        [
+          ("nested (Section 2.7)", Printer.query (Coll Data.sec27_nested));
+          ( "merged by the rewrite",
+            Printer.query
+              (Arc_core.Rewrite.merge_nested_exists (Coll Data.sec27_nested)) );
+        ]);
+  }
+
+let all =
+  [
+    e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; e13; e14; e15; e16;
+    e17; e18; e19; e20; e21; e22; e23;
+  ]
+
+let by_id id = List.find_opt (fun e -> e.id = id) all

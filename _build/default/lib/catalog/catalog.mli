@@ -1,0 +1,29 @@
+(** The per-experiment catalog: one {!entry} per figure/equation group of
+    the paper, each carrying executable verification checks (the behaviors
+    the paper reports) and renderable artifacts (the representations its
+    figures show).
+
+    [bench/main.ml] regenerates the paper's reported behaviors from this
+    catalog and times each experiment; [EXPERIMENTS.md] records the
+    paper-vs-measured outcomes; the test suite asserts that every check
+    passes. *)
+
+type outcome = {
+  label : string;  (** what the paper reports *)
+  expected : string;
+  measured : string;
+  ok : bool;
+}
+
+type entry = {
+  id : string;  (** e.g. ["E19-count-bug"] *)
+  paper_ref : string;  (** e.g. ["Section 3.2, Figs 21, Eqs 27-29"] *)
+  title : string;
+  run : unit -> outcome list;
+  artifacts : unit -> (string * string) list;
+      (** named renderings: comprehension text, ALT, higraph, SQL, … *)
+}
+
+val all : entry list
+val by_id : string -> entry option
+val outcome_to_string : outcome -> string

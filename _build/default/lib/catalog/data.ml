@@ -1,0 +1,761 @@
+open Arc_core.Ast
+open Arc_core.Build
+module V = Arc_value.Value
+module Relation = Arc_relation.Relation
+module Database = Arc_relation.Database
+
+let i = V.int
+let s = V.str
+
+(* ------------------------------------------------------------------ *)
+(* Instances                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let db_rs =
+  Database.of_list
+    [
+      ( "R",
+        Relation.of_rows [ "A"; "B" ]
+          [ [ i 1; i 10 ]; [ i 2; i 20 ]; [ i 3; i 30 ] ] );
+      ( "S",
+        Relation.of_rows [ "B"; "C" ]
+          [ [ i 10; i 0 ]; [ i 20; i 5 ]; [ i 99; i 0 ] ] );
+    ]
+
+let db_grouping =
+  Database.of_list
+    [
+      ( "R",
+        Relation.of_rows [ "A"; "B" ]
+          [ [ i 1; i 10 ]; [ i 1; i 20 ]; [ i 2; i 5 ] ] );
+    ]
+
+let db_payroll =
+  Database.of_list
+    [
+      ( "R",
+        Relation.of_rows [ "empl"; "dept" ]
+          [ [ s "e1"; s "d1" ]; [ s "e2"; s "d1" ]; [ s "e3"; s "d2" ] ] );
+      ( "S",
+        Relation.of_rows [ "empl"; "sal" ]
+          [ [ s "e1"; i 60 ]; [ s "e2"; i 60 ]; [ s "e3"; i 50 ] ] );
+    ]
+
+let db_boolean =
+  Database.of_list
+    [
+      ("R", Relation.of_rows [ "id"; "q" ] [ [ i 1; i 2 ] ]);
+      ( "S",
+        Relation.of_rows [ "id"; "d" ]
+          [ [ i 1; s "a" ]; [ i 1; s "b" ]; [ i 1; s "c" ] ] );
+    ]
+
+let db_souffle =
+  Database.of_list
+    [
+      ("R", Relation.of_rows [ "ak"; "b" ] [ [ i 1; i 2 ] ]);
+      ("S", Relation.empty [ "a"; "b" ]);
+    ]
+
+let db_parent =
+  Database.of_list
+    [
+      ( "P",
+        Relation.of_rows [ "s"; "t" ]
+          [ [ i 1; i 2 ]; [ i 2; i 3 ]; [ i 3; i 4 ] ] );
+    ]
+
+let db_nulls =
+  Database.of_list
+    [
+      ("R", Relation.of_rows [ "A" ] [ [ i 1 ]; [ i 2 ] ]);
+      ("S", Relation.of_rows [ "A" ] [ [ i 1 ]; [ V.Null ] ]);
+    ]
+
+let db_outer =
+  Database.of_list
+    [
+      ( "R",
+        Relation.of_rows [ "m"; "y"; "h" ]
+          [ [ s "r1"; i 2000; i 11 ]; [ s "r2"; i 2001; i 12 ] ] );
+      ( "S",
+        Relation.of_rows [ "n"; "y" ]
+          [ [ s "s1"; i 2000 ]; [ s "s2"; i 2001 ] ] );
+    ]
+
+let db_fig13 =
+  Database.of_list
+    [
+      ("R", Relation.of_rows [ "A" ] [ [ i 1 ]; [ i 1 ] ]);
+      ("S", Relation.of_rows [ "A"; "B" ] [ [ i 0; i 10 ] ]);
+    ]
+
+let db_external =
+  Database.of_list
+    [
+      ("R", Relation.of_rows [ "A"; "B" ] [ [ i 1; i 10 ]; [ i 2; i 3 ] ]);
+      ("S", Relation.of_rows [ "B" ] [ [ i 4 ] ]);
+      ("T", Relation.of_rows [ "B" ] [ [ i 5 ] ]);
+    ]
+
+let db_beers =
+  Database.of_list
+    [
+      ( "L",
+        Relation.of_rows [ "d"; "b" ]
+          [
+            [ s "ann"; s "ipa" ]; [ s "ann"; s "stout" ];
+            [ s "bob"; s "ipa" ]; [ s "bob"; s "stout" ];
+            [ s "cal"; s "ipa" ];
+          ] );
+    ]
+
+let db_matrices =
+  let mat rows =
+    Relation.of_rows [ "row"; "col"; "val" ]
+      (List.concat_map
+         (fun (r, cs) -> List.map (fun (c, v) -> [ i r; i c; i v ]) cs)
+         rows)
+  in
+  Database.of_list
+    [
+      ("A", mat [ (1, [ (1, 1); (2, 2) ]); (2, [ (1, 3); (2, 4) ]) ]);
+      ("B", mat [ (1, [ (1, 5); (2, 6) ]); (2, [ (1, 7); (2, 8) ]) ]);
+    ]
+
+let db_countbug =
+  Database.of_list
+    [
+      ("R", Relation.of_rows [ "id"; "q" ] [ [ i 9; i 0 ] ]);
+      ("S", Relation.empty [ "id"; "d" ]);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* ARC queries                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* (1)  {Q(A) | ∃r ∈ R, s ∈ S[Q.A = r.A ∧ r.B = s.B ∧ s.C = 0]} *)
+let eq1 =
+  collection "Q" [ "A" ]
+    (exists
+       [ bind "r" "R"; bind "s" "S" ]
+       (conj
+          [
+            eq (attr "Q" "A") (attr "r" "A");
+            eq (attr "r" "B") (attr "s" "B");
+            eq (attr "s" "C") (cint 0);
+          ]))
+
+(* (2)  nested comprehension ≡ lateral join (Fig 3) *)
+let eq2 =
+  collection "Q" [ "A"; "B" ]
+    (exists
+       [
+         bind "x" "X";
+         bind_in "z"
+           (collection "Z" [ "B" ]
+              (exists [ bind "y" "Y" ]
+                 (conj
+                    [
+                      eq (attr "Z" "B") (attr "y" "A");
+                      lt (attr "x" "A") (attr "y" "A");
+                    ])));
+       ]
+       (conj
+          [ eq (attr "Q" "A") (attr "x" "A"); eq (attr "Q" "B") (attr "z" "B") ]))
+
+(* (3)  grouped aggregate FIO (Fig 4) *)
+let eq3 =
+  collection "Q" [ "A"; "sm" ]
+    (exists
+       ~grouping:[ ("r", "A") ]
+       [ bind "r" "R" ]
+       (conj
+          [
+            eq (attr "Q" "A") (attr "r" "A");
+            eq (attr "Q" "sm") (sum (attr "r" "B"));
+          ]))
+
+(* (7)  the FOI pattern (Fig 5c) *)
+let eq7 =
+  collection "Q" [ "A"; "sm" ]
+    (exists
+       [
+         bind "r" "R";
+         bind_in "x"
+           (collection "X" [ "sm" ]
+              (exists ~grouping:group_all [ bind "r2" "R" ]
+                 (conj
+                    [
+                      eq (attr "r2" "A") (attr "r" "A");
+                      eq (attr "X" "sm") (sum (attr "r2" "B"));
+                    ])));
+       ]
+       (conj
+          [
+            eq (attr "Q" "A") (attr "r" "A");
+            eq (attr "Q" "sm") (attr "x" "sm");
+          ]))
+
+(* (8)  multiple aggregates + HAVING in one scope (Fig 6) *)
+let eq8 =
+  collection "Q" [ "dept"; "av" ]
+    (exists
+       [
+         bind_in "x"
+           (collection "X" [ "dept"; "av"; "sm" ]
+              (exists
+                 ~grouping:[ ("r", "dept") ]
+                 [ bind "r" "R"; bind "s" "S" ]
+                 (conj
+                    [
+                      eq (attr "X" "dept") (attr "r" "dept");
+                      eq (attr "X" "av") (avg (attr "s" "sal"));
+                      eq (attr "X" "sm") (sum (attr "s" "sal"));
+                      eq (attr "r" "empl") (attr "s" "empl");
+                    ])));
+       ]
+       (conj
+          [
+            eq (attr "Q" "dept") (attr "x" "dept");
+            eq (attr "Q" "av") (attr "x" "av");
+            gt (attr "x" "sm") (cint 100);
+          ]))
+
+(* (10) the Hella et al. pattern (Fig 7): per-aggregate scopes, correlated *)
+let eq10 =
+  collection "Q" [ "dept"; "av" ]
+    (exists
+       [
+         bind "r3" "R";
+         bind "s3" "S";
+         bind_in "x"
+           (collection "X" [ "av" ]
+              (exists
+                 ~grouping:[ ("r1", "dept") ]
+                 [ bind "r1" "R"; bind "s1" "S" ]
+                 (conj
+                    [
+                      eq (attr "r1" "dept") (attr "r3" "dept");
+                      eq (attr "r1" "empl") (attr "s1" "empl");
+                      eq (attr "X" "av") (avg (attr "s1" "sal"));
+                    ])));
+         bind_in "y"
+           (collection "Y" [ "sm" ]
+              (exists
+                 ~grouping:[ ("r2", "dept") ]
+                 [ bind "r2" "R"; bind "s2" "S" ]
+                 (conj
+                    [
+                      eq (attr "r2" "dept") (attr "r3" "dept");
+                      eq (attr "r2" "empl") (attr "s2" "empl");
+                      eq (attr "Y" "sm") (sum (attr "s2" "sal"));
+                    ])));
+       ]
+       (conj
+          [
+            eq (attr "Q" "dept") (attr "r3" "dept");
+            eq (attr "Q" "av") (attr "x" "av");
+            eq (attr "r3" "empl") (attr "s3" "empl");
+            gt (attr "y" "sm") (cint 100);
+          ]))
+
+(* (12) the Rel pattern (Fig 8): per-aggregate scopes, uncorrelated, keyed *)
+let eq12 =
+  collection "Q" [ "dept"; "av" ]
+    (exists
+       [
+         bind_in "x"
+           (collection "X" [ "dept"; "av" ]
+              (exists
+                 ~grouping:[ ("r1", "dept") ]
+                 [ bind "r1" "R"; bind "s1" "S" ]
+                 (conj
+                    [
+                      eq (attr "X" "dept") (attr "r1" "dept");
+                      eq (attr "r1" "empl") (attr "s1" "empl");
+                      eq (attr "X" "av") (avg (attr "s1" "sal"));
+                    ])));
+         bind_in "y"
+           (collection "Y" [ "dept"; "sm" ]
+              (exists
+                 ~grouping:[ ("r2", "dept") ]
+                 [ bind "r2" "R"; bind "s2" "S" ]
+                 (conj
+                    [
+                      eq (attr "Y" "dept") (attr "r2" "dept");
+                      eq (attr "r2" "empl") (attr "s2" "empl");
+                      eq (attr "Y" "sm") (sum (attr "s2" "sal"));
+                    ])));
+       ]
+       (conj
+          [
+            eq (attr "Q" "dept") (attr "x" "dept");
+            eq (attr "Q" "av") (attr "x" "av");
+            eq (attr "x" "dept") (attr "y" "dept");
+            gt (attr "y" "sm") (cint 100);
+          ]))
+
+(* (13) ∃r ∈ R[∃s ∈ S, γ∅[r.id = s.id ∧ r.q ≤ count(s.d)]] *)
+let eq13 =
+  exists [ bind "r" "R" ]
+    (exists ~grouping:group_all [ bind "s" "S" ]
+       (conj
+          [
+            eq (attr "r" "id") (attr "s" "id");
+            leq (attr "r" "q") (count (attr "s" "d"));
+          ]))
+
+(* (14) ¬∃r ∈ R[∃s ∈ S, γ∅[r.id = s.id ∧ r.q > count(s.d)]] *)
+let eq14 =
+  not_
+    (exists [ bind "r" "R" ]
+       (exists ~grouping:group_all [ bind "s" "S" ]
+          (conj
+             [
+               eq (attr "r" "id") (attr "s" "id");
+               gt (attr "r" "q") (count (attr "s" "d"));
+             ])))
+
+(* (15) Q(ak,sm) :- R(ak,_), sm = sum b : {S(a,b), a < ak}. *)
+let eq15 =
+  collection "Q" [ "ak"; "sm" ]
+    (exists
+       [
+         bind "r" "R";
+         bind_in "x"
+           (collection "X" [ "sm" ]
+              (exists ~grouping:group_all [ bind "s2" "S" ]
+                 (conj
+                    [
+                      lt (attr "s2" "a") (attr "r" "ak");
+                      eq (attr "X" "sm") (sum (attr "s2" "b"));
+                    ])));
+       ]
+       (conj
+          [
+            eq (attr "Q" "ak") (attr "r" "ak");
+            eq (attr "Q" "sm") (attr "x" "sm");
+          ]))
+
+(* (16) ancestor with least-fixed-point semantics (Fig 10) *)
+let eq16_defs =
+  [
+    define "A"
+      (collection "A" [ "s"; "t" ]
+         (disj
+            [
+              exists [ bind "p" "P" ]
+                (conj
+                   [
+                     eq (attr "A" "s") (attr "p" "s");
+                     eq (attr "A" "t") (attr "p" "t");
+                   ]);
+              exists
+                [ bind "p" "P"; bind "a2" "A" ]
+                (conj
+                   [
+                     eq (attr "A" "s") (attr "p" "s");
+                     eq (attr "p" "t") (attr "a2" "s");
+                     eq (attr "a2" "t") (attr "A" "t");
+                   ]);
+            ]));
+  ]
+
+let eq16_main =
+  collection "Q" [ "s"; "t" ]
+    (exists [ bind "a" "A" ]
+       (conj
+          [ eq (attr "Q" "s") (attr "a" "s"); eq (attr "Q" "t") (attr "a" "t") ]))
+
+(* (17) NOT IN with explicit null checks (Fig 11) *)
+let eq17 =
+  collection "Q" [ "A" ]
+    (exists [ bind "r" "R" ]
+       (conj
+          [
+            eq (attr "Q" "A") (attr "r" "A");
+            not_
+              (exists [ bind "s" "S" ]
+                 (disj
+                    [
+                      eq (attr "s" "A") (attr "r" "A");
+                      is_null (attr "s" "A");
+                      is_null (attr "r" "A");
+                    ]));
+          ]))
+
+let eq17_plain_not_exists =
+  collection "Q" [ "A" ]
+    (exists [ bind "r" "R" ]
+       (conj
+          [
+            eq (attr "Q" "A") (attr "r" "A");
+            not_ (exists [ bind "s" "S" ] (eq (attr "s" "A") (attr "r" "A")));
+          ]))
+
+(* (18) left(r, inner(11, s)) — Fig 12 *)
+let eq18 =
+  collection "Q" [ "m"; "n" ]
+    (exists
+       ~join:(J_left (J_var "r", J_inner [ J_lit (i 11); J_var "s" ]))
+       [ bind "r" "R"; bind "s" "S" ]
+       (conj
+          [
+            eq (attr "Q" "m") (attr "r" "m");
+            eq (attr "Q" "n") (attr "s" "n");
+            eq (attr "r" "y") (attr "s" "y");
+            eq (attr "r" "h") (cint 11);
+          ]))
+
+(* Fig 13 (b): the lateral form ARC adopts for scalar subqueries *)
+let fig13_lateral =
+  collection "Q" [ "A"; "sm" ]
+    (exists
+       [
+         bind "r" "R";
+         bind_in "x"
+           (collection "X" [ "sm" ]
+              (exists ~grouping:group_all [ bind "s" "S" ]
+                 (conj
+                    [
+                      lt (attr "s" "A") (attr "r" "A");
+                      eq (attr "X" "sm") (sum (attr "s" "B"));
+                    ])));
+       ]
+       (conj
+          [
+            eq (attr "Q" "A") (attr "r" "A");
+            eq (attr "Q" "sm") (attr "x" "sm");
+          ]))
+
+(* Fig 13 (c): the LEFT JOIN + GROUP BY rewrite — the counterexample *)
+let fig13_leftjoin =
+  collection "Q" [ "A"; "sm" ]
+    (exists
+       ~grouping:[ ("r", "A") ]
+       ~join:(J_left (J_var "r", J_var "s"))
+       [ bind "r" "R"; bind "s" "S" ]
+       (conj
+          [
+            eq (attr "Q" "A") (attr "r" "A");
+            eq (attr "Q" "sm") (sum (attr "s" "B"));
+            lt (attr "s" "A") (attr "r" "A");
+          ]))
+
+(* (19)–(21): external relations (Fig 15) *)
+let eq19 =
+  collection "Q" [ "A" ]
+    (exists
+       [ bind "r" "R"; bind "s" "S"; bind "t" "T" ]
+       (conj
+          [
+            eq (attr "Q" "A") (attr "r" "A");
+            gt (sub (attr "r" "B") (attr "s" "B")) (attr "t" "B");
+          ]))
+
+let eq20 =
+  collection "Q" [ "A" ]
+    (exists
+       [ bind "r" "R"; bind "s" "S"; bind "t" "T"; bind "f" "Minus" ]
+       (conj
+          [
+            eq (attr "Q" "A") (attr "r" "A");
+            eq (attr "f" "left") (attr "r" "B");
+            eq (attr "f" "right") (attr "s" "B");
+            gt (attr "f" "out") (attr "t" "B");
+          ]))
+
+let eq21 =
+  collection "Q" [ "A" ]
+    (exists
+       [
+         bind "r" "R"; bind "s" "S"; bind "t" "T";
+         bind "f" "Minus"; bind "g" "Bigger";
+       ]
+       (conj
+          [
+            eq (attr "Q" "A") (attr "r" "A");
+            eq (attr "f" "left") (attr "r" "B");
+            eq (attr "f" "right") (attr "s" "B");
+            eq (attr "f" "out") (attr "g" "left");
+            eq (attr "g" "right") (attr "t" "B");
+          ]))
+
+(* (22) the unique-set query, relationally complete fragment *)
+let eq22 =
+  collection "Q" [ "d" ]
+    (exists [ bind "l1" "L" ]
+       (conj
+          [
+            eq (attr "Q" "d") (attr "l1" "d");
+            not_
+              (exists [ bind "l2" "L" ]
+                 (conj
+                    [
+                      neq (attr "l2" "d") (attr "l1" "d");
+                      not_
+                        (exists [ bind "l3" "L" ]
+                           (conj
+                              [
+                                eq (attr "l3" "d") (attr "l2" "d");
+                                not_
+                                  (exists [ bind "l4" "L" ]
+                                     (conj
+                                        [
+                                          eq (attr "l4" "b") (attr "l3" "b");
+                                          eq (attr "l4" "d") (attr "l1" "d");
+                                        ]));
+                              ]));
+                      not_
+                        (exists [ bind "l5" "L" ]
+                           (conj
+                              [
+                                eq (attr "l5" "d") (attr "l1" "d");
+                                not_
+                                  (exists [ bind "l6" "L" ]
+                                     (conj
+                                        [
+                                          eq (attr "l6" "d") (attr "l2" "d");
+                                          eq (attr "l6" "b") (attr "l5" "b");
+                                        ]));
+                              ]));
+                    ]));
+          ]))
+
+(* (23) the abstract relation Subset *)
+let eq23_subset =
+  define "Subset"
+    (collection "Subset" [ "left"; "right" ]
+       (not_
+          (exists [ bind "l3" "L" ]
+             (conj
+                [
+                  eq (attr "l3" "d") (attr "Subset" "left");
+                  not_
+                    (exists [ bind "l4" "L" ]
+                       (conj
+                          [
+                            eq (attr "l4" "b") (attr "l3" "b");
+                            eq (attr "l4" "d") (attr "Subset" "right");
+                          ]));
+                ]))))
+
+(* (24) the unique-set query modularized through Subset *)
+let eq24 =
+  collection "Q" [ "d" ]
+    (exists [ bind "l1" "L" ]
+       (conj
+          [
+            eq (attr "Q" "d") (attr "l1" "d");
+            not_
+              (exists
+                 [ bind "l2" "L"; bind "s1" "Subset"; bind "s2" "Subset" ]
+                 (conj
+                    [
+                      neq (attr "l2" "d") (attr "l1" "d");
+                      eq (attr "s1" "left") (attr "l1" "d");
+                      eq (attr "s1" "right") (attr "l2" "d");
+                      eq (attr "s2" "left") (attr "l2" "d");
+                      eq (attr "s2" "right") (attr "l1" "d");
+                    ]));
+          ]))
+
+(* (26) matrix multiplication in the named perspective *)
+let eq26 =
+  collection "C" [ "row"; "col"; "val" ]
+    (exists
+       ~grouping:[ ("a", "row"); ("b", "col") ]
+       [ bind "a" "A"; bind "b" "B" ]
+       (conj
+          [
+            eq (attr "C" "row") (attr "a" "row");
+            eq (attr "C" "col") (attr "b" "col");
+            eq (attr "a" "col") (attr "b" "row");
+            eq (attr "C" "val") (sum (mul (attr "a" "val") (attr "b" "val")));
+          ]))
+
+(* Fig 20: multiplication reified as the external relation "*" *)
+let eq26_external =
+  collection "C" [ "row"; "col"; "val" ]
+    (exists
+       ~grouping:[ ("a", "row"); ("b", "col") ]
+       [ bind "a" "A"; bind "b" "B"; bind "f" "*" ]
+       (conj
+          [
+            eq (attr "C" "row") (attr "a" "row");
+            eq (attr "C" "col") (attr "b" "col");
+            eq (attr "a" "col") (attr "b" "row");
+            eq (attr "f" "$1") (attr "a" "val");
+            eq (attr "f" "$2") (attr "b" "val");
+            eq (attr "C" "val") (sum (attr "f" "out"));
+          ]))
+
+(* (27)–(29): the count bug *)
+let eq27 =
+  collection "Q" [ "id" ]
+    (exists [ bind "r" "R" ]
+       (conj
+          [
+            eq (attr "Q" "id") (attr "r" "id");
+            exists ~grouping:group_all [ bind "s" "S" ]
+              (conj
+                 [
+                   eq (attr "r" "id") (attr "s" "id");
+                   eq (attr "r" "q") (count (attr "s" "d"));
+                 ]);
+          ]))
+
+let eq28 =
+  collection "Q" [ "id" ]
+    (exists
+       [
+         bind "r" "R";
+         bind_in "x"
+           (collection "X" [ "id"; "ct" ]
+              (exists
+                 ~grouping:[ ("s", "id") ]
+                 [ bind "s" "S" ]
+                 (conj
+                    [
+                      eq (attr "X" "id") (attr "s" "id");
+                      eq (attr "X" "ct") (count (attr "s" "d"));
+                    ])));
+       ]
+       (conj
+          [
+            eq (attr "Q" "id") (attr "r" "id");
+            eq (attr "r" "id") (attr "x" "id");
+            eq (attr "r" "q") (attr "x" "ct");
+          ]))
+
+let eq29 =
+  collection "Q" [ "id" ]
+    (exists
+       [
+         bind "r" "R";
+         bind_in "x"
+           (collection "X" [ "id"; "ct" ]
+              (exists
+                 ~grouping:[ ("r2", "id") ]
+                 ~join:(J_left (J_var "r2", J_var "s"))
+                 [ bind "s" "S"; bind "r2" "R" ]
+                 (conj
+                    [
+                      eq (attr "X" "id") (attr "r2" "id");
+                      eq (attr "X" "ct") (count (attr "s" "d"));
+                      eq (attr "r2" "id") (attr "s" "id");
+                    ])));
+       ]
+       (conj
+          [
+            eq (attr "Q" "id") (attr "r" "id");
+            eq (attr "r" "id") (attr "x" "id");
+            eq (attr "r" "q") (attr "x" "ct");
+          ]))
+
+(* Section 2.7: nested vs unnested *)
+let sec27_nested =
+  collection "Q" [ "A" ]
+    (exists [ bind "r" "R" ]
+       (exists [ bind "s" "S" ]
+          (conj
+             [
+               eq (attr "Q" "A") (attr "r" "A");
+               eq (attr "r" "B") (attr "s" "B");
+             ])))
+
+let sec27_unnested =
+  collection "Q" [ "A" ]
+    (exists
+       [ bind "r" "R"; bind "s" "S" ]
+       (conj
+          [
+            eq (attr "Q" "A") (attr "r" "A");
+            eq (attr "r" "B") (attr "s" "B");
+          ]))
+
+let dedup_grouping =
+  collection "Q" [ "A"; "B" ]
+    (exists
+       ~grouping:[ ("r", "A"); ("r", "B") ]
+       [ bind "r" "R" ]
+       (conj
+          [
+            eq (attr "Q" "A") (attr "r" "A");
+            eq (attr "Q" "B") (attr "r" "B");
+          ]))
+
+(* ------------------------------------------------------------------ *)
+(* SQL figure texts                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let sql_fig3a =
+  "select x.A, z.B from X as x join lateral (select y.A as B from Y as y \
+   where x.A < y.A) as z on true"
+
+let sql_fig4a = "select R.A, sum(R.B) sm from R group by R.A"
+
+let sql_fig5a =
+  "select distinct R.A, (select sum(R2.B) sm from R R2 where R2.A = R.A) sm \
+   from R"
+
+let sql_fig5b =
+  "select distinct R.A, X.sm from R join lateral (select sum(R2.B) sm from R \
+   R2 where R2.A = R.A) X on true"
+
+let sql_fig6a =
+  "select R.dept, avg(S.sal) av from R, S where R.empl = S.empl group by \
+   R.dept having sum(S.sal) > 100"
+
+let sql_fig9a =
+  "select distinct 1 as holds from R where exists (select 1 from S where \
+   R.id = S.id having R.q <= count(S.d))"
+
+let sql_fig11a = "select R.A from R where R.A not in (select S.A from S)"
+
+let sql_fig11b =
+  "select R.A from R where not exists (select 1 from S where S.A = R.A or \
+   S.A is null or R.A is null)"
+
+let sql_fig12a =
+  "select R.m, S.n from R left join S on R.y = S.y and R.h = 11"
+
+let sql_fig13a =
+  "select R.A, (select sum(S.B) sm from S where S.A < R.A) sm from R"
+
+let sql_fig13b =
+  "select R.A, X.sm from R join lateral (select sum(S.B) sm from S where S.A \
+   < R.A) X on true"
+
+let sql_fig13c =
+  "select R.A, sum(S.B) sm from R left join S on S.A < R.A group by R.A"
+
+let sql_fig17 =
+  "select distinct L1.d from L L1 where not exists (select 1 from L L2 where \
+   L1.d <> L2.d and not exists (select 1 from L L3 where L3.d = L2.d and not \
+   exists (select 1 from L L4 where L4.d = L1.d and L4.b = L3.b)) and not \
+   exists (select 1 from L L5 where L5.d = L1.d and not exists (select 1 \
+   from L L6 where L6.d = L2.d and L6.b = L5.b)))"
+
+let sql_fig21a =
+  "select R.id from R where R.q = (select count(S.d) from S where R.id = \
+   S.id)"
+
+let sql_fig21b =
+  "select R.id from R, (select S.id, count(S.d) ct from S group by S.id) X \
+   where R.id = X.id and R.q = X.ct"
+
+let sql_fig21c =
+  "select R.id from R, (select R2.id, count(S.d) ct from R R2 left join S on \
+   R2.id = S.id group by R2.id) X where R.id = X.id and R.q = X.ct"
+
+(* ------------------------------------------------------------------ *)
+(* Soufflé texts                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let souffle_eq6 = "Q(a, sm) :- R(a, _), sm = sum b : { R(a, b) }."
+
+let souffle_eq15 = "Q(ak, sm) :- R(ak, _), sm = sum b : { S(a, b), a < ak }."
+
+let souffle_eq16 = "A(x, y) :- P(x, y). A(x, y) :- P(x, z), A(z, y)."

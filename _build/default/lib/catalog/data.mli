@@ -1,0 +1,110 @@
+(** Shared database instances and ARC query values for the paper catalog:
+    every numbered equation of the paper as a constructed AST, plus the
+    worked instances its claims are checked on. *)
+
+open Arc_core.Ast
+module Database = Arc_relation.Database
+
+(** {1 Instances} *)
+
+val db_rs : Database.t
+(** R(A,B), S(B,C) with a join partner for A=1 only and C=0 on it. *)
+
+val db_grouping : Database.t
+(** R(A,B) = {(1,10),(1,20),(2,5)} for the grouped-aggregate examples. *)
+
+val db_payroll : Database.t
+(** R(empl,dept), S(empl,sal): d1 pays 120 total, d2 pays 50 (Fig 6). *)
+
+val db_boolean : Database.t
+(** R(id,q) = {(1,2)}, S(id,d) with three matching rows (Fig 9). *)
+
+val db_souffle : Database.t
+(** R(ak,b) = {(1,2)}, S = ∅ (Eq 15). *)
+
+val db_parent : Database.t
+(** P(s,t) chain 1→2→3→4 (Fig 10). *)
+
+val db_nulls : Database.t
+(** R(A) = {1,2}, S(A) = {1, NULL} (Fig 11). *)
+
+val db_outer : Database.t
+(** R(m,y,h), S(n,y) from the Fig 12 discussion. *)
+
+val db_fig13 : Database.t
+(** R(A) = {1,1} (duplicates!), S(A,B) = {(0,10)} (Fig 13). *)
+
+val db_external : Database.t
+(** R(A,B), S(B), T(B) for Eqs 19–21. *)
+
+val db_beers : Database.t
+(** Likes(d,b): ann/bob share a beer set, cal's is unique (Example 2). *)
+
+val db_matrices : Database.t
+(** A, B: 2×2 sparse matrices over (row, col, val) (Section 3.1). *)
+
+val db_countbug : Database.t
+(** R(id,q) = {(9,0)}, S(id,d) = ∅ (Section 3.2). *)
+
+(** {1 ARC queries (by paper equation number)} *)
+
+val eq1 : collection
+val eq2 : collection
+val eq3 : collection
+val eq7 : collection
+val eq8 : collection
+val eq10 : collection
+val eq12 : collection
+val eq13 : formula
+val eq14 : formula
+val eq15 : collection
+val eq16_defs : definition list
+val eq16_main : collection
+val eq17 : collection
+val eq17_plain_not_exists : collection
+(** Eq 17 without the explicit null checks (plain ¬∃ under 2VL). *)
+
+val eq18 : collection
+val fig13_lateral : collection
+val fig13_leftjoin : collection
+val eq19 : collection
+val eq20 : collection
+val eq21 : collection
+val eq22 : collection
+val eq23_subset : definition
+val eq24 : collection
+val eq26 : collection
+val eq26_external : collection
+(** Eq 26 with multiplication reified as the external relation "*"
+    (Fig 20). *)
+
+val eq27 : collection
+val eq28 : collection
+val eq29 : collection
+
+val sec27_nested : collection
+val sec27_unnested : collection
+val dedup_grouping : collection
+
+(** {1 SQL texts (by paper figure)} *)
+
+val sql_fig3a : string
+val sql_fig4a : string
+val sql_fig5a : string
+val sql_fig5b : string
+val sql_fig6a : string
+val sql_fig9a : string
+val sql_fig11a : string
+val sql_fig11b : string
+val sql_fig12a : string
+val sql_fig13a : string
+val sql_fig13b : string
+val sql_fig13c : string
+val sql_fig17 : string
+val sql_fig21a : string
+val sql_fig21b : string
+val sql_fig21c : string
+
+val souffle_eq6 : string
+val souffle_eq15 : string
+val souffle_eq16 : string

@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Ast External Hashtbl List Pp Printf Set

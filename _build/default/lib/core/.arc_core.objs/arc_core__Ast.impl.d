@@ -1,0 +1,1 @@
+lib/core/ast.ml: Arc_value List

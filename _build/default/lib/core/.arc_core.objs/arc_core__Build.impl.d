@@ -1,0 +1,1 @@
+lib/core/build.ml: Arc_value Ast

@@ -1,0 +1,1 @@
+lib/core/build.mli: Arc_value Ast

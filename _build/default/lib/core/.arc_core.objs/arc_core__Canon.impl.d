@@ -1,0 +1,1 @@
+lib/core/canon.ml: Arc_value Ast Hashtbl List Option Pp Printf String

@@ -1,0 +1,1 @@
+lib/core/fragment.ml: Ast Hashtbl List String

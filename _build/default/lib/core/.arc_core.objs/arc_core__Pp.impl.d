@@ -1,0 +1,1 @@
+lib/core/pp.ml: Arc_value Ast List Printf String

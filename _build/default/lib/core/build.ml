@@ -1,0 +1,53 @@
+open Ast
+module Value = Arc_value.Value
+module Aggregate = Arc_value.Aggregate
+
+let attr v a = Attr (v, a)
+let const c = Const c
+let cint n = Const (Value.Int n)
+let cstr s = Const (Value.Str s)
+let cnull = Const Value.Null
+let add a b = Scalar (Add, [ a; b ])
+let sub a b = Scalar (Sub, [ a; b ])
+let mul a b = Scalar (Mul, [ a; b ])
+let div a b = Scalar (Div, [ a; b ])
+
+let agg name t =
+  match Aggregate.kind_of_string name with
+  | Some k -> Agg (k, t)
+  | None -> invalid_arg ("Build.agg: unknown aggregate " ^ name)
+
+let sum t = Agg (Aggregate.Sum, t)
+let count t = Agg (Aggregate.Count, t)
+let avg t = Agg (Aggregate.Avg, t)
+let min_ t = Agg (Aggregate.Min, t)
+let max_ t = Agg (Aggregate.Max, t)
+
+let eq a b = Pred (Cmp (Eq, a, b))
+let neq a b = Pred (Cmp (Neq, a, b))
+let lt a b = Pred (Cmp (Lt, a, b))
+let leq a b = Pred (Cmp (Leq, a, b))
+let gt a b = Pred (Cmp (Gt, a, b))
+let geq a b = Pred (Cmp (Geq, a, b))
+let is_null t = Pred (Is_null t)
+let not_null t = Pred (Not_null t)
+let like t p = Pred (Like (t, p))
+
+let conj = function [ f ] -> f | fs -> And fs
+let disj = function [ f ] -> f | fs -> Or fs
+let not_ f = Not f
+
+let exists ?grouping ?join bindings body =
+  Exists { bindings; grouping; join; body }
+
+let group_all : grouping = []
+
+let bind var rel = { var; source = Base rel }
+let bind_in var c = { var; source = Nested c }
+
+let collection head_name head_attrs body =
+  { head = { head_name; head_attrs }; body }
+
+let coll head_name head_attrs body = Coll (collection head_name head_attrs body)
+let sentence f = Sentence f
+let define def_name def_body = { def_name; def_body }

@@ -1,0 +1,69 @@
+(** Ergonomic constructors for ARC ASTs.
+
+    The catalog of paper queries, the tests, and the SQL→ARC translator all
+    build trees through this module, so the raw constructors in {!Ast} stay
+    free of convenience defaults. *)
+
+open Ast
+
+(** {1 Terms} *)
+
+val attr : var -> attr -> term
+val const : Arc_value.Value.t -> term
+val cint : int -> term
+val cstr : string -> term
+val cnull : term
+val add : term -> term -> term
+val sub : term -> term -> term
+val mul : term -> term -> term
+val div : term -> term -> term
+val agg : string -> term -> term
+(** [agg "sum" t]; raises [Invalid_argument] on unknown aggregate names. *)
+
+val sum : term -> term
+val count : term -> term
+val avg : term -> term
+val min_ : term -> term
+val max_ : term -> term
+
+(** {1 Predicates (as formulas)} *)
+
+val eq : term -> term -> formula
+val neq : term -> term -> formula
+val lt : term -> term -> formula
+val leq : term -> term -> formula
+val gt : term -> term -> formula
+val geq : term -> term -> formula
+val is_null : term -> formula
+val not_null : term -> formula
+val like : term -> string -> formula
+
+(** {1 Formulas} *)
+
+val conj : formula list -> formula
+val disj : formula list -> formula
+val not_ : formula -> formula
+
+val exists :
+  ?grouping:grouping -> ?join:join_tree -> binding list -> formula -> formula
+(** [exists bindings body]: a quantifier scope. Pass [~grouping:[]] for γ∅. *)
+
+val group_all : grouping
+(** γ∅ — aggregate over the entire scope ("group by true"). *)
+
+(** {1 Bindings} *)
+
+val bind : var -> rel_name -> binding
+(** [bind "r" "R"] is [r ∈ R]. *)
+
+val bind_in : var -> collection -> binding
+(** Correlated nested comprehension binding. *)
+
+(** {1 Collections, queries, programs} *)
+
+val collection : rel_name -> attr list -> formula -> collection
+(** [collection "Q" ["A"; "B"] body] is [{Q(A,B) | body}]. *)
+
+val coll : rel_name -> attr list -> formula -> query
+val sentence : formula -> query
+val define : rel_name -> collection -> definition

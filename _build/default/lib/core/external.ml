@@ -1,0 +1,45 @@
+type mode = { m_inputs : string list; m_outputs : string list }
+
+type decl = { ext_name : string; ext_attrs : string list; ext_modes : mode list }
+
+let ternary_modes a b c =
+  [
+    { m_inputs = [ a; b ]; m_outputs = [ c ] };
+    { m_inputs = [ a; c ]; m_outputs = [ b ] };
+    { m_inputs = [ b; c ]; m_outputs = [ a ] };
+    { m_inputs = [ a; b; c ]; m_outputs = [] };
+  ]
+
+let arithmetic name =
+  {
+    ext_name = name;
+    ext_attrs = [ "left"; "right"; "out" ];
+    ext_modes = ternary_modes "left" "right" "out";
+  }
+
+let product_style name =
+  {
+    ext_name = name;
+    ext_attrs = [ "$1"; "$2"; "out" ];
+    ext_modes = ternary_modes "$1" "$2" "out";
+  }
+
+let comparison name =
+  {
+    ext_name = name;
+    ext_attrs = [ "left"; "right" ];
+    ext_modes = [ { m_inputs = [ "left"; "right" ]; m_outputs = [] } ];
+  }
+
+let standard =
+  [
+    arithmetic "Minus";
+    arithmetic "Add";
+    arithmetic "-";
+    arithmetic "+";
+    product_style "*";
+    comparison "Bigger";
+    comparison ">";
+  ]
+
+let find decls name = List.find_opt (fun d -> d.ext_name = name) decls

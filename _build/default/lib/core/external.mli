@@ -1,0 +1,35 @@
+(** Declarations of external relations (paper, Section 2.13.1).
+
+    An external relation reifies computation (arithmetic, comparisons,
+    string matching) as a relation with possibly infinite extension, accessed
+    through {e access patterns} [35]: a mode lists which attributes must be
+    bound before the relation can produce (or check) the remaining ones.
+    [Minus(left, right, out)] supports the modes
+    [left right → out], [left out → right], [right out → left], and the
+    all-bound check.
+
+    This module holds only the {e declarations} used by validation and the
+    modalities; executable semantics live in [Arc_engine.Externals]. *)
+
+type mode = { m_inputs : string list; m_outputs : string list }
+
+type decl = { ext_name : string; ext_attrs : string list; ext_modes : mode list }
+
+val arithmetic : string -> decl
+(** [arithmetic name] declares a ternary relation [name(left, right, out)]
+    in which any two attributes determine the third
+    (suitable for "+", "-", "*", "Minus", "Add", ...). *)
+
+val product_style : string -> decl
+(** Like {!arithmetic} but with the paper's Fig 20 attribute names
+    [($1, $2, out)]. *)
+
+val comparison : string -> decl
+(** [comparison name] declares a binary check-only relation
+    [name(left, right)] (suitable for ">", "Bigger", ...). *)
+
+val standard : decl list
+(** The externals used by the paper's examples: "Minus", "Add", "-", "+",
+    "*" (Fig 20 style), "Bigger", ">". *)
+
+val find : decl list -> string -> decl option

@@ -1,0 +1,50 @@
+open Ast
+module Value = Arc_value.Value
+module Aggregate = Arc_value.Aggregate
+
+let scalar_op_symbol = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Neg -> "-"
+
+let rec term = function
+  | Const v -> Value.to_string v
+  | Attr (v, a) -> v ^ "." ^ a
+  | Scalar (Neg, [ t ]) -> "-" ^ atom t
+  | Scalar (op, [ l; r ]) ->
+      Printf.sprintf "%s %s %s" (atom l) (scalar_op_symbol op) (atom r)
+  | Scalar (op, ts) ->
+      (* non-binary applications print prefix-style *)
+      Printf.sprintf "%s(%s)" (scalar_op_symbol op)
+        (String.concat ", " (List.map term ts))
+  | Agg (k, t) -> Printf.sprintf "%s(%s)" (Aggregate.kind_to_string k) (term t)
+
+and atom t =
+  match t with
+  | Scalar ((Add | Sub | Mul | Div), [ _; _ ]) -> "(" ^ term t ^ ")"
+  | _ -> term t
+
+let pred = function
+  | Cmp (op, l, r) ->
+      Printf.sprintf "%s %s %s" (term l) (cmp_op_to_string op) (term r)
+  | Is_null t -> term t ^ " is null"
+  | Not_null t -> term t ^ " is not null"
+  | Like (t, p) -> Printf.sprintf "%s like '%s'" (term t) p
+
+let rec join_tree = function
+  | J_var v -> v
+  | J_lit c -> Value.to_string c
+  | J_inner l -> "inner(" ^ String.concat ", " (List.map join_tree l) ^ ")"
+  | J_left (a, b) -> "left(" ^ join_tree a ^ ", " ^ join_tree b ^ ")"
+  | J_full (a, b) -> "full(" ^ join_tree a ^ ", " ^ join_tree b ^ ")"
+
+let grouping = function
+  | [] -> "\xce\xb3_\xe2\x88\x85" (* γ_∅ *)
+  | keys ->
+      "\xce\xb3_{"
+      ^ String.concat "," (List.map (fun (v, a) -> v ^ "." ^ a) keys)
+      ^ "}"
+
+let head h = h.head_name ^ "(" ^ String.concat ", " h.head_attrs ^ ")"

@@ -1,0 +1,16 @@
+(** Shared atom-level rendering of ARC fragments (terms, predicates, join
+    annotations, grouping operators). The three modality libraries build on
+    these so that the same atom always prints identically across
+    comprehension text, ALT dumps, and higraph labels. *)
+
+open Ast
+
+val scalar_op_symbol : scalar_op -> string
+val term : term -> string
+val pred : pred -> string
+val join_tree : join_tree -> string
+val grouping : grouping -> string
+(** [grouping []] renders as ["γ_∅"]. *)
+
+val head : head -> string
+(** [Q(A,B)]. *)

@@ -1,0 +1,1 @@
+lib/datalog/ast.ml: Arc_core Arc_value List Printf String

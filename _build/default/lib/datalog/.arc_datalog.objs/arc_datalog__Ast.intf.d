@@ -1,0 +1,1 @@
+lib/datalog/ast.mli: Arc_core Arc_value

@@ -1,0 +1,1 @@
+lib/datalog/embed.ml: Arc_core Ast List Printf String

@@ -1,0 +1,1 @@
+lib/datalog/embed.mli: Arc_core Ast

@@ -1,0 +1,1 @@
+lib/datalog/eval.ml: Arc_core Arc_relation Arc_value Array Ast Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/datalog/parse.ml: Arc_core Arc_value Array Ast List Option Printf String

@@ -1,0 +1,67 @@
+module V = Arc_value.Value
+module Aggregate = Arc_value.Aggregate
+
+type dterm = D_var of string | D_const of V.t | D_wild
+
+type dexpr =
+  | X_term of dterm
+  | X_binop of Arc_core.Ast.scalar_op * dexpr * dexpr
+
+type atom = { pred : string; args : dterm list }
+
+type literal =
+  | L_pos of atom
+  | L_neg of atom
+  | L_cmp of Arc_core.Ast.cmp_op * dexpr * dexpr
+  | L_agg of string * Aggregate.kind * dexpr * literal list
+
+type rule = { head : atom; body : literal list }
+
+type program = rule list
+
+let dterm_to_string = function
+  | D_var v -> v
+  | D_const c -> V.to_string c
+  | D_wild -> "_"
+
+let rec dexpr_to_string = function
+  | X_term t -> dterm_to_string t
+  | X_binop (op, l, r) ->
+      Printf.sprintf "%s %s %s" (atom_expr l)
+        (Arc_core.Pp.scalar_op_symbol op)
+        (atom_expr r)
+
+and atom_expr e =
+  match e with
+  | X_binop _ -> "(" ^ dexpr_to_string e ^ ")"
+  | _ -> dexpr_to_string e
+
+let atom_to_string a =
+  Printf.sprintf "%s(%s)" a.pred
+    (String.concat ", " (List.map dterm_to_string a.args))
+
+let rec literal_to_string = function
+  | L_pos a -> atom_to_string a
+  | L_neg a -> "!" ^ atom_to_string a
+  | L_cmp (op, l, r) ->
+      Printf.sprintf "%s %s %s" (dexpr_to_string l)
+        (Arc_core.Ast.cmp_op_to_string op)
+        (dexpr_to_string r)
+  | L_agg (v, k, target, body) ->
+      Printf.sprintf "%s = %s %s : { %s }" v
+        (Aggregate.kind_to_string k)
+        (dexpr_to_string target)
+        (String.concat ", " (List.map literal_to_string body))
+
+let rule_to_string r =
+  Printf.sprintf "%s :- %s." (atom_to_string r.head)
+    (String.concat ", " (List.map literal_to_string r.body))
+
+let program_to_string p = String.concat "\n" (List.map rule_to_string p)
+
+let head_preds p =
+  List.fold_left
+    (fun acc r -> if List.mem r.head.pred acc then acc else acc @ [ r.head.pred ])
+    [] p
+
+let equal_program (a : program) (b : program) = a = b

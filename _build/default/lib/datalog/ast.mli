@@ -1,0 +1,41 @@
+(** Abstract syntax for a Datalog dialect with Soufflé-style aggregates
+    (paper, Sections 2.5, 2.6, 2.9; Eqs 6, 15).
+
+    The dialect is positional ("unnamed perspective"): atoms apply predicate
+    symbols to terms. Aggregates follow Soufflé's FOI discipline — the
+    aggregate body is its own scope, and "you cannot export information from
+    within the body of an aggregate" (paper, quoting the Soufflé manual). *)
+
+type dterm =
+  | D_var of string
+  | D_const of Arc_value.Value.t
+  | D_wild  (** the anonymous variable [_] *)
+
+type dexpr =
+  | X_term of dterm
+  | X_binop of Arc_core.Ast.scalar_op * dexpr * dexpr
+
+type atom = { pred : string; args : dterm list }
+
+type literal =
+  | L_pos of atom
+  | L_neg of atom  (** [!S(x, y)] — stratified negation *)
+  | L_cmp of Arc_core.Ast.cmp_op * dexpr * dexpr
+      (** comparisons, and variable assignments via [=] when one side is a
+          fresh variable *)
+  | L_agg of string * Arc_value.Aggregate.kind * dexpr * literal list
+      (** [v = sum x : { body }]: Soufflé aggregate; [v] is bound to the
+          aggregate of [x] over the solutions of [body]; body variables do
+          not escape, outer variables ground the body (FOI). *)
+
+type rule = { head : atom; body : literal list }
+
+type program = rule list
+
+val rule_to_string : rule -> string
+val program_to_string : program -> string
+
+val head_preds : program -> string list
+(** Distinct head predicate names, in first-occurrence order. *)
+
+val equal_program : program -> program -> bool

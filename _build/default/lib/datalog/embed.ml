@@ -1,0 +1,216 @@
+open Ast
+module A = Arc_core.Ast
+
+exception Embed_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Embed_error s)) fmt
+
+type ctx = {
+  schemas : (string * string list) list;  (* EDB and IDB attribute names *)
+  mutable fresh : int;
+}
+
+let fresh ctx prefix =
+  ctx.fresh <- ctx.fresh + 1;
+  Printf.sprintf "%s%d" prefix ctx.fresh
+
+let attrs_of ctx pred ~arity =
+  match List.assoc_opt pred ctx.schemas with
+  | Some attrs ->
+      if List.length attrs <> arity then
+        fail "schema arity mismatch for %S" pred;
+      attrs
+  | None -> List.init arity (fun i -> Printf.sprintf "a%d" (i + 1))
+
+(* representative ARC terms for datalog variables *)
+type renv = (string * A.term) list
+
+let rec tr_expr (renv : renv) = function
+  | X_term (D_var v) -> (
+      match List.assoc_opt v renv with
+      | Some t -> t
+      | None -> fail "variable %S used before it is grounded" v)
+  | X_term (D_const c) -> A.Const c
+  | X_term D_wild -> fail "wildcard in expression"
+  | X_binop (op, l, r) -> A.Scalar (op, [ tr_expr renv l; tr_expr renv r ])
+
+(* Bind a positive atom: introduces one binding and equality predicates;
+   extends the representative environment for fresh variables. *)
+let bind_atom ctx (renv : renv) (a : atom) :
+    A.binding * A.formula list * renv =
+  let var = fresh ctx (String.lowercase_ascii (String.sub a.pred 0 1)) in
+  let attrs = attrs_of ctx a.pred ~arity:(List.length a.args) in
+  let preds = ref [] in
+  let renv' =
+    List.fold_left2
+      (fun renv arg attr ->
+        match arg with
+        | D_wild -> renv
+        | D_const c ->
+            preds :=
+              !preds @ [ A.Pred (A.Cmp (A.Eq, A.Attr (var, attr), A.Const c)) ];
+            renv
+        | D_var v -> (
+            match List.assoc_opt v renv with
+            | Some t ->
+                preds :=
+                  !preds @ [ A.Pred (A.Cmp (A.Eq, A.Attr (var, attr), t)) ];
+                renv
+            | None -> (v, A.Attr (var, attr)) :: renv))
+      renv a.args attrs
+  in
+  ({ A.var; source = A.Base a.pred }, !preds, renv')
+
+let rec tr_body ctx (renv : renv) (lits : literal list) :
+    A.binding list * A.formula list * renv =
+  (* positive atoms first (they ground variables), then the rest in order *)
+  let pos, rest =
+    List.partition (function L_pos _ -> true | _ -> false) lits
+  in
+  let bindings, preds, renv =
+    List.fold_left
+      (fun (bs, ps, renv) l ->
+        match l with
+        | L_pos a ->
+            let b, ps', renv' = bind_atom ctx renv a in
+            (bs @ [ b ], ps @ ps', renv')
+        | _ -> assert false)
+      ([], [], renv) pos
+  in
+  List.fold_left
+    (fun (bs, ps, renv) l ->
+      match l with
+      | L_pos _ -> assert false
+      | L_neg a ->
+          let b, ps', renv' = bind_atom ctx renv a in
+          ignore renv';
+          (* variables local to the negated atom stay local *)
+          ( bs,
+            ps
+            @ [
+                A.Not
+                  (A.Exists
+                     {
+                       bindings = [ b ];
+                       grouping = None;
+                       join = None;
+                       body = A.And ps';
+                     });
+              ],
+            renv )
+      | L_cmp (A.Eq, X_term (D_var v), e) when not (List.mem_assoc v renv) ->
+          (bs, ps, (v, tr_expr renv e) :: renv)
+      | L_cmp (A.Eq, e, X_term (D_var v)) when not (List.mem_assoc v renv) ->
+          (bs, ps, (v, tr_expr renv e) :: renv)
+      | L_cmp (op, l, r) ->
+          (bs, ps @ [ A.Pred (A.Cmp (op, tr_expr renv l, tr_expr renv r)) ], renv)
+      | L_agg (v, kind, target, body) ->
+          (* FOI: correlated nested collection with γ∅ (Eq 15) *)
+          let head = fresh ctx "X" in
+          let inner_bs, inner_ps, inner_renv = tr_body ctx renv body in
+          let agg_term = A.Agg (kind, tr_expr inner_renv target) in
+          let inner : A.collection =
+            {
+              head = { head_name = head; head_attrs = [ "res" ] };
+              body =
+                A.Exists
+                  {
+                    bindings = inner_bs;
+                    grouping = Some [];
+                    join = None;
+                    body =
+                      A.And
+                        (inner_ps
+                        @ [ A.Pred (A.Cmp (A.Eq, A.Attr (head, "res"), agg_term)) ]);
+                  };
+            }
+          in
+          let x = fresh ctx "x" in
+          if List.mem_assoc v renv then
+            ( bs @ [ { A.var = x; source = A.Nested inner } ],
+              ps
+              @ [ A.Pred (A.Cmp (A.Eq, A.Attr (x, "res"), List.assoc v renv)) ],
+              renv )
+          else
+            ( bs @ [ { A.var = x; source = A.Nested inner } ],
+              ps,
+              (v, A.Attr (x, "res")) :: renv ))
+    (bindings, preds, renv)
+    rest
+
+let tr_rule ctx (head_attrs : string list) (r : rule) : A.formula =
+  let bindings, preds, renv = tr_body ctx [] r.body in
+  let head_preds =
+    List.map2
+      (fun arg attr ->
+        match arg with
+        | D_var v -> (
+            match List.assoc_opt v renv with
+            | Some t ->
+                A.Pred (A.Cmp (A.Eq, A.Attr (r.head.pred, attr), t))
+            | None -> fail "head variable %S not grounded" v)
+        | D_const c ->
+            A.Pred (A.Cmp (A.Eq, A.Attr (r.head.pred, attr), A.Const c))
+        | D_wild -> fail "wildcard in rule head")
+      r.head.args head_attrs
+  in
+  A.Exists
+    {
+      bindings;
+      grouping = None;
+      join = None;
+      body = A.And (preds @ head_preds);
+    }
+
+let definition ?(schemas = []) (prog : program) pred : A.definition =
+  let rules = List.filter (fun r -> r.head.pred = pred) prog in
+  if rules = [] then fail "no rules for predicate %S" pred;
+  let arity = List.length (List.hd rules).head.args in
+  let idb_schemas =
+    List.map
+      (fun p ->
+        ( p,
+          let r = List.find (fun r -> r.head.pred = p) prog in
+          List.init (List.length r.head.args) (fun i ->
+              Printf.sprintf "a%d" (i + 1)) ))
+      (head_preds prog)
+  in
+  let ctx = { schemas = schemas @ idb_schemas; fresh = 0 } in
+  let head_attrs = attrs_of ctx pred ~arity in
+  let disjuncts = List.map (tr_rule ctx head_attrs) rules in
+  {
+    A.def_name = pred;
+    def_body =
+      {
+        head = { head_name = pred; head_attrs };
+        body = (match disjuncts with [ d ] -> d | ds -> A.Or ds);
+      };
+  }
+
+let program ?(schemas = []) (prog : program) ~query : A.program =
+  let preds = head_preds prog in
+  let defs = List.map (definition ~schemas prog) preds in
+  let qdef =
+    match List.find_opt (fun (d : A.definition) -> d.A.def_name = query) defs with
+    | Some d -> d
+    | None -> fail "query predicate %S not defined" query
+  in
+  let attrs = qdef.A.def_body.A.head.head_attrs in
+  let main : A.collection =
+    {
+      head = { head_name = "Out"; head_attrs = attrs };
+      body =
+        A.Exists
+          {
+            bindings = [ { A.var = "q"; source = A.Base query } ];
+            grouping = None;
+            join = None;
+            body =
+              A.And
+                (List.map
+                   (fun a -> A.Pred (A.Cmp (A.Eq, A.Attr ("Out", a), A.Attr ("q", a))))
+                   attrs);
+          };
+    }
+  in
+  { A.defs; main = A.Coll main }

@@ -1,0 +1,29 @@
+(** Datalog → ARC embedding (paper, Sections 2.5, 2.9).
+
+    Rules sharing a head predicate become one ARC definition whose body is a
+    disjunction (Eq 16); positional atoms become named bindings with explicit
+    equality predicates (the named-perspective translation of Section 2.1);
+    stratified negation becomes [¬∃]; Soufflé aggregates become the FOI
+    pattern — a correlated nested collection with γ∅ (Fig 5 / Eq 15).
+
+    Evaluating the embedded program under {!Arc_value.Conventions.souffle}
+    agrees with {!Eval} — verified by the test suite on every example. *)
+
+exception Embed_error of string
+
+val program :
+  ?schemas:(string * string list) list ->
+  Ast.program ->
+  query:string ->
+  Arc_core.Ast.program
+(** [program ~schemas prog ~query] embeds every rule and returns an ARC
+    program whose main collection selects all attributes of IDB predicate
+    [query]. [schemas] gives attribute names of EDB relations (positional
+    names [a1], … are synthesized for IDB predicates and unknown EDBs). *)
+
+val definition :
+  ?schemas:(string * string list) list ->
+  Ast.program ->
+  string ->
+  Arc_core.Ast.definition
+(** The ARC definition for one head predicate. *)

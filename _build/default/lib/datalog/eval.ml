@@ -1,0 +1,281 @@
+open Ast
+module V = Arc_value.Value
+module Aggregate = Arc_value.Aggregate
+module Conventions = Arc_value.Conventions
+module Relation = Arc_relation.Relation
+module Tuple = Arc_relation.Tuple
+module Schema = Arc_relation.Schema
+module Database = Arc_relation.Database
+module CA = Arc_core.Ast
+
+exception Datalog_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Datalog_error s)) fmt
+
+type env = (string * V.t) list
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec expr_vars = function
+  | X_term (D_var v) -> [ v ]
+  | X_term _ -> []
+  | X_binop (_, l, r) -> expr_vars l @ expr_vars r
+
+let rec eval_expr (env : env) = function
+  | X_term (D_var v) -> (
+      match List.assoc_opt v env with
+      | Some value -> value
+      | None -> fail "unbound variable %S" v)
+  | X_term (D_const c) -> c
+  | X_term D_wild -> fail "wildcard in expression"
+  | X_binop (op, l, r) -> (
+      let vl = eval_expr env l and vr = eval_expr env r in
+      match op with
+      | CA.Add -> V.add vl vr
+      | CA.Sub -> V.sub vl vr
+      | CA.Mul -> V.mul vl vr
+      | CA.Div -> V.div vl vr
+      | CA.Neg -> fail "unary negation as binop")
+
+let test_cmp op vl vr =
+  let c = V.compare vl vr in
+  match op with
+  | CA.Eq -> c = 0
+  | CA.Neq -> c <> 0
+  | CA.Lt -> c < 0
+  | CA.Leq -> c <= 0
+  | CA.Gt -> c > 0
+  | CA.Geq -> c >= 0
+
+(* ------------------------------------------------------------------ *)
+(* Literal scheduling                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let bound env v = List.mem_assoc v env
+
+let lit_ready env = function
+  | L_pos _ -> true
+  | L_neg a ->
+      List.for_all
+        (function D_var v -> bound env v | _ -> true)
+        a.args
+  | L_cmp (CA.Eq, X_term (D_var v), r) when not (bound env v) ->
+      List.for_all (bound env) (expr_vars r)
+  | L_cmp (CA.Eq, l, X_term (D_var v)) when not (bound env v) ->
+      List.for_all (bound env) (expr_vars l)
+  | L_cmp (_, l, r) ->
+      List.for_all (bound env) (expr_vars l @ expr_vars r)
+  | L_agg (_, _, _, body) ->
+      (* outer groundings come from env; body-local variables are fine *)
+      ignore body;
+      true
+
+(* unify atom args against a tuple's values *)
+let unify_atom env (a : atom) (values : V.t list) : env option =
+  if List.length a.args <> List.length values then
+    fail "arity mismatch for %s" a.pred;
+  List.fold_left2
+    (fun acc arg v ->
+      match acc with
+      | None -> None
+      | Some env -> (
+          match arg with
+          | D_wild -> Some env
+          | D_const c -> if V.equal c v then Some env else None
+          | D_var var -> (
+              match List.assoc_opt var env with
+              | Some v' -> if V.equal v' v then Some env else None
+              | None -> Some ((var, v) :: env))))
+    (Some env) a.args values
+
+let relation_of rels db name =
+  match List.assoc_opt name !rels with
+  | Some r -> r
+  | None -> (
+      match Database.find_opt db name with
+      | Some r -> r
+      | None -> fail "unknown relation %S" name)
+
+(* evaluate a body: all solutions extending [env] *)
+let rec eval_body rels db (env : env) (lits : literal list) : env list =
+  match lits with
+  | [] -> [ env ]
+  | _ -> (
+      match List.partition (lit_ready env) lits with
+      | [], _ -> fail "unsafe rule body: no literal is ready"
+      | ready :: rest_ready, waiting ->
+          let remaining = rest_ready @ waiting in
+          let envs =
+            match ready with
+            | L_pos a ->
+                let r = relation_of rels db a.pred in
+                List.filter_map
+                  (fun tp -> unify_atom env a (Tuple.values tp))
+                  (Relation.tuples r)
+            | L_neg a ->
+                let r = relation_of rels db a.pred in
+                if
+                  List.exists
+                    (fun tp -> unify_atom env a (Tuple.values tp) <> None)
+                    (Relation.tuples r)
+                then []
+                else [ env ]
+            | L_cmp (CA.Eq, X_term (D_var v), e) when not (bound env v) ->
+                [ (v, eval_expr env e) :: env ]
+            | L_cmp (CA.Eq, e, X_term (D_var v)) when not (bound env v) ->
+                [ (v, eval_expr env e) :: env ]
+            | L_cmp (op, l, r) ->
+                if test_cmp op (eval_expr env l) (eval_expr env r) then [ env ]
+                else []
+            | L_agg (v, kind, target, body) ->
+                (* FOI: body solutions do not escape; distinct solutions
+                   contribute once (set semantics) *)
+                let sols = eval_body rels db env body in
+                let seen = Hashtbl.create 16 in
+                let values =
+                  List.filter_map
+                    (fun env' ->
+                      let key =
+                        String.concat "|"
+                          (List.map
+                             (fun (k, x) -> k ^ "=" ^ V.to_string x)
+                             (List.sort compare env'))
+                      in
+                      if Hashtbl.mem seen key then None
+                      else (
+                        Hashtbl.add seen key ();
+                        Some (eval_expr env' target)))
+                    sols
+                in
+                let result =
+                  Aggregate.apply Conventions.Agg_zero kind values
+                in
+                if bound env v then
+                  if V.equal (List.assoc v env) result then [ env ] else []
+                else [ (v, result) :: env ]
+          in
+          List.concat_map (fun env' -> eval_body rels db env' remaining) envs)
+
+(* ------------------------------------------------------------------ *)
+(* Stratification                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let rec literal_deps = function
+  | L_pos a -> [ (a.pred, false) ]
+  | L_neg a -> [ (a.pred, true) ]
+  | L_cmp _ -> []
+  | L_agg (_, _, _, body) ->
+      List.map (fun (p, _) -> (p, true)) (List.concat_map literal_deps body)
+
+let stratify (prog : program) : string list list =
+  let idb = head_preds prog in
+  let deps p =
+    List.concat_map
+      (fun r ->
+        if r.head.pred = p then
+          List.filter (fun (q, _) -> List.mem q idb) (List.concat_map literal_deps r.body)
+        else [])
+      prog
+  in
+  (* compute stratum numbers by fixpoint on the usual constraints *)
+  let stratum = Hashtbl.create 8 in
+  List.iter (fun p -> Hashtbl.replace stratum p 0) idb;
+  let changed = ref true in
+  let iters = ref 0 in
+  while !changed do
+    incr iters;
+    if !iters > 1000 then
+      fail "program is not stratifiable (negation/aggregation cycle)";
+    changed := false;
+    List.iter
+      (fun p ->
+        List.iter
+          (fun (q, negative) ->
+            let sq = Hashtbl.find stratum q in
+            let sp = Hashtbl.find stratum p in
+            let required = if negative then sq + 1 else sq in
+            if sp < required then (
+              Hashtbl.replace stratum p required;
+              changed := true))
+          (deps p))
+      idb
+  done;
+  let max_stratum = List.fold_left (fun m p -> max m (Hashtbl.find stratum p)) 0 idb in
+  List.init (max_stratum + 1) (fun i ->
+      List.filter (fun p -> Hashtbl.find stratum p = i) idb)
+  |> List.filter (fun l -> l <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Fixpoint                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let head_schema (prog : program) p =
+  let arity =
+    match List.find_opt (fun r -> r.head.pred = p) prog with
+    | Some r -> List.length r.head.args
+    | None -> fail "no rule for %S" p
+  in
+  Schema.make (List.init arity (fun i -> Printf.sprintf "a%d" (i + 1)))
+
+let eval_rule rels db (r : rule) : Tuple.t list =
+  let schema = head_schema [ r ] r.head.pred in
+  let envs = eval_body rels db [] r.body in
+  List.map
+    (fun env ->
+      Tuple.make schema
+        (Array.of_list
+           (List.map
+              (function
+                | D_var v -> (
+                    match List.assoc_opt v env with
+                    | Some value -> value
+                    | None -> fail "head variable %S not bound by the body" v)
+                | D_const c -> c
+                | D_wild -> fail "wildcard in rule head")
+              r.head.args)))
+    envs
+
+let run ~db (prog : program) =
+  let strata = stratify prog in
+  let rels = ref [] in
+  List.iter
+    (fun stratum ->
+      (* initialize *)
+      List.iter
+        (fun p ->
+          if not (List.mem_assoc p !rels) then
+            rels := (p, Relation.make ~name:p (head_schema prog p) []) :: !rels)
+        stratum;
+      let changed = ref true in
+      let iters = ref 0 in
+      while !changed do
+        incr iters;
+        if !iters > 100_000 then fail "fixpoint diverged";
+        changed := false;
+        List.iter
+          (fun (r : rule) ->
+            if List.mem r.head.pred stratum then begin
+              let fresh = eval_rule rels db r in
+              let current = List.assoc r.head.pred !rels in
+              let next =
+                Relation.dedup
+                  (Relation.union current
+                     (Relation.make (Relation.schema current) fresh))
+              in
+              if not (Relation.equal_set next current) then begin
+                rels :=
+                  (r.head.pred, next) :: List.remove_assoc r.head.pred !rels;
+                changed := true
+              end
+            end)
+          prog
+      done)
+    strata;
+  List.rev !rels
+
+let query ~db prog p =
+  match List.assoc_opt p (run ~db prog) with
+  | Some r -> r
+  | None -> fail "no IDB relation %S" p

@@ -1,0 +1,21 @@
+(** Stratified Datalog evaluator under Soufflé conventions (paper,
+    Section 2.6): set semantics, two-valued logic, no NULLs, and aggregates
+    over empty bodies yielding 0 (the behavior contrasted with SQL's NULL in
+    Eq 15).
+
+    Negation and aggregation must be stratified: no predicate may depend on
+    itself through [!] or through an aggregate body. Rules must be safe:
+    every variable must be groundable by positive atoms, assignments, or
+    aggregate results, in some evaluation order. *)
+
+exception Datalog_error of string
+
+val run :
+  db:Arc_relation.Database.t -> Ast.program -> (string * Arc_relation.Relation.t) list
+(** Computes all IDB relations by stratified fixpoint iteration. IDB
+    attribute names are positional: [a1], [a2], …. Raises
+    {!Datalog_error} on unstratifiable or unsafe programs. *)
+
+val query :
+  db:Arc_relation.Database.t -> Ast.program -> string -> Arc_relation.Relation.t
+(** [query ~db prog p] runs the program and returns IDB relation [p]. *)

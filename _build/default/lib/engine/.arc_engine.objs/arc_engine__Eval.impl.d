@@ -1,0 +1,1 @@
+lib/engine/eval.ml: Arc_core Arc_relation Arc_value Array Externals Hashtbl List Option Printf String

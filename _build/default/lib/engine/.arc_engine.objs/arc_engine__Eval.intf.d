@@ -1,0 +1,1 @@
+lib/engine/eval.mli: Arc_core Arc_relation Arc_value Externals

@@ -1,0 +1,1 @@
+lib/engine/externals.ml: Arc_core Arc_value List

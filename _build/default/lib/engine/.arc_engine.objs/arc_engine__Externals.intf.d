@@ -1,0 +1,1 @@
+lib/engine/externals.mli: Arc_core Arc_value

@@ -1,0 +1,1007 @@
+open Arc_core.Ast
+module V = Arc_value.Value
+module B3 = Arc_value.Bool3
+module Conventions = Arc_value.Conventions
+module Aggregate = Arc_value.Aggregate
+module Relation = Arc_relation.Relation
+module Tuple = Arc_relation.Tuple
+module Schema = Arc_relation.Schema
+module Database = Arc_relation.Database
+module Analysis = Arc_core.Analysis
+module External = Arc_core.External
+
+exception Eval_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Eval_error s)) fmt
+
+type outcome = Rows of Relation.t | Truth of B3.t
+
+type recursion_strategy = Naive | Seminaive
+
+type ctx = {
+  conv : Conventions.t;
+  strategy : recursion_strategy;
+  db : Database.t;
+  idb : (string, Relation.t) Hashtbl.t;
+  abstracts : (string * collection) list;
+  externals : Externals.impl list;
+  (* Bindings for the head attributes of the abstract relation currently
+     being membership-tested (Section 2.13.2). *)
+  params : ((var * attr) * V.t) list;
+  (* Singleton relations for literal join-tree leaves of the scope being
+     evaluated (Fig 12). *)
+  lits : (var * Tuple.t) list;
+}
+
+type benv = (var * Tuple.t) list
+
+(* ------------------------------------------------------------------ *)
+(* Terms                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let scalar_apply op args =
+  match (op, args) with
+  | Add, [ a; b ] -> V.add a b
+  | Sub, [ a; b ] -> V.sub a b
+  | Mul, [ a; b ] -> V.mul a b
+  | Div, [ a; b ] -> V.div a b
+  | Neg, [ a ] -> V.neg a
+  | _ -> fail "malformed scalar application"
+
+let rec eval_term ctx (benv : benv) = function
+  | Const c -> c
+  | Attr (v, a) -> (
+      match List.assoc_opt v benv with
+      | Some tp -> (
+          try Tuple.get tp a
+          with Schema.Unknown_attribute _ ->
+            fail "variable %S has no attribute %S" v a)
+      | None -> (
+          match List.assoc_opt (v, a) ctx.params with
+          | Some value -> value
+          | None -> fail "unbound variable %S (attribute %S)" v a))
+  | Scalar (op, ts) -> scalar_apply op (List.map (eval_term ctx benv) ts)
+  | Agg (k, _) ->
+      fail "aggregate %s outside a grouping evaluation"
+        (Aggregate.kind_to_string k)
+
+(* Group-aware term evaluation (Section 2.5): aggregates accumulate the
+   inner term over every row of the group; other subterms are evaluated
+   under the representative environment (grouping keys and outer references
+   are constant within a group). When the group is empty (γ∅ over zero
+   rows), references to scope variables evaluate to NULL. *)
+let rec eval_gterm ctx ~rep ~group ~scope_vars t =
+  match t with
+  | Const c -> c
+  | Attr (v, _) when group = [] && List.mem v scope_vars -> V.Null
+  | Attr _ -> eval_term ctx rep t
+  | Scalar (op, ts) ->
+      scalar_apply op (List.map (eval_gterm ctx ~rep ~group ~scope_vars) ts)
+  | Agg (k, inner) ->
+      let values = List.map (fun be -> eval_term ctx be inner) group in
+      Aggregate.apply ctx.conv.Conventions.agg_empty k values
+
+(* ------------------------------------------------------------------ *)
+(* Predicates                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_cmp op c =
+  match op with
+  | Eq -> c = 0
+  | Neq -> c <> 0
+  | Lt -> c < 0
+  | Leq -> c <= 0
+  | Gt -> c > 0
+  | Geq -> c >= 0
+
+let cmp_values ctx op vl vr =
+  match ctx.conv.Conventions.null_logic with
+  | Conventions.Three_valued -> (
+      match V.cmp3 vl vr with
+      | None -> B3.Unknown
+      | Some c -> B3.of_bool (test_cmp op c))
+  | Conventions.Two_valued -> B3.of_bool (test_cmp op (V.compare vl vr))
+
+let eval_pred_values ctx p vals =
+  match (p, vals) with
+  | Cmp (op, _, _), [ vl; vr ] -> cmp_values ctx op vl vr
+  | Is_null _, [ v ] -> B3.of_bool (V.is_null v)
+  | Not_null _, [ v ] -> B3.of_bool (not (V.is_null v))
+  | Like (_, pat), [ v ] -> (
+      match V.like v pat with
+      | Some b -> B3.of_bool b
+      | None -> (
+          match ctx.conv.Conventions.null_logic with
+          | Conventions.Three_valued -> B3.Unknown
+          | Conventions.Two_valued -> B3.False))
+  | _ -> fail "malformed predicate"
+
+let eval_pred ctx benv p =
+  eval_pred_values ctx p (List.map (eval_term ctx benv) (pred_terms p))
+
+(* aggregate at the current scope level (not inside a deeper quantifier)? *)
+let rec formula_has_agg = function
+  | True -> false
+  | Pred p -> pred_has_agg p
+  | And fs | Or fs -> List.exists formula_has_agg fs
+  | Not f -> formula_has_agg f
+  | Exists _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Literal join-tree leaves (Fig 12)                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Literal leaves become fresh singleton bindings with single attribute
+   "val"; one body comparison against the literal's constant is redirected
+   to that attribute so it acts as a join condition at the annotation node
+   rather than as a filter on the other operand. *)
+let prepare_literals (scope : scope) =
+  match scope.join with
+  | None -> (scope, [])
+  | Some jt ->
+      let counter = ref 0 in
+      let lit_binds = ref [] in
+      let rec rewrite = function
+        | J_var v -> J_var v
+        | J_lit c ->
+            incr counter;
+            let v = Printf.sprintf "_lit%d" !counter in
+            lit_binds := (v, c) :: !lit_binds;
+            J_var v
+        | J_inner l -> J_inner (List.map rewrite l)
+        | J_left (a, b) -> J_left (rewrite a, rewrite b)
+        | J_full (a, b) -> J_full (rewrite a, rewrite b)
+      in
+      let jt' = rewrite jt in
+      let lits = List.rev !lit_binds in
+      if lits = [] then (scope, [])
+      else
+        let tree_vars = join_tree_vars jt in
+        let in_tree t =
+          let vs = List.map fst (term_vars t) in
+          vs <> [] && List.for_all (fun v -> List.mem v tree_vars) vs
+        in
+        let remaining = ref lits in
+        let redirect c mk =
+          match List.find_opt (fun (_, c') -> V.equal c c') !remaining with
+          | Some (v, _) ->
+              remaining := List.filter (fun (v', _) -> v' <> v) !remaining;
+              Some (mk (Attr (v, "val")))
+          | None -> None
+        in
+        let rec rewrite_formula f =
+          match f with
+          | Pred (Cmp (op, l, Const c)) when (not (term_has_agg l)) && in_tree l
+            -> (
+              match redirect c (fun t -> Pred (Cmp (op, l, t))) with
+              | Some f' -> f'
+              | None -> f)
+          | Pred (Cmp (op, Const c, r)) when (not (term_has_agg r)) && in_tree r
+            -> (
+              match redirect c (fun t -> Pred (Cmp (op, t, r))) with
+              | Some f' -> f'
+              | None -> f)
+          | And fs -> And (List.map rewrite_formula fs)
+          | f -> f
+        in
+        let body' = rewrite_formula scope.body in
+        let lit_bindings =
+          List.map (fun (v, _) -> { var = v; source = Base v }) lits
+        in
+        ( { scope with join = Some jt'; body = body';
+            bindings = scope.bindings @ lit_bindings },
+          List.map
+            (fun (v, c) ->
+              let schema = Schema.make [ "val" ] in
+              (v, Tuple.make schema [| c |]))
+            lits )
+
+(* ------------------------------------------------------------------ *)
+(* Scope enumeration                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let rec source_rows ctx benv = function
+  | Base name -> (
+      (* under set semantics, stored relations are interpreted as sets:
+         duplicates in the physical bag collapse (paper, Section 2.7 and
+         footnote 4 — inputs are sets, so the full join is a set) *)
+      let interp r =
+        match ctx.conv.Conventions.collection with
+        | Conventions.Set -> Relation.tuples (Relation.dedup r)
+        | Conventions.Bag -> Relation.tuples r
+      in
+      match List.assoc_opt name ctx.lits with
+      | Some tp -> [ tp ]
+      | None -> (
+          match Hashtbl.find_opt ctx.idb name with
+          | Some r -> Relation.tuples r (* IDB relations are already sets *)
+          | None -> (
+              match Database.find_opt ctx.db name with
+              | Some r -> interp r
+              | None ->
+                  fail "relation %S is not finite (external or abstract)" name)))
+  | Nested c -> Relation.tuples (eval_collection ctx benv c)
+
+and source_is_finite ctx = function
+  | Nested _ -> true
+  | Base name ->
+      List.mem_assoc name ctx.lits
+      || Hashtbl.mem ctx.idb name
+      || Database.mem ctx.db name
+
+and source_schema ctx = function
+  | Base name -> (
+      match List.assoc_opt name ctx.lits with
+      | Some tp -> Schema.attrs (Tuple.schema tp)
+      | None -> (
+          match Hashtbl.find_opt ctx.idb name with
+          | Some r -> Schema.attrs (Relation.schema r)
+          | None -> (
+              match Database.find_opt ctx.db name with
+              | Some r -> Schema.attrs (Relation.schema r)
+              | None -> fail "cannot determine schema of %S" name)))
+  | Nested c -> c.head.head_attrs
+
+(* --- join-annotation trees ----------------------------------------- *)
+
+(* Splits the scope body conjuncts into join conditions (attached to the
+   smallest annotation node covering their scope variables, where they act
+   like SQL ON conditions) and the residual formula (evaluated after the
+   join, like SQL WHERE — so it also filters NULL-padded rows). *)
+and split_join_conditions ~heads (scope : scope) =
+  let tree = Option.get scope.join in
+  let tree_vars = join_tree_vars tree in
+  let scope_var v = List.exists (fun b -> b.var = v) scope.bindings in
+  let conjs = conjuncts scope.body in
+  let is_attachable f =
+    match f with
+    | Pred p ->
+        (not (pred_has_agg p))
+        && (not (Analysis.classify ~heads p).Analysis.is_assignment)
+        &&
+        let vs =
+          List.concat_map (fun t -> List.map fst (term_vars t)) (pred_terms p)
+        in
+        let scope_vs = List.filter scope_var vs in
+        scope_vs <> [] && List.for_all (fun v -> List.mem v tree_vars) scope_vs
+    | _ -> false
+  in
+  List.partition is_attachable conjs
+
+and smallest_cover tree vars =
+  let covers node =
+    let nv = join_tree_vars node in
+    List.for_all (fun v -> List.mem v nv) vars
+  in
+  let rec descend node =
+    match node with
+    | J_var _ | J_lit _ -> node
+    | J_inner l -> (
+        match List.find_opt covers l with
+        | Some child -> descend child
+        | None -> node)
+    | J_left (a, b) | J_full (a, b) ->
+        if covers a then descend a
+        else if covers b then descend b
+        else node
+  in
+  if covers tree then Some (descend tree) else None
+
+and enum_join_tree ctx benv (scope : scope) ~attached : benv list =
+  let tree = Option.get scope.join in
+  let scope_var v = List.exists (fun b -> b.var = v) scope.bindings in
+  let node_preds node =
+    List.filter_map
+      (fun f ->
+        match f with
+        | Pred p ->
+            let vs =
+              List.concat_map
+                (fun t -> List.map fst (term_vars t))
+                (pred_terms p)
+              |> List.filter scope_var
+            in
+            (match smallest_cover tree vs with
+            | Some n when n == node -> Some p
+            | _ -> None)
+        | _ -> None)
+      attached
+  in
+  let binding_of v =
+    match List.find_opt (fun b -> b.var = v) scope.bindings with
+    | Some b -> b
+    | None -> fail "join annotation references unbound variable %S" v
+  in
+  let null_row_of_var v =
+    let attrs = source_schema ctx (binding_of v).source in
+    let schema = Schema.make attrs in
+    Tuple.make schema (Array.make (List.length attrs) V.Null)
+  in
+  let null_pad node : benv =
+    List.map (fun v -> (v, null_row_of_var v)) (join_tree_vars node)
+  in
+  let check preds (row : benv) =
+    List.for_all (fun p -> eval_pred ctx (row @ benv) p = B3.True) preds
+  in
+  let rec eval node : benv list =
+    let mine = node_preds node in
+    match node with
+    | J_var v ->
+        let rows =
+          List.map
+            (fun tp -> [ (v, tp) ])
+            (source_rows ctx benv (binding_of v).source)
+        in
+        List.filter (check mine) rows
+    | J_lit _ -> fail "unexpanded literal leaf"
+    | J_inner l ->
+        let rows =
+          List.fold_left
+            (fun acc child ->
+              let crows = eval child in
+              List.concat_map (fun r -> List.map (fun c -> r @ c) crows) acc)
+            [ [] ] l
+        in
+        List.filter (check mine) rows
+    | J_left (a, b) ->
+        let ra = eval a and rb = eval b in
+        List.concat_map
+          (fun x ->
+            let matches =
+              List.filter_map
+                (fun y ->
+                  let row = x @ y in
+                  if check mine row then Some row else None)
+                rb
+            in
+            if matches = [] then [ x @ null_pad b ] else matches)
+          ra
+    | J_full (a, b) ->
+        let ra = eval a and rb = eval b in
+        let matched_b = Hashtbl.create 16 in
+        let left_part =
+          List.concat_map
+            (fun x ->
+              let matches =
+                List.concat
+                  (List.mapi
+                     (fun i y ->
+                       let row = x @ y in
+                       if check mine row then (
+                         Hashtbl.replace matched_b i ();
+                         [ row ])
+                       else [])
+                     rb)
+              in
+              if matches = [] then [ x @ null_pad b ] else matches)
+            ra
+        in
+        let right_part =
+          List.concat
+            (List.mapi
+               (fun i y -> if Hashtbl.mem matched_b i then [] else [ null_pad a @ y ])
+               rb)
+        in
+        left_part @ right_part
+  in
+  let tree_rows = eval tree in
+  (* bindings not mentioned in the tree are implicit inner factors,
+     evaluated laterally after the tree *)
+  let missing =
+    List.filter
+      (fun b ->
+        source_is_finite ctx b.source
+        && not (List.mem b.var (join_tree_vars tree)))
+      scope.bindings
+  in
+  List.concat_map
+    (fun r ->
+      List.fold_left
+        (fun acc b ->
+          List.concat_map
+            (fun (row : benv) ->
+              List.map
+                (fun tp -> (b.var, tp) :: row)
+                (source_rows ctx (row @ benv) b.source))
+            acc)
+        [ r ] missing)
+    tree_rows
+
+(* --- deferred (external / abstract) bindings ------------------------ *)
+
+and resolve_deferred ctx benv (scope : scope) rows deferred : benv list =
+  let conjs = conjuncts scope.body in
+  List.fold_left
+    (fun rows b ->
+      let name =
+        match b.source with Base n -> n | Nested _ -> assert false
+      in
+      List.concat_map
+        (fun (row : benv) ->
+          (* seed equations x.attr = term, term evaluable now *)
+          let seed_of = function
+            | Pred (Cmp (Eq, Attr (v, a), t)) when v = b.var -> Some (a, t)
+            | Pred (Cmp (Eq, t, Attr (v, a))) when v = b.var -> Some (a, t)
+            | _ -> None
+          in
+          let seeds =
+            List.filter_map
+              (fun f ->
+                match seed_of f with
+                | Some (a, t)
+                  when (not (term_has_agg t))
+                       && List.for_all (fun (v', _) -> v' <> b.var) (term_vars t)
+                  -> (
+                    try Some (a, eval_term ctx (row @ benv) t)
+                    with Eval_error _ -> None)
+                | _ -> None)
+              conjs
+          in
+          let seeds =
+            List.fold_left
+              (fun acc (a, v) ->
+                if List.mem_assoc a acc then acc else (a, v) :: acc)
+              [] seeds
+            |> List.rev
+          in
+          match Externals.find ctx.externals name with
+          | Some impl -> (
+              match impl.Externals.complete seeds with
+              | Some assignments ->
+                  let attrs = impl.Externals.decl.External.ext_attrs in
+                  let schema = Schema.make attrs in
+                  List.map
+                    (fun assignment ->
+                      let tp =
+                        Tuple.make schema
+                          (Array.of_list
+                             (List.map (fun a -> List.assoc a assignment) attrs))
+                      in
+                      ((b.var, tp) :: row : benv))
+                    assignments
+              | None ->
+                  fail
+                    "no access pattern of external relation %S accepts bound \
+                     attributes {%s}"
+                    name
+                    (String.concat ", " (List.map fst seeds)))
+          | None -> (
+              match List.assoc_opt name ctx.abstracts with
+              | Some def ->
+                  let attrs = def.head.head_attrs in
+                  if List.for_all (fun a -> List.mem_assoc a seeds) attrs then
+                    let params =
+                      List.map
+                        (fun a ->
+                          ((def.head.head_name, a), List.assoc a seeds))
+                        attrs
+                    in
+                    let ctx' = { ctx with params = params @ ctx.params } in
+                    if eval_formula ctx' (row @ benv) def.body = B3.True then
+                      let schema = Schema.make attrs in
+                      let tp =
+                        Tuple.make schema
+                          (Array.of_list
+                             (List.map (fun a -> List.assoc a seeds) attrs))
+                      in
+                      [ ((b.var, tp) :: row : benv) ]
+                    else []
+                  else
+                    fail
+                      "abstract relation %S used without binding all of its \
+                       attributes (bound: {%s})"
+                      name
+                      (String.concat ", " (List.map fst seeds))
+              | None -> fail "unknown relation %S" name))
+        rows)
+    rows deferred
+
+(* --- full scope pipeline -------------------------------------------- *)
+
+(* Returns the residual scope (literal leaves expanded, attached join
+   conditions removed from the body) together with the enumerated rows,
+   each extending [benv]. *)
+and enum_scope ctx benv (scope : scope) ~heads : scope * benv list =
+  let scope, lit_rows = prepare_literals scope in
+  let ctx = { ctx with lits = lit_rows @ ctx.lits } in
+  let deferred =
+    List.filter (fun b -> not (source_is_finite ctx b.source)) scope.bindings
+  in
+  let residual_scope, rows =
+    match scope.join with
+    | Some _ ->
+        let attached, residual = split_join_conditions ~heads scope in
+        let rows = enum_join_tree ctx benv scope ~attached in
+        ({ scope with body = And residual }, rows)
+    | None ->
+        let rows =
+          List.fold_left
+            (fun acc b ->
+              if not (source_is_finite ctx b.source) then acc
+              else
+                List.concat_map
+                  (fun (row : benv) ->
+                    List.map
+                      (fun tp -> (b.var, tp) :: row)
+                      (source_rows ctx (row @ benv) b.source))
+                  acc)
+            [ ([] : benv) ]
+            scope.bindings
+        in
+        (scope, rows)
+  in
+  (residual_scope, resolve_deferred ctx benv scope rows deferred)
+
+(* ------------------------------------------------------------------ *)
+(* Formula evaluation (boolean contexts)                               *)
+(* ------------------------------------------------------------------ *)
+
+and eval_formula ctx benv f : B3.t =
+  match f with
+  | True -> B3.True
+  | Pred p -> eval_pred ctx benv p
+  | And fs -> B3.and_list (List.map (eval_formula ctx benv) fs)
+  | Or fs -> B3.or_list (List.map (eval_formula ctx benv) fs)
+  | Not f -> B3.not_ (eval_formula ctx benv f)
+  | Exists scope -> eval_scope_bool ctx benv scope
+
+and eval_scope_bool ctx benv scope : B3.t =
+  let scope, rows = enum_scope ctx benv scope ~heads:[] in
+  match scope.grouping with
+  | None ->
+      B3.of_bool
+        (List.exists
+           (fun (row : benv) ->
+             eval_formula ctx (row @ benv) scope.body = B3.True)
+           rows)
+  | Some keys ->
+      let scope_vars = List.map (fun b -> b.var) scope.bindings in
+      let pre, post =
+        List.partition
+          (fun f -> not (formula_has_agg f))
+          (conjuncts scope.body)
+      in
+      let groups = group_rows ctx benv keys pre rows in
+      B3.of_bool
+        (List.exists
+           (fun (rep, group) ->
+             List.for_all
+               (fun f ->
+                 eval_gformula ctx ~rep ~group ~scope_vars f = B3.True)
+               post)
+           groups)
+
+(* Filters rows by the pre-aggregation conditions and partitions them by
+   the grouping keys. Each group carries a representative environment
+   (the outer environment when the γ∅ group is empty). Rows in groups are
+   full environments (row @ benv). *)
+and group_rows ctx benv keys pre rows : (benv * benv list) list =
+  let rows =
+    List.filter
+      (fun (row : benv) ->
+        List.for_all (fun f -> eval_formula ctx (row @ benv) f = B3.True) pre)
+      rows
+  in
+  if keys = [] then
+    let full = List.map (fun r -> r @ benv) rows in
+    [ ((match full with [] -> benv | r :: _ -> r), full) ]
+  else begin
+    let tbl = Hashtbl.create 16 in
+    let order = ref [] in
+    List.iter
+      (fun row ->
+        let kv =
+          List.map (fun (v, a) -> eval_term ctx (row @ benv) (Attr (v, a))) keys
+        in
+        let k = String.concat "|" (List.map V.to_string kv) in
+        match Hashtbl.find_opt tbl k with
+        | Some rs -> Hashtbl.replace tbl k (rs @ [ row @ benv ])
+        | None ->
+            order := k :: !order;
+            Hashtbl.replace tbl k [ row @ benv ])
+      rows;
+    List.rev_map
+      (fun k ->
+        let group = Hashtbl.find tbl k in
+        (List.hd group, group))
+      !order
+  end
+
+and eval_gformula ctx ~rep ~group ~scope_vars f : B3.t =
+  match f with
+  | True -> B3.True
+  | Pred p ->
+      eval_pred_values ctx p
+        (List.map (eval_gterm ctx ~rep ~group ~scope_vars) (pred_terms p))
+  | And fs ->
+      B3.and_list (List.map (eval_gformula ctx ~rep ~group ~scope_vars) fs)
+  | Or fs ->
+      B3.or_list (List.map (eval_gformula ctx ~rep ~group ~scope_vars) fs)
+  | Not f -> B3.not_ (eval_gformula ctx ~rep ~group ~scope_vars f)
+  | Exists scope -> eval_scope_bool ctx rep scope
+
+(* ------------------------------------------------------------------ *)
+(* Collection evaluation                                               *)
+(* ------------------------------------------------------------------ *)
+
+and eval_collection ctx benv (c : collection) : Relation.t =
+  let schema = Schema.make c.head.head_attrs in
+  let head_name = c.head.head_name in
+  let eval_disjunct d =
+    let scope =
+      match d with
+      | Exists s -> s
+      | f -> { bindings = []; grouping = None; join = None; body = f }
+    in
+    let scope, rows = enum_scope ctx benv scope ~heads:[ head_name ] in
+    (* Extract assignment predicates for the head. They may sit at any
+       positive existential depth within the disjunct (the nested
+       semijoin-style formulation of Section 2.7 puts [Q.A = r.A] inside the
+       inner scope); an extracted predicate is replaced by [True] so the
+       residual formula can be evaluated as a condition. A second assignment
+       to the same attribute becomes the constraint [t0 = t]. *)
+    let assignments = Hashtbl.create 8 in
+    let rec extract f =
+      match f with
+      | Pred p -> (
+          match Analysis.assignment_of ~heads:[ head_name ] p with
+          | Some ((_, a), t) when List.mem a c.head.head_attrs -> (
+              match Hashtbl.find_opt assignments a with
+              | None ->
+                  Hashtbl.add assignments a t;
+                  True
+              | Some t0 when not (equal_term t0 t) -> Pred (Cmp (Eq, t0, t))
+              | Some _ -> True)
+          | _ -> f)
+      | And fs -> And (List.map extract fs)
+      | Exists s -> Exists { s with body = extract s.body }
+      | True | Or _ | Not _ -> f
+    in
+    let residual = Arc_core.Canon.simplify_formula (extract scope.body) in
+    let conditions = conjuncts residual in
+    let assignment_of_attr a =
+      match Hashtbl.find_opt assignments a with
+      | Some t -> t
+      | None ->
+          fail "head attribute %s.%s has no assignment predicate" head_name a
+    in
+    match scope.grouping with
+    | None ->
+        List.filter_map
+          (fun (row : benv) ->
+            let full = row @ benv in
+            if
+              List.for_all
+                (fun f -> eval_formula ctx full f = B3.True)
+                conditions
+            then
+              Some
+                (Tuple.make schema
+                   (Array.of_list
+                      (List.map
+                         (fun a -> eval_term ctx full (assignment_of_attr a))
+                         c.head.head_attrs)))
+            else None)
+          rows
+    | Some keys ->
+        let scope_vars = List.map (fun b -> b.var) scope.bindings in
+        let pre, post =
+          List.partition (fun f -> not (formula_has_agg f)) conditions
+        in
+        let groups = group_rows ctx benv keys pre rows in
+        List.filter_map
+          (fun (rep, group) ->
+            if
+              List.for_all
+                (fun f ->
+                  eval_gformula ctx ~rep ~group ~scope_vars f = B3.True)
+                post
+            then
+              Some
+                (Tuple.make schema
+                   (Array.of_list
+                      (List.map
+                         (fun a ->
+                           eval_gterm ctx ~rep ~group ~scope_vars
+                             (assignment_of_attr a))
+                         c.head.head_attrs)))
+            else None)
+          groups
+  in
+  let body = Arc_core.Canon.simplify_formula c.body in
+  let tuples = List.concat_map eval_disjunct (disjuncts body) in
+  let r = Relation.make ~name:head_name schema tuples in
+  match ctx.conv.Conventions.collection with
+  | Conventions.Set -> Relation.dedup r
+  | Conventions.Bag -> r
+
+(* ------------------------------------------------------------------ *)
+(* Definitions: stratified least-fixed-point computation               *)
+(* ------------------------------------------------------------------ *)
+
+let rec formula_deps ~neg ~grouped acc = function
+  | True | Pred _ -> acc
+  | And fs | Or fs -> List.fold_left (formula_deps ~neg ~grouped) acc fs
+  | Not f -> formula_deps ~neg:true ~grouped acc f
+  | Exists s ->
+      (* a grouping scope is nonmonotone only when it actually aggregates;
+         pure deduplication (grouping without aggregation predicates,
+         Section 2.7) is monotone and safe inside recursion *)
+      let grouped' =
+        grouped || (s.grouping <> None && formula_has_agg s.body)
+      in
+      let acc =
+        List.fold_left
+          (fun acc b ->
+            match b.source with
+            | Base n -> (n, neg || grouped') :: acc
+            | Nested c -> formula_deps ~neg ~grouped:grouped' acc c.body)
+          acc s.bindings
+      in
+      formula_deps ~neg ~grouped:grouped' acc s.body
+
+let def_deps (d : definition) =
+  formula_deps ~neg:false ~grouped:false [] d.def_body.body
+
+(* Tarjan's SCC algorithm; emits components dependencies-first. *)
+let sccs (defs : definition list) =
+  let names = List.map (fun d -> d.def_name) defs in
+  let adj =
+    List.map
+      (fun d ->
+        (d.def_name, List.filter (fun (n, _) -> List.mem n names) (def_deps d)))
+      defs
+  in
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let result = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v true;
+    List.iter
+      (fun (w, _) ->
+        if not (Hashtbl.mem index w) then (
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w)))
+        else if Hashtbl.find_opt on_stack w = Some true then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (try List.assoc v adj with Not_found -> []);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+            stack := rest;
+            Hashtbl.replace on_stack w false;
+            if w = v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      result := pop [] :: !result
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v) names;
+  (List.rev !result, adj)
+
+let rec compute_idb ctx (defs : definition list) =
+  let scc_list, adj = sccs defs in
+  let find_def n = List.find (fun d -> d.def_name = n) defs in
+  List.iter
+    (fun component ->
+      let recursive =
+        match component with
+        | [ n ] -> List.exists (fun (m, _) -> m = n) (List.assoc n adj)
+        | _ -> true
+      in
+      if not recursive then
+        let d = find_def (List.hd component) in
+        Hashtbl.replace ctx.idb d.def_name (eval_collection ctx [] d.def_body)
+      else begin
+        List.iter
+          (fun n ->
+            List.iter
+              (fun (m, negative) ->
+                if negative && List.mem m component then
+                  fail
+                    "unstratifiable recursion: %S depends on %S through \
+                     negation or aggregation"
+                    n m)
+              (List.assoc n adj))
+          component;
+        List.iter
+          (fun n ->
+            let d = find_def n in
+            Hashtbl.replace ctx.idb n
+              (Relation.empty ~name:n d.def_body.head.head_attrs))
+          component;
+        match ctx.strategy with
+        | Naive -> naive_fixpoint ctx find_def component
+        | Seminaive -> seminaive_fixpoint ctx find_def component
+      end)
+    scc_list
+
+and naive_fixpoint ctx find_def component =
+  let changed = ref true in
+  let iterations = ref 0 in
+  while !changed do
+    incr iterations;
+    if !iterations > 100_000 then fail "fixpoint iteration diverged";
+    changed := false;
+    List.iter
+      (fun n ->
+        let d = find_def n in
+        let next =
+          Relation.dedup
+            (Relation.union (Hashtbl.find ctx.idb n)
+               (eval_collection ctx [] d.def_body))
+        in
+        if not (Relation.equal_set next (Hashtbl.find ctx.idb n)) then begin
+          Hashtbl.replace ctx.idb n next;
+          changed := true
+        end)
+      component
+  done
+
+(* Semi-naive evaluation: each round re-derives only through tuples that are
+   new since the previous round. For every occurrence of a binding to a
+   relation of the same SCC, a body variant is evaluated in which exactly
+   that occurrence ranges over the delta; the union of the variants, minus
+   the tuples already known, is the next delta. *)
+and seminaive_fixpoint ctx find_def component =
+  let delta_name n = "__delta__" ^ n in
+  (* count/substitute occurrences of component bindings, preorder *)
+  let count_occurrences body =
+    let k = ref 0 in
+    let rec walk_f = function
+      | True | Pred _ -> ()
+      | And fs | Or fs -> List.iter walk_f fs
+      | Not f -> walk_f f
+      | Exists sc ->
+          List.iter
+            (fun b ->
+              match b.source with
+              | Base m -> if List.mem m component then incr k
+              | Nested c -> walk_f c.body)
+            sc.bindings;
+          walk_f sc.body
+    in
+    walk_f body;
+    !k
+  in
+  let substitute body i =
+    let k = ref (-1) in
+    let rec walk_f f =
+      match f with
+      | True | Pred _ -> f
+      | And fs -> And (List.map walk_f fs)
+      | Or fs -> Or (List.map walk_f fs)
+      | Not f -> Not (walk_f f)
+      | Exists sc ->
+          let bindings =
+            List.map
+              (fun b ->
+                match b.source with
+                | Base m when List.mem m component ->
+                    incr k;
+                    if !k = i then { b with source = Base (delta_name m) }
+                    else b
+                | Base _ -> b
+                | Nested c ->
+                    { b with source = Nested { c with body = walk_f c.body } })
+              sc.bindings
+          in
+          Exists { sc with bindings; body = walk_f sc.body }
+    in
+    walk_f body
+  in
+  (* round 0: recursive refs are empty, the plain evaluation seeds delta *)
+  List.iter
+    (fun n ->
+      let d = find_def n in
+      let seed = Relation.dedup (eval_collection ctx [] d.def_body) in
+      Hashtbl.replace ctx.idb n seed;
+      Hashtbl.replace ctx.idb (delta_name n) seed)
+    component;
+  let iterations = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    incr iterations;
+    if !iterations > 100_000 then fail "fixpoint iteration diverged";
+    let new_deltas =
+      List.map
+        (fun n ->
+          let d = find_def n in
+          let occurrences = count_occurrences d.def_body.body in
+          let derived =
+            List.init occurrences (fun i ->
+                eval_collection ctx []
+                  { d.def_body with body = substitute d.def_body.body i })
+          in
+          let full = Hashtbl.find ctx.idb n in
+          let fresh =
+            List.fold_left
+              (fun acc r ->
+                Relation.union acc
+                  (Relation.minus (Relation.dedup r) full))
+              (Relation.empty ~name:n d.def_body.head.head_attrs)
+              derived
+          in
+          (n, Relation.dedup fresh))
+        component
+    in
+    (* commit all deltas simultaneously *)
+    List.iter
+      (fun (n, fresh) ->
+        Hashtbl.replace ctx.idb n
+          (Relation.dedup (Relation.union (Hashtbl.find ctx.idb n) fresh)))
+      new_deltas;
+    List.iter
+      (fun (n, fresh) -> Hashtbl.replace ctx.idb (delta_name n) fresh)
+      new_deltas;
+    if List.for_all (fun (_, fresh) -> Relation.is_empty fresh) new_deltas then
+      continue_ := false
+  done;
+  List.iter (fun n -> Hashtbl.remove ctx.idb (delta_name n)) component
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let make_ctx ?(conv = Conventions.sql_set) ?(externals = Externals.standard)
+    ?(strategy = Seminaive) ~db (prog : program) =
+  let aenv =
+    Analysis.env
+      ~schemas:
+        (List.map
+           (fun n -> (n, Schema.attrs (Relation.schema (Database.find db n))))
+           (Database.names db))
+      ~externals:(Externals.decls externals) ()
+  in
+  let safeties = Analysis.program_safety ~env:aenv prog in
+  let safe, unsafe =
+    List.partition
+      (fun (d : definition) ->
+        match List.assoc_opt d.def_name safeties with
+        | Some Analysis.Safe -> true
+        | _ -> false)
+      prog.defs
+  in
+  let ctx =
+    {
+      conv;
+      strategy;
+      db;
+      idb = Hashtbl.create 16;
+      abstracts = List.map (fun d -> (d.def_name, d.def_body)) unsafe;
+      externals;
+      params = [];
+      lits = [];
+    }
+  in
+  compute_idb ctx safe;
+  ctx
+
+let run ?conv ?externals ?strategy ~db (prog : program) =
+  let ctx = make_ctx ?conv ?externals ?strategy ~db prog in
+  match prog.main with
+  | Coll c -> Rows (eval_collection ctx [] c)
+  | Sentence f -> Truth (eval_formula ctx [] f)
+
+let run_rows ?conv ?externals ?strategy ~db prog =
+  match run ?conv ?externals ?strategy ~db prog with
+  | Rows r -> r
+  | Truth _ -> fail "expected a collection result, got a sentence"
+
+let run_truth ?conv ?externals ?strategy ~db prog =
+  match run ?conv ?externals ?strategy ~db prog with
+  | Truth t -> t
+  | Rows _ -> fail "expected a sentence result, got a collection"
+
+let eval_collection_standalone ?conv ?externals ~db c =
+  run_rows ?conv ?externals ~db { defs = []; main = Coll c }

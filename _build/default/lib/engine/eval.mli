@@ -1,0 +1,73 @@
+(** The ARC evaluation engine.
+
+    Executes the paper's {e conceptual evaluation strategy} (Section 2.3)
+    literally: quantifier scopes enumerate their bindings as nested loops
+    (later bindings — including correlated nested comprehensions — see
+    earlier ones, giving lateral-join semantics, Section 2.4); join
+    annotations drive outer joins with NULL padding (Section 2.11); a
+    grouping operator partitions the enumerated scope rows and evaluates all
+    aggregation predicates of the scope over each group (Section 2.5);
+    definition environments are computed bottom-up with least-fixed-point
+    semantics for recursive definitions (Section 2.9); external and abstract
+    relations are resolved through access patterns (Section 2.13).
+
+    Everything is interpreted under a {!Arc_value.Conventions.t} value —
+    set vs bag, 2- vs 3-valued logic, and aggregate-on-empty are switches,
+    not language features (Sections 2.6, 2.7). *)
+
+open Arc_core.Ast
+
+exception Eval_error of string
+
+type recursion_strategy =
+  | Naive  (** re-derive everything each round *)
+  | Seminaive
+      (** re-derive only through last round's new tuples (the default);
+          identical results, asymptotically fewer re-derivations *)
+
+type outcome =
+  | Rows of Arc_relation.Relation.t
+  | Truth of Arc_value.Bool3.t  (** For [Sentence] queries (Fig 9). *)
+
+val run :
+  ?conv:Arc_value.Conventions.t ->
+  ?externals:Externals.impl list ->
+  ?strategy:recursion_strategy ->
+  db:Arc_relation.Database.t ->
+  program ->
+  outcome
+(** Evaluates a program: computes safe (intensional) definitions bottom-up —
+    recursive ones by least fixed point under set semantics, with a
+    stratification check — registers unsafe (abstract) definitions for
+    in-context membership resolution, then evaluates the main query.
+    Defaults: [conv = Conventions.sql_set], [externals = Externals.standard].
+
+    Raises {!Eval_error} on unstratifiable recursion, unresolvable
+    external/abstract bindings, or head attributes without assignment
+    predicates. *)
+
+val run_rows :
+  ?conv:Arc_value.Conventions.t ->
+  ?externals:Externals.impl list ->
+  ?strategy:recursion_strategy ->
+  db:Arc_relation.Database.t ->
+  program ->
+  Arc_relation.Relation.t
+(** Like {!run} but expects a collection result; raises {!Eval_error} on a
+    sentence. *)
+
+val run_truth :
+  ?conv:Arc_value.Conventions.t ->
+  ?externals:Externals.impl list ->
+  ?strategy:recursion_strategy ->
+  db:Arc_relation.Database.t ->
+  program ->
+  Arc_value.Bool3.t
+
+val eval_collection_standalone :
+  ?conv:Arc_value.Conventions.t ->
+  ?externals:Externals.impl list ->
+  db:Arc_relation.Database.t ->
+  collection ->
+  Arc_relation.Relation.t
+(** Evaluates a single collection with no definition environment. *)

@@ -1,0 +1,77 @@
+module Value = Arc_value.Value
+module External = Arc_core.External
+
+type impl = {
+  decl : External.decl;
+  complete : (string * Value.t) list -> (string * Value.t) list list option;
+}
+
+let get bound a = List.assoc_opt a bound
+
+let arithmetic name f ~inverse_left ~inverse_right =
+  let decl = External.arithmetic name in
+  let complete bound =
+    match (get bound "left", get bound "right", get bound "out") with
+    | Some l, Some r, Some o ->
+        Some
+          (if Value.equal (f l r) o then
+             [ [ ("left", l); ("right", r); ("out", o) ] ]
+           else [])
+    | Some l, Some r, None ->
+        Some [ [ ("left", l); ("right", r); ("out", f l r) ] ]
+    | Some l, None, Some o ->
+        Some [ [ ("left", l); ("right", inverse_right o l); ("out", o) ] ]
+    | None, Some r, Some o ->
+        Some [ [ ("left", inverse_left o r); ("right", r); ("out", o) ] ]
+    | _ -> None
+  in
+  { decl; complete }
+
+let product_style name f =
+  let decl = External.product_style name in
+  let complete bound =
+    match (get bound "$1", get bound "$2", get bound "out") with
+    | Some a, Some b, Some o ->
+        Some
+          (if Value.equal (f a b) o then
+             [ [ ("$1", a); ("$2", b); ("out", o) ] ]
+           else [])
+    | Some a, Some b, None -> Some [ [ ("$1", a); ("$2", b); ("out", f a b) ] ]
+    | _ -> None
+  in
+  { decl; complete }
+
+let comparison name f =
+  let decl = External.comparison name in
+  let complete bound =
+    match (get bound "left", get bound "right") with
+    | Some l, Some r ->
+        Some (if f l r then [ [ ("left", l); ("right", r) ] ] else [])
+    | _ -> None
+  in
+  { decl; complete }
+
+let bigger l r = match Value.cmp3 l r with Some c -> c > 0 | None -> false
+
+let standard =
+  [
+    arithmetic "Minus" Value.sub
+      ~inverse_left:(fun out right -> Value.add out right)
+      ~inverse_right:(fun out left -> Value.sub left out);
+    arithmetic "Add" Value.add
+      ~inverse_left:(fun out right -> Value.sub out right)
+      ~inverse_right:(fun out left -> Value.sub out left);
+    arithmetic "-" Value.sub
+      ~inverse_left:(fun out right -> Value.add out right)
+      ~inverse_right:(fun out left -> Value.sub left out);
+    arithmetic "+" Value.add
+      ~inverse_left:(fun out right -> Value.sub out right)
+      ~inverse_right:(fun out left -> Value.sub out left);
+    product_style "*" Value.mul;
+    comparison "Bigger" bigger;
+    comparison ">" bigger;
+  ]
+
+let find impls name = List.find_opt (fun i -> i.decl.External.ext_name = name) impls
+
+let decls impls = List.map (fun i -> i.decl) impls

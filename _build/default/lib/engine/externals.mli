@@ -1,0 +1,40 @@
+(** Executable external relations (paper, Section 2.13.1).
+
+    An implementation pairs an {!Arc_core.External.decl} with a completion
+    function realizing its access patterns: given values for a subset of the
+    attributes, it either produces the full tuples consistent with them (a
+    multi-valued function, per [35]) or reports that no supported access
+    pattern matches the bound subset. *)
+
+module Value = Arc_value.Value
+
+type impl = {
+  decl : Arc_core.External.decl;
+  complete : (string * Value.t) list -> (string * Value.t) list list option;
+      (** [complete bound] returns [Some rows] — each row a full
+          attribute assignment extending [bound] — or [None] when no access
+          pattern accepts exactly the attributes bound so far. An empty list
+          means the pattern applied but no tuple matches (e.g. [5 > 7]). *)
+}
+
+val arithmetic : string -> (Value.t -> Value.t -> Value.t) ->
+  inverse_left:(Value.t -> Value.t -> Value.t) ->
+  inverse_right:(Value.t -> Value.t -> Value.t) -> impl
+(** [arithmetic name f ~inverse_left ~inverse_right] builds the ternary
+    relation [name(left, right, out)] with [out = f left right];
+    [inverse_left out right = left] and [inverse_right out left = right]
+    provide the remaining access patterns. *)
+
+val product_style : string -> (Value.t -> Value.t -> Value.t) -> impl
+(** Fig 20 naming: [name($1, $2, out)], forward mode and all-bound check
+    only (multiplication is not inverted over integers). *)
+
+val comparison : string -> (Value.t -> Value.t -> bool) -> impl
+(** Binary check-only relation [name(left, right)]. *)
+
+val standard : impl list
+(** Implementations matching {!Arc_core.External.standard}: "Minus", "Add",
+    "-", "+", "*", "Bigger", ">". *)
+
+val find : impl list -> string -> impl option
+val decls : impl list -> Arc_core.External.decl list

@@ -1,0 +1,1 @@
+lib/higraph/higraph.ml: Arc_core Arc_value Buffer Char Hashtbl List Option Printf String

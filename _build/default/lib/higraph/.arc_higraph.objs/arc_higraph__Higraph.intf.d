@@ -1,0 +1,1 @@
+lib/higraph/higraph.mli: Arc_core

@@ -1,0 +1,614 @@
+open Arc_core.Ast
+module Pp = Arc_core.Pp
+module V = Arc_value.Value
+
+type region_kind =
+  | Canvas
+  | Existential
+  | Negation
+  | Grouping_region of string
+  | Nested_collection of var
+  | Disjunct of int
+  | Module_box of rel_name
+
+type table = {
+  t_id : int;
+  t_title : string;
+  t_attrs : (string * string list) list;
+  t_optional : bool;
+}
+
+type region = {
+  r_id : int;
+  r_kind : region_kind;
+  r_tables : table list;
+  r_subregions : region list;
+  r_notes : string list;
+}
+
+type edge = {
+  e_id : int;
+  e_src : int * string;
+  e_dst : int * string;
+  e_label : string;
+  e_assign : bool;
+}
+
+type t = { root : region; edges : edge list }
+
+type stats = {
+  n_regions : int;
+  n_tables : int;
+  n_edges : int;
+  n_notes : int;
+  max_nesting : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Builder state                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type tstate = {
+  mutable attrs : (string * string list) list;
+  mutable optional : bool;
+  title : string;
+}
+
+type bstate = {
+  mutable next : int;
+  tables : (int, tstate) Hashtbl.t;
+  mutable edges : edge list;
+  mutable edge_next : int;
+  collapse : rel_name list;
+}
+
+let fresh st =
+  let id = st.next in
+  st.next <- id + 1;
+  id
+
+let new_table st title =
+  let id = fresh st in
+  Hashtbl.replace st.tables id { attrs = []; optional = false; title };
+  id
+
+let touch_attr st tid a =
+  let ts = Hashtbl.find st.tables tid in
+  if not (List.mem_assoc a ts.attrs) then ts.attrs <- ts.attrs @ [ (a, []) ]
+
+let annotate st tid a note =
+  touch_attr st tid a;
+  let ts = Hashtbl.find st.tables tid in
+  ts.attrs <-
+    List.map
+      (fun (a', notes) -> if a' = a then (a', notes @ [ note ]) else (a', notes))
+      ts.attrs
+
+let mark_optional st tid =
+  let ts = Hashtbl.find st.tables tid in
+  ts.optional <- true
+
+let add_edge st (t1, a1) (t2, a2) label assign =
+  touch_attr st t1 a1;
+  touch_attr st t2 a2;
+  let e =
+    {
+      e_id = st.edge_next;
+      e_src = (t1, a1);
+      e_dst = (t2, a2);
+      e_label = label;
+      e_assign = assign;
+    }
+  in
+  st.edge_next <- st.edge_next + 1;
+  st.edges <- st.edges @ [ e ]
+
+(* environment: variable/head name -> table id *)
+type benv = { vars : (string * int) list; heads : (string * int) list }
+
+let resolve env v =
+  match List.assoc_opt v env.vars with
+  | Some id -> Some id
+  | None -> List.assoc_opt v env.heads
+
+(* ------------------------------------------------------------------ *)
+(* Predicates                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let is_head env v = List.mem_assoc v env.heads
+
+(* Process one predicate: an attribute-to-attribute comparison becomes an
+   edge; a single-attribute selection becomes an annotation; anything else
+   becomes a textual note in the region. Returns the notes produced. *)
+let process_pred st env p : string list =
+  match p with
+  | Cmp (op, Attr (v1, a1), Attr (v2, a2)) -> (
+      match (resolve env v1, resolve env v2) with
+      | Some t1, Some t2 ->
+          let assign = is_head env v1 || is_head env v2 in
+          (* orient assignment edges so the head attribute is the source *)
+          let (t1, a1), (t2, a2), op =
+            if is_head env v2 then ((t2, a2), (t1, a1), cmp_op_flip op)
+            else ((t1, a1), (t2, a2), op)
+          in
+          add_edge st (t1, a1) (t2, a2) (cmp_op_to_string op) assign;
+          []
+      | _ -> [ Pp.pred p ])
+  | Cmp (op, Attr (v, a), Const c) -> (
+      match resolve env v with
+      | Some tid ->
+          annotate st tid a (cmp_op_to_string op ^ " " ^ V.to_string c);
+          []
+      | None -> [ Pp.pred p ])
+  | Cmp (op, Const c, Attr (v, a)) -> (
+      match resolve env v with
+      | Some tid ->
+          annotate st tid a
+            (cmp_op_to_string (cmp_op_flip op) ^ " " ^ V.to_string c);
+          []
+      | None -> [ Pp.pred p ])
+  | Cmp (_, Attr (v, a), t) when term_has_agg t && resolve env v <> None ->
+      (* aggregation predicate: decorate the target attribute *)
+      let tid = Option.get (resolve env v) in
+      annotate st tid a
+        ((if is_head env v then "\xe2\x86\x90 " else "") ^ Pp.term t);
+      (* also touch the aggregated attributes *)
+      List.iter
+        (fun (v', a') ->
+          match resolve env v' with
+          | Some tid' -> touch_attr st tid' a'
+          | None -> ())
+        (term_vars t);
+      []
+  | Is_null (Attr (v, a)) when resolve env v <> None ->
+      annotate st (Option.get (resolve env v)) a "is null";
+      []
+  | Not_null (Attr (v, a)) when resolve env v <> None ->
+      annotate st (Option.get (resolve env v)) a "is not null";
+      []
+  | Like (Attr (v, a), pat) when resolve env v <> None ->
+      annotate st (Option.get (resolve env v)) a ("like '" ^ pat ^ "'");
+      []
+  | p ->
+      (* touch referenced attributes so the tables show them *)
+      List.iter
+        (fun t ->
+          List.iter
+            (fun (v, a) ->
+              match resolve env v with
+              | Some tid -> touch_attr st tid a
+              | None -> ())
+            (term_vars t))
+        (pred_terms p);
+      [ Pp.pred p ]
+
+(* ------------------------------------------------------------------ *)
+(* Regions                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let rec optional_vars = function
+  | J_var _ | J_lit _ -> []
+  | J_inner l -> List.concat_map optional_vars l
+  | J_left (a, b) -> optional_vars a @ join_tree_vars b
+  | J_full (a, b) -> join_tree_vars a @ join_tree_vars b
+
+let rec build_scope st env ~defs scope : region * benv =
+  let kind =
+    match scope.grouping with
+    | Some [] -> Grouping_region "\xe2\x88\x85"
+    | Some keys ->
+        Grouping_region
+          (String.concat ", " (List.map (fun (v, a) -> v ^ "." ^ a) keys))
+    | None -> Existential
+  in
+  let rid = fresh st in
+  (* bindings become tables or nested regions *)
+  let env', tables, subregions =
+    List.fold_left
+      (fun (env, tabs, subs) b ->
+        match b.source with
+        | Base rel when List.mem rel st.collapse ->
+            let tid =
+              new_table st
+                (Printf.sprintf "%s \xe2\x88\x88 %s \xe3\x80\x9amodule\xe3\x80\x9b" b.var rel)
+            in
+            ({ env with vars = (b.var, tid) :: env.vars }, tabs @ [ tid ], subs)
+        | Base rel ->
+            let tid = new_table st (b.var ^ " \xe2\x88\x88 " ^ rel) in
+            ({ env with vars = (b.var, tid) :: env.vars }, tabs @ [ tid ], subs)
+        | Nested c ->
+            let sub, head_tid =
+              build_collection_region st env ~defs
+                ~kind:(Nested_collection b.var) c
+            in
+            ({ env with vars = (b.var, head_tid) :: env.vars }, tabs, subs @ [ sub ]))
+      (env, [], []) scope.bindings
+  in
+  (* outer-join optionality *)
+  (match scope.join with
+  | Some jt ->
+      List.iter
+        (fun v ->
+          match List.assoc_opt v env'.vars with
+          | Some tid -> mark_optional st tid
+          | None -> ())
+        (optional_vars jt)
+  | None -> ());
+  (* grouping keys marked on their tables *)
+  (match scope.grouping with
+  | Some keys ->
+      List.iter
+        (fun (v, a) ->
+          match resolve env' v with
+          | Some tid -> annotate st tid a "*"
+          | None -> ())
+        keys
+  | None -> ());
+  let notes, subs2 = build_body st env' ~defs scope.body in
+  let join_note =
+    match scope.join with
+    | Some jt -> [ "join: " ^ Pp.join_tree jt ]
+    | None -> []
+  in
+  ( {
+      r_id = rid;
+      r_kind = kind;
+      r_tables = tables |> List.map (fun tid -> finish_table st tid);
+      r_subregions = subregions @ subs2;
+      r_notes = join_note @ notes;
+    },
+    env' )
+
+and finish_table st tid =
+  let ts = Hashtbl.find st.tables tid in
+  { t_id = tid; t_title = ts.title; t_attrs = ts.attrs; t_optional = ts.optional }
+
+and build_body st env ~defs f : string list * region list =
+  match f with
+  | True -> ([], [])
+  | Pred p -> (process_pred st env p, [])
+  | And fs ->
+      List.fold_left
+        (fun (notes, subs) g ->
+          let n, s = build_body st env ~defs g in
+          (notes @ n, subs @ s))
+        ([], []) fs
+  | Or fs ->
+      let subs =
+        List.mapi
+          (fun i g ->
+            let rid = fresh st in
+            let notes, inner = build_body st env ~defs g in
+            {
+              r_id = rid;
+              r_kind = Disjunct (i + 1);
+              r_tables = [];
+              r_subregions = inner;
+              r_notes = notes;
+            })
+          fs
+      in
+      ([], subs)
+  | Not g ->
+      let rid = fresh st in
+      let notes, inner = build_body st env ~defs g in
+      ( [],
+        [
+          {
+            r_id = rid;
+            r_kind = Negation;
+            r_tables = [];
+            r_subregions = inner;
+            r_notes = notes;
+          };
+        ] )
+  | Exists scope ->
+      let region, _ = build_scope st env ~defs scope in
+      ([], [ region ])
+
+and build_collection_region st env ~defs ~kind c : region * int =
+  (* result (head) table plus the body structure *)
+  let head_tid =
+    new_table st (Pp.head c.head ^ (match kind with
+      | Canvas -> " (result)"
+      | _ -> ""))
+  in
+  List.iter (fun a -> touch_attr st head_tid a) c.head.head_attrs;
+  let env' = { vars = env.vars; heads = [ (c.head.head_name, head_tid) ] } in
+  let rid = fresh st in
+  let notes, subs = build_body st env' ~defs c.body in
+  ( {
+      r_id = rid;
+      r_kind = kind;
+      r_tables = [ finish_table st head_tid ];
+      r_subregions = subs;
+      r_notes = notes;
+    },
+    head_tid )
+
+(* Rebuild table contents after the whole walk (annotations accumulate). *)
+let rec refresh_tables st region =
+  {
+    region with
+    r_tables = List.map (fun t -> finish_table st t.t_id) region.r_tables;
+    r_subregions = List.map (refresh_tables st) region.r_subregions;
+  }
+
+let of_query ?(collapse = []) ?(defs = []) q =
+  let st =
+    {
+      next = 0;
+      tables = Hashtbl.create 16;
+      edges = [];
+      edge_next = 1;
+      collapse;
+    }
+  in
+  let env = { vars = []; heads = [] } in
+  let root =
+    match q with
+    | Coll c ->
+        let region, _ = build_collection_region st env ~defs ~kind:Canvas c in
+        region
+    | Sentence f ->
+        let rid = fresh st in
+        let notes, subs = build_body st env ~defs f in
+        {
+          r_id = rid;
+          r_kind = Canvas;
+          r_tables = [];
+          r_subregions = subs;
+          r_notes = notes;
+        }
+  in
+  let root = refresh_tables st root in
+  { root; edges = st.edges }
+
+let of_collection c = of_query (Coll c)
+
+(* ------------------------------------------------------------------ *)
+(* ASCII rendering                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* UTF-8-aware display width (all our chars are width-1). *)
+let uwidth s =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then acc
+    else
+      let c = Char.code s.[i] in
+      let step =
+        if c < 0x80 then 1
+        else if c < 0xe0 then 2
+        else if c < 0xf0 then 3
+        else 4
+      in
+      go (i + step) (acc + 1)
+  in
+  go 0 0
+
+let pad_to w s = s ^ String.make (max 0 (w - uwidth s)) ' '
+
+let render (t : t) =
+  let anchors (tid, a) =
+    List.filter_map
+      (fun e ->
+        if e.e_src = (tid, a) || e.e_dst = (tid, a) then
+          Some (Printf.sprintf "\xe2\x9f\xa8%d\xe2\x9f\xa9" e.e_id)
+        else None)
+      t.edges
+  in
+  let render_table tb : string list =
+    let title =
+      (if tb.t_optional then "\xe2\x97\x8b " else "") ^ tb.t_title
+    in
+    let attr_lines =
+      List.map
+        (fun (a, notes) ->
+          let marks = anchors (tb.t_id, a) in
+          String.concat " " ((a :: notes) @ marks))
+        tb.t_attrs
+    in
+    let w =
+      List.fold_left (fun acc l -> max acc (uwidth l)) (uwidth title) attr_lines
+    in
+    let top = "\xe2\x94\x8c" ^ String.concat "" (List.init (w + 2) (fun _ -> "\xe2\x94\x80")) ^ "\xe2\x94\x90" in
+    let bot = "\xe2\x94\x94" ^ String.concat "" (List.init (w + 2) (fun _ -> "\xe2\x94\x80")) ^ "\xe2\x94\x98" in
+    let line l = "\xe2\x94\x82 " ^ pad_to w l ^ " \xe2\x94\x82" in
+    (top :: line title
+     :: (if attr_lines = [] then [] else List.map line attr_lines))
+    @ [ bot ]
+  in
+  let region_title r =
+    match r.r_kind with
+    | Canvas -> ""
+    | Existential -> "\xe2\x88\x83"
+    | Negation -> "\xc2\xac"
+    | Grouping_region keys -> "\xce\xb3 " ^ keys
+    | Nested_collection v -> v ^ " \xe2\x88\x88"
+    | Disjunct i -> Printf.sprintf "\xe2\x88\xa8%d" i
+    | Module_box n -> "module " ^ n
+  in
+  let rec render_region r : string list =
+    let inner =
+      List.concat_map render_table r.r_tables
+      @ List.map (fun n -> "\xc2\xb7 " ^ n) r.r_notes
+      @ List.concat_map render_region r.r_subregions
+    in
+    match r.r_kind with
+    | Canvas -> inner
+    | _ ->
+        let double =
+          match r.r_kind with Grouping_region _ -> true | _ -> false
+        in
+        let h, v, tl, tr, bl, br =
+          if double then
+            ( "\xe2\x95\x90", "\xe2\x95\x91", "\xe2\x95\x94", "\xe2\x95\x97",
+              "\xe2\x95\x9a", "\xe2\x95\x9d" )
+          else
+            ( "\xe2\x94\x80", "\xe2\x94\x82", "\xe2\x94\x8c", "\xe2\x94\x90",
+              "\xe2\x94\x94", "\xe2\x94\x98" )
+        in
+        let w =
+          List.fold_left (fun acc l -> max acc (uwidth l)) 0 inner
+          |> max (uwidth (region_title r) + 2)
+        in
+        let title = region_title r in
+        let top =
+          tl ^ h ^ title
+          ^ String.concat ""
+              (List.init (max 0 (w + 1 - uwidth title)) (fun _ -> h))
+          ^ tr
+        in
+        let bot =
+          bl ^ String.concat "" (List.init (w + 2) (fun _ -> h)) ^ br
+        in
+        (top :: List.map (fun l -> v ^ " " ^ pad_to w l ^ " " ^ v) inner)
+        @ [ bot ]
+  in
+  let body = String.concat "\n" (render_region t.root) in
+  let table_names = Hashtbl.create 16 in
+  let rec collect r =
+    List.iter
+      (fun tb ->
+        let name =
+          match String.index_opt tb.t_title ' ' with
+          | Some i -> String.sub tb.t_title 0 i
+          | None -> tb.t_title
+        in
+        let name =
+          match String.index_opt name '(' with
+          | Some i -> String.sub name 0 i
+          | None -> name
+        in
+        Hashtbl.replace table_names tb.t_id name)
+      r.r_tables;
+    List.iter collect r.r_subregions
+  in
+  collect t.root;
+  let endpoint (tid, a) =
+    match Hashtbl.find_opt table_names tid with
+    | Some n -> n ^ "." ^ a
+    | None -> a
+  in
+  let legend =
+    if t.edges = [] then ""
+    else
+      "\nedges:\n"
+      ^ String.concat "\n"
+          (List.map
+             (fun e ->
+               Printf.sprintf "  \xe2\x9f\xa8%d\xe2\x9f\xa9 %s %s %s%s" e.e_id
+                 (endpoint e.e_src) e.e_label (endpoint e.e_dst)
+                 (if e.e_assign then "  (assignment)" else ""))
+             t.edges)
+  in
+  body ^ legend
+
+(* ------------------------------------------------------------------ *)
+(* DOT export                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let dot_escape s =
+  String.concat ""
+    (List.map
+       (function
+         | '"' -> "\\\"" | '<' -> "&lt;" | '>' -> "&gt;" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let to_dot (t : t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph arc {\n  compound=true;\n  rankdir=LR;\n  node [shape=record, fontsize=10];\n";
+  let port a =
+    (* graphviz port names must be alphanumeric *)
+    "p" ^ String.concat "" (List.map (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> String.make 1 c
+      | _ -> "_") (List.init (String.length a) (String.get a)))
+  in
+  let rec region r =
+    match r.r_kind with
+    | Canvas ->
+        List.iter table r.r_tables;
+        List.iter region r.r_subregions;
+        notes r
+    | _ ->
+        Buffer.add_string buf (Printf.sprintf "  subgraph cluster_%d {\n" r.r_id);
+        let label, style =
+          match r.r_kind with
+          | Negation -> ("\xc2\xac", "solid")
+          | Grouping_region keys -> ("\xce\xb3 " ^ keys, "bold")
+          | Nested_collection v -> (v ^ " \xe2\x88\x88", "dashed")
+          | Disjunct i -> (Printf.sprintf "\xe2\x88\xa8%d" i, "dotted")
+          | Module_box n -> ("module " ^ n, "filled")
+          | Existential -> ("\xe2\x88\x83", "solid")
+          | Canvas -> ("", "solid")
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "    label=\"%s\"; style=%s;\n" (dot_escape label) style);
+        List.iter table r.r_tables;
+        List.iter region r.r_subregions;
+        notes r;
+        Buffer.add_string buf "  }\n"
+  and table tb =
+    let attrs =
+      String.concat "|"
+        (List.map
+           (fun (a, ns) ->
+             Printf.sprintf "<%s> %s %s" (port a) (dot_escape a)
+               (dot_escape (String.concat " " ns)))
+           tb.t_attrs)
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "    n%d [label=\"{%s%s%s}\"];\n" tb.t_id
+         (dot_escape tb.t_title)
+         (if tb.t_optional then " \xe2\x97\x8b" else "")
+         (if attrs = "" then "" else "|" ^ attrs))
+  and notes r =
+    List.iteri
+      (fun i n ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    note_%d_%d [shape=note, label=\"%s\", fontsize=9];\n" r.r_id i
+             (dot_escape n)))
+      r.r_notes
+  in
+  region t.root;
+  List.iter
+    (fun e ->
+      let t1, a1 = e.e_src and t2, a2 = e.e_dst in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d:%s -> n%d:%s [label=\"%s\"%s, dir=none];\n" t1
+           (port a1) t2 (port a2) (dot_escape e.e_label)
+           (if e.e_assign then ", style=dashed" else "")))
+    t.edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Statistics                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let stats (t : t) =
+  let rec go depth r =
+    let sub = List.map (go (depth + 1)) r.r_subregions in
+    List.fold_left
+      (fun acc s ->
+        {
+          n_regions = acc.n_regions + s.n_regions;
+          n_tables = acc.n_tables + s.n_tables;
+          n_edges = 0;
+          n_notes = acc.n_notes + s.n_notes;
+          max_nesting = max acc.max_nesting s.max_nesting;
+        })
+      {
+        n_regions = 1;
+        n_tables = List.length r.r_tables;
+        n_edges = 0;
+        n_notes = List.length r.r_notes;
+        max_nesting = depth;
+      }
+      sub
+  in
+  let s = go 0 t.root in
+  { s with n_edges = List.length t.edges }

@@ -1,0 +1,89 @@
+(** The diagrammatic higraph modality (paper, Sections 1, 2.2; Figs 2b, 4b,
+    6c, 7, 8, 12, 20, 21).
+
+    Higraphs [Harel 1988] combine containment (nodes nested in nodes — here,
+    lexical scopes as regions) with link edges (here, join/comparison
+    predicates connecting table attributes). This module builds a diagram
+    model from an ARC query — a variant of Relational Diagrams [28–30] — and
+    renders it as nested ASCII boxes or Graphviz DOT.
+
+    Diagram conventions, following the paper:
+    {ul
+    {- every quantifier scope is a region; grouping scopes have double-lined
+       borders and their grouping-key attributes are marked with [*];}
+    {- negation scopes are regions labeled [¬];}
+    {- each binding is a table box listing the attributes the query uses;
+       single-attribute selections ([s.C = 0]) annotate the attribute line;}
+    {- binary predicates are edges between attribute anchors; assignment
+       predicates (paper: "visually decorated") render as [←] annotations on
+       the head table and dashed edges in DOT;}
+    {- the optional side of an outer join is marked with an empty circle [○]
+       (Fig 12);}
+    {- abstract relations can be {e collapsed} into module boxes
+       (Section 2.13.2).}} *)
+
+open Arc_core.Ast
+
+type region_kind =
+  | Canvas
+  | Existential
+  | Negation
+  | Grouping_region of string  (** rendered key list *)
+  | Nested_collection of var  (** region of a nested comprehension binding *)
+  | Disjunct of int
+  | Module_box of rel_name  (** collapsed abstract relation *)
+
+type table = {
+  t_id : int;
+  t_title : string;  (** e.g. ["r ∈ R"] or ["Q (result)"] *)
+  t_attrs : (string * string list) list;
+      (** attribute name, annotation strings (selections, assignments,
+          grouping-key marks, edge anchors) *)
+  t_optional : bool;  (** NULL-padded side of an outer join (○ mark) *)
+}
+
+type region = {
+  r_id : int;
+  r_kind : region_kind;
+  r_tables : table list;
+  r_subregions : region list;
+  r_notes : string list;
+      (** predicates that are not attribute-to-attribute edges *)
+}
+
+type edge = {
+  e_id : int;
+  e_src : int * string;  (** table id, attribute *)
+  e_dst : int * string;
+  e_label : string;  (** comparison operator *)
+  e_assign : bool;
+}
+
+type t = { root : region; edges : edge list }
+
+val of_query : ?collapse:rel_name list -> ?defs:definition list -> query -> t
+(** Builds the diagram. [collapse] lists defined relations to draw as
+    module boxes instead of expanding their bindings; [defs] supplies their
+    definitions for the expanded rendering of everything else. *)
+
+val of_collection : collection -> t
+
+val render : t -> string
+(** Nested ASCII boxes; edges appear as [⟨n⟩] anchors on attribute lines
+    with a legend below the diagram. *)
+
+val to_dot : t -> string
+(** Graphviz: regions as clusters, tables as record nodes with ports,
+    predicates as (dashed, for assignments) labeled edges. *)
+
+type stats = {
+  n_regions : int;
+  n_tables : int;
+  n_edges : int;
+  n_notes : int;
+  max_nesting : int;
+}
+
+val stats : t -> stats
+(** Size metrics used by the modality-complexity bench (proxy for the user
+    studies the paper cites). *)

@@ -1,0 +1,1 @@
+lib/intent/intent.ml: Arc_core Arc_engine Arc_relation Arc_sql Arc_value Array Buffer Char Float Hashtbl List Option Printf Random String

@@ -1,0 +1,1 @@
+lib/intent/intent.mli: Arc_core Arc_relation Arc_value

@@ -1,0 +1,306 @@
+open Arc_core.Ast
+module Canon = Arc_core.Canon
+module Pattern = Arc_core.Pattern
+module V = Arc_value.Value
+module Conventions = Arc_value.Conventions
+module Relation = Arc_relation.Relation
+module Database = Arc_relation.Database
+
+(* ------------------------------------------------------------------ *)
+(* Pattern equality and similarity                                     *)
+(* ------------------------------------------------------------------ *)
+
+let pattern_equal q1 q2 =
+  equal_query (Canon.canonical_query q1) (Canon.canonical_query q2)
+
+(* bag of root-to-node label paths of the canonical ALT-like structure *)
+let path_features q =
+  let q = Canon.canonical_query q in
+  let feats = ref [] in
+  let push path = feats := path :: !feats in
+  let rec walk_term path = function
+    | Const c -> push (path ^ "/c:" ^ V.to_string c)
+    | Attr (v, a) -> push (path ^ "/a:" ^ v ^ "." ^ a)
+    | Scalar (op, ts) ->
+        let p = path ^ "/s:" ^ Arc_core.Pp.scalar_op_symbol op in
+        push p;
+        List.iter (walk_term p) ts
+    | Agg (k, t) ->
+        let p = path ^ "/g:" ^ Arc_value.Aggregate.kind_to_string k in
+        push p;
+        walk_term p t
+  in
+  let walk_pred path p =
+    let tag =
+      match p with
+      | Cmp (op, _, _) -> "cmp" ^ cmp_op_to_string op
+      | Is_null _ -> "isnull"
+      | Not_null _ -> "notnull"
+      | Like (_, pat) -> "like:" ^ pat
+    in
+    let p' = path ^ "/p:" ^ tag in
+    push p';
+    List.iter (walk_term p') (pred_terms p)
+  in
+  let rec walk_formula path = function
+    | True -> push (path ^ "/T")
+    | Pred p -> walk_pred path p
+    | And fs ->
+        List.iter (walk_formula (path ^ "/and")) fs
+    | Or fs ->
+        push (path ^ "/or");
+        List.iter (walk_formula (path ^ "/or")) fs
+    | Not f ->
+        push (path ^ "/not");
+        walk_formula (path ^ "/not") f
+    | Exists s ->
+        let p = path ^ "/exists" in
+        push p;
+        List.iter
+          (fun b ->
+            match b.source with
+            | Base n -> push (p ^ "/bind:" ^ n)
+            | Nested c ->
+                push (p ^ "/bind:<nested>");
+                walk_coll (p ^ "/nested") c)
+          s.bindings;
+        (match s.grouping with
+        | Some [] -> push (p ^ "/gamma0")
+        | Some keys -> push (p ^ Printf.sprintf "/gamma%d" (List.length keys))
+        | None -> ());
+        (match s.join with
+        | Some jt -> push (p ^ "/join:" ^ Arc_core.Pp.join_tree jt)
+        | None -> ());
+        walk_formula p s.body
+  and walk_coll path c =
+    push (path ^ Printf.sprintf "/head%d" (List.length c.head.head_attrs));
+    walk_formula path c.body
+  in
+  (match q with
+  | Coll c -> walk_coll "" c
+  | Sentence f -> walk_formula "/sentence" f);
+  !feats
+
+let bag_jaccard a b =
+  let count l =
+    let h = Hashtbl.create 64 in
+    List.iter
+      (fun x -> Hashtbl.replace h x (1 + Option.value ~default:0 (Hashtbl.find_opt h x)))
+      l;
+    h
+  in
+  let ca = count a and cb = count b in
+  let keys = Hashtbl.create 64 in
+  Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) ca;
+  Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) cb;
+  let inter = ref 0 and union = ref 0 in
+  Hashtbl.iter
+    (fun k () ->
+      let na = Option.value ~default:0 (Hashtbl.find_opt ca k) in
+      let nb = Option.value ~default:0 (Hashtbl.find_opt cb k) in
+      inter := !inter + min na nb;
+      union := !union + max na nb)
+    keys;
+  if !union = 0 then 1.0 else float_of_int !inter /. float_of_int !union
+
+let signature_agreement (p1 : Pattern.t) (p2 : Pattern.t) =
+  let num f1 f2 =
+    let a = float_of_int f1 and b = float_of_int f2 in
+    if a = 0. && b = 0. then 1.0 else 1.0 -. (Float.abs (a -. b) /. Float.max a b)
+  in
+  let components =
+    [
+      bag_jaccard
+        (List.concat_map (fun (n, c) -> List.init c (fun _ -> n)) p1.Pattern.rel_refs)
+        (List.concat_map (fun (n, c) -> List.init c (fun _ -> n)) p2.Pattern.rel_refs);
+      num p1.Pattern.n_scopes p2.Pattern.n_scopes;
+      num p1.Pattern.n_grouping_scopes p2.Pattern.n_grouping_scopes;
+      num p1.Pattern.n_negations p2.Pattern.n_negations;
+      num p1.Pattern.n_assignments p2.Pattern.n_assignments;
+      num p1.Pattern.n_comparisons p2.Pattern.n_comparisons;
+      num p1.Pattern.n_aggregations p2.Pattern.n_aggregations;
+      (if p1.Pattern.agg_styles = p2.Pattern.agg_styles then 1.0 else 0.0);
+    ]
+  in
+  List.fold_left ( +. ) 0. components /. float_of_int (List.length components)
+
+let similarity q1 q2 =
+  if pattern_equal q1 q2 then 1.0
+  else
+    let paths = bag_jaccard (path_features q1) (path_features q2) in
+    let sigs = signature_agreement (Pattern.of_query q1) (Pattern.of_query q2) in
+    (0.6 *. paths) +. (0.4 *. sigs)
+
+(* ------------------------------------------------------------------ *)
+(* Surface similarity                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let normalize_string s =
+  let buf = Buffer.create (String.length s) in
+  let last_space = ref true in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\t' | '\n' | '\r' ->
+          if not !last_space then (
+            Buffer.add_char buf ' ';
+            last_space := true)
+      | c ->
+          Buffer.add_char buf (Char.lowercase_ascii c);
+          last_space := false)
+    s;
+  String.trim (Buffer.contents buf)
+
+let levenshtein a b =
+  let n = String.length a and m = String.length b in
+  if n = 0 then m
+  else if m = 0 then n
+  else begin
+    let prev = Array.init (m + 1) (fun j -> j) in
+    let cur = Array.make (m + 1) 0 in
+    for i = 1 to n do
+      cur.(0) <- i;
+      for j = 1 to m do
+        let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+        cur.(j) <- min (min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+      done;
+      Array.blit cur 0 prev 0 (m + 1)
+    done;
+    prev.(m)
+  end
+
+let string_similarity a b =
+  let a = normalize_string a and b = normalize_string b in
+  let d = levenshtein a b in
+  let l = max (String.length a) (String.length b) in
+  if l = 0 then 1.0 else 1.0 -. (float_of_int d /. float_of_int l)
+
+(* ------------------------------------------------------------------ *)
+(* Randomized equivalence                                              *)
+(* ------------------------------------------------------------------ *)
+
+type verdict = Equivalent | Counterexample of Database.t
+
+let random_db rng ~schemas =
+  Database.of_list
+    (List.map
+       (fun (name, attrs) ->
+         let n_rows = Random.State.int rng 7 in
+         let rows =
+           List.init n_rows (fun _ ->
+               List.map
+                 (fun _ ->
+                   (* small domain with occasional NULL *)
+                   if Random.State.int rng 10 = 0 then V.Null
+                   else V.Int (Random.State.int rng 5))
+                 attrs)
+         in
+         (name, Relation.of_rows attrs rows))
+       schemas)
+
+let equivalence ?(conv = Conventions.sql_set) ?(trials = 50) ?(seed = 42)
+    ~schemas q1 q2 =
+  let rng = Random.State.make [| seed |] in
+  let eval q db =
+    try Some (Arc_engine.Eval.run_rows ~conv ~db (program q)) with _ -> None
+  in
+  let rec go i =
+    if i >= trials then Equivalent
+    else
+      let db = random_db rng ~schemas in
+      let r1 = eval q1 db and r2 = eval q2 db in
+      let same =
+        match (r1, r2) with
+        | Some a, Some b -> (
+            match conv.Conventions.collection with
+            | Conventions.Set -> Relation.equal_set a b
+            | Conventions.Bag ->
+                Relation.equal_bag (Relation.sort a) (Relation.sort b))
+        | None, None -> true
+        | _ -> false
+      in
+      if same then go (i + 1) else Counterexample db
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end NL2SQL validation report                                 *)
+(* ------------------------------------------------------------------ *)
+
+type report = {
+  gold_sql : string;
+  candidate_sql : string;
+  parses : bool;
+  validates : bool;
+  exact_string_match : bool;
+  surface_similarity : float;
+  pattern_match : bool;
+  intent_similarity : float;
+  execution_equivalent : bool option;
+}
+
+let translate ~schemas sql =
+  try
+    let stmt = Arc_sql.Parse.statement_of_string sql in
+    let prog = Arc_sql.To_arc.statement ~schemas stmt in
+    Some prog
+  with _ -> None
+
+let compare_sql ?(trials = 30) ~schemas ~gold ~candidate () : report =
+  let gold_prog = translate ~schemas gold in
+  let cand_prog = translate ~schemas candidate in
+  let parses = cand_prog <> None in
+  let validates =
+    match cand_prog with
+    | Some p -> (
+        let env = Arc_core.Analysis.env ~schemas () in
+        match Arc_core.Analysis.validate ~env p with
+        | Ok () -> true
+        | Error _ -> false)
+    | None -> false
+  in
+  let exact = normalize_string gold = normalize_string candidate in
+  let surface = string_similarity gold candidate in
+  let pattern_match, intent_sim =
+    match (gold_prog, cand_prog) with
+    | Some g, Some c ->
+        (pattern_equal g.main c.main, similarity g.main c.main)
+    | _ -> (false, 0.0)
+  in
+  let exec =
+    match (gold_prog, cand_prog) with
+    | Some g, Some c -> (
+        match
+          equivalence ~conv:Conventions.sql ~trials ~schemas g.main c.main
+        with
+        | Equivalent -> Some true
+        | Counterexample _ -> Some false)
+    | _ -> None
+  in
+  {
+    gold_sql = gold;
+    candidate_sql = candidate;
+    parses;
+    validates;
+    exact_string_match = exact;
+    surface_similarity = surface;
+    pattern_match;
+    intent_similarity = intent_sim;
+    execution_equivalent = exec;
+  }
+
+let report_to_string r =
+  String.concat "\n"
+    [
+      Printf.sprintf "gold:      %s" r.gold_sql;
+      Printf.sprintf "candidate: %s" r.candidate_sql;
+      Printf.sprintf "  parses: %b   validates: %b" r.parses r.validates;
+      Printf.sprintf "  exact string match:   %b" r.exact_string_match;
+      Printf.sprintf "  surface similarity:   %.2f" r.surface_similarity;
+      Printf.sprintf "  pattern match:        %b" r.pattern_match;
+      Printf.sprintf "  intent similarity:    %.2f" r.intent_similarity;
+      Printf.sprintf "  execution equivalent: %s"
+        (match r.execution_equivalent with
+        | Some b -> string_of_bool b
+        | None -> "n/a");
+    ]

@@ -1,0 +1,74 @@
+(** Intent-based comparison of queries (paper, Sections 1 and 4).
+
+    SQL's surface syntax is a poor proxy for intent: semantically equivalent
+    queries can differ wildly as strings, while near-identical strings can
+    mean different things. The paper argues NL2SQL evaluation should shift
+    to "intent-based benchmarking" over a semantic representation; this
+    module provides exactly that machinery over ARC:
+
+    {ul
+    {- {!pattern_equal}/{!similarity}: canonical-ALT structural comparison
+       (variable names, conjunct order, and equality orientation are already
+       factored out by {!Arc_core.Canon});}
+    {- {!string_similarity}: normalized Levenshtein similarity, the surface
+       baseline the paper criticizes;}
+    {- {!equivalence}: randomized-database testing — the execution-match
+       criterion, strengthened by many random instances;}
+    {- {!compare_sql}: an end-to-end report for a gold/candidate SQL pair,
+       the shape of evaluation the paper proposes for NL2SQL systems.}} *)
+
+open Arc_core.Ast
+
+val pattern_equal : query -> query -> bool
+(** Equal canonical forms: same relational pattern, same constants. *)
+
+val similarity : query -> query -> float
+(** Structural similarity in [0, 1]: 1.0 for pattern-equal queries;
+    otherwise a Jaccard similarity over bags of canonical-ALT path features
+    combined with agreement of the {!Arc_core.Pattern.t} signatures. *)
+
+val string_similarity : string -> string -> float
+(** Normalized Levenshtein similarity of the raw strings (whitespace
+    collapsed, case-insensitive): the surface-syntax baseline. *)
+
+type verdict =
+  | Equivalent  (** agreed on every random instance *)
+  | Counterexample of Arc_relation.Database.t
+      (** a database on which results differ *)
+
+val equivalence :
+  ?conv:Arc_value.Conventions.t ->
+  ?trials:int ->
+  ?seed:int ->
+  schemas:(string * string list) list ->
+  query ->
+  query ->
+  verdict
+(** Randomized-database equivalence testing: evaluates both queries on
+    [trials] (default 50) random instances of the given schemas (small
+    integer domains to make collisions likely). A [Equivalent] verdict is
+    evidence, not proof. *)
+
+type report = {
+  gold_sql : string;
+  candidate_sql : string;
+  parses : bool;
+  validates : bool;  (** well-scoped after SQL→ARC translation *)
+  exact_string_match : bool;
+  surface_similarity : float;
+  pattern_match : bool;
+  intent_similarity : float;
+  execution_equivalent : bool option;
+      (** [None] when either side fails to parse/translate *)
+}
+
+val compare_sql :
+  ?trials:int ->
+  schemas:(string * string list) list ->
+  gold:string ->
+  candidate:string ->
+  unit ->
+  report
+(** The full intent-based validation pipeline for one NL2SQL output. *)
+
+val report_to_string : report -> string

@@ -1,0 +1,1 @@
+lib/relation/database.ml: Format List Map Relation String

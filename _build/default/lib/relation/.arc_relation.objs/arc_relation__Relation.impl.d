@@ -1,0 +1,1 @@
+lib/relation/relation.ml: Arc_value Array Format Hashtbl List Option Printf Schema String Tuple

@@ -1,0 +1,1 @@
+lib/relation/relation.mli: Arc_value Format Schema Tuple

@@ -1,0 +1,1 @@
+lib/relation/tuple.ml: Arc_value Array Format List Schema Stdlib String

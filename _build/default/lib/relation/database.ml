@@ -1,0 +1,24 @@
+module M = Map.Make (String)
+
+type t = Relation.t M.t
+
+exception Unknown_relation of string
+
+let empty = M.empty
+let add t name r = M.add name r t
+let of_list l = List.fold_left (fun acc (n, r) -> add acc n r) empty l
+
+let find t name =
+  match M.find_opt name t with
+  | Some r -> r
+  | None -> raise (Unknown_relation name)
+
+let find_opt t name = M.find_opt name t
+let mem t name = M.mem name t
+let names t = List.map fst (M.bindings t)
+
+let pp fmt t =
+  M.iter
+    (fun n r ->
+      Format.fprintf fmt "%s =@.%s@." n (Relation.to_table r))
+    t

@@ -1,0 +1,17 @@
+(** A database instance: a finite map from relation names to base relations
+    (the extensional database, EDB in the paper's Fig 14 taxonomy). *)
+
+type t
+
+exception Unknown_relation of string
+
+val empty : t
+val of_list : (string * Relation.t) list -> t
+val add : t -> string -> Relation.t -> t
+val find : t -> string -> Relation.t
+(** Raises {!Unknown_relation}. *)
+
+val find_opt : t -> string -> Relation.t option
+val mem : t -> string -> bool
+val names : t -> string list
+val pp : Format.formatter -> t -> unit

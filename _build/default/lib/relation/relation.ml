@@ -1,0 +1,216 @@
+module Value = Arc_value.Value
+
+type t = { name : string option; schema : Schema.t; rows : Tuple.t list }
+
+let make ?name schema rows =
+  List.iter
+    (fun tp ->
+      if not (Schema.equal (Tuple.schema tp) schema) then
+        invalid_arg "Relation.make: tuple schema mismatch")
+    rows;
+  { name; schema; rows }
+
+let of_rows ?name attrs rows =
+  let schema = Schema.make attrs in
+  let mk vs =
+    if List.length vs <> Schema.arity schema then
+      invalid_arg "Relation.of_rows: row arity mismatch";
+    Tuple.make schema (Array.of_list vs)
+  in
+  { name; schema; rows = List.map mk rows }
+
+let empty ?name attrs = of_rows ?name attrs []
+
+let name t = t.name
+let schema t = t.schema
+let tuples t = t.rows
+let cardinality t = List.length t.rows
+let is_empty t = t.rows = []
+
+let dedup t =
+  let seen = Hashtbl.create 64 in
+  let rows =
+    List.filter
+      (fun tp ->
+        let k = Tuple.key tp in
+        if Hashtbl.mem seen k then false
+        else (
+          Hashtbl.add seen k ();
+          true))
+      t.rows
+  in
+  { t with rows }
+
+let add t tp =
+  if not (Schema.equal (Tuple.schema tp) t.schema) then
+    invalid_arg "Relation.add: tuple schema mismatch";
+  { t with rows = t.rows @ [ tp ] }
+
+let select p t = { t with rows = List.filter p t.rows }
+
+let project attrs t =
+  {
+    name = None;
+    schema = Schema.project t.schema attrs;
+    rows = List.map (fun tp -> Tuple.project tp attrs) t.rows;
+  }
+
+let rename mapping t =
+  let attrs' =
+    List.map
+      (fun a -> match List.assoc_opt a mapping with Some b -> b | None -> a)
+      (Schema.attrs t.schema)
+  in
+  let schema' = Schema.make attrs' in
+  {
+    name = None;
+    schema = schema';
+    rows = List.map (fun tp -> Tuple.rename_schema tp schema') t.rows;
+  }
+
+let product t1 t2 =
+  let schema = Schema.union t1.schema t2.schema in
+  {
+    name = None;
+    schema;
+    rows =
+      List.concat_map
+        (fun r1 -> List.map (fun r2 -> Tuple.concat r1 r2) t2.rows)
+        t1.rows;
+  }
+
+let union t1 t2 =
+  if not (Schema.equal_names t1.schema t2.schema) then
+    invalid_arg "Relation.union: schema mismatch";
+  let align tp =
+    if Schema.equal (Tuple.schema tp) t1.schema then tp
+    else Tuple.project tp (Schema.attrs t1.schema)
+  in
+  { name = None; schema = t1.schema; rows = t1.rows @ List.map align t2.rows }
+
+let counts rows =
+  let h = Hashtbl.create 64 in
+  List.iter
+    (fun tp ->
+      let k = Tuple.key tp in
+      Hashtbl.replace h k (1 + Option.value ~default:0 (Hashtbl.find_opt h k)))
+    rows;
+  h
+
+let minus t1 t2 =
+  if not (Schema.equal_names t1.schema t2.schema) then
+    invalid_arg "Relation.minus: schema mismatch";
+  let remaining = counts t2.rows in
+  let rows =
+    List.filter
+      (fun tp ->
+        let k = Tuple.key tp in
+        match Hashtbl.find_opt remaining k with
+        | Some n when n > 0 ->
+            Hashtbl.replace remaining k (n - 1);
+            false
+        | _ -> true)
+      t1.rows
+  in
+  { name = None; schema = t1.schema; rows }
+
+let intersect t1 t2 =
+  if not (Schema.equal_names t1.schema t2.schema) then
+    invalid_arg "Relation.intersect: schema mismatch";
+  let available = counts t2.rows in
+  let rows =
+    List.filter
+      (fun tp ->
+        let k = Tuple.key tp in
+        match Hashtbl.find_opt available k with
+        | Some n when n > 0 ->
+            Hashtbl.replace available k (n - 1);
+            true
+        | _ -> false)
+      t1.rows
+  in
+  { name = None; schema = t1.schema; rows }
+
+let join t1 t2 =
+  let shared =
+    List.filter (fun a -> Schema.mem t2.schema a) (Schema.attrs t1.schema)
+  in
+  let rest2 =
+    List.filter (fun a -> not (Schema.mem t1.schema a)) (Schema.attrs t2.schema)
+  in
+  let schema = Schema.make (Schema.attrs t1.schema @ rest2) in
+  let matches r1 r2 =
+    List.for_all
+      (fun a ->
+        let v1 = Tuple.get r1 a and v2 = Tuple.get r2 a in
+        (* SQL-style: null never joins *)
+        (not (Value.is_null v1)) && (not (Value.is_null v2)) && Value.equal v1 v2)
+      shared
+  in
+  let rows =
+    List.concat_map
+      (fun r1 ->
+        List.filter_map
+          (fun r2 ->
+            if matches r1 r2 then
+              Some
+                (Tuple.make schema
+                   (Array.of_list
+                      (List.map (Tuple.get r1) (Schema.attrs t1.schema)
+                      @ List.map (Tuple.get r2) rest2)))
+            else None)
+          t2.rows)
+      t1.rows
+  in
+  { name = None; schema; rows }
+
+let sort t =
+  { t with rows = List.sort Tuple.compare t.rows }
+
+let equal_set t1 t2 =
+  Schema.equal_names t1.schema t2.schema
+  &&
+  let d1 = sort (dedup t1) and d2 = sort (dedup t2) in
+  List.length d1.rows = List.length d2.rows
+  && List.for_all2 Tuple.equal d1.rows d2.rows
+
+let equal_bag t1 t2 =
+  Schema.equal_names t1.schema t2.schema
+  &&
+  let s1 = sort t1 and s2 = sort t2 in
+  List.length s1.rows = List.length s2.rows
+  && List.for_all2 Tuple.equal s1.rows s2.rows
+
+let to_table t =
+  let attrs = Schema.attrs t.schema in
+  let header = attrs in
+  let body =
+    List.map
+      (fun tp -> List.map (fun a -> Value.to_string (Tuple.get tp a)) attrs)
+      t.rows
+  in
+  let ncols = List.length attrs in
+  let widths = Array.make (max ncols 1) 0 in
+  List.iteri (fun i c -> widths.(i) <- String.length c) header;
+  List.iter
+    (List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)))
+    body;
+  let line =
+    "+" ^ String.concat "+" (List.mapi (fun i _ -> String.make (widths.(i) + 2) '-') attrs) ^ "+"
+  in
+  let render_row cells =
+    "|"
+    ^ String.concat "|"
+        (List.mapi
+           (fun i c -> Printf.sprintf " %-*s " widths.(i) c)
+           cells)
+    ^ "|"
+  in
+  if ncols = 0 then Printf.sprintf "(%d nullary tuple(s))" (List.length t.rows)
+  else
+    String.concat "\n"
+      ([ line; render_row header; line ]
+      @ List.map render_row body
+      @ [ line; Printf.sprintf "(%d row(s))" (List.length body) ])
+
+let pp fmt t = Format.pp_print_string fmt (to_table t)

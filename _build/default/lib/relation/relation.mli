@@ -1,0 +1,67 @@
+(** Relations: collections of tuples over a shared schema.
+
+    The representation is always a bag (tuple list with multiplicities);
+    whether a result is deduplicated is decided by the active
+    {!Arc_value.Conventions.collection_semantics}, applied by callers via
+    {!dedup}. This matches the paper's Section 2.7: the same query is
+    {e interpreted} under set or bag semantics. *)
+
+type t
+
+val make : ?name:string -> Schema.t -> Tuple.t list -> t
+(** Raises [Invalid_argument] if a tuple's schema differs from the
+    relation's (attribute names and order must match). *)
+
+val of_rows : ?name:string -> string list -> Arc_value.Value.t list list -> t
+(** Convenience: schema from attribute names, rows as value lists. *)
+
+val empty : ?name:string -> string list -> t
+
+val name : t -> string option
+val schema : t -> Schema.t
+val tuples : t -> Tuple.t list
+val cardinality : t -> int
+val is_empty : t -> bool
+
+val dedup : t -> t
+(** Set-semantics view: one representative per distinct tuple, preserving
+    first-occurrence order. *)
+
+val add : t -> Tuple.t -> t
+
+(** {1 Classic relational-algebra operations}
+
+    Provided for the substrate's own tests and for oracle implementations in
+    property tests; the ARC engine evaluates comprehensions directly and does
+    not compile to these. *)
+
+val select : (Tuple.t -> bool) -> t -> t
+val project : string list -> t -> t
+val rename : (string * string) list -> t -> t
+val product : t -> t -> t
+val union : t -> t -> t
+(** Bag union (UNION ALL); apply {!dedup} for set union. *)
+
+val minus : t -> t -> t
+(** Bag difference (EXCEPT ALL): multiplicities subtract. *)
+
+val intersect : t -> t -> t
+(** Bag intersection: pointwise [min] of multiplicities. *)
+
+val join : t -> t -> t
+(** Natural join on shared attribute names (name-based equality,
+    [Null] ≠ [Null] here, as in SQL join predicates). *)
+
+val equal_set : t -> t -> bool
+(** Equality under set semantics (same distinct tuples). *)
+
+val equal_bag : t -> t -> bool
+(** Equality under bag semantics (same multiplicities). *)
+
+val sort : t -> t
+(** Deterministic tuple order, for printing and golden tests. *)
+
+val to_table : t -> string
+(** ASCII table rendering. *)
+
+val pp : Format.formatter -> t -> unit

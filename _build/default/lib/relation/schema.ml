@@ -1,0 +1,36 @@
+type t = { names : string list; idx : (string, int) Hashtbl.t }
+
+exception Duplicate_attribute of string
+exception Unknown_attribute of string
+
+let make names =
+  let idx = Hashtbl.create (List.length names) in
+  List.iteri
+    (fun i n ->
+      if Hashtbl.mem idx n then raise (Duplicate_attribute n)
+      else Hashtbl.add idx n i)
+    names;
+  { names; idx }
+
+let attrs t = t.names
+let arity t = List.length t.names
+let mem t n = Hashtbl.mem t.idx n
+
+let index t n =
+  match Hashtbl.find_opt t.idx n with
+  | Some i -> i
+  | None -> raise (Unknown_attribute n)
+
+let equal t1 t2 = t1.names = t2.names
+
+let equal_names t1 t2 =
+  List.sort compare t1.names = List.sort compare t2.names
+
+let union t1 t2 = make (t1.names @ t2.names)
+
+let project t names =
+  List.iter (fun n -> if not (mem t n) then raise (Unknown_attribute n)) names;
+  make names
+
+let to_string t = "(" ^ String.concat ", " t.names ^ ")"
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,35 @@
+(** Relation schemas in the named perspective (paper, Section 2.1).
+
+    Following Codd's "totally associative addressing", attributes are
+    accessed by name, never by position. A schema is an ordered list of
+    distinct attribute names; the order is presentational only and does not
+    affect semantics (tuple equality and joins are name-based). *)
+
+type t
+
+exception Duplicate_attribute of string
+exception Unknown_attribute of string
+
+val make : string list -> t
+(** Raises {!Duplicate_attribute} if a name repeats. *)
+
+val attrs : t -> string list
+val arity : t -> int
+val mem : t -> string -> bool
+
+val index : t -> string -> int
+(** Position of an attribute (internal storage only).
+    Raises {!Unknown_attribute}. *)
+
+val equal_names : t -> t -> bool
+(** Same attribute sets, ignoring order. *)
+
+val equal : t -> t -> bool
+(** Same attribute names in the same order. *)
+
+val union : t -> t -> t
+(** Concatenation; raises {!Duplicate_attribute} on overlap. *)
+
+val project : t -> string list -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

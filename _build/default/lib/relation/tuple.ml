@@ -1,0 +1,60 @@
+module Value = Arc_value.Value
+
+type t = { schema : Schema.t; cells : Value.t array }
+
+let make schema cells =
+  if Array.length cells <> Schema.arity schema then
+    invalid_arg "Tuple.make: arity mismatch";
+  { schema; cells }
+
+let of_alist pairs =
+  let schema = Schema.make (List.map fst pairs) in
+  { schema; cells = Array.of_list (List.map snd pairs) }
+
+let schema t = t.schema
+let get t name = t.cells.(Schema.index t.schema name)
+let values t = Array.to_list t.cells
+
+let project t names =
+  let schema = Schema.project t.schema names in
+  { schema; cells = Array.of_list (List.map (get t) names) }
+
+let rename_schema t schema' =
+  if Schema.arity schema' <> Array.length t.cells then
+    invalid_arg "Tuple.rename_schema: arity mismatch";
+  { schema = schema'; cells = t.cells }
+
+let concat t1 t2 =
+  {
+    schema = Schema.union t1.schema t2.schema;
+    cells = Array.append t1.cells t2.cells;
+  }
+
+let sorted_attrs t = List.sort compare (Schema.attrs t.schema)
+
+let equal t1 t2 =
+  Schema.equal_names t1.schema t2.schema
+  && List.for_all (fun a -> Value.equal (get t1 a) (get t2 a)) (sorted_attrs t1)
+
+let compare t1 t2 =
+  let a1 = sorted_attrs t1 and a2 = sorted_attrs t2 in
+  match Stdlib.compare a1 a2 with
+  | 0 ->
+      List.fold_left
+        (fun acc a -> if acc <> 0 then acc else Value.compare (get t1 a) (get t2 a))
+        0 a1
+  | c -> c
+
+let key t =
+  String.concat "|"
+    (List.map (fun a -> a ^ "=" ^ Value.to_string (get t a)) (sorted_attrs t))
+
+let to_string t =
+  "("
+  ^ String.concat ", "
+      (List.map
+         (fun a -> a ^ ": " ^ Value.to_string (get t a))
+         (Schema.attrs t.schema))
+  ^ ")"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

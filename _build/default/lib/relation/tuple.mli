@@ -1,0 +1,33 @@
+(** Tuples over a {!Schema}, with name-based access. *)
+
+type t
+
+val make : Schema.t -> Arc_value.Value.t array -> t
+(** Raises [Invalid_argument] if the array length differs from the schema
+    arity. The array is not copied; callers must not mutate it. *)
+
+val of_alist : (string * Arc_value.Value.t) list -> t
+(** Builds a schema from the association-list order. *)
+
+val schema : t -> Schema.t
+val get : t -> string -> Arc_value.Value.t
+val values : t -> Arc_value.Value.t list
+
+val project : t -> string list -> t
+val rename_schema : t -> Schema.t -> t
+
+val concat : t -> t -> t
+(** Schema union; raises {!Schema.Duplicate_attribute} on overlap. *)
+
+val equal : t -> t -> bool
+(** Name-based: equal iff same attribute set and each attribute maps to an
+    equal value ([Null] = [Null], per grouping/dedup semantics). *)
+
+val compare : t -> t -> int
+(** Deterministic total order over tuples of the same schema. *)
+
+val key : t -> string
+(** Canonical string key (sorted by attribute name) for hashing/grouping. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/rellang/rel.ml: Arc_core Arc_value List Printf String

@@ -1,0 +1,1 @@
+lib/rellang/rel.mli: Arc_core Arc_value

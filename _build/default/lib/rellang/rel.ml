@@ -1,0 +1,293 @@
+module A = Arc_core.Ast
+module V = Arc_value.Value
+module Aggregate = Arc_value.Aggregate
+
+type rterm = R_var of string | R_const of V.t
+
+type ratom = { rel : string; args : rterm list }
+
+type rcond =
+  | RC_atom of ratom
+  | RC_cmp of A.cmp_op * rterm * rterm
+  | RC_agg of string * Aggregate.kind * string list * ratom list
+
+type rdef = { def_name : string; params : string list; conds : rcond list }
+
+exception Embed_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Embed_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rterm_to_string = function
+  | R_var v -> v
+  | R_const c -> V.to_string c
+
+let ratom_to_string a =
+  Printf.sprintf "%s(%s)" a.rel
+    (String.concat ", " (List.map rterm_to_string a.args))
+
+let agg_name = function
+  | Aggregate.Avg -> "average"
+  | k -> Aggregate.kind_to_string k
+
+let rcond_to_string = function
+  | RC_atom a -> ratom_to_string a
+  | RC_cmp (op, l, r) ->
+      Printf.sprintf "%s %s %s" (rterm_to_string l) (A.cmp_op_to_string op)
+        (rterm_to_string r)
+  | RC_agg (v, k, projected, body) ->
+      Printf.sprintf "%s = %s[(%s) : %s]" v (agg_name k)
+        (String.concat ", " projected)
+        (String.concat " and " (List.map ratom_to_string body))
+
+let to_string d =
+  Printf.sprintf "def %s(%s) :\n    %s" d.def_name
+    (String.concat ", " d.params)
+    (String.concat " and\n    " (List.map rcond_to_string d.conds))
+
+(* ------------------------------------------------------------------ *)
+(* Embedding into ARC                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let atom_vars a =
+  List.filter_map (function R_var v -> Some v | R_const _ -> None) a.args
+
+let cond_vars = function
+  | RC_atom a -> atom_vars a
+  | RC_cmp (_, l, r) ->
+      List.filter_map (function R_var v -> Some v | _ -> None) [ l; r ]
+  | RC_agg (v, _, _, _) -> [ v ]
+
+(* bind one atom in the named perspective *)
+let bind_atom ~schemas counter renv (a : ratom) =
+  let attrs =
+    match List.assoc_opt a.rel schemas with
+    | Some attrs -> attrs
+    | None -> fail "no schema for relation %S" a.rel
+  in
+  if List.length attrs <> List.length a.args then
+    fail "arity mismatch for %S" a.rel;
+  incr counter;
+  let var = Printf.sprintf "%s%d" (String.lowercase_ascii a.rel) !counter in
+  let preds = ref [] in
+  let renv' =
+    List.fold_left2
+      (fun renv arg attr ->
+        match arg with
+        | R_const c ->
+            preds :=
+              !preds @ [ A.Pred (A.Cmp (A.Eq, A.Attr (var, attr), A.Const c)) ];
+            renv
+        | R_var v -> (
+            match List.assoc_opt v renv with
+            | Some t ->
+                preds :=
+                  !preds @ [ A.Pred (A.Cmp (A.Eq, A.Attr (var, attr), t)) ];
+                renv
+            | None -> (v, A.Attr (var, attr)) :: renv))
+      renv a.args attrs
+  in
+  ({ A.var; source = A.Base a.rel }, !preds, renv')
+
+let to_arc ~schemas (d : rdef) : A.collection =
+  let counter = ref 0 in
+  let aggs =
+    List.filter_map (function RC_agg _ as c -> Some c | _ -> None) d.conds
+  in
+  let atoms =
+    List.filter_map (function RC_atom a -> Some a | _ -> None) d.conds
+  in
+  let cmps =
+    List.filter_map (function RC_cmp (o, l, r) -> Some (o, l, r) | _ -> None) d.conds
+  in
+  (* variables visible outside each aggregate *)
+  let outer_vars =
+    d.params
+    @ List.concat_map atom_vars atoms
+    @ List.concat_map
+        (function RC_cmp (_, l, r) ->
+            List.filter_map (function R_var v -> Some v | _ -> None) [ l; r ]
+          | _ -> [])
+        d.conds
+  in
+  (* one nested collection per aggregate: the Fig 8 / Eq 12 pattern *)
+  let nested =
+    List.map
+      (function
+        | RC_agg (res_var, kind, projected, body) ->
+            let body_vars = List.concat_map atom_vars body in
+            let grouping_vars =
+              List.sort_uniq compare
+                (List.filter
+                   (fun v ->
+                     List.mem v outer_vars && not (List.mem v projected))
+                   body_vars)
+            in
+            let target =
+              match List.rev projected with
+              | last :: _ -> last
+              | [] -> fail "aggregate with no projected variables"
+            in
+            incr counter;
+            let head = Printf.sprintf "Y%d" !counter in
+            let bindings, preds, renv =
+              List.fold_left
+                (fun (bs, ps, renv) a ->
+                  let b, ps', renv' = bind_atom ~schemas counter renv a in
+                  (bs @ [ b ], ps @ ps', renv'))
+                ([], [], []) body
+            in
+            let repr v =
+              match List.assoc_opt v renv with
+              | Some t -> t
+              | None -> fail "aggregate body does not bind %S" v
+            in
+            let keys =
+              List.map
+                (fun g ->
+                  match repr g with
+                  | A.Attr (bv, attr) -> (bv, attr)
+                  | _ -> fail "grouping variable %S is not an attribute" g)
+                grouping_vars
+            in
+            let assigns =
+              List.map
+                (fun g ->
+                  A.Pred (A.Cmp (A.Eq, A.Attr (head, g), repr g)))
+                grouping_vars
+              @ [
+                  A.Pred
+                    (A.Cmp
+                       ( A.Eq,
+                         A.Attr (head, "res"),
+                         A.Agg (kind, repr target) ));
+                ]
+            in
+            ( res_var,
+              grouping_vars,
+              {
+                A.head = { head_name = head; head_attrs = grouping_vars @ [ "res" ] };
+                body =
+                  A.Exists
+                    {
+                      bindings;
+                      grouping = Some keys;
+                      join = None;
+                      body = A.And (preds @ assigns);
+                    };
+              } )
+        | _ -> assert false)
+      aggs
+  in
+  (* outer scope *)
+  let bindings, preds, renv =
+    List.fold_left
+      (fun (bs, ps, renv) a ->
+        let b, ps', renv' = bind_atom ~schemas counter renv a in
+        (bs @ [ b ], ps @ ps', renv'))
+      ([], [], []) atoms
+  in
+  let bindings, preds, renv =
+    List.fold_left
+      (fun (bs, ps, renv) (res_var, grouping_vars, coll) ->
+        incr counter;
+        let x = Printf.sprintf "x%d" !counter in
+        let ps' =
+          List.filter_map
+            (fun g ->
+              match List.assoc_opt g renv with
+              | Some t -> Some (A.Pred (A.Cmp (A.Eq, A.Attr (x, g), t)))
+              | None -> None)
+            grouping_vars
+        in
+        let renv' =
+          List.fold_left
+            (fun renv g ->
+              if List.mem_assoc g renv then renv
+              else (g, A.Attr (x, g)) :: renv)
+            renv grouping_vars
+        in
+        let renv' =
+          if List.mem_assoc res_var renv' then renv'
+          else (res_var, A.Attr (x, "res")) :: renv'
+        in
+        (bs @ [ { A.var = x; source = A.Nested coll } ], ps @ ps', renv'))
+      (bindings, preds, renv)
+      nested
+  in
+  let term_of = function
+    | R_const c -> A.Const c
+    | R_var v -> (
+        match List.assoc_opt v renv with
+        | Some t -> t
+        | None -> fail "variable %S not grounded" v)
+  in
+  let cmp_preds =
+    List.map
+      (fun (op, l, r) -> A.Pred (A.Cmp (op, term_of l, term_of r)))
+      cmps
+  in
+  let head_assigns =
+    List.map
+      (fun p ->
+        A.Pred (A.Cmp (A.Eq, A.Attr (d.def_name, p), term_of (R_var p))))
+      d.params
+  in
+  {
+    A.head = { head_name = d.def_name; head_attrs = d.params };
+    body =
+      A.Exists
+        {
+          bindings;
+          grouping = None;
+          join = None;
+          body = A.And (preds @ cmp_preds @ head_assigns);
+        };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Paper examples                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let paper_single_agg =
+  {
+    def_name = "Q";
+    params = [ "a"; "sm" ];
+    conds =
+      [
+        RC_agg
+          ( "sm",
+            Aggregate.Sum,
+            [ "b" ],
+            [ { rel = "R"; args = [ R_var "a"; R_var "b" ] } ] );
+      ];
+  }
+
+let paper_eq11 =
+  {
+    def_name = "Q";
+    params = [ "d"; "av" ];
+    conds =
+      [
+        RC_agg
+          ( "av",
+            Aggregate.Avg,
+            [ "e"; "s" ],
+            [
+              { rel = "R"; args = [ R_var "e"; R_var "d" ] };
+              { rel = "S"; args = [ R_var "e"; R_var "s" ] };
+            ] );
+        RC_agg
+          ( "sm",
+            Aggregate.Sum,
+            [ "e"; "s" ],
+            [
+              { rel = "R"; args = [ R_var "e"; R_var "d" ] };
+              { rel = "S"; args = [ R_var "e"; R_var "s" ] };
+            ] );
+        RC_cmp (A.Gt, R_var "sm", R_const (V.Int 100));
+      ];
+  }

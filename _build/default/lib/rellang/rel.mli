@@ -1,0 +1,48 @@
+(** A Rel-style frontend (paper, Sections 2.5, 3.1; Eqs 11, 25).
+
+    Rel [8] works in the domain (positional) perspective: everything is a
+    relation, atoms apply relation names to variables, and aggregation is
+    variable elimination — [sum[(b) : R(a, b)]] sums [b] over the solutions
+    of the bracketed body for each fixed [a] (FIO with grouped attributes
+    returned, but each aggregate in its own scope — the Fig 8 pattern).
+
+    This module models the fragment the paper discusses: conjunctive bodies
+    with per-aggregate subscopes, and embeds it into ARC in the named
+    perspective (requiring attribute names for each relation). *)
+
+type rterm = R_var of string | R_const of Arc_value.Value.t
+
+type ratom = { rel : string; args : rterm list }
+
+type rcond =
+  | RC_atom of ratom
+  | RC_cmp of Arc_core.Ast.cmp_op * rterm * rterm
+  | RC_agg of string * Arc_value.Aggregate.kind * string list * ratom list
+      (** [RC_agg (v, kind, projected, body)]:
+          [v = kind[(projected…) : body]] — the aggregate is taken over the
+          {e last} projected variable; the body's other free variables that
+          also occur outside act as grouping parameters. *)
+
+type rdef = { def_name : string; params : string list; conds : rcond list }
+
+val to_string : rdef -> string
+(** Rel-ish concrete syntax, e.g.
+    [def Q(a, sm): sm = sum[(b) : R(a, b)]]. *)
+
+exception Embed_error of string
+
+val to_arc :
+  schemas:(string * string list) list -> rdef -> Arc_core.Ast.collection
+(** Named-perspective ARC embedding: each aggregate becomes its own
+    (possibly nested) collection scope, reproducing the relational pattern
+    of Fig 8 / Eq 12. Raises {!Embed_error} when a relation's schema is
+    missing or arities mismatch. *)
+
+val paper_eq11 : rdef
+(** The multiple-aggregates example written in Rel (Eq 11):
+    [def Q(d, av): av = average[(e,s): R(e,d) and S(e,s)] and
+     sum[(e,s): R(e,d) and S(e,s)] > 100] — represented with an auxiliary
+    result variable for the sum. *)
+
+val paper_single_agg : rdef
+(** Eq: [def Q(a, sm): sm = sum[(b) : R(a, b)]] (Section 2.5). *)

@@ -1,0 +1,1 @@
+lib/sql/eval_sql.ml: Arc_relation Arc_value Array Ast Hashtbl List Option Parse Printf String

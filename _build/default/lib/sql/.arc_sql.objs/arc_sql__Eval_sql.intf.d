@@ -1,0 +1,1 @@
+lib/sql/eval_sql.mli: Arc_relation Ast

@@ -1,0 +1,1 @@
+lib/sql/lex.ml: Arc_value List Printf String

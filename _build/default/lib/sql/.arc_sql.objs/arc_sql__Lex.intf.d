@@ -1,0 +1,1 @@
+lib/sql/lex.mli: Arc_value

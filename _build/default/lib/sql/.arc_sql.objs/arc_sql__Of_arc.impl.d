@@ -1,0 +1,1 @@
+lib/sql/of_arc.ml: Arc_core Arc_value Ast List Option Printf

@@ -1,0 +1,1 @@
+lib/sql/of_arc.mli: Arc_core Arc_value Ast

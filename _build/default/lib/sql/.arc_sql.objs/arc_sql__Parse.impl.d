@@ -1,0 +1,1 @@
+lib/sql/parse.ml: Arc_value Array Ast Lex Printf String

@@ -1,0 +1,1 @@
+lib/sql/print.ml: Arc_value Ast List Printf String

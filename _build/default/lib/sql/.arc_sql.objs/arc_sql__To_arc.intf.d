@@ -1,0 +1,1 @@
+lib/sql/to_arc.mli: Arc_core Ast

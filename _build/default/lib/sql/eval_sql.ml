@@ -1,0 +1,572 @@
+open Ast
+module V = Arc_value.Value
+module B3 = Arc_value.Bool3
+module Aggregate = Arc_value.Aggregate
+module Conventions = Arc_value.Conventions
+module Relation = Arc_relation.Relation
+module Tuple = Arc_relation.Tuple
+module Schema = Arc_relation.Schema
+module Database = Arc_relation.Database
+
+exception Sql_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Sql_error s)) fmt
+
+type env = { db : Database.t; ctes : (string * Relation.t) list }
+
+(* a row environment binds table aliases to tuples, innermost first *)
+type row = (string * Tuple.t) list
+
+let find_relation env name =
+  match List.assoc_opt name env.ctes with
+  | Some r -> r
+  | None -> (
+      match Database.find_opt env.db name with
+      | Some r -> r
+      | None -> fail "unknown relation %S" name)
+
+let resolve_col (row : row) table col =
+  match table with
+  | Some t -> (
+      match List.assoc_opt t row with
+      | Some tp -> (
+          try Tuple.get tp col
+          with Schema.Unknown_attribute _ ->
+            fail "table %S has no column %S" t col)
+      | None -> fail "unknown table alias %S" t)
+  | None -> (
+      let candidates =
+        List.filter (fun (_, tp) -> Schema.mem (Tuple.schema tp) col) row
+      in
+      (* innermost scope first; ambiguity only within the same tuple set is
+         not tracked — first match wins across scopes, duplicates within the
+         innermost scope are ambiguous *)
+      match candidates with
+      | [] -> fail "unknown column %S" col
+      | [ (_, tp) ] -> Tuple.get tp col
+      | (a1, tp) :: (a2, _) :: _ ->
+          if a1 = a2 then Tuple.get tp col
+          else
+            (* allow shadowing across correlation levels: alias lists keep
+               inner scopes first, so the first hit is the innermost *)
+            Tuple.get tp col)
+
+let binop_apply op l r =
+  match op with
+  | B_add -> V.add l r
+  | B_sub -> V.sub l r
+  | B_mul -> V.mul l r
+  | B_div -> V.div l r
+
+let test_cmp op c =
+  match op with
+  | Ceq -> c = 0
+  | Cneq -> c <> 0
+  | Clt -> c < 0
+  | Cleq -> c <= 0
+  | Cgt -> c > 0
+  | Cgeq -> c >= 0
+
+(* ------------------------------------------------------------------ *)
+(* Expressions & conditions (correlated: need the set-query evaluator) *)
+(* ------------------------------------------------------------------ *)
+
+let rec eval_expr env (row : row) e : V.t =
+  match e with
+  | E_const v -> v
+  | E_col (t, c) -> resolve_col row t c
+  | E_binop (op, l, r) -> binop_apply op (eval_expr env row l) (eval_expr env row r)
+  | E_neg e -> V.neg (eval_expr env row e)
+  | E_agg _ | E_count_star -> fail "aggregate outside grouping context"
+  | E_scalar_subquery q -> (
+      let r = eval_set_query env row q in
+      match Relation.tuples r with
+      | [] -> V.Null
+      | [ tp ] -> (
+          match Tuple.values tp with
+          | [ v ] -> v
+          | _ -> fail "scalar subquery returned %d columns" (Schema.arity (Relation.schema r)))
+      | _ -> fail "scalar subquery returned more than one row")
+
+and eval_cond env (row : row) c : B3.t =
+  match c with
+  | C_true -> B3.True
+  | C_cmp (op, l, r) -> (
+      let vl = eval_expr env row l and vr = eval_expr env row r in
+      match V.cmp3 vl vr with
+      | None -> B3.Unknown
+      | Some c -> B3.of_bool (test_cmp op c))
+  | C_and cs -> B3.and_list (List.map (eval_cond env row) cs)
+  | C_or cs -> B3.or_list (List.map (eval_cond env row) cs)
+  | C_not c -> B3.not_ (eval_cond env row c)
+  | C_exists q -> B3.of_bool (not (Relation.is_empty (eval_set_query env row q)))
+  | C_in (e, q) -> (
+      let v = eval_expr env row e in
+      let r = eval_set_query env row q in
+      let vals =
+        List.map
+          (fun tp ->
+            match Tuple.values tp with
+            | [ x ] -> x
+            | _ -> fail "IN subquery must return one column")
+          (Relation.tuples r)
+      in
+      if vals = [] then B3.False
+      else if V.is_null v then B3.Unknown
+      else if List.exists (fun x -> (not (V.is_null x)) && V.equal x v) vals
+      then B3.True
+      else if List.exists V.is_null vals then B3.Unknown
+      else B3.False)
+  | C_is_null e -> B3.of_bool (V.is_null (eval_expr env row e))
+  | C_is_not_null e -> B3.of_bool (not (V.is_null (eval_expr env row e)))
+  | C_like (e, p) -> (
+      match V.like (eval_expr env row e) p with
+      | Some b -> B3.of_bool b
+      | None -> B3.Unknown)
+
+(* group-aware expression evaluation *)
+and eval_gexpr env ~rep ~group e : V.t =
+  match e with
+  | E_agg (k, inner) ->
+      let values = List.map (fun r -> eval_expr env r inner) group in
+      Aggregate.apply Conventions.Agg_null k values
+  | E_count_star -> V.Int (List.length group)
+  | E_binop (op, l, r) ->
+      binop_apply op (eval_gexpr env ~rep ~group l) (eval_gexpr env ~rep ~group r)
+  | E_neg e -> V.neg (eval_gexpr env ~rep ~group e)
+  | _ -> ( match rep with Some r -> eval_expr env r e | None -> V.Null)
+
+and eval_gcond env ~rep ~group c : B3.t =
+  match c with
+  | C_true -> B3.True
+  | C_cmp (op, l, r) -> (
+      let vl = eval_gexpr env ~rep ~group l
+      and vr = eval_gexpr env ~rep ~group r in
+      match V.cmp3 vl vr with
+      | None -> B3.Unknown
+      | Some c -> B3.of_bool (test_cmp op c))
+  | C_and cs -> B3.and_list (List.map (eval_gcond env ~rep ~group) cs)
+  | C_or cs -> B3.or_list (List.map (eval_gcond env ~rep ~group) cs)
+  | C_not c -> B3.not_ (eval_gcond env ~rep ~group c)
+  | c -> (
+      match rep with Some r -> eval_cond env r c | None -> B3.Unknown)
+
+(* ------------------------------------------------------------------ *)
+(* FROM clause                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Evaluating a table_ref yields the aliases it introduces (with schemas,
+   needed for NULL padding) and the rows, each a list of (alias, tuple). *)
+and eval_table_ref env (outer : row) tr : (string * Schema.t) list * row list =
+  match tr with
+  | T_rel (name, alias) ->
+      let r = find_relation env name in
+      let a = Option.value alias ~default:name in
+      ( [ (a, Relation.schema r) ],
+        List.map (fun tp -> [ (a, tp) ]) (Relation.tuples r) )
+  | T_sub (q, a) ->
+      let r = eval_set_query env outer q in
+      ( [ (a, Relation.schema r) ],
+        List.map (fun tp -> [ (a, tp) ]) (Relation.tuples r) )
+  | T_lateral (q, a) ->
+      (* caller must pass the current partial row in [outer] *)
+      let r = eval_set_query env outer q in
+      ( [ (a, Relation.schema r) ],
+        List.map (fun tp -> [ (a, tp) ]) (Relation.tuples r) )
+  | T_join (kind, l, r, on) -> (
+      let schemas_l, rows_l = eval_table_ref env outer l in
+      match kind with
+      | J_cross | J_inner when not (is_lateral r) ->
+          let schemas_r, rows_r = eval_table_ref env outer r in
+          let joined =
+            List.concat_map
+              (fun x ->
+                List.filter_map
+                  (fun y ->
+                    let row = y @ x in
+                    match on with
+                    | None -> Some row
+                    | Some c ->
+                        if eval_cond env (row @ outer) c = B3.True then Some row
+                        else None)
+                  rows_r)
+              rows_l
+          in
+          (schemas_l @ schemas_r, joined)
+      | J_cross | J_inner ->
+          (* lateral: right side re-evaluated per left row *)
+          let schemas_r = lateral_schemas env outer r in
+          let joined =
+            List.concat_map
+              (fun x ->
+                let _, rows_r = eval_table_ref env (x @ outer) r in
+                List.filter_map
+                  (fun y ->
+                    let row = y @ x in
+                    match on with
+                    | None -> Some row
+                    | Some c ->
+                        if eval_cond env (row @ outer) c = B3.True then Some row
+                        else None)
+                  rows_r)
+              rows_l
+          in
+          (schemas_l @ schemas_r, joined)
+      | J_left ->
+          let schemas_r = lateral_schemas env outer r in
+          let joined =
+            List.concat_map
+              (fun x ->
+                let _, rows_r = eval_table_ref env (x @ outer) r in
+                let matches =
+                  List.filter_map
+                    (fun y ->
+                      let row = y @ x in
+                      match on with
+                      | None -> Some row
+                      | Some c ->
+                          if eval_cond env (row @ outer) c = B3.True then
+                            Some row
+                          else None)
+                    rows_r
+                in
+                if matches = [] then [ null_row schemas_r @ x ] else matches)
+              rows_l
+          in
+          (schemas_l @ schemas_r, joined)
+      | J_full ->
+          let schemas_r, rows_r = eval_table_ref env outer r in
+          let matched_r = Hashtbl.create 16 in
+          let left_part =
+            List.concat_map
+              (fun x ->
+                let matches =
+                  List.concat
+                    (List.mapi
+                       (fun i y ->
+                         let row = y @ x in
+                         let ok =
+                           match on with
+                           | None -> true
+                           | Some c -> eval_cond env (row @ outer) c = B3.True
+                         in
+                         if ok then (
+                           Hashtbl.replace matched_r i ();
+                           [ row ])
+                         else [])
+                       rows_r)
+                in
+                if matches = [] then [ null_row schemas_r @ x ] else matches)
+              rows_l
+          in
+          let right_part =
+            List.concat
+              (List.mapi
+                 (fun i y ->
+                   if Hashtbl.mem matched_r i then []
+                   else [ y @ null_row schemas_l ])
+                 rows_r)
+          in
+          (schemas_l @ schemas_r, left_part @ right_part))
+
+and is_lateral = function
+  | T_lateral _ -> true
+  | T_join (_, l, r, _) -> is_lateral l || is_lateral r
+  | _ -> false
+
+and lateral_schemas env outer tr =
+  (* schemas of the right side of a (possibly lateral) join: evaluate with
+     an empty/partial env just for schema discovery *)
+  match tr with
+  | T_rel (name, alias) ->
+      let r = find_relation env name in
+      [ (Option.value alias ~default:name, Relation.schema r) ]
+  | T_sub (q, a) | T_lateral (q, a) -> (
+      (* schema discovery may fail on correlation; fall back to evaluating
+         with NULL-extended rows is overkill — correlated columns do not
+         affect the schema, so evaluate and catch *)
+      try [ (a, Relation.schema (eval_set_query env outer q)) ]
+      with Sql_error _ -> [ (a, schema_of_set_query q) ]
+      )
+  | T_join (_, l, r, _) -> lateral_schemas env outer l @ lateral_schemas env outer r
+
+and schema_of_set_query q =
+  match q with
+  | Q_select s ->
+      Schema.make (List.mapi item_name s.items)
+  | Q_union (_, a, _) | Q_except (_, a, _) | Q_intersect (_, a, _) ->
+      schema_of_set_query a
+
+and null_row (schemas : (string * Schema.t) list) : row =
+  List.map
+    (fun (a, sch) ->
+      (a, Tuple.make sch (Array.make (Schema.arity sch) V.Null)))
+    schemas
+
+(* ------------------------------------------------------------------ *)
+(* SELECT                                                              *)
+(* ------------------------------------------------------------------ *)
+
+and has_aggregates s =
+  let rec expr_has = function
+    | E_agg _ | E_count_star -> true
+    | E_binop (_, l, r) -> expr_has l || expr_has r
+    | E_neg e -> expr_has e
+    | _ -> false
+  in
+  List.exists (fun it -> expr_has it.item_expr) s.items
+  || s.group_by <> [] || s.having <> None
+
+and eval_select env (outer : row) s : Relation.t =
+  (* FROM: comma list is lateral-aware left-to-right *)
+  let rows =
+    List.fold_left
+      (fun acc tr ->
+        List.concat_map
+          (fun (partial : row) ->
+            let _, rs = eval_table_ref env (partial @ outer) tr in
+            List.map (fun r -> r @ partial) rs)
+          acc)
+      [ ([] : row) ]
+      s.from
+  in
+  (* WHERE *)
+  let rows =
+    match s.where with
+    | None -> rows
+    | Some c ->
+        List.filter (fun r -> eval_cond env (r @ outer) c = B3.True) rows
+  in
+  let schema = Schema.make (List.mapi item_name s.items) in
+  (* ORDER BY keys are evaluated per result row, against the output columns
+     first (aliases) and the source row as a fallback *)
+  let order_keys = ref [] in
+  let record_keys tp ctx =
+    if s.order_by <> [] then
+      let keys =
+        List.map
+          (fun (e, desc) ->
+            let v =
+              match e with
+              | E_col (None, c) when Schema.mem schema c -> Tuple.get tp c
+              | _ -> (
+                  match ctx with
+                  | `Row r -> eval_expr env r e
+                  | `Group (rep, group) -> eval_gexpr env ~rep ~group e
+                  | `None -> (
+                      match e with
+                      | E_col (_, c) when Schema.mem schema c -> Tuple.get tp c
+                      | _ -> fail "ORDER BY expression not available after DISTINCT"))
+            in
+            (v, desc))
+          s.order_by
+      in
+      order_keys := (Tuple.key tp, keys) :: !order_keys
+  in
+  let tuples =
+    if has_aggregates s then begin
+      let groups =
+        if s.group_by = [] then
+          [ ((match rows with [] -> None | r :: _ -> Some (r @ outer)),
+             List.map (fun r -> r @ outer) rows) ]
+        else begin
+          let tbl = Hashtbl.create 16 in
+          let order = ref [] in
+          List.iter
+            (fun r ->
+              let kv =
+                List.map
+                  (fun (t, c) -> resolve_col (r @ outer) t c)
+                  s.group_by
+              in
+              let k = String.concat "|" (List.map V.to_string kv) in
+              match Hashtbl.find_opt tbl k with
+              | Some rs -> Hashtbl.replace tbl k (rs @ [ r @ outer ])
+              | None ->
+                  order := k :: !order;
+                  Hashtbl.replace tbl k [ r @ outer ])
+            rows;
+          List.rev_map
+            (fun k ->
+              let g = Hashtbl.find tbl k in
+              (Some (List.hd g), g))
+            !order
+        end
+      in
+      List.filter_map
+        (fun (rep, group) ->
+          let keep =
+            match s.having with
+            | None -> true
+            | Some c -> eval_gcond env ~rep ~group c = B3.True
+          in
+          if keep then begin
+            let tp =
+              Tuple.make schema
+                (Array.of_list
+                   (List.map
+                      (fun it -> eval_gexpr env ~rep ~group it.item_expr)
+                      s.items))
+            in
+            record_keys tp (`Group (rep, group));
+            Some tp
+          end
+          else None)
+        groups
+    end
+    else
+      List.map
+        (fun r ->
+          let tp =
+            Tuple.make schema
+              (Array.of_list
+                 (List.map
+                    (fun it -> eval_expr env (r @ outer) it.item_expr)
+                    s.items))
+          in
+          record_keys tp (`Row (r @ outer));
+          tp)
+        rows
+  in
+  let rel = Relation.make schema tuples in
+  let rel = if s.distinct then Relation.dedup rel else rel in
+  let rel =
+    if s.order_by = [] then rel
+    else begin
+      let key_of tp =
+        match List.assoc_opt (Tuple.key tp) !order_keys with
+        | Some ks -> ks
+        | None -> List.map (fun (_, d) -> (V.Null, d)) s.order_by
+      in
+      let cmp t1 t2 =
+        let rec go k1 k2 =
+          match (k1, k2) with
+          | [], [] -> 0
+          | (v1, desc) :: r1, (v2, _) :: r2 ->
+              let c = V.compare v1 v2 in
+              let c = if desc then -c else c in
+              if c <> 0 then c else go r1 r2
+          | _ -> 0
+        in
+        go (key_of t1) (key_of t2)
+      in
+      Relation.make schema (List.stable_sort cmp (Relation.tuples rel))
+    end
+  in
+  match s.limit with
+  | None -> rel
+  | Some n ->
+      Relation.make schema
+        (List.filteri (fun i _ -> i < n) (Relation.tuples rel))
+
+and eval_set_query env (outer : row) q : Relation.t =
+  match q with
+  | Q_select s -> eval_select env outer s
+  | Q_union (all, a, b) ->
+      let ra = eval_set_query env outer a and rb = eval_set_query env outer b in
+      let rb = align_schema ra rb in
+      let u = Relation.union ra rb in
+      if all then u else Relation.dedup u
+  | Q_except (all, a, b) ->
+      let ra = eval_set_query env outer a and rb = eval_set_query env outer b in
+      let rb = align_schema ra rb in
+      if all then Relation.minus ra rb
+      else Relation.minus (Relation.dedup ra) (Relation.dedup rb)
+  | Q_intersect (all, a, b) ->
+      let ra = eval_set_query env outer a and rb = eval_set_query env outer b in
+      let rb = align_schema ra rb in
+      if all then Relation.intersect ra rb
+      else Relation.dedup (Relation.intersect ra rb)
+
+and align_schema ra rb =
+  (* set operations align columns positionally, as SQL does *)
+  let sa = Relation.schema ra and sb = Relation.schema rb in
+  if Schema.equal sa sb then rb
+  else if Schema.arity sa = Schema.arity sb then
+    Relation.make sa
+      (List.map (fun tp -> Tuple.rename_schema tp sa) (Relation.tuples rb))
+  else fail "set operation arity mismatch"
+
+(* ------------------------------------------------------------------ *)
+(* Statements: CTEs, incl. WITH RECURSIVE                              *)
+(* ------------------------------------------------------------------ *)
+
+let apply_cte_cols cte rel =
+  if cte.cte_cols = [] then rel
+  else begin
+    let sch = Relation.schema rel in
+    if Schema.arity sch <> List.length cte.cte_cols then
+      fail "CTE %S column list arity mismatch" cte.cte_name;
+    let sch' = Schema.make cte.cte_cols in
+    Relation.make sch'
+      (List.map (fun tp -> Tuple.rename_schema tp sch') (Relation.tuples rel))
+  end
+
+let is_recursive_cte cte env =
+  let rec q_refs q =
+    match q with
+    | Q_select s ->
+        List.exists tr_refs s.from
+        || Option.fold ~none:false ~some:cond_refs s.where
+        || Option.fold ~none:false ~some:cond_refs s.having
+        || List.exists (fun it -> expr_refs it.item_expr) s.items
+    | Q_union (_, a, b) | Q_except (_, a, b) | Q_intersect (_, a, b) ->
+        q_refs a || q_refs b
+  and tr_refs = function
+    | T_rel (n, _) -> n = cte.cte_name
+    | T_sub (q, _) | T_lateral (q, _) -> q_refs q
+    | T_join (_, l, r, on) ->
+        tr_refs l || tr_refs r || Option.fold ~none:false ~some:cond_refs on
+  and cond_refs = function
+    | C_true -> false
+    | C_cmp (_, l, r) -> expr_refs l || expr_refs r
+    | C_and cs | C_or cs -> List.exists cond_refs cs
+    | C_not c -> cond_refs c
+    | C_exists q | C_in (_, q) -> q_refs q
+    | C_is_null e | C_is_not_null e -> expr_refs e
+    | C_like (e, _) -> expr_refs e
+  and expr_refs = function
+    | E_scalar_subquery q -> q_refs q
+    | E_binop (_, l, r) -> expr_refs l || expr_refs r
+    | E_neg e | E_agg (_, e) -> expr_refs e
+    | _ -> false
+  in
+  ignore env;
+  q_refs cte.cte_body
+
+let eval_recursive_cte env cte =
+  (* least fixed point: start from ∅, re-evaluate the whole body (the
+     standard base-case/recursive-case UNION) until no change *)
+  let schema_guess =
+    apply_cte_cols cte (Relation.make (schema_of_set_query cte.cte_body) [])
+  in
+  let current = ref (Relation.dedup schema_guess) in
+  let changed = ref true in
+  let iters = ref 0 in
+  while !changed do
+    incr iters;
+    if !iters > 100_000 then fail "recursive CTE did not converge";
+    let env' = { env with ctes = (cte.cte_name, !current) :: env.ctes } in
+    let next =
+      Relation.dedup (apply_cte_cols cte (eval_set_query env' [] cte.cte_body))
+    in
+    if Relation.equal_set next !current then changed := false
+    else current := next
+  done;
+  !current
+
+let run ~db (st : statement) =
+  let env =
+    List.fold_left
+      (fun env cte ->
+        let rel =
+          if st.with_recursive && is_recursive_cte cte env then
+            eval_recursive_cte env cte
+          else apply_cte_cols cte (eval_set_query env [] cte.cte_body)
+        in
+        { env with ctes = (cte.cte_name, rel) :: env.ctes })
+      { db; ctes = [] } st.ctes
+  in
+  eval_set_query env [] st.body
+
+let run_string ~db s = run ~db (Parse.statement_of_string s)

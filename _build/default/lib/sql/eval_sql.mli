@@ -1,0 +1,24 @@
+(** Direct SQL evaluator, independent of the ARC engine.
+
+    Implements textbook SQL semantics — bag results unless DISTINCT,
+    three-valued logic with SQL NULL behavior (including the NOT IN trap of
+    the paper's Section 2.10), aggregates returning NULL on empty input,
+    one-row results for ungrouped aggregates, correlated and LATERAL
+    subqueries re-evaluated per outer row, LEFT/FULL joins with NULL padding,
+    and WITH RECURSIVE by least fixed point.
+
+    Used to cross-validate the SQL→ARC translation: for every query in the
+    paper's figures, [Eval_sql.run] and [Arc_engine.Eval.run ∘ To_arc.statement]
+    must agree. *)
+
+exception Sql_error of string
+
+val run :
+  db:Arc_relation.Database.t -> Ast.statement -> Arc_relation.Relation.t
+(** Raises {!Sql_error} on unknown relations/columns, ambiguous unqualified
+    columns, scalar subqueries returning more than one row, or ungrouped
+    non-aggregate SELECT items in a grouped query. *)
+
+val run_string :
+  db:Arc_relation.Database.t -> string -> Arc_relation.Relation.t
+(** Parse (raising {!Parse.Parse_error}) and run. *)

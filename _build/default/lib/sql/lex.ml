@@ -1,0 +1,156 @@
+module V = Arc_value.Value
+
+type token =
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | STAR
+  | IDENT of string
+  | KW of string
+  | NUMBER of V.t
+  | STRING of string
+  | OP of string
+  | EOF
+
+exception Lex_error of string * int
+
+let keywords =
+  [
+    "select"; "distinct"; "from"; "where"; "group"; "by"; "having"; "as";
+    "on"; "join"; "left"; "right"; "full"; "cross"; "inner"; "outer";
+    "lateral"; "exists"; "in"; "is"; "not"; "null"; "like"; "and"; "or";
+    "union"; "all"; "except"; "intersect"; "with"; "recursive"; "true";
+    "false"; "into"; "order"; "asc"; "desc"; "limit";
+  ]
+
+let tokenize input =
+  let n = String.length input in
+  let toks = ref [] in
+  let emit t = toks := t :: !toks in
+  let pos = ref 0 in
+  let peek i = if !pos + i < n then Some input.[!pos + i] else None in
+  while !pos < n do
+    let c = input.[!pos] in
+    match c with
+    | ' ' | '\t' | '\n' | '\r' -> incr pos
+    | '-' when peek 1 = Some '-' ->
+        (* line comment *)
+        while !pos < n && input.[!pos] <> '\n' do
+          incr pos
+        done
+    | '(' ->
+        emit LPAREN;
+        incr pos
+    | ')' ->
+        emit RPAREN;
+        incr pos
+    | ',' ->
+        emit COMMA;
+        incr pos
+    | '.' ->
+        emit DOT;
+        incr pos
+    | '*' ->
+        emit STAR;
+        incr pos
+    | '=' ->
+        emit (OP "=");
+        incr pos
+    | '<' ->
+        if peek 1 = Some '=' then (
+          emit (OP "<=");
+          pos := !pos + 2)
+        else if peek 1 = Some '>' then (
+          emit (OP "<>");
+          pos := !pos + 2)
+        else (
+          emit (OP "<");
+          incr pos)
+    | '>' ->
+        if peek 1 = Some '=' then (
+          emit (OP ">=");
+          pos := !pos + 2)
+        else (
+          emit (OP ">");
+          incr pos)
+    | '!' when peek 1 = Some '=' ->
+        emit (OP "<>");
+        pos := !pos + 2
+    | '+' | '-' | '/' ->
+        emit (OP (String.make 1 c));
+        incr pos
+    | '\'' ->
+        let start = !pos + 1 in
+        let e = ref start in
+        while !e < n && input.[!e] <> '\'' do
+          incr e
+        done;
+        if !e >= n then raise (Lex_error ("unterminated string", !pos));
+        emit (STRING (String.sub input start (!e - start)));
+        pos := !e + 1
+    | '"' ->
+        let start = !pos + 1 in
+        let e = ref start in
+        while !e < n && input.[!e] <> '"' do
+          incr e
+        done;
+        if !e >= n then
+          raise (Lex_error ("unterminated quoted identifier", !pos));
+        emit (IDENT (String.sub input start (!e - start)));
+        pos := !e + 1
+    | '0' .. '9' ->
+        let start = !pos in
+        while
+          !pos < n && match input.[!pos] with '0' .. '9' -> true | _ -> false
+        do
+          incr pos
+        done;
+        let is_float =
+          !pos + 1 < n
+          && input.[!pos] = '.'
+          && match input.[!pos + 1] with '0' .. '9' -> true | _ -> false
+        in
+        if is_float then begin
+          incr pos;
+          while
+            !pos < n && match input.[!pos] with '0' .. '9' -> true | _ -> false
+          do
+            incr pos
+          done;
+          emit
+            (NUMBER
+               (V.Float (float_of_string (String.sub input start (!pos - start)))))
+        end
+        else
+          emit
+            (NUMBER (V.Int (int_of_string (String.sub input start (!pos - start)))))
+    | 'a' .. 'z' | 'A' .. 'Z' | '_' | '$' ->
+        let start = !pos in
+        while
+          !pos < n
+          && (match input.[!pos] with
+             | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '$' -> true
+             | _ -> false)
+        do
+          incr pos
+        done;
+        let word = String.sub input start (!pos - start) in
+        let lower = String.lowercase_ascii word in
+        if List.mem lower keywords then emit (KW lower) else emit (IDENT word)
+    | _ -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, !pos))
+  done;
+  List.rev (EOF :: !toks)
+
+let token_to_string = function
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | COMMA -> ","
+  | DOT -> "."
+  | STAR -> "*"
+  | IDENT s -> "ident " ^ s
+  | KW s -> s
+  | NUMBER v -> "number " ^ V.to_string v
+  | STRING s -> "string '" ^ s ^ "'"
+  | OP s -> s
+  | EOF -> "<eof>"

@@ -1,0 +1,19 @@
+(** SQL lexer (case-insensitive keywords, identifiers keep their case). *)
+
+type token =
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | STAR  (** multiplication or count star, decided by the parser *)
+  | IDENT of string
+  | KW of string  (** lower-cased keyword *)
+  | NUMBER of Arc_value.Value.t
+  | STRING of string
+  | OP of string  (** [= <> < <= > >= + - /] *)
+  | EOF
+
+exception Lex_error of string * int
+
+val tokenize : string -> token list
+val token_to_string : token -> string

@@ -1,0 +1,426 @@
+module A = Arc_core.Ast
+module Analysis = Arc_core.Analysis
+module V = Arc_value.Value
+module Conventions = Arc_value.Conventions
+open Ast
+
+exception Unsupported of string
+
+let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Terms                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec tr_term (t : A.term) : expr =
+  match t with
+  | A.Const v -> E_const v
+  | A.Attr (v, a) -> E_col (Some v, a)
+  | A.Scalar (op, [ l; r ]) ->
+      let op' =
+        match op with
+        | A.Add -> B_add
+        | A.Sub -> B_sub
+        | A.Mul -> B_mul
+        | A.Div -> B_div
+        | A.Neg -> unsupported "binary negation"
+      in
+      E_binop (op', tr_term l, tr_term r)
+  | A.Scalar (A.Neg, [ x ]) -> E_neg (tr_term x)
+  | A.Scalar _ -> unsupported "malformed scalar term"
+  | A.Agg (k, A.Const (V.Int 1)) when k = Arc_value.Aggregate.Count ->
+      E_count_star
+  | A.Agg (k, t) -> E_agg (k, tr_term t)
+
+let tr_cmp = function
+  | A.Eq -> Ceq
+  | A.Neq -> Cneq
+  | A.Lt -> Clt
+  | A.Leq -> Cleq
+  | A.Gt -> Cgt
+  | A.Geq -> Cgeq
+
+(* ------------------------------------------------------------------ *)
+(* Formulas in boolean position                                        *)
+(* ------------------------------------------------------------------ *)
+
+let rec tr_bool_formula ~conv (f : A.formula) : cond =
+  match f with
+  | A.True -> C_true
+  | A.Pred p -> tr_pred p
+  | A.And fs -> C_and (List.map (tr_bool_formula ~conv) fs)
+  | A.Or fs -> C_or (List.map (tr_bool_formula ~conv) fs)
+  | A.Not f -> C_not (tr_bool_formula ~conv f)
+  | A.Exists scope -> C_exists (tr_boolean_scope ~conv scope)
+
+and tr_pred (p : A.pred) : cond =
+  match p with
+  | A.Cmp (op, l, r) -> C_cmp (tr_cmp op, tr_term l, tr_term r)
+  | A.Is_null t -> C_is_null (tr_term t)
+  | A.Not_null t -> C_is_not_null (tr_term t)
+  | A.Like (t, pat) -> C_like (tr_term t, pat)
+
+(* a quantifier scope used as a condition: SELECT 1 FROM … WHERE … with
+   aggregate comparisons going to HAVING *)
+and tr_boolean_scope ~conv (scope : A.scope) : set_query =
+  let from, on_assigned = tr_bindings_and_join ~conv ~heads:[] scope in
+  let conjs = A.conjuncts scope.A.body in
+  let conjs =
+    List.filter (fun f -> not (List.memq f on_assigned)) conjs
+  in
+  let post, pre =
+    match scope.A.grouping with
+    | None -> ([], conjs)
+    | Some _ -> List.partition formula_has_agg conjs
+  in
+  let where =
+    match pre with
+    | [] -> None
+    | fs -> Some (C_and (List.map (tr_bool_formula ~conv) fs))
+  in
+  let having =
+    match post with
+    | [] -> None
+    | fs -> Some (C_and (List.map (tr_bool_formula ~conv) fs))
+  in
+  let group_by =
+    match scope.A.grouping with
+    | None | Some [] -> []
+    | Some keys -> List.map (fun (v, a) -> (Some v, a)) keys
+  in
+  Q_select
+    {
+      distinct = false;
+      items = [ { item_expr = E_const (V.Int 1); item_alias = Some "one" } ];
+      from;
+      where;
+      group_by;
+      having;
+      order_by = [];
+      limit = None;
+    }
+
+and formula_has_agg (f : A.formula) =
+  match f with
+  | A.Pred p -> A.pred_has_agg p
+  | A.And fs | A.Or fs -> List.exists formula_has_agg fs
+  | A.Not f -> formula_has_agg f
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Bindings, join annotations                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Is a nested collection correlated (does it reference variables bound
+   outside itself)? *)
+and correlated (c : A.collection) : bool =
+  let hit = ref false in
+  let rec walk_f bound f =
+    match f with
+    | A.True -> ()
+    | A.Pred p ->
+        List.iter
+          (fun t ->
+            List.iter
+              (fun (v, _) -> if not (List.mem v bound) then hit := true)
+              (A.term_vars t))
+          (A.pred_terms p)
+    | A.And fs | A.Or fs -> List.iter (walk_f bound) fs
+    | A.Not f -> walk_f bound f
+    | A.Exists s ->
+        let bound' =
+          List.fold_left
+            (fun b (bd : A.binding) ->
+              (match bd.A.source with
+              | A.Nested c' -> walk_f (c'.A.head.head_name :: b) c'.A.body
+              | A.Base _ -> ());
+              bd.A.var :: b)
+            bound s.A.bindings
+        in
+        walk_f bound' s.A.body
+  in
+  walk_f [ c.A.head.head_name ] c.A.body;
+  !hit
+
+(* returns the FROM list and the list of conjuncts consumed as ON
+   conditions (physical equality against the scope body conjuncts) *)
+and tr_bindings_and_join ~conv ~heads (scope : A.scope) :
+    table_ref list * A.formula list =
+  let source_ref (b : A.binding) : table_ref =
+    match b.A.source with
+    | A.Base n -> T_rel (n, Some b.A.var)
+    | A.Nested c ->
+        if correlated c then T_lateral (tr_collection ~conv c, b.A.var)
+        else T_sub (tr_collection ~conv c, b.A.var)
+  in
+  match scope.A.join with
+  | None ->
+      (* comma list; nested correlated sources become LATERAL joins chained
+         onto the preceding item *)
+      let from =
+        List.fold_left
+          (fun acc b ->
+            match source_ref b with
+            | T_lateral (q, a) -> (
+                match acc with
+                | [] -> [ T_sub (q, a) ] (* uncorrelatable in SQL; best effort *)
+                | last :: rest ->
+                    T_join (J_inner, last, T_lateral (q, a), None) :: rest)
+            | tr -> tr :: acc)
+          [] scope.A.bindings
+        |> List.rev
+      in
+      (from, [])
+  | Some jt ->
+      let binding_of v =
+        match List.find_opt (fun (b : A.binding) -> b.A.var = v) scope.A.bindings with
+        | Some b -> b
+        | None -> unsupported "join annotation var %S unbound" v
+      in
+      let conjs = A.conjuncts scope.A.body in
+      let consumed = ref [] in
+      (* predicates attachable as ON conditions *)
+      let scope_vars = List.map (fun (b : A.binding) -> b.A.var) scope.A.bindings in
+      let tree_vars = A.join_tree_vars jt in
+      let pred_vars f =
+        match f with
+        | A.Pred p ->
+            Some
+              (List.concat_map
+                 (fun t -> List.map fst (A.term_vars t))
+                 (A.pred_terms p)
+              |> List.filter (fun v -> List.mem v scope_vars))
+        | _ -> None
+      in
+      let attachable f =
+        match (f, pred_vars f) with
+        | A.Pred p, Some vs ->
+            (not (A.pred_has_agg p))
+            && (not (Analysis.classify ~heads p).Analysis.is_assignment)
+            && vs <> []
+            && List.for_all (fun v -> List.mem v tree_vars) vs
+        | _ -> false
+      in
+      (* literal leaves: inner(11, s) folds back into plain SQL — drop the
+         literal from the tree; its predicate stays (in ON at that node) *)
+      let rec covers node vs =
+        let nv = A.join_tree_vars node in
+        List.for_all (fun v -> List.mem v nv) vs
+      in
+      let rec node_conds node ~outer =
+        List.filter_map
+          (fun f ->
+            if (not (List.memq f !consumed)) && attachable f then
+              let vs = Option.get (pred_vars f) in
+              if
+                covers node vs
+                && (match node with
+                   | A.J_left (a, b) | A.J_full (a, b) ->
+                       (* belongs here unless fully inside one side that
+                          itself contains a join node covering it *)
+                       not (strictly_inside a vs || strictly_inside b vs)
+                   | _ -> outer)
+              then (
+                consumed := f :: !consumed;
+                Some (tr_bool_formula ~conv f))
+              else None
+            else None)
+          conjs
+      and strictly_inside node vs =
+        covers node vs
+        &&
+        match node with
+        | A.J_left _ | A.J_full _ | A.J_inner _ -> true
+        | A.J_var _ | A.J_lit _ -> false
+      in
+      let rec build node : table_ref =
+        match node with
+        | A.J_var v -> (
+            match source_ref (binding_of v) with
+            | T_lateral (q, a) -> T_sub (q, a)
+            | tr -> tr)
+        | A.J_lit _ -> unsupported "literal leaf outside inner()"
+        | A.J_inner children -> (
+            let children =
+              List.filter (function A.J_lit _ -> false | _ -> true) children
+            in
+            match children with
+            | [] -> unsupported "empty inner()"
+            | first :: rest ->
+                List.fold_left
+                  (fun acc child ->
+                    T_join (J_inner, acc, build child, None))
+                  (build first) rest)
+        | A.J_left (a, b) ->
+            let conds = node_conds node ~outer:false in
+            T_join
+              ( J_left,
+                build a,
+                build b,
+                match conds with [] -> None | cs -> Some (C_and cs) )
+        | A.J_full (a, b) ->
+            let conds = node_conds node ~outer:false in
+            T_join
+              ( J_full,
+                build a,
+                build b,
+                match conds with [] -> None | cs -> Some (C_and cs) )
+      in
+      let tree_ref = build jt in
+      (* bindings not in the tree join as comma items *)
+      let rest =
+        List.filter
+          (fun (b : A.binding) -> not (List.mem b.A.var tree_vars))
+          scope.A.bindings
+      in
+      (tree_ref :: List.map source_ref rest, !consumed)
+
+(* ------------------------------------------------------------------ *)
+(* Collections                                                         *)
+(* ------------------------------------------------------------------ *)
+
+and tr_collection ?(conv = Conventions.sql_set) (c : A.collection) : set_query
+    =
+  let distinct =
+    match conv.Conventions.collection with
+    | Conventions.Set -> true
+    | Conventions.Bag -> false
+  in
+  let head_name = c.A.head.head_name in
+  let tr_disjunct (d : A.formula) : set_query =
+    let scope =
+      match d with
+      | A.Exists s -> s
+      | f -> { A.bindings = []; grouping = None; join = None; body = f }
+    in
+    let from, on_assigned =
+      tr_bindings_and_join ~conv ~heads:[ head_name ] scope
+    in
+    let conjs = A.conjuncts scope.A.body in
+    let conjs = List.filter (fun f -> not (List.memq f on_assigned)) conjs in
+    (* split assignments from conditions *)
+    let assignments = ref [] in
+    let conditions =
+      List.filter
+        (fun f ->
+          match f with
+          | A.Pred p -> (
+              match Analysis.assignment_of ~heads:[ head_name ] p with
+              | Some ((_, a), t) when List.mem a c.A.head.head_attrs ->
+                  if List.mem_assoc a !assignments then true
+                  else (
+                    assignments := !assignments @ [ (a, t) ];
+                    false)
+              | _ -> true)
+          | _ -> true)
+        conjs
+    in
+    let items =
+      List.map
+        (fun a ->
+          match List.assoc_opt a !assignments with
+          | Some t -> { item_expr = tr_term t; item_alias = Some a }
+          | None ->
+              unsupported
+                "head attribute %s.%s lacks a top-level assignment predicate"
+                head_name a)
+        c.A.head.head_attrs
+    in
+    let post, pre =
+      match scope.A.grouping with
+      | None -> ([], conditions)
+      | Some _ -> List.partition formula_has_agg conditions
+    in
+    let where =
+      match pre with
+      | [] -> None
+      | fs -> Some (C_and (List.map (tr_bool_formula ~conv) fs))
+    in
+    let having =
+      match post with
+      | [] -> None
+      | fs -> Some (C_and (List.map (tr_bool_formula ~conv) fs))
+    in
+    let group_by =
+      match scope.A.grouping with
+      | None -> []
+      | Some [] ->
+          (* γ∅: aggregate over the whole scope — SQL has no GROUP BY *)
+          if
+            List.exists (fun (_, t) -> A.term_has_agg t) !assignments
+            || having <> None
+          then []
+          else unsupported "\xce\xb3\xe2\x88\x85 without aggregates"
+      | Some keys -> List.map (fun (v, a) -> (Some v, a)) keys
+    in
+    Q_select
+      {
+        distinct;
+        items;
+        from;
+        where;
+        group_by;
+        having;
+        order_by = [];
+        limit = None;
+      }
+  in
+  let disjuncts = A.disjuncts (Arc_core.Canon.simplify_formula c.A.body) in
+  match List.map tr_disjunct disjuncts with
+  | [] -> unsupported "empty collection body"
+  | q :: rest ->
+      List.fold_left (fun acc q' -> Q_union (not distinct, acc, q')) q rest
+
+(* ------------------------------------------------------------------ *)
+(* Programs                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec def_is_recursive (d : A.definition) =
+  let rec walk_f (f : A.formula) =
+    match f with
+    | A.True | A.Pred _ -> false
+    | A.And fs | A.Or fs -> List.exists walk_f fs
+    | A.Not f -> walk_f f
+    | A.Exists s ->
+        List.exists
+          (fun (b : A.binding) ->
+            match b.A.source with
+            | A.Base n -> n = d.A.def_name
+            | A.Nested c -> walk_f c.A.body)
+          s.A.bindings
+        || walk_f s.A.body
+  in
+  walk_f d.A.def_body.A.body
+
+let statement ?(conv = Conventions.sql_set) (p : A.program) : statement =
+  let ctes =
+    List.map
+      (fun (d : A.definition) ->
+        {
+          cte_name = d.A.def_name;
+          cte_cols = d.A.def_body.A.head.head_attrs;
+          cte_body = tr_collection ~conv d.A.def_body;
+        })
+      p.A.defs
+  in
+  let recursive = List.exists def_is_recursive p.A.defs in
+  let body =
+    match p.A.main with
+    | A.Coll c -> tr_collection ~conv c
+    | A.Sentence f ->
+        (* Fig 9: SQL can only return a unary relation for a sentence *)
+        Q_select
+          {
+            distinct = true;
+            items = [ { item_expr = E_const (V.Int 1); item_alias = Some "holds" } ];
+            from = [];
+            where = Some (tr_bool_formula ~conv f);
+            group_by = [];
+            having = None;
+            order_by = [];
+            limit = None;
+          }
+  in
+  { with_recursive = recursive; ctes; body }
+
+let collection ?(conv = Conventions.sql_set) c = tr_collection ~conv c

@@ -1,0 +1,27 @@
+(** ARC → SQL rendering (the paper's Section 5 "SQL↔ARC translator",
+    reverse direction).
+
+    Scopes become SELECT blocks; base bindings become FROM items; nested
+    collections become derived tables or LATERAL joins (correlation decides);
+    join annotations become JOIN syntax with ON conditions re-attached at
+    their annotation node (literal leaves fold back into ON constants,
+    Fig 12); grouping operators become GROUP BY with aggregate comparisons in
+    HAVING; negated scopes become NOT EXISTS; disjunction becomes UNION;
+    definitions become CTEs (WITH RECURSIVE when self-referential); Boolean
+    sentences become the paper's unary-relation workaround ([SELECT 1 WHERE
+    …], Fig 9).
+
+    The collection convention decides deduplication: under [Set] every
+    SELECT is DISTINCT and unions deduplicate; under [Bag] they do not.
+
+    Raises {!Unsupported} for queries outside the renderable fragment
+    (assignment predicates below the top conjunct level, abstract
+    definitions, γ∅ without aggregates). *)
+
+exception Unsupported of string
+
+val statement :
+  ?conv:Arc_value.Conventions.t -> Arc_core.Ast.program -> Ast.statement
+
+val collection :
+  ?conv:Arc_value.Conventions.t -> Arc_core.Ast.collection -> Ast.set_query

@@ -1,0 +1,490 @@
+open Ast
+module V = Arc_value.Value
+module Aggregate = Arc_value.Aggregate
+open Lex
+
+exception Parse_error of string
+
+exception Fail of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Fail s)) fmt
+
+type state = { toks : token array }
+
+let tok st i = if i < Array.length st.toks then st.toks.(i) else EOF
+
+let expect st i t =
+  if tok st i = t then i + 1
+  else
+    fail "expected %s, found %s" (token_to_string t)
+      (token_to_string (tok st i))
+
+let expect_kw st i k =
+  match tok st i with
+  | KW k' when k' = k -> i + 1
+  | t -> fail "expected %s, found %s" k (token_to_string t)
+
+let try_parse f st i = try Some (f st i) with Fail _ -> None
+
+let agg_of_name = function
+  | "sum" -> Some Aggregate.Sum
+  | "count" -> Some Aggregate.Count
+  | "avg" -> Some Aggregate.Avg
+  | "min" -> Some Aggregate.Min
+  | "max" -> Some Aggregate.Max
+  | _ -> None
+
+let distinct_agg = function
+  | Aggregate.Sum -> Aggregate.Sum_distinct
+  | Aggregate.Count -> Aggregate.Count_distinct
+  | Aggregate.Avg -> Aggregate.Avg_distinct
+  | k -> k
+
+(* ---------------- expressions ---------------- *)
+
+let rec parse_expr st i = parse_add st i
+
+and parse_add st i =
+  let l, i = parse_mul st i in
+  let rec loop acc i =
+    match tok st i with
+    | OP "+" ->
+        let r, i = parse_mul st (i + 1) in
+        loop (E_binop (B_add, acc, r)) i
+    | OP "-" ->
+        let r, i = parse_mul st (i + 1) in
+        loop (E_binop (B_sub, acc, r)) i
+    | _ -> (acc, i)
+  in
+  loop l i
+
+and parse_mul st i =
+  let l, i = parse_eatom st i in
+  let rec loop acc i =
+    match tok st i with
+    | STAR ->
+        let r, i = parse_eatom st (i + 1) in
+        loop (E_binop (B_mul, acc, r)) i
+    | OP "/" ->
+        let r, i = parse_eatom st (i + 1) in
+        loop (E_binop (B_div, acc, r)) i
+    | _ -> (acc, i)
+  in
+  loop l i
+
+and parse_eatom st i =
+  match tok st i with
+  | NUMBER v -> (E_const v, i + 1)
+  | STRING s -> (E_const (V.Str s), i + 1)
+  | KW "null" -> (E_const V.Null, i + 1)
+  | KW "true" -> (E_const (V.Bool true), i + 1)
+  | KW "false" -> (E_const (V.Bool false), i + 1)
+  | OP "-" ->
+      let e, i = parse_eatom st (i + 1) in
+      (E_neg e, i)
+  | LPAREN -> (
+      match tok st (i + 1) with
+      | KW ("select" | "with") ->
+          let q, i = parse_set_query st (i + 1) in
+          let i = expect st i RPAREN in
+          (E_scalar_subquery q, i)
+      | _ ->
+          let e, i = parse_expr st (i + 1) in
+          let i = expect st i RPAREN in
+          (e, i))
+  | IDENT name -> (
+      match (agg_of_name (String.lowercase_ascii name), tok st (i + 1)) with
+      | Some k, LPAREN -> (
+          match (k, tok st (i + 2)) with
+          | Aggregate.Count, STAR ->
+              let i = expect st (i + 3) RPAREN in
+              (E_count_star, i)
+          | _, KW "distinct" ->
+              let e, i = parse_expr st (i + 3) in
+              let i = expect st i RPAREN in
+              (E_agg (distinct_agg k, e), i)
+          | _ ->
+              let e, i = parse_expr st (i + 2) in
+              let i = expect st i RPAREN in
+              (E_agg (k, e), i))
+      | _ -> (
+          match (tok st (i + 1), tok st (i + 2)) with
+          | DOT, IDENT c -> (E_col (Some name, c), i + 3)
+          | DOT, KW c -> (E_col (Some name, c), i + 3)
+          | _ -> (E_col (None, name), i + 1)))
+  | t -> fail "expected expression, found %s" (token_to_string t)
+
+(* ---------------- conditions ---------------- *)
+
+and parse_cond st i =
+  let l, i = parse_cond_and st i in
+  let rec loop acc i =
+    match tok st i with
+    | KW "or" ->
+        let r, i = parse_cond_and st (i + 1) in
+        loop (acc @ [ r ]) i
+    | _ -> (acc, i)
+  in
+  let parts, i = loop [ l ] i in
+  ((match parts with [ c ] -> c | cs -> C_or cs), i)
+
+and parse_cond_and st i =
+  let l, i = parse_cond_unary st i in
+  let rec loop acc i =
+    match tok st i with
+    | KW "and" ->
+        let r, i = parse_cond_unary st (i + 1) in
+        loop (acc @ [ r ]) i
+    | _ -> (acc, i)
+  in
+  let parts, i = loop [ l ] i in
+  ((match parts with [ c ] -> c | cs -> C_and cs), i)
+
+and parse_cond_unary st i =
+  match tok st i with
+  | KW "not" -> (
+      match tok st (i + 1) with
+      | KW "exists" ->
+          let q, i = parse_subquery st (i + 2) in
+          (C_not (C_exists q), i)
+      | _ ->
+          let c, i = parse_cond_unary st (i + 1) in
+          (C_not c, i))
+  | KW "exists" ->
+      let q, i = parse_subquery st (i + 1) in
+      (C_exists q, i)
+  | KW "true" when not (is_expr_context st i) -> (C_true, i + 1)
+  | LPAREN -> (
+      match try_parse parse_predicate st i with
+      | Some r -> r
+      | None ->
+          let c, i = parse_cond st (i + 1) in
+          let i = expect st i RPAREN in
+          (c, i))
+  | _ -> parse_predicate st i
+
+and is_expr_context st i =
+  (* 'true' followed by a comparison is the boolean constant in a
+     predicate; bare 'true' is the trivial condition *)
+  match tok st (i + 1) with OP _ -> true | _ -> false
+
+and parse_predicate st i =
+  let l, i = parse_expr st i in
+  match tok st i with
+  | OP ("=" | "<>" | "<" | "<=" | ">" | ">=") ->
+      let op =
+        match tok st i with
+        | OP "=" -> Ceq
+        | OP "<>" -> Cneq
+        | OP "<" -> Clt
+        | OP "<=" -> Cleq
+        | OP ">" -> Cgt
+        | OP ">=" -> Cgeq
+        | _ -> assert false
+      in
+      let r, i = parse_expr st (i + 1) in
+      (C_cmp (op, l, r), i)
+  | KW "is" -> (
+      match (tok st (i + 1), tok st (i + 2)) with
+      | KW "null", _ -> (C_is_null l, i + 2)
+      | KW "not", KW "null" -> (C_is_not_null l, i + 3)
+      | _ -> fail "expected [not] null after is")
+  | KW "like" -> (
+      match tok st (i + 1) with
+      | STRING p -> (C_like (l, p), i + 2)
+      | t -> fail "expected pattern after like, found %s" (token_to_string t))
+  | KW "in" ->
+      let q, i = parse_subquery st (i + 1) in
+      (C_in (l, q), i)
+  | KW "not" when tok st (i + 1) = KW "in" ->
+      let q, i = parse_subquery st (i + 2) in
+      (C_not (C_in (l, q)), i)
+  | t -> fail "expected predicate operator, found %s" (token_to_string t)
+
+and parse_subquery st i =
+  let i = expect st i LPAREN in
+  let q, i = parse_set_query st i in
+  let i = expect st i RPAREN in
+  (q, i)
+
+(* ---------------- FROM ---------------- *)
+
+and parse_table_ref st i =
+  let base, i = parse_table_base st i in
+  parse_joins st i base
+
+and parse_table_base st i =
+  match tok st i with
+  | IDENT name -> (
+      match tok st (i + 1) with
+      | KW "as" -> (
+          match tok st (i + 2) with
+          | IDENT a -> (T_rel (name, Some a), i + 3)
+          | t -> fail "expected alias, found %s" (token_to_string t))
+      | IDENT a -> (T_rel (name, Some a), i + 2)
+      | _ -> (T_rel (name, None), i + 1))
+  | LPAREN -> (
+      match tok st (i + 1) with
+      | KW ("select" | "with") -> (
+          let q, i = parse_set_query st (i + 1) in
+          let i = expect st i RPAREN in
+          match tok st i with
+          | KW "as" -> (
+              match tok st (i + 1) with
+              | IDENT a -> (T_sub (q, a), i + 2)
+              | t -> fail "expected alias, found %s" (token_to_string t))
+          | IDENT a -> (T_sub (q, a), i + 1)
+          | t -> fail "subquery in FROM needs an alias, found %s" (token_to_string t))
+      | _ ->
+          (* parenthesized join tree *)
+          let tr, i = parse_table_ref st (i + 1) in
+          let i = expect st i RPAREN in
+          (tr, i))
+  | t -> fail "expected table reference, found %s" (token_to_string t)
+
+and parse_joins st i left =
+  let kind_opt =
+    match tok st i with
+    | KW "join" -> Some (J_inner, i + 1)
+    | KW "inner" when tok st (i + 1) = KW "join" -> Some (J_inner, i + 2)
+    | KW "left" when tok st (i + 1) = KW "join" -> Some (J_left, i + 2)
+    | KW "left" when tok st (i + 1) = KW "outer" && tok st (i + 2) = KW "join"
+      ->
+        Some (J_left, i + 3)
+    | KW "full" when tok st (i + 1) = KW "join" -> Some (J_full, i + 2)
+    | KW "full" when tok st (i + 1) = KW "outer" && tok st (i + 2) = KW "join"
+      ->
+        Some (J_full, i + 3)
+    | KW "cross" when tok st (i + 1) = KW "join" -> Some (J_cross, i + 2)
+    | _ -> None
+  in
+  match kind_opt with
+  | None -> (left, i)
+  | Some (kind, i) -> (
+      match tok st i with
+      | KW "lateral" -> (
+          let q, i = parse_subquery st (i + 1) in
+          let alias, i =
+            match tok st i with
+            | KW "as" -> (
+                match tok st (i + 1) with
+                | IDENT a -> (a, i + 2)
+                | t -> fail "expected alias, found %s" (token_to_string t))
+            | IDENT a -> (a, i + 1)
+            | t -> fail "lateral subquery needs an alias, found %s" (token_to_string t)
+          in
+          match tok st i with
+          | KW "on" ->
+              (* LATERAL … ON <cond>: only "on true" is used by the paper's
+                 figures; other conditions are parsed and folded in *)
+              let c, i = parse_cond st (i + 1) in
+              let on = match c with C_true -> None | c -> Some c in
+              parse_joins st i (T_join (kind, left, T_lateral (q, alias), on))
+          | _ ->
+              parse_joins st i (T_join (kind, left, T_lateral (q, alias), None)))
+      | _ -> (
+          let right, i = parse_table_base st i in
+          match tok st i with
+          | KW "on" ->
+              let c, i = parse_cond st (i + 1) in
+              parse_joins st i (T_join (kind, left, right, Some c))
+          | _ -> parse_joins st i (T_join (kind, left, right, None))))
+
+and parse_set_query st i =
+  let l, i = parse_set_atom st i in
+  let rec loop acc i =
+    match tok st i with
+    | KW "union" ->
+        let all, i =
+          if tok st (i + 1) = KW "all" then (true, i + 2) else (false, i + 1)
+        in
+        let r, i = parse_set_atom st i in
+        loop (Q_union (all, acc, r)) i
+    | KW "except" ->
+        let all, i =
+          if tok st (i + 1) = KW "all" then (true, i + 2) else (false, i + 1)
+        in
+        let r, i = parse_set_atom st i in
+        loop (Q_except (all, acc, r)) i
+    | KW "intersect" ->
+        let all, i =
+          if tok st (i + 1) = KW "all" then (true, i + 2) else (false, i + 1)
+        in
+        let r, i = parse_set_atom st i in
+        loop (Q_intersect (all, acc, r)) i
+    | _ -> (acc, i)
+  in
+  loop l i
+
+and parse_set_atom st i =
+  match tok st i with
+  | KW "select" ->
+      let s, i = parse_select st (i + 1) in
+      (Q_select s, i)
+  | LPAREN ->
+      let q, i = parse_set_query st (i + 1) in
+      let i = expect st i RPAREN in
+      (q, i)
+  | t -> fail "expected select, found %s" (token_to_string t)
+
+and parse_select st i =
+  let distinct, i =
+    if tok st i = KW "distinct" then (true, i + 1) else (false, i)
+  in
+  let rec items i acc =
+    let e, i = parse_expr st i in
+    let alias, i =
+      match tok st i with
+      | KW "as" -> (
+          match tok st (i + 1) with
+          | IDENT a -> (Some a, i + 2)
+          | KW a -> (Some a, i + 2)
+          | t -> fail "expected alias after as, found %s" (token_to_string t))
+      | IDENT a -> (Some a, i + 1)
+      | _ -> (None, i)
+    in
+    let acc = acc @ [ { item_expr = e; item_alias = alias } ] in
+    match tok st i with COMMA -> items (i + 1) acc | _ -> (acc, i)
+  in
+  let items_list, i = items i [] in
+  (* optional SELECT ... INTO Name (Fig 18): recognized and skipped; the
+     caller keeps the target name through the surrounding tooling *)
+  let i = match tok st i with
+    | KW "into" -> (
+        match tok st (i + 1) with
+        | IDENT _ -> i + 2
+        | t -> fail "expected name after into, found %s" (token_to_string t))
+    | _ -> i
+  in
+  let from, i =
+    if tok st i = KW "from" then begin
+      let rec froms i acc =
+        let tr, i = parse_table_ref st i in
+        match tok st i with
+        | COMMA -> froms (i + 1) (acc @ [ tr ])
+        | _ -> (acc @ [ tr ], i)
+      in
+      froms (i + 1) []
+    end
+    else ([], i)
+  in
+  let where, i =
+    if tok st i = KW "where" then
+      let c, i = parse_cond st (i + 1) in
+      (Some c, i)
+    else (None, i)
+  in
+  let group_by, i =
+    if tok st i = KW "group" then begin
+      let i = expect_kw st (i + 1) "by" in
+      let rec cols i acc =
+        match (tok st i, tok st (i + 1), tok st (i + 2)) with
+        | IDENT t, DOT, IDENT c -> next (i + 3) (acc @ [ (Some t, c) ])
+        | IDENT t, DOT, KW c -> next (i + 3) (acc @ [ (Some t, c) ])
+        | IDENT c, _, _ -> next (i + 1) (acc @ [ (None, c) ])
+        | t, _, _ -> fail "expected group-by column, found %s" (token_to_string t)
+      and next i acc =
+        match tok st i with COMMA -> cols (i + 1) acc | _ -> (acc, i)
+      in
+      cols i []
+    end
+    else ([], i)
+  in
+  let having, i =
+    if tok st i = KW "having" then
+      let c, i = parse_cond st (i + 1) in
+      (Some c, i)
+    else (None, i)
+  in
+  let order_by, i =
+    if tok st i = KW "order" then begin
+      let i = expect_kw st (i + 1) "by" in
+      let rec keys i acc =
+        let e, i = parse_expr st i in
+        let desc, i =
+          match tok st i with
+          | KW "desc" -> (true, i + 1)
+          | KW "asc" -> (false, i + 1)
+          | _ -> (false, i)
+        in
+        match tok st i with
+        | COMMA -> keys (i + 1) (acc @ [ (e, desc) ])
+        | _ -> (acc @ [ (e, desc) ], i)
+      in
+      keys i []
+    end
+    else ([], i)
+  in
+  let limit, i =
+    if tok st i = KW "limit" then
+      match tok st (i + 1) with
+      | NUMBER (V.Int n) -> (Some n, i + 2)
+      | t -> fail "expected row count after limit, found %s" (token_to_string t)
+    else (None, i)
+  in
+  ( { distinct; items = items_list; from; where; group_by; having; order_by;
+      limit },
+    i )
+
+and parse_statement st i =
+  if tok st i = KW "with" then begin
+    let recursive, i =
+      if tok st (i + 1) = KW "recursive" then (true, i + 2) else (false, i + 1)
+    in
+    let rec ctes i acc =
+      let name, i =
+        match tok st i with
+        | IDENT n -> (n, i + 1)
+        | t -> fail "expected CTE name, found %s" (token_to_string t)
+      in
+      let cols, i =
+        if tok st i = LPAREN then begin
+          let rec cs i acc =
+            match tok st i with
+            | IDENT c -> (
+                match tok st (i + 1) with
+                | COMMA -> cs (i + 2) (acc @ [ c ])
+                | RPAREN -> (acc @ [ c ], i + 2)
+                | t -> fail "expected , or ) in CTE columns, found %s" (token_to_string t))
+            | t -> fail "expected CTE column, found %s" (token_to_string t)
+          in
+          cs (i + 1) []
+        end
+        else ([], i)
+      in
+      let i = expect_kw st i "as" in
+      let body, i = parse_subquery st i in
+      let acc = acc @ [ { cte_name = name; cte_cols = cols; cte_body = body } ] in
+      match tok st i with COMMA -> ctes (i + 1) acc | _ -> (acc, i)
+    in
+    let cte_list, i = ctes i [] in
+    let body, i = parse_set_query st i in
+    ({ with_recursive = recursive; ctes = cte_list; body }, i)
+  end
+  else
+    let body, i = parse_set_query st i in
+    ({ with_recursive = false; ctes = []; body }, i)
+
+let run_parser : 'a. (state -> int -> 'a * int) -> string -> 'a =
+  fun f input ->
+  let toks =
+    try Lex.tokenize input
+    with Lex_error (msg, off) ->
+      raise
+        (Parse_error (Printf.sprintf "lexical error at offset %d: %s" off msg))
+  in
+  let st = { toks = Array.of_list toks } in
+  try
+    let v, i = f st 0 in
+    if tok st i <> EOF then
+      raise
+        (Parse_error
+           (Printf.sprintf "trailing input at token %d: %s" i
+              (token_to_string (tok st i))))
+    else v
+  with Fail msg -> raise (Parse_error msg)
+
+let statement_of_string s = run_parser parse_statement s
+let set_query_of_string s = run_parser parse_set_query s
+let cond_of_string s = run_parser parse_cond s
+let expr_of_string s = run_parser parse_expr s

@@ -1,0 +1,8 @@
+(** Recursive-descent SQL parser for the subset described in {!Ast}. *)
+
+exception Parse_error of string
+
+val statement_of_string : string -> Ast.statement
+val set_query_of_string : string -> Ast.set_query
+val cond_of_string : string -> Ast.cond
+val expr_of_string : string -> Ast.expr

@@ -1,0 +1,172 @@
+open Ast
+module V = Arc_value.Value
+module Aggregate = Arc_value.Aggregate
+
+let binop_str = function
+  | B_add -> "+"
+  | B_sub -> "-"
+  | B_mul -> "*"
+  | B_div -> "/"
+
+let agg_name = function
+  | Aggregate.Sum -> "sum"
+  | Aggregate.Count -> "count"
+  | Aggregate.Avg -> "avg"
+  | Aggregate.Min -> "min"
+  | Aggregate.Max -> "max"
+  | Aggregate.Count_distinct -> "count(distinct"
+  | Aggregate.Sum_distinct -> "sum(distinct"
+  | Aggregate.Avg_distinct -> "avg(distinct"
+
+let rec expr = function
+  | E_const v -> V.to_string v
+  | E_col (None, c) -> c
+  | E_col (Some t, c) -> t ^ "." ^ c
+  | E_binop (op, l, r) ->
+      Printf.sprintf "%s %s %s" (eatom l) (binop_str op) (eatom r)
+  | E_neg e -> "-" ^ eatom e
+  | E_agg (k, e) -> (
+      match k with
+      | Aggregate.Count_distinct | Aggregate.Sum_distinct
+      | Aggregate.Avg_distinct ->
+          Printf.sprintf "%s %s)" (agg_name k) (expr e)
+      | _ -> Printf.sprintf "%s(%s)" (agg_name k) (expr e))
+  | E_count_star -> "count(*)"
+  | E_scalar_subquery q -> "(" ^ set_query q ^ ")"
+
+and eatom e =
+  match e with
+  | E_binop _ -> "(" ^ expr e ^ ")"
+  | _ -> expr e
+
+and cond = function
+  | C_true -> "true"
+  | C_cmp (op, l, r) ->
+      Printf.sprintf "%s %s %s" (expr l) (cmp_to_string op) (expr r)
+  | C_and cs -> String.concat " and " (List.map catom cs)
+  | C_or cs -> String.concat " or " (List.map corom cs)
+  | C_not (C_exists q) -> "not exists (" ^ set_query q ^ ")"
+  | C_not (C_in (e, q)) -> expr e ^ " not in (" ^ set_query q ^ ")"
+  | C_not c -> "not (" ^ cond c ^ ")"
+  | C_exists q -> "exists (" ^ set_query q ^ ")"
+  | C_in (e, q) -> expr e ^ " in (" ^ set_query q ^ ")"
+  | C_is_null e -> expr e ^ " is null"
+  | C_is_not_null e -> expr e ^ " is not null"
+  | C_like (e, p) -> expr e ^ " like '" ^ p ^ "'"
+
+and catom c =
+  match c with C_or _ | C_and _ -> "(" ^ cond c ^ ")" | _ -> cond c
+
+and corom c = match c with C_or _ -> "(" ^ cond c ^ ")" | _ -> cond c
+
+and table_ref = function
+  | T_rel (n, None) -> n
+  | T_rel (n, Some a) -> n ^ " as " ^ a
+  | T_sub (q, a) -> "(" ^ set_query q ^ ") as " ^ a
+  | T_join (k, l, r, on) ->
+      let kw =
+        match k with
+        | J_inner -> "join"
+        | J_left -> "left join"
+        | J_full -> "full join"
+        | J_cross -> "cross join"
+      in
+      let on_str =
+        match on with
+        | Some c -> " on " ^ cond c
+        | None -> (match k with J_cross -> "" | _ -> " on true")
+      in
+      let rhs =
+        match r with
+        | T_lateral (q, a) -> "lateral (" ^ set_query q ^ ") as " ^ a
+        | _ -> join_operand r
+      in
+      table_ref l ^ " " ^ kw ^ " " ^ rhs ^ on_str
+  | T_lateral (q, a) -> "join lateral (" ^ set_query q ^ ") as " ^ a ^ " on true"
+
+and join_operand r =
+  match r with
+  | T_join _ -> "(" ^ table_ref r ^ ")"
+  | _ -> table_ref r
+
+and select_str s =
+  let items =
+    String.concat ", "
+      (List.map
+         (fun it ->
+           expr it.item_expr
+           ^ match it.item_alias with Some a -> " as " ^ a | None -> "")
+         s.items)
+  in
+  let parts =
+    [ "select " ^ (if s.distinct then "distinct " else "") ^ items ]
+    @ (if s.from = [] then []
+       else
+         [
+           "from "
+           ^ String.concat ", "
+               (List.map
+                  (fun tr ->
+                    match tr with
+                    | T_lateral _ ->
+                        (* a lateral item never starts a FROM list *)
+                        table_ref tr
+                    | _ -> table_ref tr)
+                  s.from);
+         ])
+    @ (match s.where with Some c -> [ "where " ^ cond c ] | None -> [])
+    @ (if s.group_by = [] then []
+       else
+         [
+           "group by "
+           ^ String.concat ", "
+               (List.map
+                  (fun (t, c) ->
+                    match t with Some t -> t ^ "." ^ c | None -> c)
+                  s.group_by);
+         ])
+    @ (match s.having with Some c -> [ "having " ^ cond c ] | None -> [])
+    @ (if s.order_by = [] then []
+       else
+         [
+           "order by "
+           ^ String.concat ", "
+               (List.map
+                  (fun (e, desc) -> expr e ^ if desc then " desc" else "")
+                  s.order_by);
+         ])
+    @ match s.limit with Some n -> [ "limit " ^ string_of_int n ] | None -> []
+  in
+  String.concat " " parts
+
+and set_query ?indent q =
+  ignore indent;
+  match q with
+  | Q_select s -> select_str s
+  | Q_union (all, a, b) ->
+      set_atom a ^ " union " ^ (if all then "all " else "") ^ set_atom b
+  | Q_except (all, a, b) ->
+      set_atom a ^ " except " ^ (if all then "all " else "") ^ set_atom b
+  | Q_intersect (all, a, b) ->
+      set_atom a ^ " intersect " ^ (if all then "all " else "") ^ set_atom b
+
+and set_atom q =
+  match q with Q_select _ -> set_query q | _ -> "(" ^ set_query q ^ ")"
+
+let statement st =
+  let ctes =
+    if st.ctes = [] then ""
+    else
+      "with "
+      ^ (if st.with_recursive then "recursive " else "")
+      ^ String.concat ", "
+          (List.map
+             (fun c ->
+               c.cte_name
+               ^ (if c.cte_cols = [] then ""
+                  else "(" ^ String.concat ", " c.cte_cols ^ ")")
+               ^ " as (" ^ set_query c.cte_body ^ ")")
+             st.ctes)
+      ^ " "
+  in
+  ctes ^ set_query st.body

@@ -1,0 +1,7 @@
+(** SQL pretty-printer. Produces text re-accepted by {!Parse}
+    (print/parse round-trips). *)
+
+val expr : Ast.expr -> string
+val cond : Ast.cond -> string
+val set_query : ?indent:int -> Ast.set_query -> string
+val statement : Ast.statement -> string

@@ -1,0 +1,39 @@
+(** SQL → ARC translation (the paper's Section 5 "SQL↔ARC translator",
+    forward direction).
+
+    Translation preserves the relational pattern:
+    {ul
+    {- FROM aliases become range variables with the same names, so
+       correlated subqueries resolve naturally;}
+    {- INNER/comma joins become plain bindings; LEFT/FULL joins become join
+       annotations (Section 2.11); derived tables and LATERAL subqueries
+       become nested collections (Section 2.4);}
+    {- GROUP BY becomes a grouping operator; HAVING becomes a selection
+       outside a nested grouping collection (Eq 8); aggregates stay in the
+       single scope that SQL gives them (FIO);}
+    {- scalar subqueries containing aggregates become correlated nested
+       collections with γ∅ — the lateral-join form the paper argues is the
+       faithful reading (Section 2.12, Fig 13);}
+    {- [NOT IN] is rewritten to [NOT EXISTS] with explicit NULL checks,
+       replicating SQL's three-valued behavior in two-valued logic
+       (Section 2.10, Eq 17);}
+    {- [DISTINCT] and set-operation deduplication become grouping on all
+       output attributes (Section 2.7);}
+    {- WITH [RECURSIVE] CTEs become ARC definitions (Section 2.9).}}
+
+    Raises {!Unsupported} on constructs outside the translatable fragment
+    (e.g. EXCEPT ALL, scalar subqueries without aggregates — whose
+    empty-input NULL cannot be expressed without an outer-join annotation). *)
+
+exception Unsupported of string
+
+val statement :
+  ?schemas:(string * string list) list -> Ast.statement -> Arc_core.Ast.program
+(** [schemas] maps base-relation names to their attributes; required to
+    resolve unqualified column references and [SELECT] lists in the presence
+    of several bindings. *)
+
+val set_query :
+  ?schemas:(string * string list) list ->
+  Ast.set_query ->
+  Arc_core.Ast.collection

@@ -1,0 +1,1 @@
+lib/syntax/lexer.ml: Arc_value List Printf String

@@ -1,0 +1,1 @@
+lib/syntax/parser.ml: Arc_core Arc_value Array Lexer Printf

@@ -1,0 +1,1 @@
+lib/syntax/printer.ml: Arc_core Arc_value Buffer List Printf String

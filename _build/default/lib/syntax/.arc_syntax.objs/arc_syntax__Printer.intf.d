@@ -1,0 +1,1 @@
+lib/syntax/printer.mli: Arc_core

@@ -1,0 +1,228 @@
+module V = Arc_value.Value
+
+type token =
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | PIPE
+  | COMMA
+  | DOT
+  | UNDERSCORE
+  | ASSIGN
+  | IDENT of string
+  | NUMBER of V.t
+  | STRING of string
+  | KW of string
+  | OP of string
+  | EOF
+
+exception Lex_error of string * int
+
+let keywords =
+  [
+    "exists"; "in"; "and"; "or"; "not"; "gamma"; "def"; "is"; "null"; "like";
+    "true"; "inner"; "left"; "full";
+  ]
+
+(* Unicode symbols we recognize, as byte sequences *)
+let unicode_tokens =
+  [
+    ("\xe2\x88\x83", KW "exists"); (* ∃ *)
+    ("\xe2\x88\x88", KW "in"); (* ∈ *)
+    ("\xe2\x88\xa7", KW "and"); (* ∧ *)
+    ("\xe2\x88\xa8", KW "or"); (* ∨ *)
+    ("\xc2\xac", KW "not"); (* ¬ *)
+    ("\xce\xb3", KW "gamma"); (* γ *)
+    ("\xe2\x88\x85", KW "emptyset"); (* ∅ *)
+    ("\xe2\x89\xa4", OP "<="); (* ≤ *)
+    ("\xe2\x89\xa5", OP ">="); (* ≥ *)
+    ("\xe2\x89\xa0", OP "<>"); (* ≠ *)
+  ]
+
+let tokenize input =
+  let n = String.length input in
+  let toks = ref [] in
+  let emit t = toks := t :: !toks in
+  let pos = ref 0 in
+  let peek i = if !pos + i < n then Some input.[!pos + i] else None in
+  let starts_with s =
+    let l = String.length s in
+    !pos + l <= n && String.sub input !pos l = s
+  in
+  while !pos < n do
+    let c = input.[!pos] in
+    match c with
+    | ' ' | '\t' | '\n' | '\r' -> incr pos
+    | '{' ->
+        emit LBRACE;
+        incr pos
+    | '}' ->
+        emit RBRACE;
+        incr pos
+    | '(' ->
+        emit LPAREN;
+        incr pos
+    | ')' ->
+        emit RPAREN;
+        incr pos
+    | '[' ->
+        emit LBRACKET;
+        incr pos
+    | ']' ->
+        emit RBRACKET;
+        incr pos
+    | '|' ->
+        emit PIPE;
+        incr pos
+    | ',' ->
+        emit COMMA;
+        incr pos
+    | '.' ->
+        emit DOT;
+        incr pos
+    | '_' -> (
+        (* identifier starting with underscore, or the gamma separator *)
+        match peek 1 with
+        | Some ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_') ->
+            let start = !pos in
+            incr pos;
+            while
+              !pos < n
+              && (match input.[!pos] with
+                 | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '$' -> true
+                 | _ -> false)
+            do
+              incr pos
+            done;
+            emit (IDENT (String.sub input start (!pos - start)))
+        | _ ->
+            emit UNDERSCORE;
+            incr pos)
+    | ':' ->
+        if peek 1 = Some '=' then (
+          emit ASSIGN;
+          pos := !pos + 2)
+        else raise (Lex_error ("unexpected ':'", !pos))
+    | '=' ->
+        emit (OP "=");
+        incr pos
+    | '<' ->
+        if peek 1 = Some '=' then (
+          emit (OP "<=");
+          pos := !pos + 2)
+        else if peek 1 = Some '>' then (
+          emit (OP "<>");
+          pos := !pos + 2)
+        else (
+          emit (OP "<");
+          incr pos)
+    | '>' ->
+        if peek 1 = Some '=' then (
+          emit (OP ">=");
+          pos := !pos + 2)
+        else (
+          emit (OP ">");
+          incr pos)
+    | '+' | '-' | '*' | '/' ->
+        emit (OP (String.make 1 c));
+        incr pos
+    | '\'' ->
+        let start = !pos + 1 in
+        let e = ref start in
+        while !e < n && input.[!e] <> '\'' do
+          incr e
+        done;
+        if !e >= n then raise (Lex_error ("unterminated string", !pos));
+        emit (STRING (String.sub input start (!e - start)));
+        pos := !e + 1
+    | '"' ->
+        let start = !pos + 1 in
+        let e = ref start in
+        while !e < n && input.[!e] <> '"' do
+          incr e
+        done;
+        if !e >= n then raise (Lex_error ("unterminated quoted identifier", !pos));
+        emit (IDENT (String.sub input start (!e - start)));
+        pos := !e + 1
+    | '0' .. '9' ->
+        let start = !pos in
+        while !pos < n && match input.[!pos] with '0' .. '9' -> true | _ -> false do
+          incr pos
+        done;
+        let is_float =
+          !pos + 1 < n
+          && input.[!pos] = '.'
+          && match input.[!pos + 1] with '0' .. '9' -> true | _ -> false
+        in
+        if is_float then begin
+          incr pos;
+          while
+            !pos < n && match input.[!pos] with '0' .. '9' -> true | _ -> false
+          do
+            incr pos
+          done;
+          emit (NUMBER (V.Float (float_of_string (String.sub input start (!pos - start)))))
+        end
+        else
+          emit (NUMBER (V.Int (int_of_string (String.sub input start (!pos - start)))))
+    | 'a' .. 'z' | 'A' .. 'Z' | '$' ->
+        let start = !pos in
+        while
+          !pos < n
+          && (match input.[!pos] with
+             | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '$' -> true
+             | _ -> false)
+        do
+          incr pos
+        done;
+        let word = String.sub input start (!pos - start) in
+        let gamma_prefix = "gamma_" in
+        let gl = String.length gamma_prefix in
+        if List.mem word keywords then emit (KW word)
+        else if String.length word >= gl && String.sub word 0 gl = gamma_prefix
+        then begin
+          (* ASCII grouping operator: gamma_0, gamma_{...} *)
+          emit (KW "gamma");
+          emit UNDERSCORE;
+          let rest = String.sub word gl (String.length word - gl) in
+          if rest = "" then ()
+          else if String.for_all (function '0' .. '9' -> true | _ -> false) rest
+          then emit (NUMBER (V.Int (int_of_string rest)))
+          else emit (IDENT rest)
+        end
+        else emit (IDENT word)
+    | _ -> (
+        match
+          List.find_opt (fun (s, _) -> starts_with s) unicode_tokens
+        with
+        | Some (s, t) ->
+            emit t;
+            pos := !pos + String.length s
+        | None ->
+            raise
+              (Lex_error
+                 (Printf.sprintf "unexpected character %C" c, !pos)))
+  done;
+  List.rev (EOF :: !toks)
+
+let token_to_string = function
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | PIPE -> "|"
+  | COMMA -> ","
+  | DOT -> "."
+  | UNDERSCORE -> "_"
+  | ASSIGN -> ":="
+  | IDENT s -> "ident " ^ s
+  | NUMBER v -> "number " ^ V.to_string v
+  | STRING s -> "string '" ^ s ^ "'"
+  | KW s -> s
+  | OP s -> s
+  | EOF -> "<eof>"

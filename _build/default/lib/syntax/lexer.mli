@@ -1,0 +1,34 @@
+(** Lexer for ARC's comprehension syntax.
+
+    Accepts both the Unicode rendering (∃, ∈, ∧, ∨, ¬, γ, ∅, ≤, ≥, ≠) and the
+    ASCII rendering ([exists], [in], [and], [or], [not], [gamma], [0], [<=],
+    [>=], [<>]). Exotic relation names such as ["-"] or ["*"] (external
+    relations, Section 2.13.1) are written as double-quoted identifiers. *)
+
+type token =
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | PIPE
+  | COMMA
+  | DOT
+  | UNDERSCORE
+  | ASSIGN  (** [:=] *)
+  | IDENT of string
+  | NUMBER of Arc_value.Value.t
+  | STRING of string
+  | KW of string
+      (** [exists in and or not gamma emptyset def is null like true inner
+          left full] *)
+  | OP of string  (** [= <> < <= > >= + - * /] *)
+  | EOF
+
+exception Lex_error of string * int  (** message, byte offset *)
+
+val tokenize : string -> token list
+(** Raises {!Lex_error} on malformed input. The result ends with [EOF]. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,315 @@
+open Arc_core.Ast
+module V = Arc_value.Value
+module Aggregate = Arc_value.Aggregate
+open Lexer
+
+exception Parse_error of string
+
+(* internal backtracking failure *)
+exception Fail of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Fail s)) fmt
+
+type state = { toks : token array }
+
+let tok st i = if i < Array.length st.toks then st.toks.(i) else EOF
+
+let expect st i t =
+  if tok st i = t then i + 1
+  else
+    fail "expected %s, found %s" (token_to_string t)
+      (token_to_string (tok st i))
+
+let try_parse f st i = try Some (f st i) with Fail _ -> None
+
+(* ---------------- terms ---------------- *)
+
+let rec parse_term st i = parse_add st i
+
+and parse_add st i =
+  let l, i = parse_mul st i in
+  let rec loop acc i =
+    match tok st i with
+    | OP "+" ->
+        let r, i = parse_mul st (i + 1) in
+        loop (Scalar (Add, [ acc; r ])) i
+    | OP "-" ->
+        let r, i = parse_mul st (i + 1) in
+        loop (Scalar (Sub, [ acc; r ])) i
+    | _ -> (acc, i)
+  in
+  loop l i
+
+and parse_mul st i =
+  let l, i = parse_atom st i in
+  let rec loop acc i =
+    match tok st i with
+    | OP "*" ->
+        let r, i = parse_atom st (i + 1) in
+        loop (Scalar (Mul, [ acc; r ])) i
+    | OP "/" ->
+        let r, i = parse_atom st (i + 1) in
+        loop (Scalar (Div, [ acc; r ])) i
+    | _ -> (acc, i)
+  in
+  loop l i
+
+and parse_atom st i =
+  match tok st i with
+  | NUMBER v -> (Const v, i + 1)
+  | STRING s -> (Const (V.Str s), i + 1)
+  | KW "null" -> (Const V.Null, i + 1)
+  | OP "-" ->
+      let t, i = parse_atom st (i + 1) in
+      (Scalar (Neg, [ t ]), i)
+  | LPAREN ->
+      let t, i = parse_term st (i + 1) in
+      let i = expect st i RPAREN in
+      (t, i)
+  | IDENT name -> (
+      match (Aggregate.kind_of_string name, tok st (i + 1)) with
+      | Some k, LPAREN ->
+          let t, i = parse_term st (i + 2) in
+          let i = expect st i RPAREN in
+          (Agg (k, t), i)
+      | _ -> (
+          match tok st (i + 1) with
+          | DOT -> (
+              match tok st (i + 2) with
+              | IDENT a -> (Attr (name, a), i + 3)
+              (* keywords are legal attribute names in attribute position
+                 (e.g. Minus.left, Bigger.right) *)
+              | KW a -> (Attr (name, a), i + 3)
+              | NUMBER (V.Int n) -> (Attr (name, string_of_int n), i + 3)
+              | t -> fail "expected attribute after '.', found %s" (token_to_string t))
+          | t ->
+              fail "expected '.' after identifier %S, found %s" name
+                (token_to_string t)))
+  | t -> fail "expected term, found %s" (token_to_string t)
+
+(* ---------------- predicates ---------------- *)
+
+and parse_pred st i =
+  let l, i = parse_term st i in
+  match tok st i with
+  | OP ("=" | "<>" | "<" | "<=" | ">" | ">=") ->
+      let op =
+        match tok st i with
+        | OP "=" -> Eq
+        | OP "<>" -> Neq
+        | OP "<" -> Lt
+        | OP "<=" -> Leq
+        | OP ">" -> Gt
+        | OP ">=" -> Geq
+        | _ -> assert false
+      in
+      let r, i = parse_term st (i + 1) in
+      (Cmp (op, l, r), i)
+  | KW "is" -> (
+      match (tok st (i + 1), tok st (i + 2)) with
+      | KW "null", _ -> (Is_null l, i + 2)
+      | KW "not", KW "null" -> (Not_null l, i + 3)
+      | _ -> fail "expected 'null' or 'not null' after 'is'")
+  | KW "like" -> (
+      match tok st (i + 1) with
+      | STRING p -> (Like (l, p), i + 2)
+      | t -> fail "expected string pattern after 'like', found %s" (token_to_string t))
+  | t -> fail "expected comparison operator, found %s" (token_to_string t)
+
+(* ---------------- formulas ---------------- *)
+
+and parse_formula st i =
+  let l, i = parse_conj st i in
+  let rec loop acc i =
+    match tok st i with
+    | KW "or" ->
+        let r, i = parse_conj st (i + 1) in
+        loop (acc @ [ r ]) i
+    | _ -> (acc, i)
+  in
+  let parts, i = loop [ l ] i in
+  ((match parts with [ f ] -> f | fs -> Or fs), i)
+
+and parse_conj st i =
+  let l, i = parse_unary st i in
+  let rec loop acc i =
+    match tok st i with
+    | KW "and" ->
+        let r, i = parse_unary st (i + 1) in
+        loop (acc @ [ r ]) i
+    | _ -> (acc, i)
+  in
+  let parts, i = loop [ l ] i in
+  ((match parts with [ f ] -> f | fs -> And fs), i)
+
+and parse_unary st i =
+  match tok st i with
+  | KW "not" ->
+      let f, i = parse_unary st (i + 1) in
+      (Not f, i)
+  | KW "exists" -> parse_exists st (i + 1)
+  | KW "true" when tok st (i + 1) <> OP "=" -> (True, i + 1)
+  | LPAREN -> (
+      (* could be a parenthesized formula or a parenthesized term starting a
+         predicate; try the predicate reading first *)
+      match try_parse parse_pred st i with
+      | Some (p, i) -> (Pred p, i)
+      | None ->
+          let f, i = parse_formula st (i + 1) in
+          let i = expect st i RPAREN in
+          (f, i))
+  | _ ->
+      let p, i = parse_pred st i in
+      (Pred p, i)
+
+and parse_exists st i =
+  (* items: bindings, at most one grouping, at most one join annotation *)
+  let rec items i bindings grouping join =
+    let next i bindings grouping join =
+      match tok st i with
+      | COMMA -> items (i + 1) bindings grouping join
+      | LBRACKET -> (i + 1, bindings, grouping, join)
+      | t -> fail "expected ',' or '[', found %s" (token_to_string t)
+    in
+    match tok st i with
+    | KW "gamma" -> (
+        let i = expect st (i + 1) UNDERSCORE in
+        match tok st i with
+        | KW "emptyset" -> next (i + 1) bindings (Some []) join
+        | NUMBER (V.Int 0) -> next (i + 1) bindings (Some []) join
+        | LBRACE ->
+            let rec keys i acc =
+              match (tok st i, tok st (i + 1), tok st (i + 2)) with
+              | IDENT v, DOT, IDENT a -> (
+                  match tok st (i + 3) with
+                  | COMMA -> keys (i + 4) (acc @ [ (v, a) ])
+                  | RBRACE -> (i + 4, acc @ [ (v, a) ])
+                  | t -> fail "expected ',' or '}' in grouping keys, found %s" (token_to_string t))
+              | t, _, _ -> fail "expected grouping key, found %s" (token_to_string t)
+            in
+            let i, ks = keys (i + 1) [] in
+            next i bindings (Some ks) join
+        | t -> fail "expected grouping keys after gamma_, found %s" (token_to_string t))
+    | KW (("inner" | "left" | "full") as kw) when tok st (i + 1) = LPAREN ->
+        let jt, i = parse_join_tree st i in
+        ignore kw;
+        next i bindings grouping (Some jt)
+    | IDENT v -> (
+        match tok st (i + 1) with
+        | KW "in" -> (
+            match tok st (i + 2) with
+            | IDENT rel -> next (i + 3) (bindings @ [ { var = v; source = Base rel } ]) grouping join
+            | LBRACE ->
+                let c, i = parse_collection st (i + 2) in
+                next i (bindings @ [ { var = v; source = Nested c } ]) grouping join
+            | t -> fail "expected relation or collection after 'in', found %s" (token_to_string t))
+        | t -> fail "expected 'in' after binding variable, found %s" (token_to_string t))
+    | t -> fail "expected binding, grouping, or join annotation; found %s" (token_to_string t)
+  in
+  let i, bindings, grouping, join = items i [] None None in
+  let body, i = parse_formula st i in
+  let i = expect st i RBRACKET in
+  (Exists { bindings; grouping; join; body }, i)
+
+and parse_join_tree st i =
+  match tok st i with
+  | KW (("inner" | "left" | "full") as kw) when tok st (i + 1) = LPAREN ->
+      let rec args i acc =
+        let a, i = parse_join_tree st i in
+        match tok st i with
+        | COMMA -> args (i + 1) (acc @ [ a ])
+        | RPAREN -> (i + 1, acc @ [ a ])
+        | t -> fail "expected ',' or ')' in join annotation, found %s" (token_to_string t)
+      in
+      let i, children = args (i + 2) [] in
+      let jt =
+        match (kw, children) with
+        | "inner", l -> J_inner l
+        | "left", [ a; b ] -> J_left (a, b)
+        | "full", [ a; b ] -> J_full (a, b)
+        | "left", _ | "full", _ -> fail "%s join annotation must be binary" kw
+        | _ -> assert false
+      in
+      (jt, i)
+  | IDENT v -> (J_var v, i + 1)
+  | NUMBER v -> (J_lit v, i + 1)
+  | STRING s -> (J_lit (V.Str s), i + 1)
+  | t -> fail "expected join-tree leaf, found %s" (token_to_string t)
+
+(* ---------------- collections, queries, programs ---------------- *)
+
+and parse_collection st i =
+  let i = expect st i LBRACE in
+  let name, i =
+    match tok st i with
+    | IDENT n -> (n, i + 1)
+    | t -> fail "expected head name, found %s" (token_to_string t)
+  in
+  let i = expect st i LPAREN in
+  let rec attrs i acc =
+    match tok st i with
+    | RPAREN -> (i + 1, acc)
+    | IDENT a -> (
+        match tok st (i + 1) with
+        | COMMA -> attrs (i + 2) (acc @ [ a ])
+        | RPAREN -> (i + 2, acc @ [ a ])
+        | t -> fail "expected ',' or ')' in head, found %s" (token_to_string t))
+    | t -> fail "expected head attribute, found %s" (token_to_string t)
+  in
+  let i, head_attrs = attrs i [] in
+  let i = expect st i PIPE in
+  let body, i = parse_formula st i in
+  let i = expect st i RBRACE in
+  ({ head = { head_name = name; head_attrs }; body }, i)
+
+let parse_query st i =
+  match tok st i with
+  | LBRACE ->
+      let c, i = parse_collection st i in
+      (Coll c, i)
+  | _ ->
+      let f, i = parse_formula st i in
+      (Sentence f, i)
+
+let parse_program st i =
+  let rec defs i acc =
+    match tok st i with
+    | KW "def" ->
+        let name, i =
+          match tok st (i + 1) with
+          | IDENT n -> (n, i + 2)
+          | t -> fail "expected definition name, found %s" (token_to_string t)
+        in
+        let i = expect st i ASSIGN in
+        let c, i = parse_collection st i in
+        defs i (acc @ [ { def_name = name; def_body = c } ])
+    | _ -> (i, acc)
+  in
+  let i, defs = defs i [] in
+  let main, i = parse_query st i in
+  ({ defs; main }, i)
+
+let run_parser f input =
+  let toks =
+    try Lexer.tokenize input
+    with Lex_error (msg, off) ->
+      raise (Parse_error (Printf.sprintf "lexical error at offset %d: %s" off msg))
+  in
+  let st = { toks = Array.of_list toks } in
+  try
+    let v, i = f st 0 in
+    if tok st i <> EOF then
+      raise
+        (Parse_error
+           (Printf.sprintf "trailing input at token %d: %s" i
+              (token_to_string (tok st i))))
+    else v
+  with Fail msg -> raise (Parse_error msg)
+
+let query_of_string s = run_parser parse_query s
+
+let collection_of_string s =
+  run_parser (fun st i -> parse_collection st i) s
+
+let formula_of_string s = run_parser parse_formula s
+let program_of_string s = run_parser parse_program s

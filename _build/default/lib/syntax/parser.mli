@@ -1,0 +1,15 @@
+(** Recursive-descent parser for ARC's comprehension syntax — the inverse of
+    {!Printer}. Accepts both Unicode and ASCII renderings (see {!Lexer}). *)
+
+open Arc_core.Ast
+
+exception Parse_error of string
+
+val query_of_string : string -> query
+(** Parses either a collection [{Q(…) | …}] or a Boolean sentence. *)
+
+val collection_of_string : string -> collection
+val formula_of_string : string -> formula
+
+val program_of_string : string -> program
+(** Zero or more [def Name := {…}] definitions followed by the main query. *)

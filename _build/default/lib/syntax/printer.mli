@@ -1,0 +1,22 @@
+(** The comprehension-syntax modality (paper, Sections 2.1–2.5): renders ARC
+    ASTs in the paper's textual notation, e.g.
+
+    {v {Q(A, sm) | ∃r ∈ R, γ_{r.A} [Q.A = r.A ∧ Q.sm = sum(r.B)]} v}
+
+    Output is valid input for {!Parser} (print/parse round-trips). Set
+    [~unicode:false] for a pure-ASCII rendering ([exists], [in], [and],
+    [or], [not], [gamma_0]) accepted by the same parser. *)
+
+open Arc_core.Ast
+
+val term : ?unicode:bool -> term -> string
+val pred : ?unicode:bool -> pred -> string
+val formula : ?unicode:bool -> formula -> string
+val collection : ?unicode:bool -> collection -> string
+val query : ?unicode:bool -> query -> string
+val program : ?unicode:bool -> program -> string
+(** Definitions print as [def Name := { ... }] lines before the main query. *)
+
+val pretty_query : ?unicode:bool -> ?width:int -> query -> string
+(** Multi-line layout with indentation tracking scope nesting, for human
+    reading; also parseable. *)

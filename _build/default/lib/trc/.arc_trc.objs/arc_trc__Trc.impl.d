@@ -1,0 +1,1 @@
+lib/trc/trc.ml: Arc_core Arc_value Array Hashtbl List Option Printf String

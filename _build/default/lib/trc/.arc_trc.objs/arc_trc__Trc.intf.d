@@ -1,0 +1,1 @@
+lib/trc/trc.mli: Arc_core Arc_value

@@ -1,0 +1,401 @@
+module A = Arc_core.Ast
+module V = Arc_value.Value
+
+type texpr = T_attr of string * string | T_const of V.t
+
+type tformula =
+  | T_member of string * string
+  | T_cmp of A.cmp_op * texpr * texpr
+  | T_and of tformula list
+  | T_or of tformula list
+  | T_not of tformula
+  | T_exists of string list * tformula
+  | T_forall of string list * tformula
+
+type query = { head : (string * string) list; body : tformula }
+
+exception Parse_error of string
+exception Normalize_error of string
+
+let pfail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+let nfail fmt = Printf.ksprintf (fun s -> raise (Normalize_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | LPAREN
+  | RPAREN
+  | PIPE
+  | COMMA
+  | DOT
+  | IDENT of string
+  | NUMBER of V.t
+  | STRING of string
+  | KW of string  (* in and or not exists forall *)
+  | OP of string
+  | EOF
+
+let unicode_tokens =
+  [
+    ("\xe2\x88\x83", KW "exists");
+    ("\xe2\x88\x80", KW "forall");
+    ("\xe2\x88\x88", KW "in");
+    ("\xe2\x88\xa7", KW "and");
+    ("\xe2\x88\xa8", KW "or");
+    ("\xc2\xac", KW "not");
+    ("\xe2\x89\xa4", OP "<=");
+    ("\xe2\x89\xa5", OP ">=");
+    ("\xe2\x89\xa0", OP "<>");
+  ]
+
+let keywords = [ "in"; "and"; "or"; "not"; "exists"; "forall" ]
+
+let tokenize input =
+  let n = String.length input in
+  let toks = ref [] in
+  let emit t = toks := t :: !toks in
+  let pos = ref 0 in
+  let peek i = if !pos + i < n then Some input.[!pos + i] else None in
+  let starts_with s =
+    let l = String.length s in
+    !pos + l <= n && String.sub input !pos l = s
+  in
+  while !pos < n do
+    match input.[!pos] with
+    | ' ' | '\t' | '\n' | '\r' -> incr pos
+    | '{' -> emit LBRACE; incr pos
+    | '}' -> emit RBRACE; incr pos
+    | '[' -> emit LBRACKET; incr pos
+    | ']' -> emit RBRACKET; incr pos
+    | '(' -> emit LPAREN; incr pos
+    | ')' -> emit RPAREN; incr pos
+    | '|' -> emit PIPE; incr pos
+    | ',' -> emit COMMA; incr pos
+    | '.' -> emit DOT; incr pos
+    | '=' -> emit (OP "="); incr pos
+    | '<' ->
+        if peek 1 = Some '=' then (emit (OP "<="); pos := !pos + 2)
+        else if peek 1 = Some '>' then (emit (OP "<>"); pos := !pos + 2)
+        else (emit (OP "<"); incr pos)
+    | '>' ->
+        if peek 1 = Some '=' then (emit (OP ">="); pos := !pos + 2)
+        else (emit (OP ">"); incr pos)
+    | '\'' ->
+        let start = !pos + 1 in
+        let e = ref start in
+        while !e < n && input.[!e] <> '\'' do incr e done;
+        if !e >= n then pfail "unterminated string";
+        emit (STRING (String.sub input start (!e - start)));
+        pos := !e + 1
+    | '0' .. '9' ->
+        let start = !pos in
+        while !pos < n && (match input.[!pos] with '0' .. '9' -> true | _ -> false) do
+          incr pos
+        done;
+        emit (NUMBER (V.Int (int_of_string (String.sub input start (!pos - start)))))
+    | 'a' .. 'z' | 'A' .. 'Z' | '_' ->
+        let start = !pos in
+        while
+          !pos < n
+          && (match input.[!pos] with
+             | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+             | _ -> false)
+        do
+          incr pos
+        done;
+        let w = String.sub input start (!pos - start) in
+        if List.mem w keywords then emit (KW w) else emit (IDENT w)
+    | c -> (
+        match List.find_opt (fun (s, _) -> starts_with s) unicode_tokens with
+        | Some (s, t) ->
+            emit t;
+            pos := !pos + String.length s
+        | None -> pfail "unexpected character %C" c)
+  done;
+  List.rev (EOF :: !toks)
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type state = { toks : token array }
+
+let tok st i = if i < Array.length st.toks then st.toks.(i) else EOF
+
+let cmp_of = function
+  | "=" -> A.Eq
+  | "<>" -> A.Neq
+  | "<" -> A.Lt
+  | "<=" -> A.Leq
+  | ">" -> A.Gt
+  | ">=" -> A.Geq
+  | op -> pfail "unknown operator %s" op
+
+let parse_texpr st i =
+  match (tok st i, tok st (i + 1), tok st (i + 2)) with
+  | IDENT v, DOT, IDENT a -> (T_attr (v, a), i + 3)
+  | NUMBER c, _, _ -> (T_const c, i + 1)
+  | STRING s, _, _ -> (T_const (V.Str s), i + 1)
+  | _ -> pfail "expected r.A, number, or string"
+
+let rec parse_formula st i =
+  let l, i = parse_conj st i in
+  let rec loop acc i =
+    match tok st i with
+    | KW "or" ->
+        let r, i = parse_conj st (i + 1) in
+        loop (acc @ [ r ]) i
+    | _ -> (acc, i)
+  in
+  let parts, i = loop [ l ] i in
+  ((match parts with [ f ] -> f | fs -> T_or fs), i)
+
+and parse_conj st i =
+  let l, i = parse_unary st i in
+  let rec loop acc i =
+    match tok st i with
+    | KW "and" ->
+        let r, i = parse_unary st (i + 1) in
+        loop (acc @ [ r ]) i
+    | _ -> (acc, i)
+  in
+  let parts, i = loop [ l ] i in
+  ((match parts with [ f ] -> f | fs -> T_and fs), i)
+
+and parse_unary st i =
+  match tok st i with
+  | KW "not" ->
+      let f, i = parse_unary st (i + 1) in
+      (T_not f, i)
+  | KW (("exists" | "forall") as q) ->
+      (* exists v1, v2 [...]  or the sugared  exists v in R [...] *)
+      let rec vars i acc pre =
+        match tok st i with
+        | IDENT v -> (
+            match tok st (i + 1) with
+            | KW "in" -> (
+                match tok st (i + 2) with
+                | IDENT rel -> (
+                    let pre = pre @ [ T_member (v, rel) ] in
+                    match tok st (i + 3) with
+                    | COMMA -> vars (i + 4) (acc @ [ v ]) pre
+                    | LBRACKET -> (i + 4, acc @ [ v ], pre)
+                    | _ -> pfail "expected ',' or '[' after range")
+                | _ -> pfail "expected relation after 'in'")
+            | COMMA -> vars (i + 2) (acc @ [ v ]) pre
+            | LBRACKET -> (i + 2, acc @ [ v ], pre)
+            | _ -> pfail "expected ',' or '[' after quantified variable")
+        | _ -> pfail "expected variable after quantifier"
+      in
+      let i, vs, pre = vars (i + 1) [] [] in
+      let body, i = parse_formula st i in
+      let i =
+        match tok st i with
+        | RBRACKET -> i + 1
+        | _ -> pfail "expected ']'"
+      in
+      let body = if pre = [] then body else T_and (pre @ [ body ]) in
+      ((if q = "exists" then T_exists (vs, body) else T_forall (vs, body)), i)
+  | LPAREN ->
+      let f, i = parse_formula st (i + 1) in
+      let i =
+        match tok st i with RPAREN -> i + 1 | _ -> pfail "expected ')'"
+      in
+      (f, i)
+  | IDENT v when tok st (i + 1) = KW "in" -> (
+      match tok st (i + 2) with
+      | IDENT rel -> (T_member (v, rel), i + 3)
+      | _ -> pfail "expected relation after 'in'")
+  | _ -> (
+      let l, i = parse_texpr st i in
+      match tok st i with
+      | OP op ->
+          let r, i = parse_texpr st (i + 1) in
+          (T_cmp (cmp_of op, l, r), i)
+      | _ -> pfail "expected comparison operator")
+
+let parse input =
+  let st = { toks = Array.of_list (tokenize input) } in
+  let i =
+    match tok st 0 with LBRACE -> 1 | _ -> pfail "expected '{'"
+  in
+  let rec head i acc =
+    match (tok st i, tok st (i + 1), tok st (i + 2)) with
+    | IDENT v, DOT, IDENT a -> (
+        match tok st (i + 3) with
+        | COMMA -> head (i + 4) (acc @ [ (v, a) ])
+        | PIPE -> (i + 4, acc @ [ (v, a) ])
+        | _ -> pfail "expected ',' or '|' in head")
+    | _ -> pfail "expected projection r.A in head"
+  in
+  let i, head_list = head i [] in
+  let body, i = parse_formula st i in
+  (match (tok st i, tok st (i + 1)) with
+  | RBRACE, EOF -> ()
+  | RBRACE, t -> pfail "trailing input after '}'%s" (ignore t; "")
+  | _ -> pfail "expected '}'");
+  { head = head_list; body }
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let texpr_to_string = function
+  | T_attr (v, a) -> v ^ "." ^ a
+  | T_const c -> V.to_string c
+
+let rec tformula_to_string f =
+  match f with
+  | T_member (v, r) -> v ^ " \xe2\x88\x88 " ^ r
+  | T_cmp (op, l, r) ->
+      Printf.sprintf "%s %s %s" (texpr_to_string l) (A.cmp_op_to_string op)
+        (texpr_to_string r)
+  | T_and fs -> String.concat " \xe2\x88\xa7 " (List.map atom fs)
+  | T_or fs -> String.concat " \xe2\x88\xa8 " (List.map atom fs)
+  | T_not f -> "\xc2\xac" ^ atom f
+  | T_exists (vs, f) ->
+      "\xe2\x88\x83" ^ String.concat ", " vs ^ "[" ^ tformula_to_string f ^ "]"
+  | T_forall (vs, f) ->
+      "\xe2\x88\x80" ^ String.concat ", " vs ^ "[" ^ tformula_to_string f ^ "]"
+
+and atom f =
+  match f with
+  | T_and _ | T_or _ -> "(" ^ tformula_to_string f ^ ")"
+  | _ -> tformula_to_string f
+
+let to_string q =
+  "{"
+  ^ String.concat ", " (List.map (fun (v, a) -> v ^ "." ^ a) q.head)
+  ^ " | " ^ tformula_to_string q.body ^ "}"
+
+(* ------------------------------------------------------------------ *)
+(* Normalization (Section 2.1)                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* step 0: ∀x[φ] → ¬∃x[¬φ] *)
+let rec eliminate_forall f =
+  match f with
+  | T_member _ | T_cmp _ -> f
+  | T_and fs -> T_and (List.map eliminate_forall fs)
+  | T_or fs -> T_or (List.map eliminate_forall fs)
+  | T_not f -> T_not (eliminate_forall f)
+  | T_exists (vs, f) -> T_exists (vs, eliminate_forall f)
+  | T_forall (vs, f) -> T_not (T_exists (vs, T_not (eliminate_forall f)))
+
+(* step 1: clarify scopes — pull each quantified variable's membership atom
+   out of the conjunctive spine of its scope *)
+let extract_membership var f =
+  let found = ref None in
+  let rec strip f =
+    match f with
+    | T_member (v, r) when v = var && !found = None ->
+        found := Some r;
+        T_and []
+    | T_and fs -> T_and (List.map strip fs)
+    | f -> f
+  in
+  let f' = strip f in
+  (!found, f')
+
+let rec simplify = function
+  | T_and fs -> (
+      let fs =
+        List.concat_map
+          (fun f ->
+            match simplify f with T_and gs -> gs | g -> [ g ])
+          fs
+      in
+      match fs with [ f ] -> f | fs -> T_and fs)
+  | T_or fs -> (
+      match List.map simplify fs with [ f ] -> f | fs -> T_or fs)
+  | T_not f -> T_not (simplify f)
+  | T_exists (vs, f) -> T_exists (vs, simplify f)
+  | T_forall (vs, f) -> T_forall (vs, simplify f)
+  | f -> f
+
+let texpr_to_term = function
+  | T_attr (v, a) -> A.Attr (v, a)
+  | T_const c -> A.Const c
+
+(* step 2: translate, with strict heads *)
+let rec tr_formula f : A.formula =
+  match f with
+  | T_member (v, _) ->
+      nfail "membership atom for %S outside any quantifier scope" v
+  | T_cmp (op, l, r) -> A.Pred (A.Cmp (op, texpr_to_term l, texpr_to_term r))
+  | T_and fs -> A.And (List.map tr_formula fs)
+  | T_or fs -> A.Or (List.map tr_formula fs)
+  | T_not f -> A.Not (tr_formula f)
+  | T_exists (vs, body) ->
+      let bindings, body =
+        List.fold_left
+          (fun (bs, body) v ->
+            match extract_membership v body with
+            | Some rel, body' ->
+                (bs @ [ { A.var = v; source = A.Base rel } ], body')
+            | None, _ ->
+                nfail
+                  "quantified variable %S has no membership atom in its scope"
+                  v)
+          ([], body) vs
+      in
+      A.Exists
+        {
+          bindings;
+          grouping = None;
+          join = None;
+          body = tr_formula (simplify body);
+        }
+  | T_forall _ -> assert false (* eliminated *)
+
+let normalize ?(head_name = "Q") (q : query) : A.collection =
+  let body = eliminate_forall q.body in
+  (* the head's range variables: free variables projected in the head whose
+     membership atoms sit on the outermost conjunctive spine *)
+  let head_vars = List.sort_uniq compare (List.map fst q.head) in
+  let bindings, body =
+    List.fold_left
+      (fun (bs, body) v ->
+        match extract_membership v body with
+        | Some rel, body' -> (bs @ [ { A.var = v; source = A.Base rel } ], body')
+        | None, _ ->
+            nfail "head range variable %S has no membership atom" v)
+      ([], body) head_vars
+  in
+  (* head attribute names, deduplicated *)
+  let used = Hashtbl.create 8 in
+  let head_attrs =
+    List.map
+      (fun (_, a) ->
+        let n = 1 + Option.value ~default:0 (Hashtbl.find_opt used a) in
+        Hashtbl.replace used a n;
+        if n = 1 then a else Printf.sprintf "%s%d" a n)
+      q.head
+  in
+  let assignments =
+    List.map2
+      (fun (v, a) attr ->
+        A.Pred (A.Cmp (A.Eq, A.Attr (head_name, attr), A.Attr (v, a))))
+      q.head head_attrs
+  in
+  {
+    A.head = { head_name; head_attrs };
+    body =
+      A.Exists
+        {
+          bindings;
+          grouping = None;
+          join = None;
+          body =
+            Arc_core.Canon.simplify_formula
+              (A.And (assignments @ [ tr_formula (simplify body) ]));
+        };
+  }
+
+let to_arc ?head_name input = normalize ?head_name (parse input)

@@ -1,0 +1,59 @@
+(** Textbook Tuple Relational Calculus, and its normalization into ARC
+    (paper, Section 2.1).
+
+    The paper starts from the TRC notation of Elmasri & Navathe,
+
+    {v {r.A | r ∈ R ∧ ∃s[r.B = s.B ∧ s.C = 0 ∧ s ∈ S]} v}
+
+    and makes exactly two changes to reach ARC's strict form:
+
+    + {e clarify the scopes}: whenever a relation variable is quantified it
+      is also bound to a relation — the floating membership atom [s ∈ S]
+      moves into the quantifier, [∃s ∈ S[…]];
+    + {e strict heads}: variables bound in the body may not appear in the
+      head; the head declares fresh attributes that receive values through
+      explicit assignment predicates, [{Q(A) | ∃r ∈ R[Q.A = r.A ∧ …]}].
+
+    This module parses the permissive textbook notation (head projections,
+    free range variables, floating membership atoms, quantifiers without
+    ranges) and performs that normalization, producing an ARC collection
+    that validates under {!Arc_core.Analysis}. *)
+
+type texpr =
+  | T_attr of string * string  (** [r.A] *)
+  | T_const of Arc_value.Value.t
+
+type tformula =
+  | T_member of string * string  (** the floating atom [r ∈ R] *)
+  | T_cmp of Arc_core.Ast.cmp_op * texpr * texpr
+  | T_and of tformula list
+  | T_or of tformula list
+  | T_not of tformula
+  | T_exists of string list * tformula
+      (** [∃s, t[…]] — ranges may come from membership atoms in the body *)
+  | T_forall of string list * tformula
+      (** [∀s[φ]] — normalized away as [¬∃s[¬φ]] *)
+
+type query = {
+  head : (string * string) list;  (** projected attributes, [r.A, s.B, …] *)
+  body : tformula;
+}
+
+exception Parse_error of string
+exception Normalize_error of string
+
+val parse : string -> query
+(** Accepts the textbook notation, ASCII or Unicode, e.g.
+    ["{r.A | r in R and exists s[r.B = s.B and s.C = 0 and s in S]}"]. *)
+
+val to_string : query -> string
+
+val normalize : ?head_name:string -> query -> Arc_core.Ast.collection
+(** The two-step normalization of Section 2.1. Head attributes are named
+    after the projected attributes (deduplicated positionally when names
+    collide). Raises {!Normalize_error} when a quantified variable has no
+    membership atom anywhere in its scope (a genuinely range-less variable),
+    or a free body variable other than the head's range variables is used. *)
+
+val to_arc : ?head_name:string -> string -> Arc_core.Ast.collection
+(** [parse] followed by {!normalize}. *)

@@ -1,0 +1,1 @@
+lib/value/aggregate.ml: Conventions Hashtbl List String Value

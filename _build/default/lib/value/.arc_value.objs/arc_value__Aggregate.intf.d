@@ -1,0 +1,1 @@
+lib/value/aggregate.mli: Conventions Value

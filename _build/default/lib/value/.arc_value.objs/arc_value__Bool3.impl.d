@@ -1,0 +1,1 @@
+lib/value/bool3.ml: Format List

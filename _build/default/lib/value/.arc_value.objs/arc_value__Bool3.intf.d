@@ -1,0 +1,1 @@
+lib/value/bool3.mli: Format

@@ -1,0 +1,1 @@
+lib/value/conventions.mli: Format

@@ -1,0 +1,30 @@
+(** Aggregate functions (paper, Section 2.5).
+
+    In ARC an aggregate conceptually has two inputs: the full join determined
+    by the scope in which the aggregation predicate appears, and a column
+    identifier. This module implements the per-group accumulation over the
+    column's values. Deduplicating variants ([count_distinct], ...) realize
+    the paper's "dedicated aggregate functions" alternative to projecting
+    first.
+
+    NULL handling follows SQL: NULL inputs are skipped; the value of an
+    aggregate over an empty (or all-NULL, for non-count aggregates) input is
+    governed by the {!Conventions.agg_empty} convention. *)
+
+type kind =
+  | Sum
+  | Count
+  | Avg
+  | Min
+  | Max
+  | Count_distinct
+  | Sum_distinct
+  | Avg_distinct
+
+val kind_of_string : string -> kind option
+val kind_to_string : kind -> string
+val all_kinds : kind list
+
+val apply : Conventions.agg_empty -> kind -> Value.t list -> Value.t
+(** [apply empty_conv kind values] computes the aggregate over the listed
+    column values of one group. *)

@@ -1,0 +1,31 @@
+type t = True | False | Unknown
+
+let of_bool = function true -> True | false -> False
+
+let to_bool = function True -> true | False | Unknown -> false
+
+let not_ = function True -> False | False -> True | Unknown -> Unknown
+
+let and_ a b =
+  match (a, b) with
+  | False, _ | _, False -> False
+  | True, True -> True
+  | _ -> Unknown
+
+let or_ a b =
+  match (a, b) with
+  | True, _ | _, True -> True
+  | False, False -> False
+  | _ -> Unknown
+
+let and_list l = List.fold_left and_ True l
+let or_list l = List.fold_left or_ False l
+
+let equal (a : t) (b : t) = a = b
+
+let to_string = function
+  | True -> "true"
+  | False -> "false"
+  | Unknown -> "unknown"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

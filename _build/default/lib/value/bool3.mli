@@ -1,0 +1,24 @@
+(** Three-valued logic (SQL's [true]/[false]/[unknown]).
+
+    ARC treats the choice between two- and three-valued logic as a
+    {e convention} (paper, Section 2.6/2.10): the same relational pattern can
+    be interpreted under either. This module provides the Kleene connectives
+    used by the engine when the [Three_valued] convention is active. *)
+
+type t = True | False | Unknown
+
+val of_bool : bool -> t
+
+val to_bool : t -> bool
+(** Collapses [Unknown] to [false], as SQL's WHERE clause does. *)
+
+val not_ : t -> t
+val and_ : t -> t -> t
+val or_ : t -> t -> t
+
+val and_list : t list -> t
+val or_list : t list -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

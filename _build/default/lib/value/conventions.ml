@@ -1,0 +1,26 @@
+type collection_semantics = Set | Bag
+type null_logic = Two_valued | Three_valued
+type agg_empty = Agg_null | Agg_zero
+
+type t = {
+  collection : collection_semantics;
+  null_logic : null_logic;
+  agg_empty : agg_empty;
+}
+
+let sql = { collection = Bag; null_logic = Three_valued; agg_empty = Agg_null }
+let sql_set = { sql with collection = Set }
+
+let souffle =
+  { collection = Set; null_logic = Two_valued; agg_empty = Agg_zero }
+
+let classical =
+  { collection = Set; null_logic = Two_valued; agg_empty = Agg_null }
+
+let to_string c =
+  Printf.sprintf "{%s, %s, %s}"
+    (match c.collection with Set -> "set" | Bag -> "bag")
+    (match c.null_logic with Two_valued -> "2VL" | Three_valued -> "3VL")
+    (match c.agg_empty with Agg_null -> "agg∅=null" | Agg_zero -> "agg∅=0")
+
+let pp fmt c = Format.pp_print_string fmt (to_string c)

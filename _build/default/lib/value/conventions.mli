@@ -1,0 +1,46 @@
+(** Language conventions (paper, Sections 2.6 and 2.7).
+
+    A convention is an orthogonal, environment-level semantic parameter under
+    which a relational core is interpreted. It affects observable results but
+    not the relational pattern of a query. The engine takes a value of
+    {!type:t}; the same ARC query can be run under any combination.
+
+    The paper's worked example (Eq 15): under {!Agg_zero} (Soufflé) a sum over
+    an empty group is [0]; under {!Agg_null} (SQL) it is [NULL]. *)
+
+type collection_semantics = Set | Bag
+(** Set semantics deduplicates every collection result; bag semantics keeps
+    multiplicities (paper, Section 2.7). *)
+
+type null_logic = Two_valued | Three_valued
+(** Under [Three_valued], comparisons with NULL yield [Unknown] (SQL).
+    Under [Two_valued], NULLs compare structurally, as in formalisms that
+    make null checks explicit (paper, Section 2.10, citing [43]). *)
+
+type agg_empty = Agg_null | Agg_zero
+(** Result of [sum]/[min]/[max]/[avg] over an empty group. [count] is always
+    [0] in either convention, as in both SQL and Soufflé. *)
+
+type t = {
+  collection : collection_semantics;
+  null_logic : null_logic;
+  agg_empty : agg_empty;
+}
+
+val sql : t
+(** SQL conventions: bag semantics, three-valued logic, aggregates on empty
+    input yield NULL. *)
+
+val sql_set : t
+(** SQL with [SELECT DISTINCT] everywhere: set semantics variant of {!sql}. *)
+
+val souffle : t
+(** Soufflé conventions: set semantics, two-valued logic (no NULL),
+    sum over the empty set is 0. *)
+
+val classical : t
+(** Classical TRC / first-order conventions: set semantics, two-valued
+    logic. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

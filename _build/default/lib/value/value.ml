@@ -1,0 +1,135 @@
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+type ty = T_any | T_int | T_float | T_str | T_bool
+
+exception Type_error of string
+
+let type_of = function
+  | Null -> T_any
+  | Int _ -> T_int
+  | Float _ -> T_float
+  | Str _ -> T_str
+  | Bool _ -> T_bool
+
+let ty_name = function
+  | T_any -> "any"
+  | T_int -> "int"
+  | T_float -> "float"
+  | T_str -> "string"
+  | T_bool -> "bool"
+
+let is_null = function Null -> true | _ -> false
+
+let rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ -> 2
+  | Float _ -> 2
+  | Str _ -> 3
+
+let compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Int x, Int y -> Stdlib.compare x y
+  | Float x, Float y -> Stdlib.compare x y
+  | Int x, Float y -> Stdlib.compare (float_of_int x) y
+  | Float x, Int y -> Stdlib.compare x (float_of_int y)
+  | Str x, Str y -> Stdlib.compare x y
+  | Bool x, Bool y -> Stdlib.compare x y
+  | _ -> Stdlib.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let cmp3 a b =
+  match (a, b) with
+  | Null, _ | _, Null -> None
+  | Int _, Str _ | Str _, Int _ | Float _, Str _ | Str _, Float _
+  | Bool _, Int _ | Int _, Bool _ | Bool _, Float _ | Float _, Bool _
+  | Bool _, Str _ | Str _, Bool _ ->
+      raise
+        (Type_error
+           (Printf.sprintf "cannot compare %s with %s" (ty_name (type_of a))
+              (ty_name (type_of b))))
+  | _ -> Some (compare a b)
+
+let arith name fi ff a b =
+  match (a, b) with
+  | Null, _ | _, Null -> Null
+  | Int x, Int y -> Int (fi x y)
+  | Float x, Float y -> Float (ff x y)
+  | Int x, Float y -> Float (ff (float_of_int x) y)
+  | Float x, Int y -> Float (ff x (float_of_int y))
+  | _ ->
+      raise
+        (Type_error
+           (Printf.sprintf "%s: non-numeric operands %s, %s" name
+              (ty_name (type_of a))
+              (ty_name (type_of b))))
+
+let add = arith "+" ( + ) ( +. )
+let sub = arith "-" ( - ) ( -. )
+let mul = arith "*" ( * ) ( *. )
+
+let div a b =
+  match b with
+  | Int 0 -> raise (Type_error "integer division by zero")
+  | _ -> arith "/" ( / ) ( /. ) a b
+
+let neg = function
+  | Null -> Null
+  | Int x -> Int (-x)
+  | Float x -> Float (-.x)
+  | v -> raise (Type_error ("neg: non-numeric operand " ^ ty_name (type_of v)))
+
+let to_float = function
+  | Int x -> Some (float_of_int x)
+  | Float x -> Some x
+  | _ -> None
+
+(* SQL LIKE: '%' matches any sequence, '_' any single char. *)
+let like v pat =
+  match v with
+  | Null -> None
+  | Str s ->
+      let n = String.length s and m = String.length pat in
+      (* memoized recursive match *)
+      let memo = Hashtbl.create 16 in
+      let rec go i j =
+        match Hashtbl.find_opt memo (i, j) with
+        | Some r -> r
+        | None ->
+            let r =
+              if j = m then i = n
+              else
+                match pat.[j] with
+                | '%' -> go i (j + 1) || (i < n && go (i + 1) j)
+                | '_' -> i < n && go (i + 1) (j + 1)
+                | c -> i < n && s.[i] = c && go (i + 1) (j + 1)
+            in
+            Hashtbl.add memo (i, j) r;
+            r
+      in
+      Some (go 0 0)
+  | _ -> raise (Type_error "LIKE applied to non-string")
+
+let to_string = function
+  | Null -> "null"
+  | Int x -> string_of_int x
+  | Float x ->
+      if Float.is_integer x && Float.abs x < 1e15 then
+        Printf.sprintf "%.1f" x
+      else Printf.sprintf "%g" x
+  | Str s -> "'" ^ s ^ "'"
+  | Bool b -> string_of_bool b
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)
+
+let int x = Int x
+let str s = Str s
+let float x = Float x
+let bool b = Bool b

@@ -1,0 +1,63 @@
+(** Atomic values of the relational model, including SQL-style NULL.
+
+    ARC is agnostic about the domain of values; this module fixes a concrete
+    domain rich enough for every example in the paper (integers, floats,
+    strings, booleans) plus [Null], whose comparison behavior is governed by
+    the active convention (see {!Conventions}). *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+type ty = T_any | T_int | T_float | T_str | T_bool
+
+val type_of : t -> ty
+(** [type_of Null] is [T_any]. *)
+
+val ty_name : ty -> string
+
+val is_null : t -> bool
+
+val equal : t -> t -> bool
+(** Structural equality; [Null] equals [Null]. Used for grouping keys and
+    set-semantics deduplication (SQL, too, treats NULLs as "not distinct"
+    in GROUP BY/DISTINCT). For predicate evaluation use {!cmp3}. *)
+
+val compare : t -> t -> int
+(** Total order for deterministic output: [Null] sorts first, then values by
+    type, numerics compared numerically across Int/Float. *)
+
+val cmp3 : t -> t -> int option
+(** Predicate-level comparison: [None] when either side is [Null] (yielding
+    [Unknown] under three-valued logic), otherwise [Some c] with [c] as
+    {!compare}. Comparing values of incompatible types raises
+    [Type_error]. *)
+
+exception Type_error of string
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** Arithmetic is null-strict: any [Null] operand yields [Null].
+    [div] by zero raises [Type_error] for ints and yields [Float infinity]
+    semantics avoided: integer division by zero raises. *)
+
+val neg : t -> t
+
+val to_float : t -> float option
+(** Numeric coercion used by aggregates such as [avg]. *)
+
+val like : t -> string -> bool option
+(** SQL [LIKE] with [%] and [_] wildcards; [None] when the value is [Null]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val int : int -> t
+val str : string -> t
+val float : float -> t
+val bool : bool -> t

@@ -1,0 +1,1 @@
+test/test_alt.ml: Alcotest Arc_alt Arc_catalog Arc_core Arc_value List String

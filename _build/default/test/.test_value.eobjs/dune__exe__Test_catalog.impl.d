@@ -1,0 +1,1 @@
+test/test_catalog.ml: Alcotest Arc_catalog Arc_core Arc_sql Arc_syntax List String

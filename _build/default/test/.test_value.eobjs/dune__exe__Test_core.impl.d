@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Arc_core Arc_value List QCheck QCheck_alcotest String

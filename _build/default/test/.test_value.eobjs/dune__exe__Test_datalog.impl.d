@@ -1,0 +1,1 @@
+test/test_datalog.ml: Alcotest Arc_core Arc_datalog Arc_engine Arc_relation Arc_value List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Arc_core Arc_engine Arc_relation Arc_value List Random

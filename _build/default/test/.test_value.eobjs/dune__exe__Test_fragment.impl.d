@@ -1,0 +1,1 @@
+test/test_fragment.ml: Alcotest Arc_catalog Arc_core List String

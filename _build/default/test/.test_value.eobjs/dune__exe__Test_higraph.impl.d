@@ -1,0 +1,1 @@
+test/test_higraph.ml: Alcotest Arc_core Arc_higraph Arc_value List String

@@ -1,0 +1,1 @@
+test/test_intent.ml: Alcotest Arc_core Arc_intent Arc_relation Arc_value Format String

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Arc_catalog Arc_core Arc_engine Arc_intent Arc_relation Arc_sql Arc_syntax Arc_value Float Hashtbl List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest Arc_relation Arc_value List QCheck QCheck_alcotest String

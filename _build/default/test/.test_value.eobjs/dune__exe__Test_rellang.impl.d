@@ -1,0 +1,1 @@
+test/test_rellang.ml: Alcotest Arc_core Arc_engine Arc_relation Arc_rellang Arc_value List String

@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Arc_catalog Arc_core Arc_engine Arc_relation Arc_value List Printf QCheck QCheck_alcotest Random

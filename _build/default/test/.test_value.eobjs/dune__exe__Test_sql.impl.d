@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Arc_core Arc_engine Arc_relation Arc_sql Arc_value List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_syntax.ml: Alcotest Arc_core Arc_syntax Arc_value List QCheck QCheck_alcotest

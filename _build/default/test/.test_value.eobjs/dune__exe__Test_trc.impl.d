@@ -1,0 +1,1 @@
+test/test_trc.ml: Alcotest Arc_core Arc_engine Arc_relation Arc_syntax Arc_trc Arc_value

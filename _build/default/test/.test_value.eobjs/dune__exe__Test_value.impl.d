@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Arc_value Gen List Printf QCheck QCheck_alcotest

@@ -1,0 +1,254 @@
+(* ALT modality tests: construction, linking, rendering, serialization. *)
+
+open Arc_core.Ast
+open Arc_core.Build
+module Alt = Arc_alt.Alt
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* Fig 2a: ALT of Eq (1) *)
+let eq1 =
+  coll "Q" [ "A" ]
+    (exists
+       [ bind "r" "R"; bind "s" "S" ]
+       (conj
+          [
+            eq (attr "Q" "A") (attr "r" "A");
+            eq (attr "r" "B") (attr "s" "B");
+            eq (attr "s" "C") (cint 0);
+          ]))
+
+let structure () =
+  let alt = Alt.of_query eq1 in
+  let root = alt.Alt.root in
+  Alcotest.(check bool) "root is collection" true
+    (root.Alt.kind = Alt.Collection_node);
+  (match root.Alt.children with
+  | [ h; q ] ->
+      (match h.Alt.kind with
+      | Alt.Head_node hd -> Alcotest.(check string) "head" "Q" hd.head_name
+      | _ -> Alcotest.fail "expected head node");
+      Alcotest.(check bool) "quantifier" true (q.Alt.kind = Alt.Quantifier_node);
+      let kinds = List.map (fun c -> c.Alt.kind) q.Alt.children in
+      Alcotest.(check int) "2 bindings + body" 3 (List.length kinds);
+      (match kinds with
+      | [ Alt.Binding_node ("r", Some "R"); Alt.Binding_node ("s", Some "S"); Alt.And_node ] -> ()
+      | _ -> Alcotest.fail "unexpected quantifier children")
+  | _ -> Alcotest.fail "expected [head; body]");
+  Alcotest.(check int) "size" 9 (Alt.size alt)
+
+let preorder_ids () =
+  let alt = Alt.of_query eq1 in
+  let rec collect n = n.Alt.id :: List.concat_map collect n.Alt.children in
+  let ids = collect alt.Alt.root in
+  Alcotest.(check (list int)) "ids 0..8" [ 0; 1; 2; 3; 4; 5; 6; 7; 8 ]
+    (List.sort compare ids)
+
+let linking () =
+  let alt = Alt.link (Alt.of_query eq1) in
+  (* predicate Q.A = r.A links to head and to binding r *)
+  Alcotest.(check bool) "has edges" true (List.length alt.Alt.edges >= 4);
+  let labels = List.map (fun e -> e.Alt.label) alt.Alt.edges in
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) (l ^ " present") true (List.mem l labels))
+    [ "Q.A"; "r.A"; "r.B"; "s.B"; "s.C" ];
+  (* every edge destination is a binding or head node *)
+  List.iter
+    (fun e ->
+      match Alt.find_node alt e.Alt.dst with
+      | Some n -> (
+          match n.Alt.kind with
+          | Alt.Binding_node _ | Alt.Head_node _ -> ()
+          | _ -> Alcotest.fail "edge must point at declaration")
+      | None -> Alcotest.fail "dangling edge")
+    alt.Alt.edges
+
+let grouping_links () =
+  let q =
+    coll "Q" [ "A"; "sm" ]
+      (exists
+         ~grouping:[ ("r", "A") ]
+         [ bind "r" "R" ]
+         (conj
+            [
+              eq (attr "Q" "A") (attr "r" "A");
+              eq (attr "Q" "sm") (sum (attr "r" "B"));
+            ]))
+  in
+  let alt = Alt.link (Alt.of_query q) in
+  let gk =
+    List.filter (fun e -> e.Alt.ekind = Alt.Group_key) alt.Alt.edges
+  in
+  Alcotest.(check int) "one grouping-key edge" 1 (List.length gk);
+  Alcotest.(check string) "key label" "r.A" (List.hd gk).Alt.label
+
+let lateral_scoping () =
+  (* nested collection sees earlier binding x but not itself *)
+  let q =
+    coll "Q" [ "A"; "B" ]
+      (exists
+         [
+           bind "x" "X";
+           bind_in "z"
+             (collection "Z" [ "B" ]
+                (exists [ bind "y" "Y" ]
+                   (conj
+                      [
+                        eq (attr "Z" "B") (attr "y" "A");
+                        lt (attr "x" "A") (attr "y" "A");
+                      ])));
+         ]
+         (conj
+            [ eq (attr "Q" "A") (attr "x" "A"); eq (attr "Q" "B") (attr "z" "B") ]))
+  in
+  let alt = Alt.link (Alt.of_query q) in
+  (* the correlated reference x.A inside the nested collection must link to
+     the binding of x in the outer scope *)
+  let x_edges = List.filter (fun e -> e.Alt.label = "x.A") alt.Alt.edges in
+  Alcotest.(check int) "two x.A refs (inner + outer)" 2 (List.length x_edges);
+  let dsts = List.sort_uniq compare (List.map (fun e -> e.Alt.dst) x_edges) in
+  Alcotest.(check int) "same declaration" 1 (List.length dsts)
+
+let render_fig4b () =
+  let q =
+    coll "Q" [ "A"; "sm" ]
+      (exists
+         ~grouping:[ ("r", "A") ]
+         [ bind "r" "R" ]
+         (conj
+            [
+              eq (attr "Q" "A") (attr "r" "A");
+              eq (attr "Q" "sm") (sum (attr "r" "B"));
+            ]))
+  in
+  let out = Alt.render (Alt.link (Alt.of_query q)) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains out needle))
+    [
+      "COLLECTION";
+      "HEAD: Q(A, sm)";
+      "QUANTIFIER \xe2\x88\x83";
+      "BINDING: r \xe2\x88\x88 R";
+      "GROUPING: r.A";
+      "AND \xe2\x88\xa7";
+      "PREDICATE: Q.A = r.A";
+      "PREDICATE: Q.sm = sum(r.B)";
+      "links:";
+    ]
+
+let json_wellformed () =
+  let alt = Alt.link (Alt.of_query eq1) in
+  let j = Alt.to_json alt in
+  Alcotest.(check bool) "starts with root" true (contains j "{\"root\":");
+  Alcotest.(check bool) "has edges array" true (contains j "\"edges\":[");
+  Alcotest.(check bool) "kinds present" true
+    (contains j "\"kind\":\"collection\"" && contains j "\"kind\":\"binding\"");
+  (* braces balance *)
+  let depth = ref 0 and ok = ref true in
+  String.iter
+    (fun c ->
+      if c = '{' then incr depth
+      else if c = '}' then (
+        decr depth;
+        if !depth < 0 then ok := false))
+    j;
+  Alcotest.(check bool) "balanced braces" true (!ok && !depth = 0)
+
+let sexp_wellformed () =
+  let alt = Alt.link (Alt.of_query eq1) in
+  let s = Alt.to_sexp alt in
+  Alcotest.(check bool) "collection" true (contains s "(collection");
+  let depth = ref 0 and ok = ref true in
+  String.iter
+    (fun c ->
+      if c = '(' then incr depth
+      else if c = ')' then (
+        decr depth;
+        if !depth < 0 then ok := false))
+    s;
+  Alcotest.(check bool) "balanced parens" true (!ok && !depth = 0)
+
+let program_alt () =
+  let prog =
+    program
+      ~defs:
+        [
+          define "A"
+            (collection "A" [ "s"; "t" ]
+               (exists [ bind "p" "P" ]
+                  (conj
+                     [
+                       eq (attr "A" "s") (attr "p" "s");
+                       eq (attr "A" "t") (attr "p" "t");
+                     ])));
+        ]
+      (coll "Q" [ "s" ]
+         (exists [ bind "a" "A" ] (eq (attr "Q" "s") (attr "a" "s"))))
+  in
+  let alt = Alt.of_program prog in
+  let out = Alt.render alt in
+  Alcotest.(check bool) "definition node" true (contains out "DEFINITION: A")
+
+let outer_join_node () =
+  let q =
+    coll "Q" [ "m" ]
+      (exists
+         ~join:(J_left (J_var "r", J_inner [ J_lit (Arc_value.Value.Int 11); J_var "s" ]))
+         [ bind "r" "R"; bind "s" "S" ]
+         (eq (attr "Q" "m") (attr "r" "m")))
+  in
+  let out = Alt.render (Alt.of_query q) in
+  Alcotest.(check bool) "join node rendered" true
+    (contains out "JOIN: left(r, inner(11, s))")
+
+(* the ALT modality is lossless: of_query then to_query is the identity *)
+let lossless_roundtrip () =
+  let open Arc_catalog.Data in
+  List.iter
+    (fun (name, q) ->
+      let back = Alt.to_query (Alt.of_query q) in
+      if not (equal_query back q) then
+        Alcotest.failf "%s: ALT round-trip changed the query" name)
+    [
+      ("eq1", Coll eq1); ("eq2", Coll eq2); ("eq3", Coll eq3);
+      ("eq7", Coll eq7); ("eq8", Coll eq8); ("eq10", Coll eq10);
+      ("eq12", Coll eq12); ("eq13", Sentence eq13); ("eq14", Sentence eq14);
+      ("eq15", Coll eq15); ("eq17", Coll eq17); ("eq18", Coll eq18);
+      ("eq22", Coll eq22); ("eq26", Coll eq26); ("eq27", Coll eq27);
+      ("eq28", Coll eq28); ("eq29", Coll eq29);
+    ];
+  (* linking does not interfere with reconstruction *)
+  let q = Coll Arc_catalog.Data.eq8 in
+  Alcotest.(check bool) "linked ALT reconstructs too" true
+    (equal_query (Alt.to_query (Alt.link (Alt.of_query q))) q)
+
+let () =
+  Alcotest.run "arc_alt"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "eq1 tree shape" `Quick structure;
+          Alcotest.test_case "distinct preorder ids" `Quick preorder_ids;
+          Alcotest.test_case "program with defs" `Quick program_alt;
+          Alcotest.test_case "join annotation node" `Quick outer_join_node;
+        ] );
+      ( "linking",
+        [
+          Alcotest.test_case "edges to declarations" `Quick linking;
+          Alcotest.test_case "grouping-key edges" `Quick grouping_links;
+          Alcotest.test_case "lateral correlation" `Quick lateral_scoping;
+        ] );
+      ( "losslessness",
+        [ Alcotest.test_case "of_query/to_query identity" `Quick lossless_roundtrip ] );
+      ( "rendering",
+        [
+          Alcotest.test_case "fig 4b labels" `Quick render_fig4b;
+          Alcotest.test_case "json" `Quick json_wellformed;
+          Alcotest.test_case "sexp" `Quick sexp_wellformed;
+        ] );
+    ]

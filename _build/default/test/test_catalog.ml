@@ -1,0 +1,111 @@
+(* Catalog integration tests: every paper experiment's checks pass, every
+   artifact renders, every ARC artifact validates and round-trips. *)
+
+module Catalog = Arc_catalog.Catalog
+
+let entry_checks (e : Catalog.entry) () =
+  let outcomes = e.Catalog.run () in
+  Alcotest.(check bool)
+    (e.Catalog.id ^ " has checks")
+    true
+    (List.length outcomes > 0);
+  List.iter
+    (fun o ->
+      if not o.Catalog.ok then
+        Alcotest.failf "%s: %s" e.Catalog.id (Catalog.outcome_to_string o))
+    outcomes
+
+let entry_artifacts (e : Catalog.entry) () =
+  let artifacts = e.Catalog.artifacts () in
+  Alcotest.(check bool)
+    (e.Catalog.id ^ " has artifacts")
+    true
+    (List.length artifacts > 0);
+  List.iter
+    (fun (name, body) ->
+      if String.length body = 0 then
+        Alcotest.failf "%s: empty artifact %s" e.Catalog.id name)
+    artifacts
+
+let ids_unique () =
+  let ids = List.map (fun e -> e.Catalog.id) Catalog.all in
+  Alcotest.(check int) "unique ids" (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  Alcotest.(check int) "23 experiments" 23 (List.length ids)
+
+let by_id () =
+  Alcotest.(check bool) "find count bug" true
+    (Catalog.by_id "E19-count-bug" <> None);
+  Alcotest.(check bool) "missing id" true (Catalog.by_id "nope" = None)
+
+(* every ARC query value in the catalog data validates and round-trips *)
+let data_queries_validate () =
+  let open Arc_catalog.Data in
+  let queries =
+    [
+      ("eq1", eq1); ("eq2", eq2); ("eq3", eq3); ("eq7", eq7); ("eq8", eq8);
+      ("eq10", eq10); ("eq12", eq12); ("eq15", eq15); ("eq17", eq17);
+      ("eq18", eq18); ("fig13_lateral", fig13_lateral);
+      ("fig13_leftjoin", fig13_leftjoin); ("eq19", eq19); ("eq20", eq20);
+      ("eq21", eq21); ("eq22", eq22); ("eq26", eq26);
+      ("eq26_external", eq26_external); ("eq27", eq27); ("eq28", eq28);
+      ("eq29", eq29); ("sec27_nested", sec27_nested);
+      ("sec27_unnested", sec27_unnested); ("dedup_grouping", dedup_grouping);
+    ]
+  in
+  List.iter
+    (fun (name, c) ->
+      let q = Arc_core.Ast.Coll c in
+      (match Arc_core.Analysis.validate_query q with
+      | Ok () -> ()
+      | Error es ->
+          Alcotest.failf "%s does not validate: %s" name
+            (String.concat "; "
+               (List.map Arc_core.Analysis.error_to_string es)));
+      let printed = Arc_syntax.Printer.query q in
+      let reparsed = Arc_syntax.Parser.query_of_string printed in
+      if not (Arc_core.Ast.equal_query reparsed q) then
+        Alcotest.failf "%s does not round-trip: %s" name printed)
+    queries
+
+(* the catalog's SQL texts parse and re-print stably *)
+let data_sql_parses () =
+  let open Arc_catalog.Data in
+  List.iter
+    (fun q ->
+      match Arc_sql.Parse.statement_of_string q with
+      | exception Arc_sql.Parse.Parse_error m ->
+          Alcotest.failf "SQL %S does not parse: %s" q m
+      | st ->
+          let printed = Arc_sql.Print.statement st in
+          ignore (Arc_sql.Parse.statement_of_string printed))
+    [
+      sql_fig3a; sql_fig4a; sql_fig5a; sql_fig5b; sql_fig6a; sql_fig9a;
+      sql_fig11a; sql_fig11b; sql_fig12a; sql_fig13a; sql_fig13b; sql_fig13c;
+      sql_fig17; sql_fig21a; sql_fig21b; sql_fig21c;
+    ]
+
+let () =
+  Alcotest.run "arc_catalog"
+    [
+      ( "experiments",
+        List.map
+          (fun e ->
+            Alcotest.test_case (e.Catalog.id ^ ": checks") `Quick
+              (entry_checks e))
+          Catalog.all );
+      ( "artifacts",
+        List.map
+          (fun e ->
+            Alcotest.test_case (e.Catalog.id ^ ": artifacts") `Quick
+              (entry_artifacts e))
+          Catalog.all );
+      ( "structure",
+        [
+          Alcotest.test_case "ids" `Quick ids_unique;
+          Alcotest.test_case "by_id" `Quick by_id;
+          Alcotest.test_case "data queries validate" `Quick
+            data_queries_validate;
+          Alcotest.test_case "sql texts parse" `Quick data_sql_parses;
+        ] );
+    ]

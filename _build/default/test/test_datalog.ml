@@ -1,0 +1,301 @@
+(* Datalog substrate tests: parser, stratified evaluator under Soufflé
+   conventions, and the Datalog→ARC embedding. *)
+
+module D = Arc_datalog
+module V = Arc_value.Value
+module Conventions = Arc_value.Conventions
+module Relation = Arc_relation.Relation
+module Database = Arc_relation.Database
+
+let i = V.int
+
+let check_rel ?(msg = "result") expected actual =
+  if not (Relation.equal_set expected actual) then
+    Alcotest.failf "%s:@.expected:@.%s@.actual:@.%s" msg
+      (Relation.to_table (Relation.sort expected))
+      (Relation.to_table (Relation.sort actual))
+
+let parse_print_roundtrip () =
+  let sources =
+    [
+      "A(x, y) :- P(x, y).";
+      "A(x, y) :- P(x, z), A(z, y).";
+      "Q(ak, sm) :- R(ak, _), sm = sum b : { S(a, b), a < ak }.";
+      "T(x) :- P(x, _), !Blocked(x).";
+      "C(x, n) :- P(x, _), n = count y : { P(x, y) }.";
+      "F(x, y) :- P(x, y), x + 1 < y * 2.";
+    ]
+  in
+  List.iter
+    (fun src ->
+      let p = D.Parse.program_of_string src in
+      let printed = D.Ast.program_to_string p in
+      let p2 = D.Parse.program_of_string printed in
+      if not (D.Ast.equal_program p p2) then
+        Alcotest.failf "round-trip failed for %s (printed %s)" src printed)
+    sources
+
+let ancestor () =
+  let db =
+    Database.of_list
+      [
+        ( "P",
+          Relation.of_rows [ "s"; "t" ]
+            [ [ i 1; i 2 ]; [ i 2; i 3 ]; [ i 3; i 4 ] ] );
+      ]
+  in
+  let prog =
+    D.Parse.program_of_string
+      "A(x, y) :- P(x, y). A(x, y) :- P(x, z), A(z, y)."
+  in
+  let result = D.Eval.query ~db prog "A" in
+  Alcotest.(check int) "transitive closure" 6 (Relation.cardinality result)
+
+let negation_stratified () =
+  let db =
+    Database.of_list
+      [
+        ("P", Relation.of_rows [ "x" ] [ [ i 1 ]; [ i 2 ]; [ i 3 ] ]);
+        ("Blocked", Relation.of_rows [ "x" ] [ [ i 2 ] ]);
+      ]
+  in
+  let prog = D.Parse.program_of_string "T(x) :- P(x), !Blocked(x)." in
+  check_rel
+    (Relation.of_rows [ "a1" ] [ [ i 1 ]; [ i 3 ] ])
+    (D.Eval.query ~db prog "T")
+
+let unstratifiable_rejected () =
+  let db = Database.of_list [ ("P", Relation.of_rows [ "x" ] [ [ i 1 ] ]) ] in
+  let prog = D.Parse.program_of_string "T(x) :- P(x), !T(x)." in
+  match D.Eval.run ~db prog with
+  | exception D.Eval.Datalog_error _ -> ()
+  | _ -> Alcotest.fail "expected stratification error"
+
+(* Eq (15): Q(ak, sm) :- R(ak, _), sm = sum b : { S(a, b), a < ak }. *)
+let souffle_sum_empty () =
+  let db =
+    Database.of_list
+      [
+        ("R", Relation.of_rows [ "ak"; "b" ] [ [ i 1; i 2 ] ]);
+        ("S", Relation.empty [ "a"; "b" ]);
+      ]
+  in
+  let prog =
+    D.Parse.program_of_string
+      "Q(ak, sm) :- R(ak, _), sm = sum b : { S(a, b), a < ak }."
+  in
+  check_rel ~msg:"souffle derives Q(1, 0)"
+    (Relation.of_rows [ "a1"; "a2" ] [ [ i 1; i 0 ] ])
+    (D.Eval.query ~db prog "Q")
+
+(* Eq (6): grouped aggregate FOI without GROUP BY *)
+let foi_grouped_aggregate () =
+  let db =
+    Database.of_list
+      [
+        ( "R",
+          Relation.of_rows [ "a"; "b" ]
+            [ [ i 1; i 10 ]; [ i 1; i 20 ]; [ i 2; i 5 ] ] );
+      ]
+  in
+  let prog =
+    D.Parse.program_of_string
+      "Q(a, sm) :- R(a, _), sm = sum b : { R(a, b) }."
+  in
+  check_rel
+    (Relation.of_rows [ "a1"; "a2" ] [ [ i 1; i 30 ]; [ i 2; i 5 ] ])
+    (D.Eval.query ~db prog "Q")
+
+let aggregate_body_vars_local () =
+  (* Soufflé: "you cannot export information from within the body of an
+     aggregate" — b below is local to the aggregate *)
+  let db =
+    Database.of_list
+      [ ("R", Relation.of_rows [ "a"; "b" ] [ [ i 1; i 10 ]; [ i 1; i 20 ] ]) ]
+  in
+  let prog =
+    D.Parse.program_of_string "Q(a, c) :- R(a, _), c = count b : { R(a, b) }."
+  in
+  check_rel
+    (Relation.of_rows [ "a1"; "a2" ] [ [ i 1; i 2 ] ])
+    (D.Eval.query ~db prog "Q")
+
+let arithmetic_and_constants () =
+  let db =
+    Database.of_list
+      [ ("P", Relation.of_rows [ "x"; "y" ] [ [ i 1; i 5 ]; [ i 2; i 3 ] ]) ]
+  in
+  let prog = D.Parse.program_of_string "F(x, z) :- P(x, y), z = y * 2, z > 7." in
+  check_rel
+    (Relation.of_rows [ "a1"; "a2" ] [ [ i 1; i 10 ] ])
+    (D.Eval.query ~db prog "F");
+  let prog2 = D.Parse.program_of_string "G(x) :- P(x, 5)." in
+  check_rel
+    (Relation.of_rows [ "a1" ] [ [ i 1 ] ])
+    (D.Eval.query ~db prog2 "G")
+
+let unsafe_rejected () =
+  let db = Database.of_list [ ("P", Relation.of_rows [ "x" ] [ [ i 1 ] ]) ] in
+  let prog = D.Parse.program_of_string "U(y) :- P(x), y > x." in
+  match D.Eval.run ~db prog with
+  | exception D.Eval.Datalog_error _ -> ()
+  | _ -> Alcotest.fail "expected unsafe-rule error"
+
+(* ------------------------------------------------------------------ *)
+(* Embedding into ARC                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let embed_agrees src ~query ~db ~schemas =
+  let prog = D.Parse.program_of_string src in
+  let direct = D.Eval.query ~db prog query in
+  let arc = D.Embed.program ~schemas prog ~query in
+  (match Arc_core.Analysis.validate arc with
+  | Ok () -> ()
+  | Error es ->
+      Alcotest.failf "embedded ARC invalid: %s"
+        (String.concat "; " (List.map Arc_core.Analysis.error_to_string es)));
+  let via_arc =
+    Arc_engine.Eval.run_rows ~conv:Conventions.souffle ~db arc
+  in
+  (* positional vs named attribute names differ; compare value lists *)
+  let values r =
+    List.sort compare
+      (List.map
+         (fun tp -> List.map V.to_string (Arc_relation.Tuple.values tp))
+         (Relation.tuples (Relation.sort r)))
+  in
+  if values direct <> values via_arc then
+    Alcotest.failf "embedding mismatch:@.datalog:@.%s@.arc:@.%s"
+      (Relation.to_table (Relation.sort direct))
+      (Relation.to_table (Relation.sort via_arc))
+
+let embed_ancestor () =
+  embed_agrees "A(x, y) :- P(x, y). A(x, y) :- P(x, z), A(z, y)."
+    ~query:"A"
+    ~db:
+      (Database.of_list
+         [
+           ( "P",
+             Relation.of_rows [ "s"; "t" ]
+               [ [ i 1; i 2 ]; [ i 2; i 3 ]; [ i 3; i 4 ] ] );
+         ])
+    ~schemas:[ ("P", [ "s"; "t" ]) ]
+
+let embed_negation () =
+  embed_agrees "T(x) :- P(x, _), !B(x)." ~query:"T"
+    ~db:
+      (Database.of_list
+         [
+           ("P", Relation.of_rows [ "x"; "y" ] [ [ i 1; i 0 ]; [ i 2; i 0 ] ]);
+           ("B", Relation.of_rows [ "x" ] [ [ i 2 ] ]);
+         ])
+    ~schemas:[ ("P", [ "x"; "y" ]); ("B", [ "x" ]) ]
+
+let embed_aggregate () =
+  embed_agrees "Q(ak, sm) :- R(ak, _), sm = sum b : { S(a, b), a < ak }."
+    ~query:"Q"
+    ~db:
+      (Database.of_list
+         [
+           ("R", Relation.of_rows [ "ak"; "b" ] [ [ i 1; i 2 ]; [ i 3; i 0 ] ]);
+           ("S", Relation.of_rows [ "a"; "b" ] [ [ i 1; i 10 ]; [ i 2; i 20 ] ]);
+         ])
+    ~schemas:[ ("R", [ "ak"; "b" ]); ("S", [ "a"; "b" ]) ]
+
+let embed_foi_pattern () =
+  (* the embedded aggregate follows the FOI pattern (Fig 5) *)
+  let prog =
+    D.Parse.program_of_string
+      "Q(a, sm) :- R(a, _), sm = sum b : { R(a, b) }."
+  in
+  let arc =
+    D.Embed.program ~schemas:[ ("R", [ "a"; "b" ]) ] prog ~query:"Q"
+  in
+  let def = List.hd arc.Arc_core.Ast.defs in
+  let pat = Arc_core.Pattern.of_collection def.Arc_core.Ast.def_body in
+  Alcotest.(check bool) "FOI" true
+    (pat.Arc_core.Pattern.agg_styles = [ Arc_core.Pattern.FOI ]);
+  Alcotest.(check bool) "R referenced twice" true
+    (pat.Arc_core.Pattern.rel_refs = [ ("R", 2) ])
+
+(* property: on random EDBs, the embedding agrees with the direct
+   evaluator for all three paper programs *)
+let prop_embed_agrees =
+  let gen_db =
+    QCheck.Gen.(
+      let pair_rows = list_size (int_bound 6)
+        (let* a = int_bound 4 in
+         let* b = int_bound 4 in
+         return [ i a; i b ])
+      in
+      let* r = pair_rows in
+      let* s_rows = pair_rows in
+      let* p = pair_rows in
+      return
+        (Database.of_list
+           [
+             ("R", Relation.of_rows [ "ak"; "b" ] r);
+             ("S", Relation.of_rows [ "a"; "b" ] s_rows);
+             ("P", Relation.of_rows [ "s"; "t" ] p);
+           ]))
+  in
+  let programs =
+    [
+      ("A", "A(x, y) :- P(x, y). A(x, y) :- P(x, z), A(z, y).",
+       [ ("P", [ "s"; "t" ]) ]);
+      ("Q", "Q(ak, sm) :- R(ak, _), sm = sum b : { S(a, b), a < ak }.",
+       [ ("R", [ "ak"; "b" ]); ("S", [ "a"; "b" ]) ]);
+      ("T", "T(x) :- P(x, _), !S(x, _).",
+       [ ("P", [ "s"; "t" ]); ("S", [ "a"; "b" ]) ]);
+    ]
+  in
+  QCheck.Test.make ~name:"embedding = evaluator on random EDBs" ~count:40
+    (QCheck.make gen_db) (fun db ->
+      List.for_all
+        (fun (query, src, schemas) ->
+          let prog = D.Parse.program_of_string src in
+          let direct = D.Eval.query ~db prog query in
+          let arc = D.Embed.program ~schemas prog ~query in
+          let via_arc =
+            Arc_engine.Eval.run_rows ~conv:Conventions.souffle ~db arc
+          in
+          let values r =
+            List.sort compare
+              (List.map
+                 (fun tp -> List.map V.to_string (Arc_relation.Tuple.values tp))
+                 (Relation.tuples (Relation.sort r)))
+          in
+          values direct = values via_arc)
+        programs)
+
+let () =
+  Alcotest.run "arc_datalog"
+    [
+      ( "parser",
+        [ Alcotest.test_case "round-trips" `Quick parse_print_roundtrip ] );
+      ( "evaluator",
+        [
+          Alcotest.test_case "ancestor" `Quick ancestor;
+          Alcotest.test_case "stratified negation" `Quick negation_stratified;
+          Alcotest.test_case "unstratifiable rejected" `Quick
+            unstratifiable_rejected;
+          Alcotest.test_case "sum over empty = 0 (eq15)" `Quick
+            souffle_sum_empty;
+          Alcotest.test_case "FOI grouped aggregate (eq6)" `Quick
+            foi_grouped_aggregate;
+          Alcotest.test_case "aggregate body vars local" `Quick
+            aggregate_body_vars_local;
+          Alcotest.test_case "arithmetic and constants" `Quick
+            arithmetic_and_constants;
+          Alcotest.test_case "unsafe rejected" `Quick unsafe_rejected;
+        ] );
+      ( "embedding",
+        [
+          Alcotest.test_case "ancestor" `Quick embed_ancestor;
+          Alcotest.test_case "negation" `Quick embed_negation;
+          Alcotest.test_case "aggregate (eq15)" `Quick embed_aggregate;
+          Alcotest.test_case "FOI pattern preserved" `Quick embed_foi_pattern;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_embed_agrees ] );
+    ]

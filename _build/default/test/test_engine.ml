@@ -1,0 +1,1174 @@
+(* Engine tests: the conceptual evaluation strategy, construct by construct,
+   plus the paper's worked behavioral examples. *)
+
+open Arc_core.Ast
+open Arc_core.Build
+module V = Arc_value.Value
+module B3 = Arc_value.Bool3
+module Conventions = Arc_value.Conventions
+module Relation = Arc_relation.Relation
+module Database = Arc_relation.Database
+module Eval = Arc_engine.Eval
+
+let i = V.int
+let s = V.str
+
+let check_rel ?(msg = "result") expected actual =
+  if not (Relation.equal_bag (Relation.sort expected) (Relation.sort actual))
+  then
+    Alcotest.failf "%s:@.expected:@.%s@.actual:@.%s" msg
+      (Relation.to_table (Relation.sort expected))
+      (Relation.to_table (Relation.sort actual))
+
+let check_set ?(msg = "result") expected actual =
+  if not (Relation.equal_set expected actual) then
+    Alcotest.failf "%s:@.expected:@.%s@.actual:@.%s" msg
+      (Relation.to_table (Relation.sort expected))
+      (Relation.to_table (Relation.sort actual))
+
+(* R(A,B), S(B,C) used across many tests *)
+let db_rs =
+  Database.of_list
+    [
+      ("R", Relation.of_rows [ "A"; "B" ] [ [ i 1; i 10 ]; [ i 2; i 20 ]; [ i 3; i 30 ] ]);
+      ("S", Relation.of_rows [ "B"; "C" ] [ [ i 10; i 0 ]; [ i 20; i 5 ]; [ i 99; i 0 ] ]);
+    ]
+
+(* Eq (1): { Q(A) | ∃r ∈ R, s ∈ S [Q.A = r.A ∧ r.B = s.B ∧ s.C = 0] } *)
+let eq1 () =
+  let q =
+    coll "Q" [ "A" ]
+      (exists
+         [ bind "r" "R"; bind "s" "S" ]
+         (conj
+            [
+              eq (attr "Q" "A") (attr "r" "A");
+              eq (attr "r" "B") (attr "s" "B");
+              eq (attr "s" "C") (cint 0);
+            ]))
+  in
+  let result = Eval.run_rows ~db:db_rs (program q) in
+  check_rel (Relation.of_rows [ "A" ] [ [ i 1 ] ]) result
+
+(* Simple projection keeps bag multiplicities under bag semantics *)
+let bag_projection () =
+  let db =
+    Database.of_list
+      [ ("R", Relation.of_rows [ "A"; "B" ] [ [ i 1; i 1 ]; [ i 1; i 2 ] ]) ]
+  in
+  let q =
+    coll "Q" [ "A" ]
+      (exists [ bind "r" "R" ] (eq (attr "Q" "A") (attr "r" "A")))
+  in
+  let bag = Eval.run_rows ~conv:Conventions.sql ~db (program q) in
+  Alcotest.(check int) "bag keeps duplicates" 2 (Relation.cardinality bag);
+  let set = Eval.run_rows ~conv:Conventions.sql_set ~db (program q) in
+  Alcotest.(check int) "set deduplicates" 1 (Relation.cardinality set)
+
+(* Eq (3): grouped aggregate, FIO *)
+let grouped_aggregate () =
+  let db =
+    Database.of_list
+      [
+        ( "R",
+          Relation.of_rows [ "A"; "B" ]
+            [ [ i 1; i 10 ]; [ i 1; i 20 ]; [ i 2; i 5 ] ] );
+      ]
+  in
+  let q =
+    coll "Q" [ "A"; "sm" ]
+      (exists
+         ~grouping:[ ("r", "A") ]
+         [ bind "r" "R" ]
+         (conj
+            [
+              eq (attr "Q" "A") (attr "r" "A");
+              eq (attr "Q" "sm") (sum (attr "r" "B"));
+            ]))
+  in
+  let result = Eval.run_rows ~db (program q) in
+  check_rel
+    (Relation.of_rows [ "A"; "sm" ] [ [ i 1; i 30 ]; [ i 2; i 5 ] ])
+    result
+
+(* multiple aggregates share one scope (Section 2.5) *)
+let multi_aggregate_one_scope () =
+  let db =
+    Database.of_list
+      [
+        ( "R",
+          Relation.of_rows [ "A"; "B" ]
+            [ [ i 1; i 10 ]; [ i 1; i 20 ]; [ i 2; i 6 ] ] );
+      ]
+  in
+  let q =
+    coll "Q" [ "A"; "sm"; "ct"; "mx" ]
+      (exists
+         ~grouping:[ ("r", "A") ]
+         [ bind "r" "R" ]
+         (conj
+            [
+              eq (attr "Q" "A") (attr "r" "A");
+              eq (attr "Q" "sm") (sum (attr "r" "B"));
+              eq (attr "Q" "ct") (count (attr "r" "B"));
+              eq (attr "Q" "mx") (max_ (attr "r" "B"));
+            ]))
+  in
+  let result = Eval.run_rows ~db (program q) in
+  check_rel
+    (Relation.of_rows
+       [ "A"; "sm"; "ct"; "mx" ]
+       [ [ i 1; i 30; i 2; i 20 ]; [ i 2; i 6; i 1; i 6 ] ])
+    result
+
+(* Eq (2): correlated (lateral) nested comprehension *)
+let lateral_nested () =
+  let db =
+    Database.of_list
+      [
+        ("X", Relation.of_rows [ "A" ] [ [ i 1 ]; [ i 5 ] ]);
+        ("Y", Relation.of_rows [ "A" ] [ [ i 2 ]; [ i 6 ] ]);
+      ]
+  in
+  let inner =
+    collection "Z" [ "B" ]
+      (exists [ bind "y" "Y" ]
+         (conj
+            [
+              eq (attr "Z" "B") (attr "y" "A");
+              lt (attr "x" "A") (attr "y" "A");
+            ]))
+  in
+  let q =
+    coll "Q" [ "A"; "B" ]
+      (exists
+         [ bind "x" "X"; bind_in "z" inner ]
+         (conj
+            [ eq (attr "Q" "A") (attr "x" "A"); eq (attr "Q" "B") (attr "z" "B") ]))
+  in
+  let result = Eval.run_rows ~db (program q) in
+  check_rel
+    (Relation.of_rows [ "A"; "B" ]
+       [ [ i 1; i 2 ]; [ i 1; i 6 ]; [ i 5; i 6 ] ])
+    result
+
+(* negation: NOT EXISTS *)
+let negation () =
+  let q =
+    coll "Q" [ "A" ]
+      (exists [ bind "r" "R" ]
+         (conj
+            [
+              eq (attr "Q" "A") (attr "r" "A");
+              not_
+                (exists [ bind "s" "S" ]
+                   (eq (attr "r" "B") (attr "s" "B")));
+            ]))
+  in
+  let result = Eval.run_rows ~db:db_rs (program q) in
+  check_rel (Relation.of_rows [ "A" ] [ [ i 3 ] ]) result
+
+(* disjunction = union *)
+let disjunction () =
+  let q =
+    coll "Q" [ "X" ]
+      (disj
+         [
+           exists [ bind "r" "R" ] (eq (attr "Q" "X") (attr "r" "A"));
+           exists [ bind "s" "S" ] (eq (attr "Q" "X") (attr "s" "C"));
+         ])
+  in
+  let result = Eval.run_rows ~db:db_rs (program q) in
+  check_set
+    (Relation.of_rows [ "X" ]
+       [ [ i 1 ]; [ i 2 ]; [ i 3 ]; [ i 0 ]; [ i 5 ] ])
+    result
+
+(* sentences (Fig 9): boolean query with aggregate comparison *)
+let sentence_aggregate () =
+  let db =
+    Database.of_list
+      [
+        ("R", Relation.of_rows [ "id"; "q" ] [ [ i 1; i 2 ] ]);
+        ( "S",
+          Relation.of_rows [ "id"; "d" ]
+            [ [ i 1; s "a" ]; [ i 1; s "b" ]; [ i 1; s "c" ] ] );
+      ]
+  in
+  (* (13): ∃r ∈ R[∃s ∈ S, γ∅[r.id = s.id ∧ r.q <= count(s.d)]] *)
+  let sent =
+    sentence
+      (exists [ bind "r" "R" ]
+         (exists ~grouping:group_all [ bind "s" "S" ]
+            (conj
+               [
+                 eq (attr "r" "id") (attr "s" "id");
+                 leq (attr "r" "q") (count (attr "s" "d"));
+               ])))
+  in
+  Alcotest.(check bool)
+    "2 <= count(3) holds" true
+    (Eval.run_truth ~db (program sent) = B3.True);
+  (* (14): ¬∃r ∈ R[∃s ∈ S, γ∅[r.id = s.id ∧ r.q > count(s.d)]] *)
+  let sent2 =
+    sentence
+      (not_
+         (exists [ bind "r" "R" ]
+            (exists ~grouping:group_all [ bind "s" "S" ]
+               (conj
+                  [
+                    eq (attr "r" "id") (attr "s" "id");
+                    gt (attr "r" "q") (count (attr "s" "d"));
+                  ]))))
+  in
+  Alcotest.(check bool)
+    "no r exceeds its count" true
+    (Eval.run_truth ~db (program sent2) = B3.True)
+
+(* recursion (Eq 16): ancestor = LFP of parent ∪ parent∘ancestor *)
+let recursion_ancestor () =
+  let db =
+    Database.of_list
+      [
+        ( "P",
+          Relation.of_rows [ "s"; "t" ]
+            [ [ i 1; i 2 ]; [ i 2; i 3 ]; [ i 3; i 4 ] ] );
+      ]
+  in
+  let anc =
+    define "A"
+      (collection "A" [ "s"; "t" ]
+         (disj
+            [
+              exists [ bind "p" "P" ]
+                (conj
+                   [
+                     eq (attr "A" "s") (attr "p" "s");
+                     eq (attr "A" "t") (attr "p" "t");
+                   ]);
+              exists
+                [ bind "p" "P"; bind "a2" "A" ]
+                (conj
+                   [
+                     eq (attr "A" "s") (attr "p" "s");
+                     eq (attr "p" "t") (attr "a2" "s");
+                     eq (attr "a2" "t") (attr "A" "t");
+                   ]);
+            ]))
+  in
+  let q =
+    coll "Q" [ "s"; "t" ]
+      (exists [ bind "a" "A" ]
+         (conj
+            [ eq (attr "Q" "s") (attr "a" "s"); eq (attr "Q" "t") (attr "a" "t") ]))
+  in
+  let result = Eval.run_rows ~db (program ~defs:[ anc ] q) in
+  check_set
+    (Relation.of_rows [ "s"; "t" ]
+       [
+         [ i 1; i 2 ]; [ i 2; i 3 ]; [ i 3; i 4 ];
+         [ i 1; i 3 ]; [ i 2; i 4 ]; [ i 1; i 4 ];
+       ])
+    result
+
+(* cyclic graph: LFP still terminates *)
+let recursion_cycle () =
+  let db =
+    Database.of_list
+      [ ("P", Relation.of_rows [ "s"; "t" ] [ [ i 1; i 2 ]; [ i 2; i 1 ] ]) ]
+  in
+  let anc =
+    define "A"
+      (collection "A" [ "s"; "t" ]
+         (disj
+            [
+              exists [ bind "p" "P" ]
+                (conj
+                   [
+                     eq (attr "A" "s") (attr "p" "s");
+                     eq (attr "A" "t") (attr "p" "t");
+                   ]);
+              exists
+                [ bind "p" "P"; bind "a2" "A" ]
+                (conj
+                   [
+                     eq (attr "A" "s") (attr "p" "s");
+                     eq (attr "p" "t") (attr "a2" "s");
+                     eq (attr "a2" "t") (attr "A" "t");
+                   ]);
+            ]))
+  in
+  let q =
+    coll "Q" [ "s"; "t" ]
+      (exists [ bind "a" "A" ]
+         (conj
+            [ eq (attr "Q" "s") (attr "a" "s"); eq (attr "Q" "t") (attr "a" "t") ]))
+  in
+  let result = Eval.run_rows ~db (program ~defs:[ anc ] q) in
+  check_set
+    (Relation.of_rows [ "s"; "t" ]
+       [ [ i 1; i 2 ]; [ i 2; i 1 ]; [ i 1; i 1 ]; [ i 2; i 2 ] ])
+    result
+
+(* naive and semi-naive recursion agree (and with the closure oracle) *)
+let recursion_strategies_agree () =
+  let anc =
+    define "A"
+      (collection "A" [ "s"; "t" ]
+         (disj
+            [
+              exists [ bind "p" "P" ]
+                (conj
+                   [
+                     eq (attr "A" "s") (attr "p" "s");
+                     eq (attr "A" "t") (attr "p" "t");
+                   ]);
+              exists
+                [ bind "p" "P"; bind "a2" "A" ]
+                (conj
+                   [
+                     eq (attr "A" "s") (attr "p" "s");
+                     eq (attr "p" "t") (attr "a2" "s");
+                     eq (attr "a2" "t") (attr "A" "t");
+                   ]);
+            ]))
+  in
+  let q =
+    coll "Q" [ "s"; "t" ]
+      (exists [ bind "a" "A" ]
+         (conj
+            [ eq (attr "Q" "s") (attr "a" "s"); eq (attr "Q" "t") (attr "a" "t") ]))
+  in
+  let rng = Random.State.make [| 11 |] in
+  for _ = 1 to 15 do
+    let edges =
+      List.init
+        (Random.State.int rng 12)
+        (fun _ ->
+          [ i (Random.State.int rng 7); i (Random.State.int rng 7) ])
+    in
+    let db = Database.of_list [ ("P", Relation.of_rows [ "s"; "t" ] edges) ] in
+    let prog = program ~defs:[ anc ] q in
+    let naive = Eval.run_rows ~strategy:Eval.Naive ~db prog in
+    let semi = Eval.run_rows ~strategy:Eval.Seminaive ~db prog in
+    Alcotest.(check bool) "strategies agree" true
+      (Relation.equal_set naive semi)
+  done
+
+(* doubly-recursive rule: A(x,y) :- A(x,z), A(z,y) — two delta occurrences *)
+let recursion_nonlinear () =
+  let db =
+    Database.of_list
+      [
+        ( "P",
+          Relation.of_rows [ "s"; "t" ]
+            [ [ i 1; i 2 ]; [ i 2; i 3 ]; [ i 3; i 4 ]; [ i 4; i 5 ] ] );
+      ]
+  in
+  let anc =
+    define "A"
+      (collection "A" [ "s"; "t" ]
+         (disj
+            [
+              exists [ bind "p" "P" ]
+                (conj
+                   [
+                     eq (attr "A" "s") (attr "p" "s");
+                     eq (attr "A" "t") (attr "p" "t");
+                   ]);
+              exists
+                [ bind "a1" "A"; bind "a2" "A" ]
+                (conj
+                   [
+                     eq (attr "A" "s") (attr "a1" "s");
+                     eq (attr "a1" "t") (attr "a2" "s");
+                     eq (attr "a2" "t") (attr "A" "t");
+                   ]);
+            ]))
+  in
+  let q =
+    coll "Q" [ "s"; "t" ]
+      (exists [ bind "a" "A" ]
+         (conj
+            [ eq (attr "Q" "s") (attr "a" "s"); eq (attr "Q" "t") (attr "a" "t") ]))
+  in
+  let prog = program ~defs:[ anc ] q in
+  let naive = Eval.run_rows ~strategy:Eval.Naive ~db prog in
+  let semi = Eval.run_rows ~strategy:Eval.Seminaive ~db prog in
+  Alcotest.(check int) "closure of a 5-chain" 10 (Relation.cardinality semi);
+  Alcotest.(check bool) "nonlinear recursion agrees" true
+    (Relation.equal_set naive semi)
+
+(* multiple aggregate kinds through the same grouping scope *)
+let all_aggregate_kinds () =
+  let db =
+    Database.of_list
+      [
+        ( "R",
+          Relation.of_rows [ "A"; "B" ]
+            [ [ i 1; i 10 ]; [ i 1; i 10 ]; [ i 1; i 20 ]; [ i 2; V.Null ] ] );
+      ]
+  in
+  let q =
+    coll "Q" [ "A"; "sm"; "sd"; "ct"; "cd"; "av"; "mn"; "mx" ]
+      (exists
+         ~grouping:[ ("r", "A") ]
+         [ bind "r" "R" ]
+         (conj
+            [
+              eq (attr "Q" "A") (attr "r" "A");
+              eq (attr "Q" "sm") (sum (attr "r" "B"));
+              eq (attr "Q" "sd") (agg "sumdistinct" (attr "r" "B"));
+              eq (attr "Q" "ct") (count (attr "r" "B"));
+              eq (attr "Q" "cd") (agg "countdistinct" (attr "r" "B"));
+              eq (attr "Q" "av") (avg (attr "r" "B"));
+              eq (attr "Q" "mn") (min_ (attr "r" "B"));
+              eq (attr "Q" "mx") (max_ (attr "r" "B"));
+            ]))
+  in
+  (* bag conventions: the duplicate (1,10) row must count twice *)
+  let result = Eval.run_rows ~conv:Conventions.sql ~db (program q) in
+  check_rel
+    (Relation.of_rows
+       [ "A"; "sm"; "sd"; "ct"; "cd"; "av"; "mn"; "mx" ]
+       [
+         [ i 1; i 40; i 30; i 3; i 2; V.Float (40. /. 3.); i 10; i 20 ];
+         (* group 2 has only a NULL: count 0, sum NULL (SQL convention) *)
+         [ i 2; V.Null; V.Null; i 0; i 0; V.Null; V.Null; V.Null ];
+       ])
+    result
+
+(* three-way join annotation: (R left S) left T *)
+let nested_outer_joins () =
+  let db =
+    Database.of_list
+      [
+        ("R", Relation.of_rows [ "A" ] [ [ i 1 ]; [ i 2 ]; [ i 3 ] ]);
+        ("S", Relation.of_rows [ "B" ] [ [ i 1 ]; [ i 2 ] ]);
+        ("T", Relation.of_rows [ "C" ] [ [ i 2 ] ]);
+      ]
+  in
+  let q =
+    coll "Q" [ "A"; "B"; "C" ]
+      (exists
+         ~join:(J_left (J_left (J_var "r", J_var "s"), J_var "t"))
+         [ bind "r" "R"; bind "s" "S"; bind "t" "T" ]
+         (conj
+            [
+              eq (attr "Q" "A") (attr "r" "A");
+              eq (attr "Q" "B") (attr "s" "B");
+              eq (attr "Q" "C") (attr "t" "C");
+              eq (attr "r" "A") (attr "s" "B");
+              eq (attr "s" "B") (attr "t" "C");
+            ]))
+  in
+  let result = Eval.run_rows ~conv:Conventions.sql ~db (program q) in
+  check_rel
+    (Relation.of_rows [ "A"; "B"; "C" ]
+       [
+         [ i 1; i 1; V.Null ];
+         [ i 2; i 2; i 2 ];
+         [ i 3; V.Null; V.Null ];
+       ])
+    result
+
+(* engine error paths produce Eval_error, not crashes *)
+let engine_errors () =
+  let expect_error name prog =
+    match Eval.run ~db:db_rs prog with
+    | exception Eval.Eval_error _ -> ()
+    | _ -> Alcotest.failf "%s: expected Eval_error" name
+  in
+  expect_error "unknown relation"
+    (program
+       (coll "Q" [ "A" ]
+          (exists [ bind "r" "NoSuch" ] (eq (attr "Q" "A") (attr "r" "A")))));
+  expect_error "unassigned head attribute"
+    (program
+       (coll "Q" [ "A"; "B" ]
+          (exists [ bind "r" "R" ] (eq (attr "Q" "A") (attr "r" "A")))));
+  expect_error "unseeded external"
+    (program
+       (coll "Q" [ "A" ]
+          (exists [ bind "f" "Minus" ] (eq (attr "Q" "A") (attr "f" "out")))));
+  expect_error "unstratifiable ARC recursion"
+    (program
+       ~defs:
+         [
+           define "T"
+             (collection "T" [ "x" ]
+                (exists [ bind "r" "R" ]
+                   (conj
+                      [
+                        eq (attr "T" "x") (attr "r" "A");
+                        not_
+                          (exists [ bind "t" "T" ]
+                             (eq (attr "t" "x") (attr "r" "A")));
+                      ])));
+         ]
+       (coll "Q" [ "x" ]
+          (exists [ bind "t" "T" ] (eq (attr "Q" "x") (attr "t" "x")))))
+
+(* outer joins (Section 2.11): left join with NULL padding *)
+let left_join () =
+  let db =
+    Database.of_list
+      [
+        ("R", Relation.of_rows [ "A" ] [ [ i 1 ]; [ i 2 ] ]);
+        ("S", Relation.of_rows [ "B" ] [ [ i 1 ] ]);
+      ]
+  in
+  let q =
+    coll "Q" [ "A"; "B" ]
+      (exists
+         ~join:(J_left (J_var "r", J_var "s"))
+         [ bind "r" "R"; bind "s" "S" ]
+         (conj
+            [
+              eq (attr "Q" "A") (attr "r" "A");
+              eq (attr "Q" "B") (attr "s" "B");
+              eq (attr "r" "A") (attr "s" "B");
+            ]))
+  in
+  let result = Eval.run_rows ~db (program q) in
+  check_rel
+    (Relation.of_rows [ "A"; "B" ] [ [ i 1; i 1 ]; [ i 2; V.Null ] ])
+    result
+
+(* full outer join *)
+let full_join () =
+  let db =
+    Database.of_list
+      [
+        ("R", Relation.of_rows [ "A" ] [ [ i 1 ]; [ i 2 ] ]);
+        ("S", Relation.of_rows [ "B" ] [ [ i 1 ]; [ i 9 ] ]);
+      ]
+  in
+  let q =
+    coll "Q" [ "A"; "B" ]
+      (exists
+         ~join:(J_full (J_var "r", J_var "s"))
+         [ bind "r" "R"; bind "s" "S" ]
+         (conj
+            [
+              eq (attr "Q" "A") (attr "r" "A");
+              eq (attr "Q" "B") (attr "s" "B");
+              eq (attr "r" "A") (attr "s" "B");
+            ]))
+  in
+  let result = Eval.run_rows ~db (program q) in
+  check_rel
+    (Relation.of_rows [ "A"; "B" ]
+       [ [ i 1; i 1 ]; [ i 2; V.Null ]; [ V.Null; i 9 ] ])
+    result
+
+(* Eq (18): left(r, inner(11, s)) — the literal-leaf cross join *)
+let outer_join_literal () =
+  let db =
+    Database.of_list
+      [
+        ( "R",
+          Relation.of_rows [ "m"; "y"; "h" ]
+            [ [ s "r1"; i 2000; i 11 ]; [ s "r2"; i 2001; i 12 ] ] );
+        ( "S",
+          Relation.of_rows [ "n"; "y" ]
+            [ [ s "s1"; i 2000 ]; [ s "s2"; i 2001 ] ] );
+      ]
+  in
+  let q =
+    coll "Q" [ "m"; "n" ]
+      (exists
+         ~join:(J_left (J_var "r", J_inner [ J_lit (i 11); J_var "s" ]))
+         [ bind "r" "R"; bind "s" "S" ]
+         (conj
+            [
+              eq (attr "Q" "m") (attr "r" "m");
+              eq (attr "Q" "n") (attr "s" "n");
+              eq (attr "r" "y") (attr "s" "y");
+              eq (attr "r" "h") (cint 11);
+            ]))
+  in
+  let result = Eval.run_rows ~db (program q) in
+  (* r1 (h=11) matches s1 on year; r2 (h=12) is kept but NULL-padded because
+     r.h = 11 is a join condition, not a filter *)
+  check_rel
+    (Relation.of_rows [ "m"; "n" ]
+       [ [ s "r1"; s "s1" ]; [ s "r2"; V.Null ] ])
+    result
+
+(* external relations (Eqs 19-21): Minus and Bigger via access patterns *)
+let external_relations () =
+  let db =
+    Database.of_list
+      [
+        ("R", Relation.of_rows [ "A"; "B" ] [ [ i 1; i 10 ]; [ i 2; i 3 ] ]);
+        ("S", Relation.of_rows [ "B" ] [ [ i 4 ] ]);
+        ("T", Relation.of_rows [ "B" ] [ [ i 5 ] ]);
+      ]
+  in
+  (* (19) direct arithmetic: Q(A) s.t. r.B - s.B > t.B *)
+  let q19 =
+    coll "Q" [ "A" ]
+      (exists
+         [ bind "r" "R"; bind "s" "S"; bind "t" "T" ]
+         (conj
+            [
+              eq (attr "Q" "A") (attr "r" "A");
+              gt (sub (attr "r" "B") (attr "s" "B")) (attr "t" "B");
+            ]))
+  in
+  (* (20) relationalized Minus *)
+  let q20 =
+    coll "Q" [ "A" ]
+      (exists
+         [ bind "r" "R"; bind "s" "S"; bind "t" "T"; bind "f" "Minus" ]
+         (conj
+            [
+              eq (attr "Q" "A") (attr "r" "A");
+              eq (attr "f" "left") (attr "r" "B");
+              eq (attr "f" "right") (attr "s" "B");
+              gt (attr "f" "out") (attr "t" "B");
+            ]))
+  in
+  (* (21) fully relationalized: equijoin with Bigger *)
+  let q21 =
+    coll "Q" [ "A" ]
+      (exists
+         [
+           bind "r" "R"; bind "s" "S"; bind "t" "T";
+           bind "f" "Minus"; bind "g" "Bigger";
+         ]
+         (conj
+            [
+              eq (attr "Q" "A") (attr "r" "A");
+              eq (attr "f" "left") (attr "r" "B");
+              eq (attr "f" "right") (attr "s" "B");
+              eq (attr "f" "out") (attr "g" "left");
+              eq (attr "g" "right") (attr "t" "B");
+            ]))
+  in
+  let expected = Relation.of_rows [ "A" ] [ [ i 1 ] ] in
+  check_rel ~msg:"eq19" expected (Eval.run_rows ~db (program q19));
+  check_rel ~msg:"eq20" expected (Eval.run_rows ~db (program q20));
+  check_rel ~msg:"eq21" expected (Eval.run_rows ~db (program q21))
+
+(* conventions (Eq 15): sum over empty group — Soufflé 0 vs SQL NULL *)
+let convention_agg_empty () =
+  let db =
+    Database.of_list
+      [
+        ("R", Relation.of_rows [ "ak"; "b" ] [ [ i 1; i 2 ] ]);
+        ("S", Relation.empty [ "a"; "b" ]);
+      ]
+  in
+  let inner =
+    collection "X" [ "sm" ]
+      (exists ~grouping:group_all [ bind "s2" "S" ]
+         (conj
+            [
+              lt (attr "s2" "a") (attr "r" "ak");
+              eq (attr "X" "sm") (sum (attr "s2" "b"));
+            ]))
+  in
+  let q =
+    coll "Q" [ "ak"; "sm" ]
+      (exists
+         [ bind "r" "R"; bind_in "x" inner ]
+         (conj
+            [
+              eq (attr "Q" "ak") (attr "r" "ak");
+              eq (attr "Q" "sm") (attr "x" "sm");
+            ]))
+  in
+  let souffle = Eval.run_rows ~conv:Conventions.souffle ~db (program q) in
+  check_rel ~msg:"souffle derives Q(1,0)"
+    (Relation.of_rows [ "ak"; "sm" ] [ [ i 1; i 0 ] ])
+    souffle;
+  let sql = Eval.run_rows ~conv:Conventions.sql_set ~db (program q) in
+  check_rel ~msg:"SQL derives (1, NULL)"
+    (Relation.of_rows [ "ak"; "sm" ] [ [ i 1; V.Null ] ])
+    sql
+
+(* Section 2.7: nested vs unnested under set and bag semantics *)
+let set_bag_unnesting () =
+  let db =
+    Database.of_list
+      [
+        ("R", Relation.of_rows [ "A"; "B" ] [ [ i 1; i 7 ] ]);
+        ("S", Relation.of_rows [ "B" ] [ [ i 7 ]; [ i 7 ] ]);
+      ]
+  in
+  let nested =
+    coll "Q" [ "A" ]
+      (exists [ bind "r" "R" ]
+         (exists [ bind "s" "S" ]
+            (conj
+               [
+                 eq (attr "Q" "A") (attr "r" "A");
+                 eq (attr "r" "B") (attr "s" "B");
+               ])))
+  in
+  let unnested =
+    coll "Q" [ "A" ]
+      (exists
+         [ bind "r" "R"; bind "s" "S" ]
+         (conj
+            [
+              eq (attr "Q" "A") (attr "r" "A");
+              eq (attr "r" "B") (attr "s" "B");
+            ]))
+  in
+  let set_n = Eval.run_rows ~conv:Conventions.sql_set ~db (program nested) in
+  let set_u = Eval.run_rows ~conv:Conventions.sql_set ~db (program unnested) in
+  Alcotest.(check bool) "equal under set" true (Relation.equal_set set_n set_u);
+  let bag_n = Eval.run_rows ~conv:Conventions.sql ~db (program nested) in
+  let bag_u = Eval.run_rows ~conv:Conventions.sql ~db (program unnested) in
+  Alcotest.(check int) "nested: once per r" 1 (Relation.cardinality bag_n);
+  Alcotest.(check int) "unnested: once per pair" 2 (Relation.cardinality bag_u)
+
+(* NULLs and NOT IN (Eq 17) under 2VL with explicit null checks *)
+let not_in_nulls () =
+  let db =
+    Database.of_list
+      [
+        ("R", Relation.of_rows [ "A" ] [ [ i 1 ]; [ i 2 ] ]);
+        ("S", Relation.of_rows [ "A" ] [ [ i 1 ]; [ V.Null ] ]);
+      ]
+  in
+  let q =
+    coll "Q" [ "A" ]
+      (exists [ bind "r" "R" ]
+         (conj
+            [
+              eq (attr "Q" "A") (attr "r" "A");
+              not_
+                (exists [ bind "s" "S" ]
+                   (disj
+                      [
+                        eq (attr "s" "A") (attr "r" "A");
+                        is_null (attr "s" "A");
+                        is_null (attr "r" "A");
+                      ]));
+            ]))
+  in
+  (* the explicit-null-check rewrite returns the empty set, replicating
+     SQL's NOT IN behavior, even under two-valued logic *)
+  let result = Eval.run_rows ~conv:Conventions.classical ~db (program q) in
+  Alcotest.(check int) "empty because S contains NULL" 0
+    (Relation.cardinality result);
+  (* without the null checks, 2VL NOT EXISTS returns {2} *)
+  let q2 =
+    coll "Q" [ "A" ]
+      (exists [ bind "r" "R" ]
+         (conj
+            [
+              eq (attr "Q" "A") (attr "r" "A");
+              not_
+                (exists [ bind "s" "S" ] (eq (attr "s" "A") (attr "r" "A")));
+            ]))
+  in
+  let result2 = Eval.run_rows ~conv:Conventions.classical ~db (program q2) in
+  check_rel (Relation.of_rows [ "A" ] [ [ i 2 ] ]) result2
+
+(* deduplication via grouping on all attributes (Section 2.7) *)
+let dedup_via_grouping () =
+  let db =
+    Database.of_list
+      [
+        ( "R",
+          Relation.of_rows [ "A"; "B" ]
+            [ [ i 1; i 2 ]; [ i 1; i 2 ]; [ i 3; i 4 ] ] );
+      ]
+  in
+  let q =
+    coll "Q" [ "A"; "B" ]
+      (exists
+         ~grouping:[ ("r", "A"); ("r", "B") ]
+         [ bind "r" "R" ]
+         (conj
+            [
+              eq (attr "Q" "A") (attr "r" "A");
+              eq (attr "Q" "B") (attr "r" "B");
+            ]))
+  in
+  (* even under bag semantics, grouping on all attributes deduplicates *)
+  let result = Eval.run_rows ~conv:Conventions.sql ~db (program q) in
+  check_rel
+    (Relation.of_rows [ "A"; "B" ] [ [ i 1; i 2 ]; [ i 3; i 4 ] ])
+    result
+
+(* abstract relations (Example 2): Subset over drinkers *)
+let unique_set_abstract () =
+  let likes =
+    Relation.of_rows
+      [ "d"; "b" ]
+      [
+        [ s "ann"; s "ipa" ]; [ s "ann"; s "stout" ];
+        [ s "bob"; s "ipa" ]; [ s "bob"; s "stout" ];
+        [ s "cal"; s "ipa" ];
+      ]
+  in
+  let db = Database.of_list [ ("L", likes) ] in
+  (* Subset(left,right): drinker left's beers ⊆ drinker right's beers *)
+  let subset =
+    define "Subset"
+      (collection "Subset" [ "left"; "right" ]
+         (not_
+            (exists [ bind "l3" "L" ]
+               (conj
+                  [
+                    eq (attr "l3" "d") (attr "Subset" "left");
+                    not_
+                      (exists [ bind "l4" "L" ]
+                         (conj
+                            [
+                              eq (attr "l4" "b") (attr "l3" "b");
+                              eq (attr "l4" "d") (attr "Subset" "right");
+                            ]));
+                  ]))))
+  in
+  (* drinkers with a unique set of beers, via the abstract module (Eq 24) *)
+  let q =
+    coll "Q" [ "d" ]
+      (exists [ bind "l1" "L" ]
+         (conj
+            [
+              eq (attr "Q" "d") (attr "l1" "d");
+              not_
+                (exists
+                   [ bind "l2" "L"; bind "s1" "Subset"; bind "s2" "Subset" ]
+                   (conj
+                      [
+                        neq (attr "l2" "d") (attr "l1" "d");
+                        eq (attr "s1" "left") (attr "l1" "d");
+                        eq (attr "s1" "right") (attr "l2" "d");
+                        eq (attr "s2" "left") (attr "l2" "d");
+                        eq (attr "s2" "right") (attr "l1" "d");
+                      ]));
+            ]))
+  in
+  let result = Eval.run_rows ~db (program ~defs:[ subset ] q) in
+  (* ann and bob share {ipa, stout}; cal's {ipa} is unique *)
+  check_set (Relation.of_rows [ "d" ] [ [ s "cal" ] ]) result
+
+(* the count bug (Section 3.2, Eqs 27-29) on R(9,0), S = ∅ *)
+let count_bug () =
+  let db =
+    Database.of_list
+      [
+        ("R", Relation.of_rows [ "id"; "q" ] [ [ i 9; i 0 ] ]);
+        ("S", Relation.empty [ "id"; "d" ]);
+      ]
+  in
+  (* (27) original: aggregate used as comparison inside correlated scope *)
+  let q27 =
+    coll "Q" [ "id" ]
+      (exists [ bind "r" "R" ]
+         (conj
+            [
+              eq (attr "Q" "id") (attr "r" "id");
+              exists ~grouping:group_all [ bind "s" "S" ]
+                (conj
+                   [
+                     eq (attr "r" "id") (attr "s" "id");
+                     eq (attr "r" "q") (count (attr "s" "d"));
+                   ]);
+            ]))
+  in
+  (* (28) incorrect decorrelation (Kim): group S by id, then join *)
+  let x28 =
+    collection "X" [ "id"; "ct" ]
+      (exists
+         ~grouping:[ ("s", "id") ]
+         [ bind "s" "S" ]
+         (conj
+            [
+              eq (attr "X" "id") (attr "s" "id");
+              eq (attr "X" "ct") (count (attr "s" "d"));
+            ]))
+  in
+  let q28 =
+    coll "Q" [ "id" ]
+      (exists
+         [ bind "r" "R"; bind_in "x" x28 ]
+         (conj
+            [
+              eq (attr "Q" "id") (attr "r" "id");
+              eq (attr "r" "id") (attr "x" "id");
+              eq (attr "r" "q") (attr "x" "ct");
+            ]))
+  in
+  (* (29) correct decorrelation: left join before grouping *)
+  let x29 =
+    collection "X" [ "id"; "ct" ]
+      (exists
+         ~grouping:[ ("r2", "id") ]
+         ~join:(J_left (J_var "r2", J_var "s"))
+         [ bind "s" "S"; bind "r2" "R" ]
+         (conj
+            [
+              eq (attr "X" "id") (attr "r2" "id");
+              eq (attr "X" "ct") (count (attr "s" "d"));
+              eq (attr "r2" "id") (attr "s" "id");
+            ]))
+  in
+  let q29 =
+    coll "Q" [ "id" ]
+      (exists
+         [ bind "r" "R"; bind_in "x" x29 ]
+         (conj
+            [
+              eq (attr "Q" "id") (attr "r" "id");
+              eq (attr "r" "id") (attr "x" "id");
+              eq (attr "r" "q") (attr "x" "ct");
+            ]))
+  in
+  let r27 = Eval.run_rows ~db (program q27) in
+  let r28 = Eval.run_rows ~db (program q28) in
+  let r29 = Eval.run_rows ~db (program q29) in
+  check_rel ~msg:"(27) returns 9" (Relation.of_rows [ "id" ] [ [ i 9 ] ]) r27;
+  Alcotest.(check int) "(28) loses the row — the count bug" 0
+    (Relation.cardinality r28);
+  check_rel ~msg:"(29) returns 9" (Relation.of_rows [ "id" ] [ [ i 9 ] ]) r29
+
+(* FIO vs FOI (Eqs 3 vs 7) agree under set semantics *)
+let fio_foi_agree () =
+  let db =
+    Database.of_list
+      [
+        ( "R",
+          Relation.of_rows [ "A"; "B" ]
+            [ [ i 1; i 10 ]; [ i 1; i 20 ]; [ i 2; i 5 ] ] );
+      ]
+  in
+  let fio =
+    coll "Q" [ "A"; "sm" ]
+      (exists
+         ~grouping:[ ("r", "A") ]
+         [ bind "r" "R" ]
+         (conj
+            [
+              eq (attr "Q" "A") (attr "r" "A");
+              eq (attr "Q" "sm") (sum (attr "r" "B"));
+            ]))
+  in
+  let inner =
+    collection "X" [ "sm" ]
+      (exists ~grouping:group_all [ bind "r2" "R" ]
+         (conj
+            [
+              eq (attr "r2" "A") (attr "r" "A");
+              eq (attr "X" "sm") (sum (attr "r2" "B"));
+            ]))
+  in
+  let foi =
+    coll "Q" [ "A"; "sm" ]
+      (exists
+         [ bind "r" "R"; bind_in "x" inner ]
+         (conj
+            [
+              eq (attr "Q" "A") (attr "r" "A");
+              eq (attr "Q" "sm") (attr "x" "sm");
+            ]))
+  in
+  let r_fio = Eval.run_rows ~db (program fio) in
+  let r_foi = Eval.run_rows ~db (program foi) in
+  Alcotest.(check bool) "FIO = FOI (set semantics)" true
+    (Relation.equal_set r_fio r_foi)
+
+(* HAVING as outer selection (Eq 8) *)
+let having_eq8 () =
+  let db =
+    Database.of_list
+      [
+        ( "R",
+          Relation.of_rows [ "empl"; "dept" ]
+            [ [ s "e1"; s "d1" ]; [ s "e2"; s "d1" ]; [ s "e3"; s "d2" ] ] );
+        ( "S",
+          Relation.of_rows [ "empl"; "sal" ]
+            [ [ s "e1"; i 60 ]; [ s "e2"; i 60 ]; [ s "e3"; i 50 ] ] );
+      ]
+  in
+  let x =
+    collection "X" [ "dept"; "av"; "sm" ]
+      (exists
+         ~grouping:[ ("r", "dept") ]
+         [ bind "r" "R"; bind "s" "S" ]
+         (conj
+            [
+              eq (attr "X" "dept") (attr "r" "dept");
+              eq (attr "X" "av") (avg (attr "s" "sal"));
+              eq (attr "X" "sm") (sum (attr "s" "sal"));
+              eq (attr "r" "empl") (attr "s" "empl");
+            ]))
+  in
+  let q =
+    coll "Q" [ "dept"; "av" ]
+      (exists [ bind_in "x" x ]
+         (conj
+            [
+              eq (attr "Q" "dept") (attr "x" "dept");
+              eq (attr "Q" "av") (attr "x" "av");
+              gt (attr "x" "sm") (cint 100);
+            ]))
+  in
+  let result = Eval.run_rows ~db (program q) in
+  (* d1 pays 120 total (avg 60); d2 pays 50 only *)
+  check_rel
+    (Relation.of_rows [ "dept"; "av" ] [ [ s "d1"; V.Float 60. ] ])
+    result
+
+(* matrix multiplication (Eq 26) *)
+let matrix_mult () =
+  (* A = [[1,2],[3,4]], B = [[5,6],[7,8]] sparse form *)
+  let mat name rows =
+    ( name,
+      Relation.of_rows [ "row"; "col"; "val" ]
+        (List.concat_map
+           (fun (r, cs) ->
+             List.map (fun (c, v) -> [ i r; i c; i v ]) cs)
+           rows) )
+  in
+  let db =
+    Database.of_list
+      [
+        mat "A" [ (1, [ (1, 1); (2, 2) ]); (2, [ (1, 3); (2, 4) ]) ];
+        mat "B" [ (1, [ (1, 5); (2, 6) ]); (2, [ (1, 7); (2, 8) ]) ];
+      ]
+  in
+  let q =
+    coll "C" [ "row"; "col"; "val" ]
+      (exists
+         ~grouping:[ ("a", "row"); ("b", "col") ]
+         [ bind "a" "A"; bind "b" "B" ]
+         (conj
+            [
+              eq (attr "C" "row") (attr "a" "row");
+              eq (attr "C" "col") (attr "b" "col");
+              eq (attr "a" "col") (attr "b" "row");
+              eq (attr "C" "val") (sum (mul (attr "a" "val") (attr "b" "val")));
+            ]))
+  in
+  let result = Eval.run_rows ~db (program q) in
+  check_rel
+    (Relation.of_rows [ "row"; "col"; "val" ]
+       [
+         [ i 1; i 1; i 19 ]; [ i 1; i 2; i 22 ];
+         [ i 2; i 1; i 43 ]; [ i 2; i 2; i 50 ];
+       ])
+    result
+
+(* scalar-subquery ≡ lateral, but LEFT JOIN + GROUP BY differs under bag
+   semantics with duplicate outer rows (Fig 13) *)
+let fig13_counterexample () =
+  let db =
+    Database.of_list
+      [
+        ("R", Relation.of_rows [ "A" ] [ [ i 1 ]; [ i 1 ] ]);
+        ("S", Relation.of_rows [ "A"; "B" ] [ [ i 0; i 10 ] ]);
+      ]
+  in
+  (* lateral form (Fig 13b): one output row per R tuple *)
+  let inner =
+    collection "X" [ "sm" ]
+      (exists ~grouping:group_all [ bind "s" "S" ]
+         (conj
+            [
+              lt (attr "s" "A") (attr "r" "A");
+              eq (attr "X" "sm") (sum (attr "s" "B"));
+            ]))
+  in
+  let lateral =
+    coll "Q" [ "A"; "sm" ]
+      (exists
+         [ bind "r" "R"; bind_in "x" inner ]
+         (conj
+            [
+              eq (attr "Q" "A") (attr "r" "A");
+              eq (attr "Q" "sm") (attr "x" "sm");
+            ]))
+  in
+  (* left-join + group-by form (Fig 13c): collapses duplicate R rows *)
+  let leftjoin =
+    coll "Q" [ "A"; "sm" ]
+      (exists
+         ~grouping:[ ("r", "A") ]
+         ~join:(J_left (J_var "r", J_var "s"))
+         [ bind "r" "R"; bind "s" "S" ]
+         (conj
+            [
+              eq (attr "Q" "A") (attr "r" "A");
+              eq (attr "Q" "sm") (sum (attr "s" "B"));
+              lt (attr "s" "A") (attr "r" "A");
+            ]))
+  in
+  let r_lat = Eval.run_rows ~conv:Conventions.sql ~db (program lateral) in
+  let r_lj = Eval.run_rows ~conv:Conventions.sql ~db (program leftjoin) in
+  Alcotest.(check int) "lateral keeps both duplicate rows" 2
+    (Relation.cardinality r_lat);
+  Alcotest.(check int) "left join + group by collapses them" 1
+    (Relation.cardinality r_lj)
+
+let () =
+  Alcotest.run "arc_engine"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "eq1 TRC query" `Quick eq1;
+          Alcotest.test_case "bag vs set projection" `Quick bag_projection;
+          Alcotest.test_case "lateral nested comprehension" `Quick lateral_nested;
+          Alcotest.test_case "negation" `Quick negation;
+          Alcotest.test_case "disjunction" `Quick disjunction;
+        ] );
+      ( "aggregates",
+        [
+          Alcotest.test_case "grouped aggregate (eq3)" `Quick grouped_aggregate;
+          Alcotest.test_case "multiple aggregates, one scope" `Quick
+            multi_aggregate_one_scope;
+          Alcotest.test_case "sentences with aggregates (eqs 13-14)" `Quick
+            sentence_aggregate;
+          Alcotest.test_case "FIO = FOI under set semantics" `Quick fio_foi_agree;
+          Alcotest.test_case "HAVING as outer selection (eq8)" `Quick having_eq8;
+          Alcotest.test_case "matrix multiplication (eq26)" `Quick matrix_mult;
+        ] );
+      ( "recursion",
+        [
+          Alcotest.test_case "ancestor chain" `Quick recursion_ancestor;
+          Alcotest.test_case "ancestor cycle" `Quick recursion_cycle;
+          Alcotest.test_case "naive = semi-naive" `Quick
+            recursion_strategies_agree;
+          Alcotest.test_case "nonlinear recursion" `Quick recursion_nonlinear;
+        ] );
+      ( "coverage",
+        [
+          Alcotest.test_case "all aggregate kinds" `Quick all_aggregate_kinds;
+          Alcotest.test_case "nested outer joins" `Quick nested_outer_joins;
+          Alcotest.test_case "error paths" `Quick engine_errors;
+        ] );
+      ( "outer joins",
+        [
+          Alcotest.test_case "left join" `Quick left_join;
+          Alcotest.test_case "full join" `Quick full_join;
+          Alcotest.test_case "literal leaf (eq18)" `Quick outer_join_literal;
+        ] );
+      ( "externals & abstracts",
+        [
+          Alcotest.test_case "minus/bigger (eqs 19-21)" `Quick external_relations;
+          Alcotest.test_case "unique-set via abstract Subset" `Quick
+            unique_set_abstract;
+        ] );
+      ( "conventions",
+        [
+          Alcotest.test_case "agg over empty: 0 vs NULL (eq15)" `Quick
+            convention_agg_empty;
+          Alcotest.test_case "set/bag (un)nesting" `Quick set_bag_unnesting;
+          Alcotest.test_case "NOT IN with NULLs (eq17)" `Quick not_in_nulls;
+          Alcotest.test_case "dedup via grouping" `Quick dedup_via_grouping;
+        ] );
+      ( "count bug",
+        [
+          Alcotest.test_case "eqs 27-29" `Quick count_bug;
+          Alcotest.test_case "fig 13 bag counterexample" `Quick
+            fig13_counterexample;
+        ] );
+    ]

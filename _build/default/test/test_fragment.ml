@@ -1,0 +1,120 @@
+(* Fragment classification tests. *)
+
+open Arc_core.Ast
+open Arc_core.Build
+module Fragment = Arc_core.Fragment
+module Data = Arc_catalog.Data
+
+let trc_and_conjunctive () =
+  let cq =
+    coll "Q" [ "A" ]
+      (exists
+         [ bind "r" "R"; bind "s" "S" ]
+         (conj
+            [
+              eq (attr "Q" "A") (attr "r" "A");
+              eq (attr "r" "B") (attr "s" "B");
+            ]))
+  in
+  Alcotest.(check bool) "conjunctive" true (Fragment.is_conjunctive cq);
+  Alcotest.(check bool) "conjunctive is trc" true (Fragment.is_trc cq);
+  Alcotest.(check string) "name" "conjunctive" (Fragment.name cq)
+
+let negation_is_trc_not_conjunctive () =
+  let q = Coll Data.eq22 in
+  Alcotest.(check bool) "unique-set is TRC" true (Fragment.is_trc q);
+  Alcotest.(check bool) "not conjunctive" false (Fragment.is_conjunctive q);
+  Alcotest.(check string) "name" "TRC (relationally complete)"
+    (Fragment.name q)
+
+let extensions_detected () =
+  let q3 = Coll Data.eq3 in
+  let f = Fragment.features q3 in
+  Alcotest.(check bool) "eq3 aggregates" true f.Fragment.uses_aggregation;
+  Alcotest.(check bool) "eq3 groups" true f.Fragment.uses_grouping;
+  Alcotest.(check bool) "eq3 not TRC" false (Fragment.is_trc q3);
+  Alcotest.(check bool) "name mentions aggregation" true
+    (String.length (Fragment.name q3) > 4
+    && String.sub (Fragment.name q3) 0 5 = "ARC +");
+  let f18 = Fragment.features (Coll Data.eq18) in
+  Alcotest.(check bool) "eq18 join annotations" true
+    f18.Fragment.uses_join_annotations;
+  let f2 = Fragment.features (Coll Data.eq2) in
+  Alcotest.(check bool) "eq2 nested collections" true
+    f2.Fragment.uses_nested_collections;
+  let f26 = Fragment.features (Coll Data.eq26) in
+  Alcotest.(check bool) "eq26 arithmetic" true f26.Fragment.uses_arithmetic
+
+let strict_generalization () =
+  (* every TRC query validates as ARC: the paper's "strict generalization"
+     claim, checked over the catalog's TRC-fragment members *)
+  List.iter
+    (fun (name, c) ->
+      let q = Coll c in
+      Alcotest.(check bool) (name ^ " in TRC fragment") true (Fragment.is_trc q);
+      Alcotest.(check bool)
+        (name ^ " validates as ARC")
+        true
+        (Arc_core.Analysis.validate_query q = Ok ()))
+    [
+      ("eq1", Data.eq1);
+      ("eq17", Data.eq17);
+      ("eq22", Data.eq22);
+      ("sec27_nested", Data.sec27_nested);
+      ("sec27_unnested", Data.sec27_unnested);
+    ]
+
+let null_like_features () =
+  let q =
+    coll "Q" [ "A" ]
+      (exists [ bind "r" "R" ]
+         (conj
+            [
+              eq (attr "Q" "A") (attr "r" "A");
+              is_null (attr "r" "B");
+              like (attr "r" "name") "a%";
+            ]))
+  in
+  let f = Fragment.features q in
+  Alcotest.(check bool) "nulls" true f.Fragment.uses_null_predicates;
+  Alcotest.(check bool) "like" true f.Fragment.uses_like
+
+let recursion_detection () =
+  let prog = { defs = Data.eq16_defs; main = Coll Data.eq16_main } in
+  Alcotest.(check bool) "ancestor is recursive" true
+    (Fragment.uses_recursion prog);
+  let nonrec_prog =
+    { defs = [ Data.eq23_subset ]; main = Coll Data.eq24 }
+  in
+  Alcotest.(check bool) "subset is not recursive" false
+    (Fragment.uses_recursion nonrec_prog);
+  (* mutual recursion *)
+  let even_odd =
+    [
+      define "Even"
+        (collection "Even" [ "n" ]
+           (exists [ bind "o" "Odd" ] (eq (attr "Even" "n") (attr "o" "n"))));
+      define "Odd"
+        (collection "Odd" [ "n" ]
+           (exists [ bind "e" "Even" ] (eq (attr "Odd" "n") (attr "e" "n"))));
+    ]
+  in
+  Alcotest.(check bool) "mutual recursion detected" true
+    (Fragment.uses_recursion
+       { defs = even_odd; main = Sentence True })
+
+let () =
+  Alcotest.run "arc_fragment"
+    [
+      ( "classification",
+        [
+          Alcotest.test_case "conjunctive" `Quick trc_and_conjunctive;
+          Alcotest.test_case "TRC with negation" `Quick
+            negation_is_trc_not_conjunctive;
+          Alcotest.test_case "extensions" `Quick extensions_detected;
+          Alcotest.test_case "strict generalization of TRC" `Quick
+            strict_generalization;
+          Alcotest.test_case "null/like features" `Quick null_like_features;
+          Alcotest.test_case "recursion" `Quick recursion_detection;
+        ] );
+    ]

@@ -1,0 +1,203 @@
+(* Higraph modality tests: diagram structure, rendering, DOT export. *)
+
+open Arc_core.Ast
+open Arc_core.Build
+module H = Arc_higraph.Higraph
+module V = Arc_value.Value
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let eq1 =
+  coll "Q" [ "A" ]
+    (exists
+       [ bind "r" "R"; bind "s" "S" ]
+       (conj
+          [
+            eq (attr "Q" "A") (attr "r" "A");
+            eq (attr "r" "B") (attr "s" "B");
+            eq (attr "s" "C") (cint 0);
+          ]))
+
+let fig2b () =
+  let hg = H.of_query eq1 in
+  let s = H.stats hg in
+  Alcotest.(check int) "3 tables (result, r, s)" 3 s.H.n_tables;
+  Alcotest.(check int) "2 edges (assignment + join)" 2 s.H.n_edges;
+  let out = H.render hg in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains out needle))
+    [ "r \xe2\x88\x88 R"; "s \xe2\x88\x88 S"; "= 0"; "(assignment)" ]
+
+let selection_annotation () =
+  let hg = H.of_query eq1 in
+  (* s.C = 0 is an annotation, not an edge or note *)
+  let rec no_notes r =
+    r.H.r_notes = [] && List.for_all no_notes r.H.r_subregions
+  in
+  Alcotest.(check bool) "no notes" true (no_notes hg.H.root)
+
+let grouping_region () =
+  let q =
+    coll "Q" [ "A"; "sm" ]
+      (exists
+         ~grouping:[ ("r", "A") ]
+         [ bind "r" "R" ]
+         (conj
+            [
+              eq (attr "Q" "A") (attr "r" "A");
+              eq (attr "Q" "sm") (sum (attr "r" "B"));
+            ]))
+  in
+  let out = H.render (H.of_query q) in
+  Alcotest.(check bool) "double border" true (contains out "\xe2\x95\x94");
+  Alcotest.(check bool) "gamma label" true (contains out "\xce\xb3 r.A");
+  Alcotest.(check bool) "key marked" true (contains out "A *");
+  Alcotest.(check bool) "aggregate decorated" true
+    (contains out "sm \xe2\x86\x90 sum(r.B)")
+
+let negation_region () =
+  let q =
+    coll "Q" [ "A" ]
+      (exists [ bind "r" "R" ]
+         (conj
+            [
+              eq (attr "Q" "A") (attr "r" "A");
+              not_ (exists [ bind "s" "S" ] (eq (attr "r" "B") (attr "s" "B")));
+            ]))
+  in
+  let hg = H.of_query q in
+  let out = H.render hg in
+  Alcotest.(check bool) "negation border label" true (contains out "\xc2\xac");
+  let s = H.stats hg in
+  Alcotest.(check bool) "nesting >= 3" true (s.H.max_nesting >= 3)
+
+let outer_join_marks () =
+  let q =
+    coll "Q" [ "m"; "n" ]
+      (exists
+         ~join:(J_left (J_var "r", J_var "s"))
+         [ bind "r" "R"; bind "s" "S" ]
+         (conj
+            [
+              eq (attr "Q" "m") (attr "r" "m");
+              eq (attr "Q" "n") (attr "s" "n");
+              eq (attr "r" "y") (attr "s" "y");
+            ]))
+  in
+  let out = H.render (H.of_query q) in
+  Alcotest.(check bool) "optional side marked" true
+    (contains out "\xe2\x97\x8b s \xe2\x88\x88 S");
+  Alcotest.(check bool) "left side unmarked" false
+    (contains out "\xe2\x97\x8b r \xe2\x88\x88 R");
+  Alcotest.(check bool) "join note" true (contains out "join: left(r, s)")
+
+let module_collapse () =
+  let q =
+    coll "Q" [ "d" ]
+      (exists
+         [ bind "l1" "L"; bind "s1" "Subset" ]
+         (conj
+            [
+              eq (attr "Q" "d") (attr "l1" "d");
+              eq (attr "s1" "left") (attr "l1" "d");
+            ]))
+  in
+  let out = H.render (H.of_query ~collapse:[ "Subset" ] q) in
+  Alcotest.(check bool) "module box" true
+    (contains out "s1 \xe2\x88\x88 Subset \xe3\x80\x9amodule\xe3\x80\x9b")
+
+let nested_collection_region () =
+  let q =
+    coll "Q" [ "A"; "B" ]
+      (exists
+         [
+           bind "x" "X";
+           bind_in "z"
+             (collection "Z" [ "B" ]
+                (exists [ bind "y" "Y" ]
+                   (conj
+                      [
+                        eq (attr "Z" "B") (attr "y" "A");
+                        lt (attr "x" "A") (attr "y" "A");
+                      ])));
+         ]
+         (conj
+            [ eq (attr "Q" "A") (attr "x" "A"); eq (attr "Q" "B") (attr "z" "B") ]))
+  in
+  let hg = H.of_query q in
+  let out = H.render hg in
+  Alcotest.(check bool) "nested region label" true (contains out "z \xe2\x88\x88");
+  (* correlation edge x.A < y.A crosses regions *)
+  Alcotest.(check bool) "correlation edge" true
+    (List.exists (fun e -> e.H.e_label = "<") hg.H.edges)
+
+let disjunct_regions () =
+  let q =
+    coll "Q" [ "X" ]
+      (disj
+         [
+           exists [ bind "r" "R" ] (eq (attr "Q" "X") (attr "r" "A"));
+           exists [ bind "s" "S" ] (eq (attr "Q" "X") (attr "s" "C"));
+         ])
+  in
+  let out = H.render (H.of_query q) in
+  Alcotest.(check bool) "branch 1" true (contains out "\xe2\x88\xa81");
+  Alcotest.(check bool) "branch 2" true (contains out "\xe2\x88\xa82")
+
+let dot_output () =
+  let hg = H.of_query eq1 in
+  let dot = H.to_dot hg in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains dot needle))
+    [ "digraph arc"; "subgraph cluster_"; "shape=record"; "dir=none" ];
+  (* assignment edges dashed *)
+  Alcotest.(check bool) "dashed assignment" true (contains dot "style=dashed")
+
+let sentence_diagram () =
+  let q =
+    sentence
+      (not_
+         (exists [ bind "r" "R" ]
+            (exists ~grouping:group_all [ bind "s" "S" ]
+               (conj
+                  [
+                    eq (attr "r" "id") (attr "s" "id");
+                    gt (attr "r" "q") (count (attr "s" "d"));
+                  ]))))
+  in
+  let hg = H.of_query q in
+  let out = H.render hg in
+  Alcotest.(check bool) "negation present" true (contains out "\xc2\xac");
+  Alcotest.(check bool) "gamma empty region" true
+    (contains out "\xce\xb3 \xe2\x88\x85")
+
+let () =
+  Alcotest.run "arc_higraph"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "fig 2b" `Quick fig2b;
+          Alcotest.test_case "selection as annotation" `Quick
+            selection_annotation;
+          Alcotest.test_case "nested collection region" `Quick
+            nested_collection_region;
+          Alcotest.test_case "disjunct regions" `Quick disjunct_regions;
+        ] );
+      ( "decorations",
+        [
+          Alcotest.test_case "grouping double border" `Quick grouping_region;
+          Alcotest.test_case "negation region" `Quick negation_region;
+          Alcotest.test_case "outer-join circles" `Quick outer_join_marks;
+          Alcotest.test_case "module collapse" `Quick module_collapse;
+        ] );
+      ( "exports",
+        [
+          Alcotest.test_case "dot" `Quick dot_output;
+          Alcotest.test_case "boolean sentence" `Quick sentence_diagram;
+        ] );
+    ]

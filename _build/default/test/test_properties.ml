@@ -1,0 +1,309 @@
+(* Cross-cutting property-based tests over randomly generated ARC queries
+   and databases: the whole pipeline (validate → canonicalize → evaluate →
+   render to SQL → evaluate there) must agree with itself. *)
+
+open Arc_core.Ast
+module B = Arc_core.Build
+module Canon = Arc_core.Canon
+module Conventions = Arc_value.Conventions
+module Relation = Arc_relation.Relation
+module Database = Arc_relation.Database
+module Eval = Arc_engine.Eval
+module V = Arc_value.Value
+
+let schemas = [ ("R", [ "A"; "B" ]); ("S", [ "B"; "C" ]) ]
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_db =
+  QCheck.Gen.(
+    let* nr = int_bound 5 in
+    let* ns = int_bound 5 in
+    let row () =
+      let* a = int_bound 3 in
+      let* b = int_bound 3 in
+      return [ V.Int a; V.Int b ]
+    in
+    let* rrows = list_size (return nr) (row ()) in
+    let* srows = list_size (return ns) (row ()) in
+    return
+      (Database.of_list
+         [
+           ("R", Relation.of_rows [ "A"; "B" ] rrows);
+           ("S", Relation.of_rows [ "B"; "C" ] srows);
+         ]))
+
+(* random TRC-fragment query over R(A,B), S(B,C) with head Q(X) *)
+let gen_trc_query =
+  QCheck.Gen.(
+    let term_for var attrs =
+      let* a = oneofl attrs in
+      return (Attr (var, a))
+    in
+    let pred_g bound =
+      (* bound: (var, attrs) list *)
+      let* v1, attrs1 = oneofl bound in
+      let* t1 = term_for v1 attrs1 in
+      let* use_const = bool in
+      let* op = oneofl [ Eq; Neq; Lt; Leq ] in
+      if use_const then
+        let* c = int_bound 3 in
+        return (Pred (Cmp (op, t1, Const (V.Int c))))
+      else
+        let* v2, attrs2 = oneofl bound in
+        let* t2 = term_for v2 attrs2 in
+        return (Pred (Cmp (op, t1, t2)))
+    in
+    let rec formula_g bound depth =
+      if depth = 0 then pred_g bound
+      else
+        frequency
+          [
+            (4, pred_g bound);
+            ( 2,
+              let* fs = list_size (int_range 2 3) (formula_g bound (depth - 1)) in
+              return (And fs) );
+            ( 1,
+              let* fs = list_size (int_range 2 2) (formula_g bound (depth - 1)) in
+              return (Or fs) );
+            ( 1,
+              (* negated subscope over S *)
+              let v = "n" ^ string_of_int depth in
+              let* body = formula_g ((v, [ "B"; "C" ]) :: bound) (depth - 1) in
+              return
+                (Not
+                   (Exists
+                      {
+                        bindings = [ { var = v; source = Base "S" } ];
+                        grouping = None;
+                        join = None;
+                        body;
+                      })) );
+          ]
+    in
+    let bound = [ ("r", [ "A"; "B" ]); ("s", [ "B"; "C" ]) ] in
+    let* body = formula_g bound 2 in
+    let* head_src = oneofl [ ("r", "A"); ("r", "B"); ("s", "C") ] in
+    return
+      (Coll
+         {
+           head = { head_name = "Q"; head_attrs = [ "X" ] };
+           body =
+             Exists
+               {
+                 bindings =
+                   [
+                     { var = "r"; source = Base "R" };
+                     { var = "s"; source = Base "S" };
+                   ];
+                 grouping = None;
+                 join = None;
+                 body =
+                   And
+                     [
+                       Pred
+                         (Cmp
+                            ( Eq,
+                              Attr ("Q", "X"),
+                              Attr (fst head_src, snd head_src) ));
+                       body;
+                     ];
+               };
+         }))
+
+let arbitrary_q =
+  QCheck.make
+    ~print:(fun q -> Arc_syntax.Printer.query q)
+    gen_trc_query
+
+let arbitrary_q_db =
+  QCheck.make
+    ~print:(fun (q, _) -> Arc_syntax.Printer.query q)
+    QCheck.Gen.(pair gen_trc_query gen_db)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* generated queries validate *)
+let prop_validates =
+  QCheck.Test.make ~name:"generated queries validate" ~count:200 arbitrary_q
+    (fun q ->
+      Arc_core.Analysis.validate_query
+        ~env:(Arc_core.Analysis.env ~schemas ())
+        q
+      = Ok ())
+
+(* canonicalization preserves evaluation *)
+let prop_canon_preserves_eval =
+  QCheck.Test.make ~name:"canonicalization preserves evaluation" ~count:150
+    arbitrary_q_db (fun (q, db) ->
+      let r1 = Eval.run_rows ~db (program q) in
+      let r2 = Eval.run_rows ~db (program (Canon.canonical_query q)) in
+      Relation.equal_set r1 r2)
+
+(* print/parse round-trip on generated TRC queries *)
+let prop_roundtrip =
+  QCheck.Test.make ~name:"comprehension round-trip" ~count:200 arbitrary_q
+    (fun q ->
+      equal_query q
+        (Arc_syntax.Parser.query_of_string (Arc_syntax.Printer.query q)))
+
+(* ARC evaluation = SQL evaluation of the ARC→SQL rendering *)
+let prop_arc_sql_agree =
+  QCheck.Test.make ~name:"ARC engine ≡ SQL rendering" ~count:120
+    arbitrary_q_db (fun (q, db) ->
+      let via_arc =
+        Eval.run_rows ~conv:Conventions.sql_set ~db (program q)
+      in
+      match
+        Arc_sql.Of_arc.statement ~conv:Conventions.sql_set (program q)
+      with
+      | exception Arc_sql.Of_arc.Unsupported _ -> true
+      | stmt ->
+          let via_sql = Arc_sql.Eval_sql.run ~db stmt in
+          Relation.equal_set via_arc via_sql)
+
+(* unnesting rewrite is sound under set semantics on generated queries *)
+let prop_unnest_sound =
+  QCheck.Test.make ~name:"merge_nested_exists sound (set)" ~count:120
+    arbitrary_q_db (fun (q, db) ->
+      let merged = Arc_core.Rewrite.merge_nested_exists q in
+      Relation.equal_set
+        (Eval.run_rows ~conv:Conventions.sql_set ~db (program q))
+        (Eval.run_rows ~conv:Conventions.sql_set ~db (program merged)))
+
+(* push_negation is sound even under three-valued logic *)
+let prop_push_negation_3vl =
+  QCheck.Test.make ~name:"push_negation sound (3VL)" ~count:120 arbitrary_q_db
+    (fun (q, db) ->
+      let q' =
+        match q with
+        | Coll c -> Coll { c with body = Arc_core.Rewrite.push_negation c.body }
+        | s -> s
+      in
+      Relation.equal_set
+        (Eval.run_rows ~conv:Conventions.sql_set ~db (program q))
+        (Eval.run_rows ~conv:Conventions.sql_set ~db (program q')))
+
+(* FIO ≡ FOI on random grouped instances *)
+let prop_fio_foi =
+  QCheck.Test.make ~name:"FIO ≡ FOI on random instances" ~count:100
+    (QCheck.make
+       QCheck.Gen.(
+         let* n = int_bound 8 in
+         let* rows =
+           list_size (return n)
+             (let* a = int_bound 3 in
+              let* b = int_bound 5 in
+              return [ V.Int a; V.Int b ])
+         in
+         return
+           (Database.of_list [ ("R", Relation.of_rows [ "A"; "B" ] rows) ])))
+    (fun db ->
+      let fio = Eval.run_rows ~db (program (Coll Arc_catalog.Data.eq3)) in
+      let foi = Eval.run_rows ~db (program (Coll Arc_catalog.Data.eq7)) in
+      Relation.equal_set fio foi)
+
+(* recursion: ancestor = reachability oracle on random DAG-ish graphs *)
+let prop_recursion_oracle =
+  QCheck.Test.make ~name:"LFP ancestor = reachability oracle" ~count:60
+    (QCheck.make
+       QCheck.Gen.(
+         list_size (int_bound 10)
+           (let* a = int_bound 6 in
+            let* b = int_bound 6 in
+            return (a, b))))
+    (fun edges ->
+      let edges = List.sort_uniq compare edges in
+      let db =
+        Database.of_list
+          [
+            ( "P",
+              Relation.of_rows [ "s"; "t" ]
+                (List.map (fun (a, b) -> [ V.Int a; V.Int b ]) edges) );
+          ]
+      in
+      let via_arc =
+        Eval.run_rows ~db
+          {
+            defs = Arc_catalog.Data.eq16_defs;
+            main = Coll Arc_catalog.Data.eq16_main;
+          }
+      in
+      (* Floyd-Warshall style oracle *)
+      let reach = Hashtbl.create 64 in
+      List.iter (fun e -> Hashtbl.replace reach e ()) edges;
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        Hashtbl.iter
+          (fun (a, b) () ->
+            List.iter
+              (fun (c, d) ->
+                if b = c && not (Hashtbl.mem reach (a, d)) then (
+                  Hashtbl.replace reach (a, d) ();
+                  changed := true))
+              edges)
+          (Hashtbl.copy reach)
+      done;
+      let expected =
+        Hashtbl.fold (fun (a, b) () acc -> [ V.Int a; V.Int b ] :: acc) reach []
+      in
+      Relation.equal_set via_arc (Relation.of_rows [ "s"; "t" ] expected))
+
+(* dedup-wrap ≡ set-semantics evaluation *)
+let prop_dedup_wrap =
+  QCheck.Test.make ~name:"dedup_wrap ≡ set semantics" ~count:100
+    arbitrary_q_db (fun (q, db) ->
+      match q with
+      | Coll c ->
+          let counter = ref 0 in
+          let fresh p =
+            incr counter;
+            Printf.sprintf "%s_w%d" p !counter
+          in
+          let wrapped = Arc_core.Rewrite.dedup_wrap ~fresh c in
+          let bag_wrapped =
+            Eval.run_rows ~conv:Conventions.sql ~db (program (Coll wrapped))
+          in
+          let set_plain =
+            Eval.run_rows ~conv:Conventions.sql_set ~db (program q)
+          in
+          Relation.equal_set bag_wrapped set_plain
+          && Relation.cardinality bag_wrapped
+             = Relation.cardinality (Relation.dedup bag_wrapped)
+      | _ -> true)
+
+(* intent similarity is reflexive (=1.0) and symmetric on random queries *)
+let prop_similarity_laws =
+  QCheck.Test.make ~name:"similarity reflexive & symmetric" ~count:80
+    (QCheck.make QCheck.Gen.(pair gen_trc_query gen_trc_query))
+    (fun (q1, q2) ->
+      let s11 = Arc_intent.Intent.similarity q1 q1 in
+      let s12 = Arc_intent.Intent.similarity q1 q2 in
+      let s21 = Arc_intent.Intent.similarity q2 q1 in
+      s11 >= 0.999 && Float.abs (s12 -. s21) < 1e-9 && s12 >= 0.0 && s12 <= 1.0)
+
+let () =
+  Alcotest.run "arc_properties"
+    [
+      ( "pipeline",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_validates;
+            prop_canon_preserves_eval;
+            prop_roundtrip;
+            prop_arc_sql_agree;
+          ] );
+      ( "rewrites",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_unnest_sound; prop_push_negation_3vl; prop_dedup_wrap ] );
+      ( "semantics",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_fio_foi; prop_recursion_oracle ] );
+      ( "intent",
+        List.map QCheck_alcotest.to_alcotest [ prop_similarity_laws ] );
+    ]

@@ -1,0 +1,203 @@
+(* Relation substrate tests: schemas, tuples, bag/set relations, RA ops. *)
+
+module V = Arc_value.Value
+module Schema = Arc_relation.Schema
+module Tuple = Arc_relation.Tuple
+module Relation = Arc_relation.Relation
+module Database = Arc_relation.Database
+
+let i = V.int
+
+let schema_basics () =
+  let s = Schema.make [ "A"; "B"; "C" ] in
+  Alcotest.(check int) "arity" 3 (Schema.arity s);
+  Alcotest.(check int) "index" 1 (Schema.index s "B");
+  Alcotest.(check bool) "mem" true (Schema.mem s "C");
+  Alcotest.(check bool) "not mem" false (Schema.mem s "D");
+  Alcotest.check_raises "duplicate" (Schema.Duplicate_attribute "A") (fun () ->
+      ignore (Schema.make [ "A"; "A" ]));
+  Alcotest.check_raises "unknown" (Schema.Unknown_attribute "Z") (fun () ->
+      ignore (Schema.index s "Z"))
+
+let schema_names_vs_order () =
+  let s1 = Schema.make [ "A"; "B" ] and s2 = Schema.make [ "B"; "A" ] in
+  Alcotest.(check bool) "equal_names ignores order" true
+    (Schema.equal_names s1 s2);
+  Alcotest.(check bool) "equal respects order" false (Schema.equal s1 s2)
+
+let tuple_access () =
+  let t = Tuple.of_alist [ ("A", i 1); ("B", i 2) ] in
+  Alcotest.(check bool) "get" true (V.equal (Tuple.get t "B") (i 2));
+  let p = Tuple.project t [ "B" ] in
+  Alcotest.(check int) "projected arity" 1 (Schema.arity (Tuple.schema p));
+  let t2 = Tuple.of_alist [ ("B", i 2); ("A", i 1) ] in
+  Alcotest.(check bool) "name-based equality" true (Tuple.equal t t2)
+
+let tuple_concat () =
+  let t1 = Tuple.of_alist [ ("A", i 1) ] in
+  let t2 = Tuple.of_alist [ ("B", i 2) ] in
+  let t = Tuple.concat t1 t2 in
+  Alcotest.(check bool) "concat fields" true
+    (V.equal (Tuple.get t "A") (i 1) && V.equal (Tuple.get t "B") (i 2));
+  Alcotest.check_raises "overlap" (Schema.Duplicate_attribute "A") (fun () ->
+      ignore (Tuple.concat t1 t1))
+
+let rel_dedup () =
+  let r = Relation.of_rows [ "A" ] [ [ i 1 ]; [ i 1 ]; [ i 2 ] ] in
+  Alcotest.(check int) "bag card" 3 (Relation.cardinality r);
+  Alcotest.(check int) "set card" 2 (Relation.cardinality (Relation.dedup r))
+
+let rel_ops () =
+  let r = Relation.of_rows [ "A" ] [ [ i 1 ]; [ i 2 ]; [ i 2 ] ] in
+  let s = Relation.of_rows [ "A" ] [ [ i 2 ]; [ i 3 ] ] in
+  Alcotest.(check int) "union all" 5
+    (Relation.cardinality (Relation.union r s));
+  (* bag minus: {1,2,2} - {2,3} = {1,2} *)
+  Alcotest.(check int) "bag minus" 2
+    (Relation.cardinality (Relation.minus r s));
+  (* bag intersect: min multiplicities *)
+  Alcotest.(check int) "bag intersect" 1
+    (Relation.cardinality (Relation.intersect r s));
+  let p = Relation.product r (Relation.rename [ ("A", "B") ] s) in
+  Alcotest.(check int) "product" 6 (Relation.cardinality p)
+
+let rel_select_project () =
+  let r = Relation.of_rows [ "A"; "B" ] [ [ i 1; i 2 ]; [ i 3; i 4 ] ] in
+  let sel = Relation.select (fun t -> V.equal (Tuple.get t "A") (i 1)) r in
+  Alcotest.(check int) "select" 1 (Relation.cardinality sel);
+  let prj = Relation.project [ "B" ] r in
+  Alcotest.(check bool) "project schema" true
+    (Schema.attrs (Relation.schema prj) = [ "B" ])
+
+let rel_join () =
+  let r = Relation.of_rows [ "A"; "B" ] [ [ i 1; i 2 ]; [ i 3; i 4 ] ] in
+  let s = Relation.of_rows [ "B"; "C" ] [ [ i 2; i 9 ]; [ i 5; i 0 ] ] in
+  let j = Relation.join r s in
+  Alcotest.(check int) "natural join matches" 1 (Relation.cardinality j);
+  Alcotest.(check bool) "join schema" true
+    (Schema.attrs (Relation.schema j) = [ "A"; "B"; "C" ]);
+  (* NULL never joins *)
+  let rn = Relation.of_rows [ "A"; "B" ] [ [ i 1; V.Null ] ] in
+  let sn = Relation.of_rows [ "B"; "C" ] [ [ V.Null; i 9 ] ] in
+  Alcotest.(check int) "null does not join" 0
+    (Relation.cardinality (Relation.join rn sn))
+
+let rel_equalities () =
+  let r1 = Relation.of_rows [ "A" ] [ [ i 1 ]; [ i 1 ]; [ i 2 ] ] in
+  let r2 = Relation.of_rows [ "A" ] [ [ i 2 ]; [ i 1 ] ] in
+  Alcotest.(check bool) "set equal" true (Relation.equal_set r1 r2);
+  Alcotest.(check bool) "bag not equal" false (Relation.equal_bag r1 r2);
+  Alcotest.(check bool) "bag equal to itself shuffled" true
+    (Relation.equal_bag r1
+       (Relation.of_rows [ "A" ] [ [ i 2 ]; [ i 1 ]; [ i 1 ] ]))
+
+let rel_errors () =
+  Alcotest.(check bool) "row arity mismatch raises" true
+    (try
+       ignore (Relation.of_rows [ "A" ] [ [ i 1; i 2 ] ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "union schema mismatch raises" true
+    (try
+       ignore
+         (Relation.union
+            (Relation.of_rows [ "A" ] [])
+            (Relation.of_rows [ "B" ] []));
+       false
+     with Invalid_argument _ -> true)
+
+let database () =
+  let db =
+    Database.of_list [ ("R", Relation.of_rows [ "A" ] [ [ i 1 ] ]) ]
+  in
+  Alcotest.(check bool) "mem" true (Database.mem db "R");
+  Alcotest.(check bool) "find" true
+    (Relation.cardinality (Database.find db "R") = 1);
+  Alcotest.check_raises "unknown" (Database.Unknown_relation "Z") (fun () ->
+      ignore (Database.find db "Z"));
+  Alcotest.(check (list string)) "names" [ "R" ] (Database.names db)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let table_render () =
+  let r = Relation.of_rows [ "A"; "B" ] [ [ i 1; V.Str "x" ] ] in
+  let tbl = Relation.to_table r in
+  Alcotest.(check bool) "mentions header and row count" true
+    (contains tbl "| A " && contains tbl "(1 row(s))");
+  let nullary = Relation.make (Schema.make []) [] in
+  Alcotest.(check bool) "nullary rendering" true
+    (contains (Relation.to_table nullary) "nullary")
+
+(* properties *)
+let gen_rel =
+  QCheck.make
+    ~print:(fun r -> Relation.to_table r)
+    QCheck.Gen.(
+      let* n = int_bound 8 in
+      let* rows =
+        list_size (return n)
+          (let* a = int_bound 4 in
+           let* b = int_bound 4 in
+           return [ V.Int a; V.Int b ])
+      in
+      return (Relation.of_rows [ "A"; "B" ] rows))
+
+let prop_dedup_idempotent =
+  QCheck.Test.make ~name:"dedup idempotent" ~count:200 gen_rel (fun r ->
+      Relation.equal_bag (Relation.dedup r) (Relation.dedup (Relation.dedup r)))
+
+let prop_union_card =
+  QCheck.Test.make ~name:"bag union cardinality adds" ~count:200
+    (QCheck.pair gen_rel gen_rel) (fun (r, s) ->
+      Relation.cardinality (Relation.union r s)
+      = Relation.cardinality r + Relation.cardinality s)
+
+let prop_minus_then_union =
+  QCheck.Test.make ~name:"(r-s) card = r card - intersect card" ~count:200
+    (QCheck.pair gen_rel gen_rel) (fun (r, s) ->
+      Relation.cardinality (Relation.minus r s)
+      = Relation.cardinality r - Relation.cardinality (Relation.intersect r s))
+
+let prop_product_card =
+  QCheck.Test.make ~name:"product cardinality multiplies" ~count:100
+    (QCheck.pair gen_rel gen_rel) (fun (r, s) ->
+      let s = Relation.rename [ ("A", "C"); ("B", "D") ] s in
+      Relation.cardinality (Relation.product r s)
+      = Relation.cardinality r * Relation.cardinality s)
+
+let () =
+  Alcotest.run "arc_relation"
+    [
+      ( "schema",
+        [
+          Alcotest.test_case "basics" `Quick schema_basics;
+          Alcotest.test_case "names vs order" `Quick schema_names_vs_order;
+        ] );
+      ( "tuple",
+        [
+          Alcotest.test_case "access" `Quick tuple_access;
+          Alcotest.test_case "concat" `Quick tuple_concat;
+        ] );
+      ( "relation",
+        [
+          Alcotest.test_case "dedup" `Quick rel_dedup;
+          Alcotest.test_case "bag ops" `Quick rel_ops;
+          Alcotest.test_case "select/project" `Quick rel_select_project;
+          Alcotest.test_case "natural join" `Quick rel_join;
+          Alcotest.test_case "set/bag equality" `Quick rel_equalities;
+          Alcotest.test_case "errors" `Quick rel_errors;
+          Alcotest.test_case "table rendering" `Quick table_render;
+        ] );
+      ("database", [ Alcotest.test_case "basics" `Quick database ]);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_dedup_idempotent;
+            prop_union_card;
+            prop_minus_then_union;
+            prop_product_card;
+          ] );
+    ]

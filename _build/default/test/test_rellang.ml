@@ -1,0 +1,102 @@
+(* Rel frontend tests: printing and the named-perspective embedding. *)
+
+module Rel = Arc_rellang.Rel
+module V = Arc_value.Value
+module Relation = Arc_relation.Relation
+module Database = Arc_relation.Database
+module Pattern = Arc_core.Pattern
+
+let i = V.int
+let s = V.str
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let print_single () =
+  let out = Rel.to_string Rel.paper_single_agg in
+  Alcotest.(check bool) "def header" true (contains out "def Q(a, sm)");
+  Alcotest.(check bool) "agg body" true (contains out "sum[(b) : R(a, b)]")
+
+let print_eq11 () =
+  let out = Rel.to_string Rel.paper_eq11 in
+  Alcotest.(check bool) "average" true
+    (contains out "average[(e, s) : R(e, d) and S(e, s)]");
+  Alcotest.(check bool) "sum comparison" true (contains out "sm > 100")
+
+let schemas = [ ("R", [ "empl"; "dept" ]); ("S", [ "empl"; "sal" ]) ]
+
+let embed_single_agg () =
+  let c =
+    Rel.to_arc ~schemas:[ ("R", [ "A"; "B" ]) ] Rel.paper_single_agg
+  in
+  (match Arc_core.Analysis.validate (Arc_core.Ast.program (Arc_core.Ast.Coll c)) with
+  | Ok () -> ()
+  | Error es ->
+      Alcotest.failf "invalid: %s"
+        (String.concat "; " (List.map Arc_core.Analysis.error_to_string es)));
+  let db =
+    Database.of_list
+      [
+        ( "R",
+          Relation.of_rows [ "A"; "B" ]
+            [ [ i 1; i 10 ]; [ i 1; i 20 ]; [ i 2; i 5 ] ] );
+      ]
+  in
+  let r = Arc_engine.Eval.eval_collection_standalone ~db c in
+  Alcotest.(check bool) "values" true
+    (Relation.equal_set r
+       (Relation.of_rows [ "a"; "sm" ] [ [ i 1; i 30 ]; [ i 2; i 5 ] ]))
+
+let embed_eq11 () =
+  let c = Rel.to_arc ~schemas Rel.paper_eq11 in
+  let db =
+    Database.of_list
+      [
+        ( "R",
+          Relation.of_rows [ "empl"; "dept" ]
+            [ [ s "e1"; s "d1" ]; [ s "e2"; s "d1" ]; [ s "e3"; s "d2" ] ] );
+        ( "S",
+          Relation.of_rows [ "empl"; "sal" ]
+            [ [ s "e1"; i 60 ]; [ s "e2"; i 60 ]; [ s "e3"; i 50 ] ] );
+      ]
+  in
+  let r = Arc_engine.Eval.eval_collection_standalone ~db c in
+  Alcotest.(check bool) "fig 6 result via Rel pattern" true
+    (Relation.equal_set r
+       (Relation.of_rows [ "d"; "av" ] [ [ s "d1"; V.Float 60. ] ]))
+
+let eq11_pattern_matches_fig8 () =
+  (* the Rel embedding uses one scope per aggregate: R and S are each
+     referenced twice (Fig 8), unlike ARC's single-scope Eq 8 (once each) *)
+  let c = Rel.to_arc ~schemas Rel.paper_eq11 in
+  let pat = Pattern.of_collection c in
+  Alcotest.(check bool) "2x R, 2x S" true
+    (pat.Pattern.rel_refs = [ ("R", 2); ("S", 2) ]);
+  Alcotest.(check int) "two grouping scopes" 2 pat.Pattern.n_grouping_scopes
+
+let embed_missing_schema () =
+  match Rel.to_arc ~schemas:[] Rel.paper_single_agg with
+  | exception Rel.Embed_error _ -> ()
+  | _ -> Alcotest.fail "expected schema error"
+
+let () =
+  Alcotest.run "arc_rellang"
+    [
+      ( "printing",
+        [
+          Alcotest.test_case "single aggregate" `Quick print_single;
+          Alcotest.test_case "eq11" `Quick print_eq11;
+        ] );
+      ( "embedding",
+        [
+          Alcotest.test_case "single aggregate evaluates" `Quick
+            embed_single_agg;
+          Alcotest.test_case "eq11 evaluates like fig 6" `Quick embed_eq11;
+          Alcotest.test_case "eq11 pattern = fig 8" `Quick
+            eq11_pattern_matches_fig8;
+          Alcotest.test_case "missing schema rejected" `Quick
+            embed_missing_schema;
+        ] );
+    ]

@@ -1,0 +1,329 @@
+(* Comprehension-modality tests: printing, parsing, round-trips. *)
+
+open Arc_core.Ast
+open Arc_core.Build
+module Printer = Arc_syntax.Printer
+module Parser = Arc_syntax.Parser
+module V = Arc_value.Value
+
+let eq1 =
+  coll "Q" [ "A" ]
+    (exists
+       [ bind "r" "R"; bind "s" "S" ]
+       (conj
+          [
+            eq (attr "Q" "A") (attr "r" "A");
+            eq (attr "r" "B") (attr "s" "B");
+            eq (attr "s" "C") (cint 0);
+          ]))
+
+let print_eq1 () =
+  Alcotest.(check string) "unicode"
+    "{Q(A) | \xe2\x88\x83r \xe2\x88\x88 R, s \xe2\x88\x88 S[Q.A = r.A \xe2\x88\xa7 r.B = s.B \xe2\x88\xa7 s.C = 0]}"
+    (Printer.query eq1);
+  Alcotest.(check string) "ascii"
+    "{Q(A) | exists r in R, s in S[Q.A = r.A and r.B = s.B and s.C = 0]}"
+    (Printer.query ~unicode:false eq1)
+
+let parse_eq1 () =
+  let parsed =
+    Parser.query_of_string
+      "{Q(A) | exists r in R, s in S[Q.A = r.A and r.B = s.B and s.C = 0]}"
+  in
+  Alcotest.(check bool) "parses to eq1" true (equal_query parsed eq1)
+
+let parse_unicode () =
+  let parsed = Parser.query_of_string (Printer.query eq1) in
+  Alcotest.(check bool) "unicode round-trip" true (equal_query parsed eq1)
+
+let roundtrip q =
+  let printed = Printer.query q in
+  let parsed =
+    try Parser.query_of_string printed
+    with Parser.Parse_error m -> Alcotest.failf "parse of %S failed: %s" printed m
+  in
+  if not (equal_query parsed q) then
+    Alcotest.failf "round-trip mismatch for %s" printed;
+  (* ascii rendering too *)
+  let printed_a = Printer.query ~unicode:false q in
+  let parsed_a =
+    try Parser.query_of_string printed_a
+    with Parser.Parse_error m ->
+      Alcotest.failf "ascii parse of %S failed: %s" printed_a m
+  in
+  if not (equal_query parsed_a q) then
+    Alcotest.failf "ascii round-trip mismatch for %s" printed_a
+
+let roundtrip_grouping () =
+  roundtrip
+    (coll "Q" [ "A"; "sm" ]
+       (exists
+          ~grouping:[ ("r", "A") ]
+          [ bind "r" "R" ]
+          (conj
+             [
+               eq (attr "Q" "A") (attr "r" "A");
+               eq (attr "Q" "sm") (sum (attr "r" "B"));
+             ])));
+  roundtrip
+    (coll "Q" [ "sm" ]
+       (exists ~grouping:group_all [ bind "r" "R" ]
+          (eq (attr "Q" "sm") (sum (attr "r" "B")))))
+
+let roundtrip_nested () =
+  roundtrip
+    (coll "Q" [ "A"; "B" ]
+       (exists
+          [
+            bind "x" "X";
+            bind_in "z"
+              (collection "Z" [ "B" ]
+                 (exists [ bind "y" "Y" ]
+                    (conj
+                       [
+                         eq (attr "Z" "B") (attr "y" "A");
+                         lt (attr "x" "A") (attr "y" "A");
+                       ])));
+          ]
+          (conj
+             [
+               eq (attr "Q" "A") (attr "x" "A");
+               eq (attr "Q" "B") (attr "z" "B");
+             ])))
+
+let roundtrip_join_annotations () =
+  roundtrip
+    (coll "Q" [ "m"; "n" ]
+       (exists
+          ~join:(J_left (J_var "r", J_inner [ J_lit (V.Int 11); J_var "s" ]))
+          [ bind "r" "R"; bind "s" "S" ]
+          (conj
+             [
+               eq (attr "Q" "m") (attr "r" "m");
+               eq (attr "Q" "n") (attr "s" "n");
+               eq (attr "r" "y") (attr "s" "y");
+               eq (attr "r" "h") (cint 11);
+             ])));
+  roundtrip
+    (coll "Q" [ "A" ]
+       (exists
+          ~join:(J_full (J_var "r", J_var "s"))
+          [ bind "r" "R"; bind "s" "S" ]
+          (conj [ eq (attr "Q" "A") (attr "r" "A"); eq (attr "r" "A") (attr "s" "B") ])))
+
+let roundtrip_negation_disjunction () =
+  roundtrip
+    (coll "Q" [ "A" ]
+       (disj
+          [
+            exists [ bind "r" "R" ]
+              (conj
+                 [
+                   eq (attr "Q" "A") (attr "r" "A");
+                   not_ (exists [ bind "s" "S" ] (eq (attr "r" "B") (attr "s" "B")));
+                 ]);
+            exists [ bind "s" "S" ] (eq (attr "Q" "A") (attr "s" "C"));
+          ]))
+
+let roundtrip_arith_like_null () =
+  roundtrip
+    (coll "Q" [ "A" ]
+       (exists [ bind "r" "R" ]
+          (conj
+             [
+               eq (attr "Q" "A") (attr "r" "A");
+               gt (sub (attr "r" "B") (cint 3)) (mul (attr "r" "A") (cint 2));
+               like (attr "r" "name") "a%";
+               is_null (attr "r" "B");
+               not_null (attr "r" "A");
+               neq (attr "r" "A") cnull;
+             ])));
+  roundtrip
+    (coll "Q" [ "v" ]
+       (exists [ bind "r" "R" ]
+          (eq (attr "Q" "v")
+             (div (add (attr "r" "A") (cint 1)) (cint 2)))))
+
+let roundtrip_exotic_names () =
+  (* external relations with names like "-" and "*" (Fig 15/20) *)
+  roundtrip
+    (coll "Q" [ "A" ]
+       (exists
+          [ bind "r" "R"; bind "f" "-"; bind "g" "*" ]
+          (conj
+             [
+               eq (attr "Q" "A") (attr "r" "A");
+               eq (attr "f" "left") (attr "r" "B");
+               eq (attr "g" "$1") (attr "f" "out");
+             ])))
+
+let roundtrip_sentence () =
+  roundtrip
+    (sentence
+       (not_
+          (exists [ bind "r" "R" ]
+             (exists ~grouping:group_all [ bind "s" "S" ]
+                (conj
+                   [
+                     eq (attr "r" "id") (attr "s" "id");
+                     gt (attr "r" "q") (count (attr "s" "d"));
+                   ])))))
+
+let program_roundtrip () =
+  let prog =
+    program
+      ~defs:
+        [
+          define "A"
+            (collection "A" [ "s"; "t" ]
+               (disj
+                  [
+                    exists [ bind "p" "P" ]
+                      (conj
+                         [
+                           eq (attr "A" "s") (attr "p" "s");
+                           eq (attr "A" "t") (attr "p" "t");
+                         ]);
+                    exists
+                      [ bind "p" "P"; bind "a2" "A" ]
+                      (conj
+                         [
+                           eq (attr "A" "s") (attr "p" "s");
+                           eq (attr "p" "t") (attr "a2" "s");
+                           eq (attr "a2" "t") (attr "A" "t");
+                         ]);
+                  ]))
+        ]
+      (coll "Q" [ "s" ]
+         (exists [ bind "a" "A" ] (eq (attr "Q" "s") (attr "a" "s"))))
+  in
+  let printed = Printer.program prog in
+  let parsed = Parser.program_of_string printed in
+  Alcotest.(check bool) "program round-trip" true (equal_program parsed prog)
+
+let parse_errors () =
+  let bad s =
+    match Parser.query_of_string s with
+    | exception Parser.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected parse error for %S" s
+  in
+  bad "{Q(A) | ";
+  bad "{Q(A) | exists r in R[Q.A = r.A]} trailing";
+  bad "{Q(A) | exists r R[Q.A = r.A]}";
+  bad "{Q(A) | exists r in R[Q.A ++ r.A]}";
+  bad "{Q(A) | exists gamma_{} [true]}";
+  bad "exists r in R[r.A '"
+
+let pretty_parses () =
+  let q =
+    coll "Q" [ "dept"; "av" ]
+      (exists
+         [
+           bind_in "x"
+             (collection "X" [ "dept"; "av"; "sm" ]
+                (exists
+                   ~grouping:[ ("r", "dept") ]
+                   [ bind "r" "R"; bind "s" "S" ]
+                   (conj
+                      [
+                        eq (attr "X" "dept") (attr "r" "dept");
+                        eq (attr "X" "av") (avg (attr "s" "sal"));
+                        eq (attr "X" "sm") (sum (attr "s" "sal"));
+                        eq (attr "r" "empl") (attr "s" "empl");
+                      ])));
+         ]
+         (conj
+            [
+              eq (attr "Q" "dept") (attr "x" "dept");
+              eq (attr "Q" "av") (attr "x" "av");
+              gt (attr "x" "sm") (cint 100);
+            ]))
+  in
+  let pretty = Printer.pretty_query q in
+  let parsed = Parser.query_of_string pretty in
+  Alcotest.(check bool) "pretty output parses back" true (equal_query parsed q)
+
+(* property: round-trip on generated ASTs *)
+let gen_query =
+  let open QCheck.Gen in
+  let var = oneofl [ "r"; "s"; "t" ] in
+  let rel = oneofl [ "R"; "S"; "T" ] in
+  let at = oneofl [ "A"; "B"; "C" ] in
+  let term_g =
+    oneof
+      [
+        map (fun n -> Const (V.Int n)) (int_bound 9);
+        map2 (fun v a -> Attr (v, a)) var at;
+      ]
+  in
+  let pred_g =
+    let* op = oneofl [ Eq; Neq; Lt; Leq; Gt; Geq ] in
+    let* l = term_g in
+    let* r = term_g in
+    return (Cmp (op, l, r))
+  in
+  let rec formula_g depth =
+    if depth = 0 then map (fun p -> Pred p) pred_g
+    else
+      frequency
+        [
+          (3, map (fun p -> Pred p) pred_g);
+          (1, map (fun f -> Not f) (formula_g (depth - 1)));
+          (2, map (fun fs -> And fs) (list_size (int_range 2 3) (formula_g (depth - 1))));
+          (1, map (fun fs -> Or fs) (list_size (int_range 2 3) (formula_g (depth - 1))));
+        ]
+  in
+  let* v1 = var in
+  let* r1 = rel in
+  let* body = formula_g 2 in
+  let* a = at in
+  let* t = term_g in
+  return
+    (Coll
+       {
+         head = { head_name = "Q"; head_attrs = [ "X" ] };
+         body =
+           Exists
+             {
+               bindings = [ { var = v1; source = Base r1 } ];
+               grouping = None;
+               join = None;
+               body = And [ Pred (Cmp (Eq, Attr ("Q", "X"), Attr (v1, a))); body; Pred (Cmp (Eq, t, t)) ];
+             };
+       })
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"print/parse round-trip on random queries" ~count:300
+    (QCheck.make ~print:(fun q -> Printer.query q) gen_query)
+    (fun q ->
+      let q' = Parser.query_of_string (Printer.query q) in
+      let q'' = Parser.query_of_string (Printer.query ~unicode:false q) in
+      equal_query q q' && equal_query q q'')
+
+let () =
+  Alcotest.run "arc_syntax"
+    [
+      ( "printer",
+        [ Alcotest.test_case "eq1 text" `Quick print_eq1 ] );
+      ( "parser",
+        [
+          Alcotest.test_case "eq1 ascii" `Quick parse_eq1;
+          Alcotest.test_case "eq1 unicode" `Quick parse_unicode;
+          Alcotest.test_case "errors" `Quick parse_errors;
+        ] );
+      ( "round-trips",
+        [
+          Alcotest.test_case "grouping" `Quick roundtrip_grouping;
+          Alcotest.test_case "nested collections" `Quick roundtrip_nested;
+          Alcotest.test_case "join annotations" `Quick roundtrip_join_annotations;
+          Alcotest.test_case "negation/disjunction" `Quick
+            roundtrip_negation_disjunction;
+          Alcotest.test_case "arith/like/null" `Quick roundtrip_arith_like_null;
+          Alcotest.test_case "exotic relation names" `Quick roundtrip_exotic_names;
+          Alcotest.test_case "sentence" `Quick roundtrip_sentence;
+          Alcotest.test_case "program with defs" `Quick program_roundtrip;
+          Alcotest.test_case "pretty printer parses" `Quick pretty_parses;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_roundtrip ] );
+    ]

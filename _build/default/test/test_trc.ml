@@ -1,0 +1,134 @@
+(* TRC frontend tests: the paper's Section 2.1 normalization, end to end. *)
+
+open Arc_core.Ast
+open Arc_core.Build
+module Trc = Arc_trc.Trc
+module Relation = Arc_relation.Relation
+module Database = Arc_relation.Database
+module V = Arc_value.Value
+
+let i = V.int
+
+(* the exact textbook query the paper starts from *)
+let textbook = "{r.A | r in R and exists s[r.B = s.B and s.C = 0 and s in S]}"
+
+let paper_normalization () =
+  let c = Trc.to_arc textbook in
+  (* the expected result is Eq (1) *)
+  let eq1 =
+    collection "Q" [ "A" ]
+      (exists
+         [ bind "r" "R" ]
+         (conj
+            [
+              eq (attr "Q" "A") (attr "r" "A");
+              exists [ bind "s" "S" ]
+                (conj
+                   [
+                     eq (attr "r" "B") (attr "s" "B");
+                     eq (attr "s" "C") (cint 0);
+                   ]);
+            ]))
+  in
+  if not (equal_collection c eq1) then
+    Alcotest.failf "normalization differs:@.%s"
+      (Arc_syntax.Printer.query (Coll c));
+  Alcotest.(check bool) "validates as ARC" true
+    (Arc_core.Analysis.validate_query (Coll c) = Ok ());
+  Alcotest.(check bool) "in the TRC fragment" true
+    (Arc_core.Fragment.is_trc (Coll c))
+
+let unicode_input () =
+  let c =
+    Trc.to_arc
+      "{r.A | r \xe2\x88\x88 R \xe2\x88\xa7 \xe2\x88\x83s[r.B = s.B \xe2\x88\xa7 s.C = 0 \xe2\x88\xa7 s \xe2\x88\x88 S]}"
+  in
+  let c2 = Trc.to_arc textbook in
+  Alcotest.(check bool) "unicode = ascii" true (equal_collection c c2)
+
+let sugar_range_in_quantifier () =
+  (* 'exists s in S[...]' sugar produces the same result as the floating
+     membership atom *)
+  let c1 = Trc.to_arc "{r.A | r in R and exists s in S[r.B = s.B]}" in
+  let c2 = Trc.to_arc "{r.A | r in R and exists s[r.B = s.B and s in S]}" in
+  Alcotest.(check bool) "sugar = floating atom" true (equal_collection c1 c2)
+
+let evaluation_agrees () =
+  let db =
+    Database.of_list
+      [
+        ( "R",
+          Relation.of_rows [ "A"; "B" ]
+            [ [ i 1; i 10 ]; [ i 2; i 20 ]; [ i 3; i 30 ] ] );
+        ( "S",
+          Relation.of_rows [ "B"; "C" ]
+            [ [ i 10; i 0 ]; [ i 20; i 5 ]; [ i 99; i 0 ] ] );
+      ]
+  in
+  let c = Trc.to_arc textbook in
+  let r = Arc_engine.Eval.run_rows ~db (program (Coll c)) in
+  Alcotest.(check bool) "evaluates like eq1" true
+    (Relation.equal_set r (Relation.of_rows [ "A" ] [ [ i 1 ] ]))
+
+let forall_range_sugar () =
+  let c =
+    Trc.to_arc
+      "{s1.sup | s1 in Supplies and not exists p in Parts[not exists s2 in \
+       Supplies[s2.sup = s1.sup and s2.part = p.part]]}"
+  in
+  let db =
+    Database.of_list
+      [
+        ( "Supplies",
+          Relation.of_rows [ "sup"; "part" ]
+            [
+              [ V.str "a"; V.str "x" ]; [ V.str "a"; V.str "y" ];
+              [ V.str "b"; V.str "x" ];
+            ] );
+        ("Parts", Relation.of_rows [ "part" ] [ [ V.str "x" ]; [ V.str "y" ] ]);
+      ]
+  in
+  let r = Arc_engine.Eval.run_rows ~db (program (Coll c)) in
+  Alcotest.(check bool) "division result" true
+    (Relation.equal_set r (Relation.of_rows [ "sup" ] [ [ V.str "a" ] ]))
+
+let multi_projection_dedup () =
+  let c = Trc.to_arc "{r.A, s.A | r in R and s in R and r.B = s.B}" in
+  Alcotest.(check (list string)) "head attrs deduplicated" [ "A"; "A2" ]
+    c.head.head_attrs
+
+let errors () =
+  (match Trc.parse "{r.A | r in" with
+  | exception Trc.Parse_error _ -> ()
+  | _ -> Alcotest.fail "expected parse error");
+  (match Trc.to_arc "{r.A | exists s[s.B = r.B]}" with
+  | exception Trc.Normalize_error _ -> ()
+  | _ -> Alcotest.fail "expected range-less head variable error");
+  match Trc.to_arc "{r.A | r in R and exists s[s.B = r.B]}" with
+  | exception Trc.Normalize_error _ -> ()
+  | _ -> Alcotest.fail "expected range-less quantified variable error"
+
+let print_parse () =
+  let q = Trc.parse textbook in
+  let printed = Trc.to_string q in
+  let q2 = Trc.parse printed in
+  Alcotest.(check bool) "textbook print/parse round-trip" true (q = q2)
+
+let () =
+  Alcotest.run "arc_trc"
+    [
+      ( "normalization",
+        [
+          Alcotest.test_case "the paper's two steps" `Quick paper_normalization;
+          Alcotest.test_case "unicode input" `Quick unicode_input;
+          Alcotest.test_case "range sugar" `Quick sugar_range_in_quantifier;
+          Alcotest.test_case "evaluation" `Quick evaluation_agrees;
+          Alcotest.test_case "division via ¬∃¬" `Quick forall_range_sugar;
+          Alcotest.test_case "head dedup" `Quick multi_projection_dedup;
+        ] );
+      ( "misc",
+        [
+          Alcotest.test_case "errors" `Quick errors;
+          Alcotest.test_case "print/parse" `Quick print_parse;
+        ] );
+    ]

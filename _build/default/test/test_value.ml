@@ -1,0 +1,181 @@
+(* Value substrate tests: values, 3VL, aggregates, conventions. *)
+
+module V = Arc_value.Value
+module B3 = Arc_value.Bool3
+module Agg = Arc_value.Aggregate
+module Conv = Arc_value.Conventions
+
+let i = V.int
+
+let value_compare () =
+  Alcotest.(check bool) "null < int" true (V.compare V.Null (i 0) < 0);
+  Alcotest.(check bool) "int/float cross" true
+    (V.compare (i 1) (V.Float 1.5) < 0);
+  Alcotest.(check bool) "1 = 1.0" true (V.equal (i 1) (V.Float 1.));
+  Alcotest.(check bool) "null = null (grouping)" true (V.equal V.Null V.Null);
+  Alcotest.(check bool) "str order" true (V.compare (V.Str "a") (V.Str "b") < 0)
+
+let value_cmp3 () =
+  Alcotest.(check bool) "null vs x is None" true (V.cmp3 V.Null (i 1) = None);
+  Alcotest.(check bool) "x vs null is None" true (V.cmp3 (i 1) V.Null = None);
+  Alcotest.(check bool) "1 < 2" true (V.cmp3 (i 1) (i 2) = Some (-1));
+  Alcotest.check_raises "int vs str raises"
+    (V.Type_error "cannot compare int with string") (fun () ->
+      ignore (V.cmp3 (i 1) (V.Str "x")))
+
+let value_arith () =
+  Alcotest.(check bool) "3 - 1 = 2" true (V.equal (V.sub (i 3) (i 1)) (i 2));
+  Alcotest.(check bool) "null strict" true (V.is_null (V.add V.Null (i 1)));
+  Alcotest.(check bool) "mixed int/float" true
+    (V.equal (V.mul (i 2) (V.Float 1.5)) (V.Float 3.));
+  Alcotest.check_raises "div by zero"
+    (V.Type_error "integer division by zero") (fun () ->
+      ignore (V.div (i 1) (i 0)))
+
+let value_like () =
+  let t pat s expect =
+    Alcotest.(check (option bool))
+      (Printf.sprintf "'%s' like '%s'" s pat)
+      (Some expect)
+      (V.like (V.Str s) pat)
+  in
+  t "a%" "abc" true;
+  t "a%" "bac" false;
+  t "%c" "abc" true;
+  t "a_c" "abc" true;
+  t "a_c" "abbc" false;
+  t "%b%" "abc" true;
+  t "" "" true;
+  t "%" "" true;
+  t "_" "" false;
+  Alcotest.(check (option bool)) "null like" None (V.like V.Null "a%")
+
+let bool3_tables () =
+  let open B3 in
+  Alcotest.(check bool) "T and U = U" true (and_ True Unknown = Unknown);
+  Alcotest.(check bool) "F and U = F" true (and_ False Unknown = False);
+  Alcotest.(check bool) "T or U = T" true (or_ True Unknown = True);
+  Alcotest.(check bool) "F or U = U" true (or_ False Unknown = Unknown);
+  Alcotest.(check bool) "not U = U" true (not_ Unknown = Unknown);
+  Alcotest.(check bool) "to_bool U = false" true (to_bool Unknown = false);
+  Alcotest.(check bool) "and_list empty = T" true (and_list [] = True);
+  Alcotest.(check bool) "or_list empty = F" true (or_list [] = False)
+
+let agg_basic () =
+  let apply k vs = Agg.apply Conv.Agg_null k vs in
+  Alcotest.(check bool) "sum" true (V.equal (apply Agg.Sum [ i 1; i 2; i 3 ]) (i 6));
+  Alcotest.(check bool) "count" true (V.equal (apply Agg.Count [ i 1; i 2 ]) (i 2));
+  Alcotest.(check bool) "count skips nulls" true
+    (V.equal (apply Agg.Count [ i 1; V.Null ]) (i 1));
+  Alcotest.(check bool) "sum skips nulls" true
+    (V.equal (apply Agg.Sum [ i 1; V.Null; i 2 ]) (i 3));
+  Alcotest.(check bool) "avg" true
+    (V.equal (apply Agg.Avg [ i 1; i 3 ]) (V.Float 2.));
+  Alcotest.(check bool) "min" true (V.equal (apply Agg.Min [ i 3; i 1 ]) (i 1));
+  Alcotest.(check bool) "max" true (V.equal (apply Agg.Max [ i 3; i 1 ]) (i 3))
+
+let agg_distinct () =
+  let apply k vs = Agg.apply Conv.Agg_null k vs in
+  Alcotest.(check bool) "countdistinct" true
+    (V.equal (apply Agg.Count_distinct [ i 1; i 1; i 2 ]) (i 2));
+  Alcotest.(check bool) "sumdistinct" true
+    (V.equal (apply Agg.Sum_distinct [ i 5; i 5; i 2 ]) (i 7));
+  Alcotest.(check bool) "avgdistinct" true
+    (V.equal (apply Agg.Avg_distinct [ i 2; i 2; i 4 ]) (V.Float 3.))
+
+let agg_empty_convention () =
+  Alcotest.(check bool) "SQL: sum [] = null" true
+    (V.is_null (Agg.apply Conv.Agg_null Agg.Sum []));
+  Alcotest.(check bool) "Souffle: sum [] = 0" true
+    (V.equal (Agg.apply Conv.Agg_zero Agg.Sum []) (i 0));
+  Alcotest.(check bool) "count [] = 0 in both" true
+    (V.equal (Agg.apply Conv.Agg_null Agg.Count []) (i 0));
+  Alcotest.(check bool) "sum of all nulls behaves as empty" true
+    (V.is_null (Agg.apply Conv.Agg_null Agg.Sum [ V.Null; V.Null ]))
+
+let agg_names () =
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Agg.kind_to_string k ^ " round-trips")
+        true
+        (Agg.kind_of_string (Agg.kind_to_string k) = Some k))
+    Agg.all_kinds;
+  Alcotest.(check bool) "average alias" true
+    (Agg.kind_of_string "average" = Some Agg.Avg);
+  Alcotest.(check bool) "unknown" true (Agg.kind_of_string "median" = None)
+
+let conventions () =
+  Alcotest.(check bool) "sql is bag" true (Conv.sql.Conv.collection = Conv.Bag);
+  Alcotest.(check bool) "sql_set is set" true
+    (Conv.sql_set.Conv.collection = Conv.Set);
+  Alcotest.(check bool) "souffle 2VL" true
+    (Conv.souffle.Conv.null_logic = Conv.Two_valued);
+  Alcotest.(check bool) "souffle agg 0" true
+    (Conv.souffle.Conv.agg_empty = Conv.Agg_zero)
+
+(* property tests *)
+let prop_like_percent =
+  QCheck.Test.make ~name:"LIKE '%' matches every string" ~count:200
+    QCheck.(string_of_size (Gen.int_bound 20))
+    (fun s ->
+      (* avoid pattern metacharacters confusion: pattern is just % *)
+      V.like (V.Str s) "%" = Some true)
+
+let prop_compare_total =
+  let gen =
+    QCheck.oneof
+      [
+        QCheck.always V.Null;
+        QCheck.map V.int QCheck.small_int;
+        QCheck.map V.float (QCheck.float_bound_exclusive 100.);
+        QCheck.map V.str QCheck.(string_of_size (Gen.int_bound 6));
+      ]
+  in
+  QCheck.Test.make ~name:"compare is antisymmetric" ~count:500
+    (QCheck.pair gen gen)
+    (fun (a, b) -> compare (V.compare a b) 0 = compare 0 (V.compare b a))
+
+let prop_bool3_demorgan =
+  let gen = QCheck.oneofl [ B3.True; B3.False; B3.Unknown ] in
+  QCheck.Test.make ~name:"Kleene De Morgan" ~count:100 (QCheck.pair gen gen)
+    (fun (a, b) ->
+      B3.not_ (B3.and_ a b) = B3.or_ (B3.not_ a) (B3.not_ b)
+      && B3.not_ (B3.or_ a b) = B3.and_ (B3.not_ a) (B3.not_ b))
+
+let prop_sum_append =
+  QCheck.Test.make ~name:"sum distributes over append" ~count:200
+    QCheck.(pair (small_list small_int) (small_list small_int))
+    (fun (xs, ys) ->
+      let vs l = List.map V.int l in
+      let s l =
+        match Agg.apply Conv.Agg_zero Agg.Sum (vs l) with
+        | V.Int n -> n
+        | _ -> -1
+      in
+      s (xs @ ys) = s xs + s ys)
+
+let () =
+  Alcotest.run "arc_value"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "compare" `Quick value_compare;
+          Alcotest.test_case "cmp3" `Quick value_cmp3;
+          Alcotest.test_case "arithmetic" `Quick value_arith;
+          Alcotest.test_case "like" `Quick value_like;
+        ] );
+      ( "bool3",
+        [ Alcotest.test_case "kleene tables" `Quick bool3_tables ] );
+      ( "aggregate",
+        [
+          Alcotest.test_case "basic" `Quick agg_basic;
+          Alcotest.test_case "distinct variants" `Quick agg_distinct;
+          Alcotest.test_case "empty-input convention" `Quick agg_empty_convention;
+          Alcotest.test_case "names" `Quick agg_names;
+        ] );
+      ( "conventions", [ Alcotest.test_case "presets" `Quick conventions ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_like_percent; prop_compare_total; prop_bool3_demorgan; prop_sum_append ] );
+    ]
