@@ -1,7 +1,9 @@
 (* The benchmark harness: regenerates every table/figure behavior the paper
    reports (Part 1), times each experiment and the library's main code paths
-   with Bechamel (Parts 2-3), and reports modality-size metrics as a proxy
-   for the paper's cited user studies (Part 4).
+   with Bechamel (Parts 2-3), reports modality-size metrics as a proxy for
+   the paper's cited user studies (Part 4), collects per-operator counters
+   from traced workloads (Part 5), and writes everything as machine-readable
+   JSON to BENCH_1.json (override with the BENCH_OUT env var).
 
    Run with:  dune exec bench/main.exe *)
 
@@ -13,6 +15,8 @@ module V = Arc_value.Value
 module Relation = Arc_relation.Relation
 module Database = Arc_relation.Database
 module Eval = Arc_engine.Eval
+module Obs = Arc_obs.Obs
+module Json = Arc_obs.Json
 
 let rule () = print_endline (String.make 78 '=')
 
@@ -41,12 +45,15 @@ let reproduce () =
     Catalog.all;
   Printf.printf "\n>>> %d checks, %d failures across %d experiments\n" !total
     !failed
-    (List.length Catalog.all)
+    (List.length Catalog.all);
+  (!total, !failed)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel plumbing                                                   *)
 (* ------------------------------------------------------------------ *)
 
+(* Runs a Bechamel group, prints the table, and returns
+   [(name, est_ns_per_run)] rows for the JSON report. *)
 let run_bench ~name tests =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
@@ -63,7 +70,7 @@ let run_bench ~name tests =
   let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
   Printf.printf "\n%-58s %14s\n" "benchmark" "time/run";
   print_endline (String.make 74 '-');
-  List.iter
+  List.map
     (fun (name, ols) ->
       let est =
         match Analyze.OLS.estimates ols with
@@ -77,7 +84,8 @@ let run_bench ~name tests =
         else if est > 1e3 then Printf.sprintf "%8.2f µs" (est /. 1e3)
         else Printf.sprintf "%8.0f ns" est
       in
-      Printf.printf "%-58s %14s\n" name human)
+      Printf.printf "%-58s %14s\n" name human;
+      (name, est))
     rows
 
 (* ------------------------------------------------------------------ *)
@@ -159,6 +167,19 @@ let ablation_benches () =
              ignore
                (Eval.run_rows ~db:Data.db_beers
                   (Arc_core.Ast.program (Arc_core.Ast.Coll Data.eq22)))));
+      (* tracer overhead: the explicit null tracer must cost the same as the
+         default (no tracer argument) path above; the collecting tracer shows
+         the price of a full trace *)
+      Test.make ~name:"obs: unique-set, explicit null tracer"
+        (Staged.stage (fun () ->
+             ignore
+               (Eval.run_rows ~tracer:Obs.null ~db:Data.db_beers
+                  (Arc_core.Ast.program (Arc_core.Ast.Coll Data.eq22)))));
+      Test.make ~name:"obs: unique-set, collecting tracer"
+        (Staged.stage (fun () ->
+             ignore
+               (Eval.run_rows ~tracer:(Obs.collector ()) ~db:Data.db_beers
+                  (Arc_core.Ast.program (Arc_core.Ast.Coll Data.eq22)))));
       Test.make ~name:"translate: SQL → ARC (Fig 6a)"
         (Staged.stage (fun () ->
              ignore
@@ -232,10 +253,128 @@ let modality_metrics () =
     (Arc_core.Pattern.to_string p3)
     (Arc_core.Pattern.to_string p7)
 
+(* ------------------------------------------------------------------ *)
+(* Part 5: per-operator counters from traced workloads                 *)
+(* ------------------------------------------------------------------ *)
+
+let traced_workloads () =
+  section "PART 5 — Operator counters (traced workloads)";
+  let chain n =
+    Database.of_list
+      [
+        ( "P",
+          Relation.of_rows [ "s"; "t" ]
+            (List.init n (fun i -> [ V.Int i; V.Int (i + 1) ])) );
+      ]
+  in
+  let eq16 =
+    { Arc_core.Ast.defs = Data.eq16_defs; main = Arc_core.Ast.Coll Data.eq16_main }
+  in
+  let workloads =
+    [
+      ( "recursion chain24, naive",
+        fun tracer ->
+          ignore
+            (Eval.run_rows ~strategy:Eval.Naive ~tracer ~db:(chain 24) eq16) );
+      ( "recursion chain24, seminaive",
+        fun tracer ->
+          ignore
+            (Eval.run_rows ~strategy:Eval.Seminaive ~tracer ~db:(chain 24) eq16)
+      );
+      ( "FIO grouped aggregate, |R|=40",
+        fun tracer ->
+          ignore
+            (Eval.run_rows ~tracer ~db:(grouped_db 40)
+               (Arc_core.Ast.program (Arc_core.Ast.Coll Data.eq3))) );
+      ( "unique-set (4 nested negations), 5 drinkers",
+        fun tracer ->
+          ignore
+            (Eval.run_rows ~tracer ~db:Data.db_beers
+               (Arc_core.Ast.program (Arc_core.Ast.Coll Data.eq22))) );
+    ]
+  in
+  List.map
+    (fun (name, run) ->
+      let tracer = Obs.collector () in
+      run tracer;
+      let summary = Obs.summary (Obs.spans tracer) in
+      Printf.printf "\n%s\n" name;
+      List.iter
+        (fun (a : Obs.agg) ->
+          Printf.printf "    %-24s calls=%-6d %s\n" a.Obs.agg_name a.Obs.calls
+            (String.concat ", "
+               (List.map
+                  (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+                  a.Obs.counters)))
+        summary;
+      (name, summary))
+    workloads
+
+(* ------------------------------------------------------------------ *)
+(* JSON report (BENCH_1.json)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let time_rows_to_json rows =
+  Json.List
+    (List.map
+       (fun (name, est) ->
+         Json.Obj
+           [
+             ("name", Json.Str name);
+             ("time_ns", if Float.is_nan est then Json.Null else Json.Float est);
+           ])
+       rows)
+
+let workloads_to_json workloads =
+  Json.List
+    (List.map
+       (fun (name, summary) ->
+         Json.Obj
+           [
+             ("name", Json.Str name);
+             ( "operators",
+               Json.List
+                 (List.map
+                    (fun (a : Obs.agg) ->
+                      Json.Obj
+                        [
+                          ("operator", Json.Str a.Obs.agg_name);
+                          ("calls", Json.Int a.Obs.calls);
+                          ("total_ns", Json.Int (Int64.to_int a.Obs.total_ns));
+                          ( "counters",
+                            Json.Obj
+                              (List.map
+                                 (fun (k, v) -> (k, Json.Int v))
+                                 a.Obs.counters) );
+                        ])
+                    summary) );
+           ])
+       workloads)
+
 let () =
-  reproduce ();
-  experiment_benches ();
-  ablation_benches ();
+  let checks, failures = reproduce () in
+  let experiments = experiment_benches () in
+  let ablations = ablation_benches () in
   modality_metrics ();
+  let workloads = traced_workloads () in
+  let report =
+    Json.Obj
+      [
+        ("version", Json.Int 1);
+        ("harness", Json.Str "arc-bench");
+        ( "reproduction",
+          Json.Obj
+            [ ("checks", Json.Int checks); ("failures", Json.Int failures) ] );
+        ("experiments", time_rows_to_json experiments);
+        ("ablations", time_rows_to_json ablations);
+        ("workloads", workloads_to_json workloads);
+      ]
+  in
+  let out =
+    match Sys.getenv_opt "BENCH_OUT" with Some f -> f | None -> "BENCH_1.json"
+  in
+  Out_channel.with_open_text out (fun oc ->
+      output_string oc (Json.pretty report);
+      output_char oc '\n');
   rule ();
-  print_endline "bench complete."
+  Printf.printf "bench complete; JSON report written to %s\n" out

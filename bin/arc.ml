@@ -143,6 +143,7 @@ let wrap f = try `Ok (f ()) with
   | Arc_engine.Eval.Eval_error m
   | Arc_sql.Eval_sql.Sql_error m ->
       `Error (false, m)
+  | Sys_error m -> `Error (false, m)
 
 (* ------------------------------------------------------------------ *)
 (* render                                                              *)
@@ -238,7 +239,33 @@ let validate_cmd =
 (* eval                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let eval_run lang conv tables text =
+module Obs = Arc_obs.Obs
+module Sink = Arc_obs.Sink
+
+(* per-operator totals, for --profile *)
+let print_profile spans =
+  let rows = Obs.summary spans in
+  print_endline "-- profile: per-operator totals --";
+  Printf.printf "%-24s %8s %12s  %s\n" "operator" "calls" "total" "counters";
+  List.iter
+    (fun (a : Obs.agg) ->
+      Printf.printf "%-24s %8d %12s  %s\n" a.Obs.agg_name a.Obs.calls
+        (Sink.duration_to_string a.Obs.total_ns)
+        (String.concat ", "
+           (List.map
+              (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+              a.Obs.counters)))
+    rows
+
+let profile_flag =
+  Arg.(
+    value & flag
+    & info [ "p"; "profile" ]
+        ~doc:
+          "After the results, print per-operator call counts, cumulative \
+           timings, and tuple counters collected by the tracer.")
+
+let eval_run lang conv tables profile text =
   wrap (fun () ->
       let tables = List.map parse_table tables in
       let db = Database.of_list tables in
@@ -253,20 +280,114 @@ let eval_run lang conv tables text =
           (* SQL input runs on the direct SQL evaluator, so SQL-only
              features (ORDER BY, LIMIT) work without translation *)
           print_endline
-            (Relation.to_table (Arc_sql.Eval_sql.run_string ~db text))
+            (Relation.to_table (Arc_sql.Eval_sql.run_string ~db text));
+          if profile then
+            prerr_endline
+              "profile: SQL input runs on the direct SQL evaluator, which is \
+               not instrumented; use -i sql with 'arc trace' to trace the \
+               translated ARC program"
       | _ -> (
+          let tracer = if profile then Obs.collector () else Obs.null in
           let prog = parse_input lang text schemas in
-          match Arc_engine.Eval.run ~conv ~db prog with
+          (match Arc_engine.Eval.run ~conv ~tracer ~db prog with
           | Arc_engine.Eval.Rows r ->
               print_endline (Relation.to_table (Relation.sort r))
           | Arc_engine.Eval.Truth t ->
-              print_endline (Arc_value.Bool3.to_string t)))
+              print_endline (Arc_value.Bool3.to_string t));
+          if profile then begin
+            print_newline ();
+            print_profile (Obs.spans tracer)
+          end))
 
 let eval_cmd =
   Cmd.v
     (Cmd.info "eval"
        ~doc:"Evaluate a query against inline tables under a convention.")
-    Term.(ret (const eval_run $ input_lang $ conv_arg $ tables_arg $ query_arg))
+    Term.(
+      ret
+        (const eval_run $ input_lang $ conv_arg $ tables_arg $ profile_flag
+       $ query_arg))
+
+(* ------------------------------------------------------------------ *)
+(* trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let trace_fmt =
+  Arg.(
+    value
+    & opt (enum [ ("pretty", `Pretty); ("jsonl", `Jsonl); ("chrome", `Chrome) ])
+        `Pretty
+    & info [ "f"; "format" ] ~docv:"FMT"
+        ~doc:
+          "Trace format: pretty (EXPLAIN ANALYZE-style span tree), jsonl \
+           (one flat JSON span per line), or chrome (Chrome trace-event \
+           JSON for chrome://tracing / Perfetto).")
+
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"FILE"
+        ~doc:"Write the trace to $(docv) instead of stdout.")
+
+let strategy_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("seminaive", Arc_engine.Eval.Seminaive);
+             ("naive", Arc_engine.Eval.Naive);
+           ])
+        Arc_engine.Eval.Seminaive
+    & info [ "strategy" ] ~docv:"STRATEGY"
+        ~doc:"Recursion strategy: seminaive (default) or naive.")
+
+let trace_run lang conv strategy fmt out tables text =
+  wrap (fun () ->
+      let tables = List.map parse_table tables in
+      let db = Database.of_list tables in
+      let schemas =
+        List.map
+          (fun (n, r) ->
+            (n, Arc_relation.Schema.attrs (Relation.schema r)))
+          tables
+      in
+      let prog = parse_input lang text schemas in
+      let tracer = Obs.collector () in
+      let outcome = Arc_engine.Eval.run ~conv ~strategy ~tracer ~db prog in
+      let spans = Obs.spans tracer in
+      let emit s =
+        match out with
+        | None -> print_string s
+        | Some file ->
+            Out_channel.with_open_text file (fun oc -> output_string oc s);
+            Printf.printf "trace written to %s\n" file
+      in
+      match fmt with
+      | `Pretty ->
+          (match outcome with
+          | Arc_engine.Eval.Rows r ->
+              print_endline (Relation.to_table (Relation.sort r))
+          | Arc_engine.Eval.Truth t ->
+              print_endline (Arc_value.Bool3.to_string t));
+          print_newline ();
+          emit (Sink.pretty spans)
+      | `Jsonl -> emit (Sink.jsonl spans)
+      | `Chrome -> emit (Sink.chrome spans))
+
+let trace_cmd =
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Evaluate a query with the tracer on and print an EXPLAIN \
+          ANALYZE-style span tree (or machine-readable JSONL / Chrome \
+          trace). SQL input is translated to ARC first, so the trace shows \
+          the ARC engine's conceptual evaluation strategy.")
+    Term.(
+      ret
+        (const trace_run $ input_lang $ conv_arg $ strategy_arg $ trace_fmt
+       $ trace_out $ tables_arg $ query_arg))
 
 (* ------------------------------------------------------------------ *)
 (* fragment                                                            *)
@@ -360,6 +481,12 @@ let catalog_markdown () =
      the same\nchecks run inside `dune exec bench/main.exe` (Part 1) and \
      `dune runtest`\n(suite `arc_catalog`). Every row is produced by \
      executing the experiment, not\nby hand.";
+  print_endline "";
+  print_endline
+    "The bench harness also writes machine-readable per-experiment \
+     wall-times and\nper-operator counters to `BENCH_1.json`; traces of \
+     individual runs are\navailable via `arc trace` — see \
+     [docs/observability.md](docs/observability.md).";
   List.iter
     (fun (e : Arc_catalog.Catalog.entry) ->
       Printf.printf "\n## %s — %s\n\n*Paper:* %s\n\n"
@@ -421,6 +548,9 @@ let main_cmd =
        ~doc:
          "Abstract Relational Calculus: a semantics-first reference \
           metalanguage for relational queries.")
-    [ render_cmd; validate_cmd; eval_cmd; fragment_cmd; compare_cmd; catalog_cmd ]
+    [
+      render_cmd; validate_cmd; eval_cmd; trace_cmd; fragment_cmd; compare_cmd;
+      catalog_cmd;
+    ]
 
 let () = exit (Cmd.eval main_cmd)

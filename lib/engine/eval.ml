@@ -9,6 +9,7 @@ module Schema = Arc_relation.Schema
 module Database = Arc_relation.Database
 module Analysis = Arc_core.Analysis
 module External = Arc_core.External
+module Obs = Arc_obs.Obs
 
 exception Eval_error of string
 
@@ -31,6 +32,8 @@ type ctx = {
   (* Singleton relations for literal join-tree leaves of the scope being
      evaluated (Fig 12). *)
   lits : (var * Tuple.t) list;
+  (* Trace/metrics tracer (Arc_obs); Obs.null makes every probe a no-op. *)
+  tracer : Obs.t;
 }
 
 type benv = (var * Tuple.t) list
@@ -200,7 +203,13 @@ let prepare_literals (scope : scope) =
 (* Scope enumeration                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let rec source_rows ctx benv = function
+let rec source_rows ctx benv src =
+  let rows = source_rows_raw ctx benv src in
+  if Obs.enabled ctx.tracer then
+    Obs.count ctx.tracer "tuples_scanned" (List.length rows);
+  rows
+
+and source_rows_raw ctx benv = function
   | Base name -> (
       (* under set semantics, stored relations are interpreted as sets:
          duplicates in the physical bag collapse (paper, Section 2.7 and
@@ -288,6 +297,7 @@ and smallest_cover tree vars =
   if covers tree then Some (descend tree) else None
 
 and enum_join_tree ctx benv (scope : scope) ~attached : benv list =
+  let sp = Obs.enter ctx.tracer "join" in
   let tree = Option.get scope.join in
   let scope_var v = List.exists (fun b -> b.var = v) scope.bindings in
   let node_preds node =
@@ -332,7 +342,12 @@ and enum_join_tree ctx benv (scope : scope) ~attached : benv list =
             (fun tp -> [ (v, tp) ])
             (source_rows ctx benv (binding_of v).source)
         in
-        List.filter (check mine) rows
+        let kept = List.filter (check mine) rows in
+        if Obs.enabled ctx.tracer then begin
+          Obs.add sp "candidates" (List.length rows);
+          Obs.add sp "survivors" (List.length kept)
+        end;
+        kept
     | J_lit _ -> fail "unexpanded literal leaf"
     | J_inner l ->
         let rows =
@@ -342,7 +357,12 @@ and enum_join_tree ctx benv (scope : scope) ~attached : benv list =
               List.concat_map (fun r -> List.map (fun c -> r @ c) crows) acc)
             [ [] ] l
         in
-        List.filter (check mine) rows
+        let kept = List.filter (check mine) rows in
+        if Obs.enabled ctx.tracer then begin
+          Obs.add sp "candidates" (List.length rows);
+          Obs.add sp "survivors" (List.length kept)
+        end;
+        kept
     | J_left (a, b) ->
         let ra = eval a and rb = eval b in
         List.concat_map
@@ -394,22 +414,41 @@ and enum_join_tree ctx benv (scope : scope) ~attached : benv list =
         && not (List.mem b.var (join_tree_vars tree)))
       scope.bindings
   in
-  List.concat_map
-    (fun r ->
-      List.fold_left
-        (fun acc b ->
-          List.concat_map
-            (fun (row : benv) ->
-              List.map
-                (fun tp -> (b.var, tp) :: row)
-                (source_rows ctx (row @ benv) b.source))
-            acc)
-        [ r ] missing)
-    tree_rows
+  let out =
+    List.concat_map
+      (fun r ->
+        List.fold_left
+          (fun acc b ->
+            List.concat_map
+              (fun (row : benv) ->
+                List.map
+                  (fun tp -> (b.var, tp) :: row)
+                  (source_rows ctx (row @ benv) b.source))
+              acc)
+          [ r ] missing)
+      tree_rows
+  in
+  if Obs.enabled ctx.tracer then Obs.set sp "rows_out" (Obs.Int (List.length out));
+  Obs.leave ctx.tracer sp;
+  out
 
 (* --- deferred (external / abstract) bindings ------------------------ *)
 
 and resolve_deferred ctx benv (scope : scope) rows deferred : benv list =
+  if deferred = [] then rows
+  else begin
+    let sp = Obs.enter ctx.tracer "deferred" in
+    let out = resolve_deferred_raw ctx benv scope rows deferred in
+    if Obs.enabled ctx.tracer then begin
+      Obs.set sp "bindings" (Obs.Int (List.length deferred));
+      Obs.set sp "rows_in" (Obs.Int (List.length rows));
+      Obs.set sp "resolutions" (Obs.Int (List.length out))
+    end;
+    Obs.leave ctx.tracer sp;
+    out
+  end
+
+and resolve_deferred_raw ctx benv (scope : scope) rows deferred : benv list =
   let conjs = conjuncts scope.body in
   List.fold_left
     (fun rows b ->
@@ -502,6 +541,7 @@ and resolve_deferred ctx benv (scope : scope) rows deferred : benv list =
    conditions removed from the body) together with the enumerated rows,
    each extending [benv]. *)
 and enum_scope ctx benv (scope : scope) ~heads : scope * benv list =
+  let sp = Obs.enter ctx.tracer "scope" in
   let scope, lit_rows = prepare_literals scope in
   let ctx = { ctx with lits = lit_rows @ ctx.lits } in
   let deferred =
@@ -530,7 +570,14 @@ and enum_scope ctx benv (scope : scope) ~heads : scope * benv list =
         in
         (scope, rows)
   in
-  (residual_scope, resolve_deferred ctx benv scope rows deferred)
+  let out = resolve_deferred ctx benv scope rows deferred in
+  if Obs.enabled ctx.tracer then begin
+    Obs.set sp "bindings" (Obs.Int (List.length scope.bindings));
+    Obs.set sp "deferred" (Obs.Int (List.length deferred));
+    Obs.set sp "rows_out" (Obs.Int (List.length out))
+  end;
+  Obs.leave ctx.tracer sp;
+  (residual_scope, out)
 
 (* ------------------------------------------------------------------ *)
 (* Formula evaluation (boolean contexts)                               *)
@@ -576,6 +623,17 @@ and eval_scope_bool ctx benv scope : B3.t =
    (the outer environment when the γ∅ group is empty). Rows in groups are
    full environments (row @ benv). *)
 and group_rows ctx benv keys pre rows : (benv * benv list) list =
+  let sp = Obs.enter ctx.tracer "group" in
+  let groups = group_rows_raw ctx benv keys pre rows in
+  if Obs.enabled ctx.tracer then begin
+    Obs.set sp "rows_in" (Obs.Int (List.length rows));
+    Obs.set sp "keys" (Obs.Int (List.length keys));
+    Obs.set sp "buckets" (Obs.Int (List.length groups))
+  end;
+  Obs.leave ctx.tracer sp;
+  groups
+
+and group_rows_raw ctx benv keys pre rows : (benv * benv list) list =
   let rows =
     List.filter
       (fun (row : benv) ->
@@ -625,6 +683,24 @@ and eval_gformula ctx ~rep ~group ~scope_vars f : B3.t =
 (* ------------------------------------------------------------------ *)
 
 and eval_collection ctx benv (c : collection) : Relation.t =
+  let name = c.head.head_name in
+  let sp = Obs.enter ctx.tracer ("collection:" ^ name) in
+  match eval_collection_raw ctx benv c with
+  | r ->
+      if Obs.enabled ctx.tracer then
+        Obs.set sp "rows_emitted" (Obs.Int (Relation.cardinality r));
+      Obs.leave ctx.tracer sp;
+      r
+  | exception Eval_error msg ->
+      Obs.leave ctx.tracer sp;
+      (* attribute the failure to the collection being evaluated; nested
+         failures accumulate a chain of contexts *)
+      fail "in collection %S: %s" name msg
+  | exception e ->
+      Obs.leave ctx.tracer sp;
+      raise e
+
+and eval_collection_raw ctx benv (c : collection) : Relation.t =
   let schema = Schema.make c.head.head_attrs in
   let head_name = c.head.head_name in
   let eval_disjunct d =
@@ -827,26 +903,41 @@ let rec compute_idb ctx (defs : definition list) =
     scc_list
 
 and naive_fixpoint ctx find_def component =
+  let sp = Obs.enter ctx.tracer "fixpoint:naive" in
+  if Obs.enabled ctx.tracer then
+    Obs.set sp "stratum" (Obs.Str (String.concat "," component));
   let changed = ref true in
   let iterations = ref 0 in
   while !changed do
     incr iterations;
     if !iterations > 100_000 then fail "fixpoint iteration diverged";
     changed := false;
+    let isp = Obs.enter ctx.tracer "iteration" in
     List.iter
       (fun n ->
         let d = find_def n in
+        let before =
+          if Obs.enabled ctx.tracer then
+            Relation.cardinality (Hashtbl.find ctx.idb n)
+          else 0
+        in
         let next =
           Relation.dedup
             (Relation.union (Hashtbl.find ctx.idb n)
                (eval_collection ctx [] d.def_body))
         in
+        if Obs.enabled ctx.tracer then
+          Obs.set isp ("delta:" ^ n)
+            (Obs.Int (Relation.cardinality next - before));
         if not (Relation.equal_set next (Hashtbl.find ctx.idb n)) then begin
           Hashtbl.replace ctx.idb n next;
           changed := true
         end)
-      component
-  done
+      component;
+    Obs.leave ctx.tracer isp
+  done;
+  Obs.set sp "iterations" (Obs.Int !iterations);
+  Obs.leave ctx.tracer sp
 
 (* Semi-naive evaluation: each round re-derives only through tuples that are
    new since the previous round. For every occurrence of a binding to a
@@ -900,19 +991,27 @@ and seminaive_fixpoint ctx find_def component =
     in
     walk_f body
   in
+  let sp = Obs.enter ctx.tracer "fixpoint:seminaive" in
+  if Obs.enabled ctx.tracer then
+    Obs.set sp "stratum" (Obs.Str (String.concat "," component));
   (* round 0: recursive refs are empty, the plain evaluation seeds delta *)
+  let ssp = Obs.enter ctx.tracer "seed" in
   List.iter
     (fun n ->
       let d = find_def n in
       let seed = Relation.dedup (eval_collection ctx [] d.def_body) in
       Hashtbl.replace ctx.idb n seed;
-      Hashtbl.replace ctx.idb (delta_name n) seed)
+      Hashtbl.replace ctx.idb (delta_name n) seed;
+      if Obs.enabled ctx.tracer then
+        Obs.set ssp ("delta:" ^ n) (Obs.Int (Relation.cardinality seed)))
     component;
+  Obs.leave ctx.tracer ssp;
   let iterations = ref 0 in
   let continue_ = ref true in
   while !continue_ do
     incr iterations;
     if !iterations > 100_000 then fail "fixpoint iteration diverged";
+    let isp = Obs.enter ctx.tracer "iteration" in
     let new_deltas =
       List.map
         (fun n ->
@@ -944,9 +1043,17 @@ and seminaive_fixpoint ctx find_def component =
     List.iter
       (fun (n, fresh) -> Hashtbl.replace ctx.idb (delta_name n) fresh)
       new_deltas;
+    if Obs.enabled ctx.tracer then
+      List.iter
+        (fun (n, fresh) ->
+          Obs.set isp ("delta:" ^ n) (Obs.Int (Relation.cardinality fresh)))
+        new_deltas;
+    Obs.leave ctx.tracer isp;
     if List.for_all (fun (_, fresh) -> Relation.is_empty fresh) new_deltas then
       continue_ := false
   done;
+  Obs.set sp "iterations" (Obs.Int !iterations);
+  Obs.leave ctx.tracer sp;
   List.iter (fun n -> Hashtbl.remove ctx.idb (delta_name n)) component
 
 (* ------------------------------------------------------------------ *)
@@ -954,7 +1061,7 @@ and seminaive_fixpoint ctx find_def component =
 (* ------------------------------------------------------------------ *)
 
 let make_ctx ?(conv = Conventions.sql_set) ?(externals = Externals.standard)
-    ?(strategy = Seminaive) ~db (prog : program) =
+    ?(strategy = Seminaive) ?(tracer = Obs.null) ~db (prog : program) =
   let aenv =
     Analysis.env
       ~schemas:
@@ -982,26 +1089,31 @@ let make_ctx ?(conv = Conventions.sql_set) ?(externals = Externals.standard)
       externals;
       params = [];
       lits = [];
+      tracer;
     }
   in
-  compute_idb ctx safe;
+  if safe <> [] then begin
+    let sp = Obs.enter tracer "definitions" in
+    compute_idb ctx safe;
+    Obs.leave tracer sp
+  end;
   ctx
 
-let run ?conv ?externals ?strategy ~db (prog : program) =
-  let ctx = make_ctx ?conv ?externals ?strategy ~db prog in
+let run ?conv ?externals ?strategy ?tracer ~db (prog : program) =
+  let ctx = make_ctx ?conv ?externals ?strategy ?tracer ~db prog in
   match prog.main with
   | Coll c -> Rows (eval_collection ctx [] c)
   | Sentence f -> Truth (eval_formula ctx [] f)
 
-let run_rows ?conv ?externals ?strategy ~db prog =
-  match run ?conv ?externals ?strategy ~db prog with
+let run_rows ?conv ?externals ?strategy ?tracer ~db prog =
+  match run ?conv ?externals ?strategy ?tracer ~db prog with
   | Rows r -> r
   | Truth _ -> fail "expected a collection result, got a sentence"
 
-let run_truth ?conv ?externals ?strategy ~db prog =
-  match run ?conv ?externals ?strategy ~db prog with
+let run_truth ?conv ?externals ?strategy ?tracer ~db prog =
+  match run ?conv ?externals ?strategy ?tracer ~db prog with
   | Truth t -> t
   | Rows _ -> fail "expected a sentence result, got a collection"
 
-let eval_collection_standalone ?conv ?externals ~db c =
-  run_rows ?conv ?externals ~db { defs = []; main = Coll c }
+let eval_collection_standalone ?conv ?externals ?tracer ~db c =
+  run_rows ?conv ?externals ?tracer ~db { defs = []; main = Coll c }

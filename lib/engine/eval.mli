@@ -33,6 +33,7 @@ val run :
   ?conv:Arc_value.Conventions.t ->
   ?externals:Externals.impl list ->
   ?strategy:recursion_strategy ->
+  ?tracer:Arc_obs.Obs.t ->
   db:Arc_relation.Database.t ->
   program ->
   outcome
@@ -42,14 +43,25 @@ val run :
     in-context membership resolution, then evaluates the main query.
     Defaults: [conv = Conventions.sql_set], [externals = Externals.standard].
 
+    [tracer] (default {!Arc_obs.Obs.null}, a no-op) receives a span per
+    evaluated operator: [collection:<name>] (attr [rows_emitted]), [scope]
+    ([bindings], [deferred], [rows_out], [tuples_scanned]), [join]
+    ([candidates], [survivors], [rows_out]), [deferred] ([resolutions]),
+    [group] ([rows_in], [keys], [buckets]), and per-stratum
+    [fixpoint:naive] / [fixpoint:seminaive] spans whose [iteration]
+    children carry [delta:<relation>] sizes. Tracing never changes
+    results.
+
     Raises {!Eval_error} on unstratifiable recursion, unresolvable
     external/abstract bindings, or head attributes without assignment
-    predicates. *)
+    predicates; messages carry an ["in collection %S"] context chain
+    naming the definition being evaluated. *)
 
 val run_rows :
   ?conv:Arc_value.Conventions.t ->
   ?externals:Externals.impl list ->
   ?strategy:recursion_strategy ->
+  ?tracer:Arc_obs.Obs.t ->
   db:Arc_relation.Database.t ->
   program ->
   Arc_relation.Relation.t
@@ -60,6 +72,7 @@ val run_truth :
   ?conv:Arc_value.Conventions.t ->
   ?externals:Externals.impl list ->
   ?strategy:recursion_strategy ->
+  ?tracer:Arc_obs.Obs.t ->
   db:Arc_relation.Database.t ->
   program ->
   Arc_value.Bool3.t
@@ -67,6 +80,7 @@ val run_truth :
 val eval_collection_standalone :
   ?conv:Arc_value.Conventions.t ->
   ?externals:Externals.impl list ->
+  ?tracer:Arc_obs.Obs.t ->
   db:Arc_relation.Database.t ->
   collection ->
   Arc_relation.Relation.t

@@ -1,0 +1,264 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* --- printing ------------------------------------------------------- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let rec write buf indent level v =
+  let pad n = String.make (2 * n) ' ' in
+  let nl sep = if indent then sep ^ "\n" else sep in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | Str s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+      Buffer.add_string buf (nl "[");
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_string buf (nl ",");
+          if indent then Buffer.add_string buf (pad (level + 1));
+          write buf indent (level + 1) item)
+        items;
+      Buffer.add_string buf (nl "");
+      if indent then Buffer.add_string buf (pad level);
+      Buffer.add_string buf "]"
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+      Buffer.add_string buf (nl "{");
+      List.iteri
+        (fun i (k, item) ->
+          if i > 0 then Buffer.add_string buf (nl ",");
+          if indent then Buffer.add_string buf (pad (level + 1));
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf (if indent then "\": " else "\":");
+          write buf indent (level + 1) item)
+        fields;
+      Buffer.add_string buf (nl "");
+      if indent then Buffer.add_string buf (pad level);
+      Buffer.add_string buf "}"
+
+let render ~indent v =
+  let buf = Buffer.create 256 in
+  write buf indent 0 v;
+  Buffer.contents buf
+
+let to_string v = render ~indent:false v
+let pretty v = render ~indent:true v
+
+(* --- parsing -------------------------------------------------------- *)
+
+exception Parse_fail of string
+
+let parse (s : string) : (t, string) result =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail_at msg = raise (Parse_fail (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail_at (Printf.sprintf "expected %C" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail_at (Printf.sprintf "expected %S" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then fail_at "unterminated string"
+      else
+        let c = s.[!pos] in
+        advance ();
+        match c with
+        | '"' -> Buffer.contents buf
+        | '\\' -> (
+            if !pos >= n then fail_at "unterminated escape"
+            else
+              let e = s.[!pos] in
+              advance ();
+              match e with
+              | '"' | '\\' | '/' ->
+                  Buffer.add_char buf e;
+                  loop ()
+              | 'n' ->
+                  Buffer.add_char buf '\n';
+                  loop ()
+              | 't' ->
+                  Buffer.add_char buf '\t';
+                  loop ()
+              | 'r' ->
+                  Buffer.add_char buf '\r';
+                  loop ()
+              | 'b' ->
+                  Buffer.add_char buf '\b';
+                  loop ()
+              | 'f' ->
+                  Buffer.add_char buf '\012';
+                  loop ()
+              | 'u' ->
+                  if !pos + 4 > n then fail_at "truncated \\u escape"
+                  else begin
+                    let hex = String.sub s !pos 4 in
+                    (match int_of_string_opt ("0x" ^ hex) with
+                    | None -> fail_at "bad \\u escape"
+                    | Some code ->
+                        (* keep it simple: BMP code points as UTF-8 *)
+                        if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                        else if code < 0x800 then begin
+                          Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                          Buffer.add_char buf
+                            (Char.chr (0x80 lor (code land 0x3F)))
+                        end
+                        else begin
+                          Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                          Buffer.add_char buf
+                            (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                          Buffer.add_char buf
+                            (Char.chr (0x80 lor (code land 0x3F)))
+                        end);
+                    pos := !pos + 4;
+                    loop ()
+                  end
+              | _ -> fail_at "bad escape")
+        | c ->
+            Buffer.add_char buf c;
+            loop ()
+    in
+    loop ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    let text = String.sub s start (!pos - start) in
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> fail_at (Printf.sprintf "bad number %S" text))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail_at "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                items (v :: acc)
+            | Some ']' ->
+                advance ();
+                List (List.rev (v :: acc))
+            | _ -> fail_at "expected ',' or ']'"
+          in
+          items []
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (k, v)
+          in
+          let rec fields acc =
+            let f = field () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                fields (f :: acc)
+            | Some '}' ->
+                advance ();
+                Obj (List.rev (f :: acc))
+            | _ -> fail_at "expected ',' or '}'"
+          in
+          fields []
+    | Some _ -> parse_number ()
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail_at "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_fail msg -> Error msg
+
+let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
+let to_int = function Int i -> Some i | _ -> None

@@ -1,0 +1,103 @@
+let duration_to_string ns =
+  let f = Int64.to_float ns in
+  if f >= 1e9 then Printf.sprintf "%.2f s" (f /. 1e9)
+  else if f >= 1e6 then Printf.sprintf "%.2f ms" (f /. 1e6)
+  else if f >= 1e3 then Printf.sprintf "%.2f µs" (f /. 1e3)
+  else Printf.sprintf "%Ld ns" ns
+
+let attrs_to_string attrs =
+  match attrs with
+  | [] -> ""
+  | _ ->
+      "  {"
+      ^ String.concat ", "
+          (List.map
+             (fun (k, v) -> k ^ "=" ^ Obs.value_to_string v)
+             attrs)
+      ^ "}"
+
+let pretty roots =
+  let buf = Buffer.create 1024 in
+  let rec walk prefix is_last (s : Obs.span) =
+    let connector =
+      if prefix = "" && is_last = None then ""
+      else if is_last = Some true then "└─ "
+      else "├─ "
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s%s  [%s]%s\n" prefix connector s.Obs.name
+         (duration_to_string s.Obs.duration_ns)
+         (attrs_to_string s.Obs.attrs));
+    let child_prefix =
+      if prefix = "" && is_last = None then ""
+      else prefix ^ if is_last = Some true then "   " else "│  "
+    in
+    let rec children = function
+      | [] -> ()
+      | [ c ] -> walk child_prefix (Some true) c
+      | c :: rest ->
+          walk child_prefix (Some false) c;
+          children rest
+    in
+    children s.Obs.children
+  in
+  List.iter (fun s -> walk "" None s) roots;
+  Buffer.contents buf
+
+let value_to_json = function
+  | Obs.Int i -> Json.Int i
+  | Obs.Float f -> Json.Float f
+  | Obs.Str s -> Json.Str s
+  | Obs.Bool b -> Json.Bool b
+
+let span_to_json (s : Obs.span) =
+  Json.Obj
+    [
+      ("id", Json.Int s.Obs.id);
+      ( "parent",
+        match s.Obs.parent with None -> Json.Null | Some p -> Json.Int p );
+      ("name", Json.Str s.Obs.name);
+      ("start_ns", Json.Int (Int64.to_int s.Obs.start_ns));
+      ("dur_ns", Json.Int (Int64.to_int s.Obs.duration_ns));
+      ( "attrs",
+        Json.Obj (List.map (fun (k, v) -> (k, value_to_json v)) s.Obs.attrs) );
+    ]
+
+let jsonl roots =
+  let buf = Buffer.create 1024 in
+  let rec walk (s : Obs.span) =
+    Buffer.add_string buf (Json.to_string (span_to_json s));
+    Buffer.add_char buf '\n';
+    List.iter walk s.Obs.children
+  in
+  List.iter walk roots;
+  Buffer.contents buf
+
+let chrome roots =
+  let base =
+    List.fold_left
+      (fun acc (s : Obs.span) -> min acc s.Obs.start_ns)
+      Int64.max_int roots
+  in
+  let base = if base = Int64.max_int then 0L else base in
+  let us ns = Int64.to_float ns /. 1e3 in
+  let events = ref [] in
+  let rec walk (s : Obs.span) =
+    events :=
+      Json.Obj
+        [
+          ("name", Json.Str s.Obs.name);
+          ("ph", Json.Str "X");
+          ("ts", Json.Float (us (Int64.sub s.Obs.start_ns base)));
+          ("dur", Json.Float (us s.Obs.duration_ns));
+          ("pid", Json.Int 1);
+          ("tid", Json.Int 1);
+          ( "args",
+            Json.Obj (List.map (fun (k, v) -> (k, value_to_json v)) s.Obs.attrs)
+          );
+        ]
+      :: !events;
+    List.iter walk s.Obs.children
+  in
+  List.iter walk roots;
+  Json.to_string (Json.List (List.rev !events))
