@@ -311,6 +311,114 @@ let traced_workloads () =
     workloads
 
 (* ------------------------------------------------------------------ *)
+(* Part 6: guard ablation (governed vs ungoverned evaluation)          *)
+(* ------------------------------------------------------------------ *)
+
+module Gov = Arc_guard.Gov
+module Budget = Arc_guard.Budget
+
+(* Three governor configurations per workload: the default guard
+   (seed-equivalent 100k fixpoint cap, probes inactive), a fully unlimited
+   governor (probes inactive, not even the fixpoint cap), and an active
+   governor with generous limits nothing ever trips — the last one prices
+   the per-probe bookkeeping itself. Governors are single-use (the deadline
+   starts at [Gov.make]), so each run builds a fresh one. *)
+let guard_benches () =
+  section "PART 6 — Guard ablation: governed vs ungoverned evaluation";
+  let chain n =
+    Database.of_list
+      [
+        ( "P",
+          Relation.of_rows [ "s"; "t" ]
+            (List.init n (fun i -> [ V.Int i; V.Int (i + 1) ])) );
+      ]
+  in
+  let db_chain = chain 24 in
+  let eq16 =
+    { Arc_core.Ast.defs = Data.eq16_defs; main = Arc_core.Ast.Coll Data.eq16_main }
+  in
+  let active_guard () =
+    Gov.make ~on_limit:`Fail
+      (Budget.with_timeout_ms 600_000
+         {
+           Budget.default with
+           Budget.max_rows = Some 100_000_000;
+           max_bindings = Some 100_000_000;
+           max_depth = Some 10_000;
+         })
+  in
+  let variants =
+    [
+      ("default", fun () -> None);
+      ("unlimited", fun () -> Some (Gov.unlimited ()));
+      ("active", fun () -> Some (active_guard ()));
+    ]
+  in
+  let workloads =
+    [
+      ( "unique-set eq22",
+        fun guard ->
+          ignore
+            (Eval.run_rows ?guard ~db:Data.db_beers
+               (Arc_core.Ast.program (Arc_core.Ast.Coll Data.eq22))) );
+      ( "recursion chain24 seminaive",
+        fun guard -> ignore (Eval.run_rows ?guard ~db:db_chain eq16) );
+    ]
+  in
+  let tests =
+    List.concat_map
+      (fun (wname, run) ->
+        List.map
+          (fun (vname, mk) ->
+            Test.make
+              ~name:(Printf.sprintf "%s, %s guard" wname vname)
+              (Staged.stage (fun () -> run (mk ()))))
+          variants)
+      workloads
+  in
+  let rows = run_bench ~name:"guard" tests in
+  let find wname vname =
+    match
+      List.find_opt
+        (fun (n, _) ->
+          let needle = Printf.sprintf "%s, %s guard" wname vname in
+          (* grouped bechamel names carry a "guard/" prefix *)
+          String.length n >= String.length needle
+          && String.sub n (String.length n - String.length needle)
+               (String.length needle)
+             = needle)
+        rows
+    with
+    | Some (_, est) when not (Float.is_nan est) -> Some est
+    | _ -> None
+  in
+  let overhead =
+    List.filter_map
+      (fun (wname, _) ->
+        match (find wname "default", find wname "unlimited", find wname "active")
+        with
+        | Some base, Some unl, Some act ->
+            let pct x = (x -. base) /. base *. 100.0 in
+            Printf.printf
+              "%s: unlimited-governor overhead %+.2f%%, active-governor \
+               overhead %+.2f%%\n"
+              wname (pct unl) (pct act);
+            Some
+              (Json.Obj
+                 [
+                   ("workload", Json.Str wname);
+                   ("default_ns", Json.Float base);
+                   ("unlimited_ns", Json.Float unl);
+                   ("active_ns", Json.Float act);
+                   ("unlimited_overhead_pct", Json.Float (pct unl));
+                   ("active_overhead_pct", Json.Float (pct act));
+                 ])
+        | _ -> None)
+      workloads
+  in
+  (rows, overhead)
+
+(* ------------------------------------------------------------------ *)
 (* JSON report (BENCH_1.json)                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -357,6 +465,7 @@ let () =
   let ablations = ablation_benches () in
   modality_metrics ();
   let workloads = traced_workloads () in
+  let guard_rows, guard_overhead = guard_benches () in
   let report =
     Json.Obj
       [
@@ -376,5 +485,23 @@ let () =
   Out_channel.with_open_text out (fun oc ->
       output_string oc (Json.pretty report);
       output_char oc '\n');
+  let guard_report =
+    Json.Obj
+      [
+        ("version", Json.Int 1);
+        ("harness", Json.Str "arc-bench-guard");
+        ("rows", time_rows_to_json guard_rows);
+        ("overhead", Json.List guard_overhead);
+      ]
+  in
+  let guard_out =
+    match Sys.getenv_opt "BENCH3_OUT" with
+    | Some f -> f
+    | None -> "BENCH_3.json"
+  in
+  Out_channel.with_open_text guard_out (fun oc ->
+      output_string oc (Json.pretty guard_report);
+      output_char oc '\n');
   rule ();
-  Printf.printf "bench complete; JSON report written to %s\n" out
+  Printf.printf "bench complete; JSON reports written to %s and %s\n" out
+    guard_out

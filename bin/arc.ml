@@ -140,9 +140,13 @@ let wrap f = try `Ok (f ()) with
   | Arc_datalog.Embed.Embed_error m
   | Arc_trc.Trc.Parse_error m
   | Arc_trc.Trc.Normalize_error m
-  | Arc_engine.Eval.Eval_error m
   | Arc_sql.Eval_sql.Sql_error m ->
       `Error (false, m)
+  | Arc_engine.Eval.Eval_error e -> `Error (false, Arc_guard.Error.to_string e)
+  | Arc_guard.Error.Guard_error e -> `Error (false, Arc_guard.Error.to_string e)
+  | Arc_engine.Externals.External_error { relation; cause } ->
+      `Error (false, Printf.sprintf "external relation %S failed: %s" relation cause)
+  | Invalid_argument m -> `Error (false, m)
   | Sys_error m -> `Error (false, m)
 
 (* ------------------------------------------------------------------ *)
@@ -265,7 +269,90 @@ let profile_flag =
           "After the results, print per-operator call counts, cumulative \
            timings, and tuple counters collected by the tracer.")
 
-let eval_run lang conv tables profile text =
+(* budget / governance flags *)
+
+module Budget = Arc_guard.Budget
+module Gov = Arc_guard.Gov
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "timeout" ] ~docv:"MS"
+        ~doc:"Wall-clock budget for evaluation, in milliseconds.")
+
+let max_rows_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-rows" ] ~docv:"N"
+        ~doc:"Cap on rows materialized across all collection heads.")
+
+let max_iterations_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-iterations" ] ~docv:"N"
+        ~doc:
+          "Cap on fixpoint rounds per recursive stratum (default 100000).")
+
+let max_bindings_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-bindings" ] ~docv:"N"
+        ~doc:"Cap on scope binding environments enumerated.")
+
+let max_depth_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-depth" ] ~docv:"N"
+        ~doc:"Cap on collection nesting depth.")
+
+let on_limit_arg =
+  Arg.(
+    value
+    & opt (enum [ ("fail", `Fail); ("truncate", `Truncate) ]) `Fail
+    & info [ "on-limit" ] ~docv:"POLICY"
+        ~doc:
+          "What to do when a budget limit trips: fail (typed error, \
+           nonzero exit) or truncate (finish with a partial result and a \
+           truncation report on stderr).")
+
+let build_guard ~timeout ~max_rows ~max_iterations ~max_bindings ~max_depth
+    ~on_limit =
+  let budget =
+    {
+      Budget.default with
+      Budget.max_rows;
+      max_bindings;
+      max_depth;
+      max_iterations =
+        (match max_iterations with
+        | Some _ -> max_iterations
+        | None -> Budget.default.Budget.max_iterations);
+    }
+  in
+  let budget =
+    match timeout with
+    | Some ms -> Budget.with_timeout_ms ms budget
+    | None -> budget
+  in
+  Gov.make ~on_limit budget
+
+let print_guard_report gov =
+  let r = Gov.report gov in
+  if r.Gov.truncated then
+    List.iter
+      (fun (e : Gov.event) ->
+        Printf.eprintf "warning: result truncated: %s limit %d reached (used %d)\n"
+          (Budget.resource_to_string e.Gov.resource)
+          e.Gov.limit e.Gov.used)
+      r.Gov.events
+
+let eval_run lang conv tables profile timeout max_rows max_iterations
+    max_bindings max_depth on_limit text =
   wrap (fun () ->
       let tables = List.map parse_table tables in
       let db = Database.of_list tables in
@@ -275,10 +362,19 @@ let eval_run lang conv tables profile text =
             (n, Arc_relation.Schema.attrs (Relation.schema r)))
           tables
       in
+      let guard_requested =
+        timeout <> None || max_rows <> None || max_iterations <> None
+        || max_bindings <> None || max_depth <> None
+      in
       match lang with
       | `Sql ->
           (* SQL input runs on the direct SQL evaluator, so SQL-only
              features (ORDER BY, LIMIT) work without translation *)
+          if guard_requested then
+            prerr_endline
+              "warning: budget flags are ignored with -i sql (the direct \
+               SQL evaluator is not governed); translate through ARC to \
+               evaluate under a budget";
           print_endline
             (Relation.to_table (Arc_sql.Eval_sql.run_string ~db text));
           if profile then
@@ -288,12 +384,17 @@ let eval_run lang conv tables profile text =
                translated ARC program"
       | _ -> (
           let tracer = if profile then Obs.collector () else Obs.null in
+          let guard =
+            build_guard ~timeout ~max_rows ~max_iterations ~max_bindings
+              ~max_depth ~on_limit
+          in
           let prog = parse_input lang text schemas in
-          (match Arc_engine.Eval.run ~conv ~tracer ~db prog with
+          (match Arc_engine.Eval.run ~conv ~tracer ~guard ~db prog with
           | Arc_engine.Eval.Rows r ->
               print_endline (Relation.to_table (Relation.sort r))
           | Arc_engine.Eval.Truth t ->
               print_endline (Arc_value.Bool3.to_string t));
+          print_guard_report guard;
           if profile then begin
             print_newline ();
             print_profile (Obs.spans tracer)
@@ -302,11 +403,15 @@ let eval_run lang conv tables profile text =
 let eval_cmd =
   Cmd.v
     (Cmd.info "eval"
-       ~doc:"Evaluate a query against inline tables under a convention.")
+       ~doc:
+         "Evaluate a query against inline tables under a convention, \
+          optionally within a resource budget (wall-clock deadline, row / \
+          binding / iteration / depth caps).")
     Term.(
       ret
         (const eval_run $ input_lang $ conv_arg $ tables_arg $ profile_flag
-       $ query_arg))
+       $ timeout_arg $ max_rows_arg $ max_iterations_arg $ max_bindings_arg
+       $ max_depth_arg $ on_limit_arg $ query_arg))
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                               *)
@@ -487,6 +592,41 @@ let catalog_markdown () =
      wall-times and\nper-operator counters to `BENCH_1.json`; traces of \
      individual runs are\navailable via `arc trace` — see \
      [docs/observability.md](docs/observability.md).";
+  print_endline "";
+  print_endline "## Guarded runs";
+  print_endline "";
+  print_endline
+    "Any experiment can be re-run under a resource budget — see\n\
+     [docs/robustness.md](docs/robustness.md). A divergent recursive \
+     program\n(counting up through the `\"Add\"` external) demonstrates the \
+     two policies:";
+  print_endline "";
+  print_endline "```";
+  print_endline
+    "arc eval -t \"S(v)=0\" --timeout 200 --on-limit fail \\";
+  print_endline
+    "  'def N := {N(x) | exists s in S[N.x = s.v] or exists n in N, f in \
+     \"Add\"";
+  print_endline
+    "  [f.left = n.x and f.right = 1 and N.x = f.out]} {Q(x) | exists n in \
+     N[Q.x = n.x]}'";
+  print_endline
+    "# => arc: budget exceeded: wall-clock deadline (limit 200ms, used \
+     200ms)   (exit != 0)";
+  print_endline "";
+  print_endline "arc eval -t \"S(v)=0\" --max-iterations 5 --on-limit truncate '…same query…'";
+  print_endline
+    "# => the first 6 values of N, plus on stderr:";
+  print_endline
+    "# warning: result truncated: fixpoint iterations limit 5 reached (used \
+     6)";
+  print_endline "```";
+  print_endline "";
+  print_endline
+    "`arc chaos` smoke-tests the fault-injection harness (retry \
+     transparency,\ntyped exhaustion, latency injection); the \
+     guarded-vs-unguarded timing\nablation is Part 6 of `dune exec \
+     bench/main.exe`, written to `BENCH_3.json`.";
   List.iter
     (fun (e : Arc_catalog.Catalog.entry) ->
       Printf.printf "\n## %s — %s\n\n*Paper:* %s\n\n"
@@ -539,6 +679,93 @@ let catalog_cmd =
     Term.(ret (const catalog $ catalog_id $ show_artifacts $ markdown_flag))
 
 (* ------------------------------------------------------------------ *)
+(* chaos                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let chaos_seed =
+  Arg.(
+    value & opt int 42
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:"Seed for the fault-injection RNG (probabilistic faults).")
+
+let chaos_run seed =
+  wrap (fun () ->
+      let module E = Arc_engine.Externals in
+      let module C = Arc_engine.Chaos in
+      let db =
+        Database.of_list
+          [
+            ( "R",
+              Relation.of_rows [ "a" ]
+                [ [ V.Int 1 ]; [ V.Int 2 ]; [ V.Int 3 ] ] );
+          ]
+      in
+      let prog =
+        Arc_syntax.Parser.program_of_string
+          "{Q(s) | exists r in R, f in \"Add\"[f.left = r.a and f.right = 1 \
+           and Q.s = f.out]}"
+      in
+      let run externals =
+        match Arc_engine.Eval.run ~externals ~db prog with
+        | Arc_engine.Eval.Rows r -> Relation.sort r
+        | Arc_engine.Eval.Truth _ -> die "chaos: expected a collection result"
+      in
+      let clean = run E.standard in
+      (* fail-once faults must be absorbed by the retry combinator *)
+      let st = C.stats () in
+      let impls =
+        List.map
+          (fun i -> E.with_retry (C.wrap ~seed ~stats:st C.Fail_once i))
+          E.standard
+      in
+      if not (Relation.equal_set (run impls) clean) then
+        die "chaos: fail-once + retry differs from the clean run";
+      Printf.printf
+        "fail-once + retry: transparent (%d calls, %d injected failures)\n"
+        st.C.calls st.C.failures;
+      (* a fail-always external must exhaust retries into a typed error *)
+      let impls =
+        List.map
+          (fun i -> E.with_retry ~attempts:3 (C.wrap ~seed (C.Fail_every 1) i))
+          E.standard
+      in
+      (match run impls with
+      | _ -> die "chaos: fail-always external unexpectedly succeeded"
+      | exception Arc_engine.Eval.Eval_error e -> (
+          match e.Arc_guard.Error.kind with
+          | Arc_guard.Error.External_failure { attempts = 3; _ } ->
+              Printf.printf "fail-always + retry: %s\n"
+                (Arc_guard.Error.to_string e)
+          | _ ->
+              die "chaos: expected External_failure after 3 attempts, got: %s"
+                (Arc_guard.Error.to_string e)));
+      (* latency injection goes through the injectable sleep, results
+         unchanged *)
+      let slept = ref 0 in
+      let impls =
+        C.wrap_all
+          ~sleep:(fun ns -> slept := !slept + ns)
+          (C.Latency 5_000_000) E.standard
+      in
+      if not (Relation.equal_set (run impls) clean) then
+        die "chaos: latency run differs from the clean run";
+      Printf.printf
+        "latency injection: %d ns injected via sleep hook, results unchanged\n"
+        !slept;
+      print_endline "chaos smoke: all scenarios passed")
+
+let chaos_cmd =
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run the fault-injection smoke scenarios: a fail-once external \
+          must be absorbed by retry, a fail-always external must surface \
+          as a typed failure after exhausting retries, and injected \
+          latency must not change results. Exits nonzero if any scenario \
+          misbehaves.")
+    Term.(ret (const chaos_run $ chaos_seed))
+
+(* ------------------------------------------------------------------ *)
 (* main                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -550,7 +777,7 @@ let main_cmd =
           metalanguage for relational queries.")
     [
       render_cmd; validate_cmd; eval_cmd; trace_cmd; fragment_cmd; compare_cmd;
-      catalog_cmd;
+      catalog_cmd; chaos_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -69,7 +69,10 @@ let tokenize input =
         while !pos < n && (match input.[!pos] with '0' .. '9' -> true | _ -> false) do
           incr pos
         done;
-        emit (NUMBER (V.Int (int_of_string (String.sub input start (!pos - start)))))
+        let lit = String.sub input start (!pos - start) in
+        (match int_of_string_opt lit with
+        | Some i -> emit (NUMBER (V.Int i))
+        | None -> fail "integer literal %S out of range (at offset %d)" lit start)
     | '_' when (match peek 1 with
                 | Some ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_') -> false
                 | _ -> true) ->

@@ -1,0 +1,49 @@
+module Value = Arc_value.Value
+
+type fault =
+  | Fail_every of int
+  | Fail_once
+  | Fail_prob of float
+  | Latency of int
+
+type stats = { mutable calls : int; mutable failures : int }
+
+let stats () = { calls = 0; failures = 0 }
+
+let boom relation =
+  raise
+    (Externals.External_error { relation; cause = "injected chaos fault" })
+
+let wrap ?(seed = 42) ?(sleep = fun _ -> ()) ?stats:st fault
+    (impl : Externals.impl) =
+  let relation = Externals.name impl in
+  let rng = Random.State.make [| seed |] in
+  let calls = ref 0 in
+  let record_failure () =
+    match st with Some s -> s.failures <- s.failures + 1 | None -> ()
+  in
+  let complete bound =
+    incr calls;
+    (match st with Some s -> s.calls <- s.calls + 1 | None -> ());
+    (match fault with
+    | Fail_every n when n > 0 && !calls mod n = 0 ->
+        record_failure ();
+        boom relation
+    | Fail_every _ -> ()
+    | Fail_once ->
+        if !calls = 1 then begin
+          record_failure ();
+          boom relation
+        end
+    | Fail_prob p ->
+        if Random.State.float rng 1.0 < p then begin
+          record_failure ();
+          boom relation
+        end
+    | Latency ns -> sleep ns);
+    impl.Externals.complete bound
+  in
+  { impl with Externals.complete }
+
+let wrap_all ?seed ?sleep ?stats fault impls =
+  List.map (wrap ?seed ?sleep ?stats fault) impls

@@ -1,0 +1,42 @@
+(** Fault injection for external relations (the chaos harness).
+
+    Wraps an {!Externals.impl} so its completion function misbehaves in
+    controlled, reproducible ways. Together with
+    {!Externals.with_retry} this drives the robustness property tests and
+    the [arc chaos] smoke subcommand: a fail-once external must become
+    transparent under retry, a fail-always external must surface as a typed
+    [External_failure], and injected latency must trip wall-clock budgets —
+    never an untyped exception. *)
+
+type fault =
+  | Fail_every of int
+      (** every [n]th completion call raises {!Externals.External_error}
+          ([Fail_every 1] = always fail) *)
+  | Fail_once  (** the first call fails, all later calls succeed *)
+  | Fail_prob of float  (** each call fails with this probability (seeded) *)
+  | Latency of int  (** invoke [sleep] with this many ns before answering *)
+
+type stats = { mutable calls : int; mutable failures : int }
+
+val stats : unit -> stats
+
+val wrap :
+  ?seed:int ->
+  ?sleep:(int -> unit) ->
+  ?stats:stats ->
+  fault ->
+  Externals.impl ->
+  Externals.impl
+(** [seed] (default 42) makes [Fail_prob] deterministic; [sleep] (default
+    no-op) is the injectable latency hook; [stats] observes call/failure
+    counts. Wrap order matters: [with_retry (wrap fault impl)] retries
+    through the fault, [wrap fault (with_retry impl)] injects faults the
+    retry layer never sees. *)
+
+val wrap_all :
+  ?seed:int ->
+  ?sleep:(int -> unit) ->
+  ?stats:stats ->
+  fault ->
+  Externals.impl list ->
+  Externals.impl list

@@ -10,10 +10,14 @@ module Database = Arc_relation.Database
 module Analysis = Arc_core.Analysis
 module External = Arc_core.External
 module Obs = Arc_obs.Obs
+module Gov = Arc_guard.Gov
+module Err = Arc_guard.Error
 
-exception Eval_error of string
+exception Eval_error of Err.t
 
-let fail fmt = Printf.ksprintf (fun s -> raise (Eval_error s)) fmt
+let raise_kind kind = raise (Eval_error (Err.make kind))
+let fail fmt = Printf.ksprintf (fun s -> raise_kind (Err.Msg s)) fmt
+let error_to_string = Err.to_string
 
 type outcome = Rows of Relation.t | Truth of B3.t
 
@@ -34,6 +38,9 @@ type ctx = {
   lits : (var * Tuple.t) list;
   (* Trace/metrics tracer (Arc_obs); Obs.null makes every probe a no-op. *)
   tracer : Obs.t;
+  (* Resource governor (Arc_guard); probed at the same operator boundaries
+     the tracer instruments. Gov.default reproduces seed behavior. *)
+  gov : Gov.t;
 }
 
 type benv = (var * Tuple.t) list
@@ -203,11 +210,26 @@ let prepare_literals (scope : scope) =
 (* Scope enumeration                                                   *)
 (* ------------------------------------------------------------------ *)
 
+(* keep the first [n] elements — governed truncation clips enumerations *)
+let take n l =
+  if n <= 0 then []
+  else
+    let rec go k = function
+      | [] -> []
+      | x :: rest -> if k = 0 then [] else x :: go (k - 1) rest
+    in
+    go n l
+
 let rec source_rows ctx benv src =
+  Gov.tick ctx.gov;
   let rows = source_rows_raw ctx benv src in
   if Obs.enabled ctx.tracer then
     Obs.count ctx.tracer "tuples_scanned" (List.length rows);
-  rows
+  if not (Gov.active ctx.gov) then rows
+  else
+    let n = List.length rows in
+    let allowed = Gov.charge_bindings ctx.gov n in
+    if allowed >= n then rows else take allowed rows
 
 and source_rows_raw ctx benv = function
   | Base name -> (
@@ -297,6 +319,7 @@ and smallest_cover tree vars =
   if covers tree then Some (descend tree) else None
 
 and enum_join_tree ctx benv (scope : scope) ~attached : benv list =
+  Gov.tick ctx.gov;
   let sp = Obs.enter ctx.tracer "join" in
   let tree = Option.get scope.join in
   let scope_var v = List.exists (fun b -> b.var = v) scope.bindings in
@@ -485,7 +508,13 @@ and resolve_deferred_raw ctx benv (scope : scope) rows deferred : benv list =
           in
           match Externals.find ctx.externals name with
           | Some impl -> (
-              match impl.Externals.complete seeds with
+              let completed =
+                try impl.Externals.complete seeds
+                with Externals.External_error { relation; cause } ->
+                  raise_kind
+                    (Err.External_failure { relation; attempts = 1; cause })
+              in
+              match completed with
               | Some assignments ->
                   let attrs = impl.Externals.decl.External.ext_attrs in
                   let schema = Schema.make attrs in
@@ -499,11 +528,9 @@ and resolve_deferred_raw ctx benv (scope : scope) rows deferred : benv list =
                       ((b.var, tp) :: row : benv))
                     assignments
               | None ->
-                  fail
-                    "no access pattern of external relation %S accepts bound \
-                     attributes {%s}"
-                    name
-                    (String.concat ", " (List.map fst seeds)))
+                  raise_kind
+                    (Err.Unbound_external
+                       { relation = name; bound = List.map fst seeds }))
           | None -> (
               match List.assoc_opt name ctx.abstracts with
               | Some def ->
@@ -526,12 +553,10 @@ and resolve_deferred_raw ctx benv (scope : scope) rows deferred : benv list =
                       [ ((b.var, tp) :: row : benv) ]
                     else []
                   else
-                    fail
-                      "abstract relation %S used without binding all of its \
-                       attributes (bound: {%s})"
-                      name
-                      (String.concat ", " (List.map fst seeds))
-              | None -> fail "unknown relation %S" name))
+                    raise_kind
+                      (Err.Unbound_abstract
+                         { relation = name; bound = List.map fst seeds })
+              | None -> raise_kind (Err.Unknown_relation name)))
         rows)
     rows deferred
 
@@ -541,6 +566,7 @@ and resolve_deferred_raw ctx benv (scope : scope) rows deferred : benv list =
    conditions removed from the body) together with the enumerated rows,
    each extending [benv]. *)
 and enum_scope ctx benv (scope : scope) ~heads : scope * benv list =
+  Gov.tick ctx.gov;
   let sp = Obs.enter ctx.tracer "scope" in
   let scope, lit_rows = prepare_literals scope in
   let ctx = { ctx with lits = lit_rows @ ctx.lits } in
@@ -623,6 +649,7 @@ and eval_scope_bool ctx benv scope : B3.t =
    (the outer environment when the γ∅ group is empty). Rows in groups are
    full environments (row @ benv). *)
 and group_rows ctx benv keys pre rows : (benv * benv list) list =
+  Gov.tick ctx.gov;
   let sp = Obs.enter ctx.tracer "group" in
   let groups = group_rows_raw ctx benv keys pre rows in
   if Obs.enabled ctx.tracer then begin
@@ -684,21 +711,34 @@ and eval_gformula ctx ~rep ~group ~scope_vars f : B3.t =
 
 and eval_collection ctx benv (c : collection) : Relation.t =
   let name = c.head.head_name in
-  let sp = Obs.enter ctx.tracer ("collection:" ^ name) in
-  match eval_collection_raw ctx benv c with
-  | r ->
-      if Obs.enabled ctx.tracer then
-        Obs.set sp "rows_emitted" (Obs.Int (Relation.cardinality r));
-      Obs.leave ctx.tracer sp;
-      r
-  | exception Eval_error msg ->
-      Obs.leave ctx.tracer sp;
-      (* attribute the failure to the collection being evaluated; nested
-         failures accumulate a chain of contexts *)
-      fail "in collection %S: %s" name msg
-  | exception e ->
-      Obs.leave ctx.tracer sp;
-      raise e
+  Gov.tick ctx.gov;
+  if not (Gov.enter_collection ctx.gov) then
+    (* depth budget tripped under [`Truncate]: this nesting level
+       contributes nothing *)
+    Relation.empty ~name c.head.head_attrs
+  else
+    let sp = Obs.enter ctx.tracer ("collection:" ^ name) in
+    match eval_collection_raw ctx benv c with
+    | r ->
+        if Obs.enabled ctx.tracer then
+          Obs.set sp "rows_emitted" (Obs.Int (Relation.cardinality r));
+        Obs.leave ctx.tracer sp;
+        Gov.leave_collection ctx.gov;
+        r
+    | exception Eval_error e ->
+        Obs.leave ctx.tracer sp;
+        Gov.leave_collection ctx.gov;
+        (* attribute the failure to the collection being evaluated; nested
+           failures accumulate a chain of contexts *)
+        raise (Eval_error (Err.in_collection name e))
+    | exception Err.Guard_error e ->
+        Obs.leave ctx.tracer sp;
+        Gov.leave_collection ctx.gov;
+        raise (Eval_error (Err.in_collection name e))
+    | exception e ->
+        Obs.leave ctx.tracer sp;
+        Gov.leave_collection ctx.gov;
+        raise e
 
 and eval_collection_raw ctx benv (c : collection) : Relation.t =
   let schema = Schema.make c.head.head_attrs in
@@ -739,7 +779,7 @@ and eval_collection_raw ctx benv (c : collection) : Relation.t =
       match Hashtbl.find_opt assignments a with
       | Some t -> t
       | None ->
-          fail "head attribute %s.%s has no assignment predicate" head_name a
+          raise_kind (Err.Head_unassigned { head = head_name; attr = a })
     in
     match scope.grouping with
     | None ->
@@ -786,6 +826,13 @@ and eval_collection_raw ctx benv (c : collection) : Relation.t =
   in
   let body = Arc_core.Canon.simplify_formula c.body in
   let tuples = List.concat_map eval_disjunct (disjuncts body) in
+  let tuples =
+    if not (Gov.active ctx.gov) then tuples
+    else
+      let n = List.length tuples in
+      let allowed = Gov.charge_rows ctx.gov n in
+      if allowed >= n then tuples else take allowed tuples
+  in
   let r = Relation.make ~name:head_name schema tuples in
   match ctx.conv.Conventions.collection with
   | Conventions.Set -> Relation.dedup r
@@ -884,10 +931,7 @@ let rec compute_idb ctx (defs : definition list) =
             List.iter
               (fun (m, negative) ->
                 if negative && List.mem m component then
-                  fail
-                    "unstratifiable recursion: %S depends on %S through \
-                     negation or aggregation"
-                    n m)
+                  raise_kind (Err.Unstratifiable { name = n; dep = m }))
               (List.assoc n adj))
           component;
         List.iter
@@ -910,31 +954,35 @@ and naive_fixpoint ctx find_def component =
   let iterations = ref 0 in
   while !changed do
     incr iterations;
-    if !iterations > 100_000 then fail "fixpoint iteration diverged";
+    Gov.tick ctx.gov;
     changed := false;
-    let isp = Obs.enter ctx.tracer "iteration" in
-    List.iter
-      (fun n ->
-        let d = find_def n in
-        let before =
+    (* a tripped budget in [`Truncate] mode leaves the partial fixpoint *)
+    if Gov.iteration_allowed ctx.gov !iterations && not (Gov.stopped ctx.gov)
+    then begin
+      let isp = Obs.enter ctx.tracer "iteration" in
+      List.iter
+        (fun n ->
+          let d = find_def n in
+          let before =
+            if Obs.enabled ctx.tracer then
+              Relation.cardinality (Hashtbl.find ctx.idb n)
+            else 0
+          in
+          let next =
+            Relation.dedup
+              (Relation.union (Hashtbl.find ctx.idb n)
+                 (eval_collection ctx [] d.def_body))
+          in
           if Obs.enabled ctx.tracer then
-            Relation.cardinality (Hashtbl.find ctx.idb n)
-          else 0
-        in
-        let next =
-          Relation.dedup
-            (Relation.union (Hashtbl.find ctx.idb n)
-               (eval_collection ctx [] d.def_body))
-        in
-        if Obs.enabled ctx.tracer then
-          Obs.set isp ("delta:" ^ n)
-            (Obs.Int (Relation.cardinality next - before));
-        if not (Relation.equal_set next (Hashtbl.find ctx.idb n)) then begin
-          Hashtbl.replace ctx.idb n next;
-          changed := true
-        end)
-      component;
-    Obs.leave ctx.tracer isp
+            Obs.set isp ("delta:" ^ n)
+              (Obs.Int (Relation.cardinality next - before));
+          if not (Relation.equal_set next (Hashtbl.find ctx.idb n)) then begin
+            Hashtbl.replace ctx.idb n next;
+            changed := true
+          end)
+        component;
+      Obs.leave ctx.tracer isp
+    end
   done;
   Obs.set sp "iterations" (Obs.Int !iterations);
   Obs.leave ctx.tracer sp
@@ -1010,7 +1058,12 @@ and seminaive_fixpoint ctx find_def component =
   let continue_ = ref true in
   while !continue_ do
     incr iterations;
-    if !iterations > 100_000 then fail "fixpoint iteration diverged";
+    Gov.tick ctx.gov;
+    if
+      (not (Gov.iteration_allowed ctx.gov !iterations))
+      || Gov.stopped ctx.gov
+    then continue_ := false
+    else begin
     let isp = Obs.enter ctx.tracer "iteration" in
     let new_deltas =
       List.map
@@ -1049,8 +1102,9 @@ and seminaive_fixpoint ctx find_def component =
           Obs.set isp ("delta:" ^ n) (Obs.Int (Relation.cardinality fresh)))
         new_deltas;
     Obs.leave ctx.tracer isp;
-    if List.for_all (fun (_, fresh) -> Relation.is_empty fresh) new_deltas then
-      continue_ := false
+    if List.for_all (fun (_, fresh) -> Relation.is_empty fresh) new_deltas
+    then continue_ := false
+    end
   done;
   Obs.set sp "iterations" (Obs.Int !iterations);
   Obs.leave ctx.tracer sp;
@@ -1061,7 +1115,8 @@ and seminaive_fixpoint ctx find_def component =
 (* ------------------------------------------------------------------ *)
 
 let make_ctx ?(conv = Conventions.sql_set) ?(externals = Externals.standard)
-    ?(strategy = Seminaive) ?(tracer = Obs.null) ~db (prog : program) =
+    ?(strategy = Seminaive) ?(tracer = Obs.null) ?guard ~db (prog : program) =
+  let gov = match guard with Some g -> g | None -> Gov.default () in
   let aenv =
     Analysis.env
       ~schemas:
@@ -1090,30 +1145,38 @@ let make_ctx ?(conv = Conventions.sql_set) ?(externals = Externals.standard)
       params = [];
       lits = [];
       tracer;
+      gov;
     }
   in
   if safe <> [] then begin
     let sp = Obs.enter tracer "definitions" in
-    compute_idb ctx safe;
+    (* budget trips between collection evaluations (fixpoint bookkeeping)
+       surface as Guard_error; convert them like eval_collection does *)
+    (try compute_idb ctx safe
+     with Err.Guard_error e ->
+       Obs.leave tracer sp;
+       raise (Eval_error e));
     Obs.leave tracer sp
   end;
   ctx
 
-let run ?conv ?externals ?strategy ?tracer ~db (prog : program) =
-  let ctx = make_ctx ?conv ?externals ?strategy ?tracer ~db prog in
-  match prog.main with
-  | Coll c -> Rows (eval_collection ctx [] c)
-  | Sentence f -> Truth (eval_formula ctx [] f)
+let run ?conv ?externals ?strategy ?tracer ?guard ~db (prog : program) =
+  let ctx = make_ctx ?conv ?externals ?strategy ?tracer ?guard ~db prog in
+  try
+    match prog.main with
+    | Coll c -> Rows (eval_collection ctx [] c)
+    | Sentence f -> Truth (eval_formula ctx [] f)
+  with Err.Guard_error e -> raise (Eval_error e)
 
-let run_rows ?conv ?externals ?strategy ?tracer ~db prog =
-  match run ?conv ?externals ?strategy ?tracer ~db prog with
+let run_rows ?conv ?externals ?strategy ?tracer ?guard ~db prog =
+  match run ?conv ?externals ?strategy ?tracer ?guard ~db prog with
   | Rows r -> r
   | Truth _ -> fail "expected a collection result, got a sentence"
 
-let run_truth ?conv ?externals ?strategy ?tracer ~db prog =
-  match run ?conv ?externals ?strategy ?tracer ~db prog with
+let run_truth ?conv ?externals ?strategy ?tracer ?guard ~db prog =
+  match run ?conv ?externals ?strategy ?tracer ?guard ~db prog with
   | Truth t -> t
   | Rows _ -> fail "expected a sentence result, got a collection"
 
-let eval_collection_standalone ?conv ?externals ?tracer ~db c =
-  run_rows ?conv ?externals ?tracer ~db { defs = []; main = Coll c }
+let eval_collection_standalone ?conv ?externals ?tracer ?guard ~db c =
+  run_rows ?conv ?externals ?tracer ?guard ~db { defs = []; main = Coll c }

@@ -13,11 +13,25 @@
 
     Everything is interpreted under a {!Arc_value.Conventions.t} value —
     set vs bag, 2- vs 3-valued logic, and aggregate-on-empty are switches,
-    not language features (Sections 2.6, 2.7). *)
+    not language features (Sections 2.6, 2.7).
+
+    Evaluation runs under a resource governor ({!Arc_guard.Gov.t}): the
+    engine probes it at the same operator boundaries the tracer instruments,
+    so wall-clock deadlines, row/binding/depth caps, and cooperative
+    cancellation are honored within one operator step. The default guard is
+    seed-equivalent — only the 100k fixpoint-iteration cap — and costs the
+    hot paths nothing. *)
 
 open Arc_core.Ast
 
-exception Eval_error of string
+exception Eval_error of Arc_guard.Error.t
+(** Structured evaluation failure. The payload's [context] field carries the
+    ["in collection %S"] chain (outermost first);
+    {!Arc_guard.Error.to_string} renders exactly the historical string
+    messages. *)
+
+val error_to_string : Arc_guard.Error.t -> string
+(** Alias of {!Arc_guard.Error.to_string}. *)
 
 type recursion_strategy =
   | Naive  (** re-derive everything each round *)
@@ -34,6 +48,7 @@ val run :
   ?externals:Externals.impl list ->
   ?strategy:recursion_strategy ->
   ?tracer:Arc_obs.Obs.t ->
+  ?guard:Arc_guard.Gov.t ->
   db:Arc_relation.Database.t ->
   program ->
   outcome
@@ -52,16 +67,26 @@ val run :
     children carry [delta:<relation>] sizes. Tracing never changes
     results.
 
+    [guard] (default {!Arc_guard.Gov.default}, seed-equivalent) enforces
+    the budget it was built with. Under [`Fail] a crossed limit raises
+    {!Eval_error} with [Budget_exceeded]; under [`Truncate] evaluation
+    completes with a partial result and [Arc_guard.Gov.report] describes
+    what was clipped. Note a governor is single-use: it carries mutable
+    counters and its deadline starts at {!Arc_guard.Gov.make}, so build a
+    fresh one per [run].
+
     Raises {!Eval_error} on unstratifiable recursion, unresolvable
-    external/abstract bindings, or head attributes without assignment
-    predicates; messages carry an ["in collection %S"] context chain
-    naming the definition being evaluated. *)
+    external/abstract bindings, head attributes without assignment
+    predicates, exhausted budgets, cancellation, or external-relation
+    failure; the payload carries an ["in collection"] context chain naming
+    the definition being evaluated. *)
 
 val run_rows :
   ?conv:Arc_value.Conventions.t ->
   ?externals:Externals.impl list ->
   ?strategy:recursion_strategy ->
   ?tracer:Arc_obs.Obs.t ->
+  ?guard:Arc_guard.Gov.t ->
   db:Arc_relation.Database.t ->
   program ->
   Arc_relation.Relation.t
@@ -73,6 +98,7 @@ val run_truth :
   ?externals:Externals.impl list ->
   ?strategy:recursion_strategy ->
   ?tracer:Arc_obs.Obs.t ->
+  ?guard:Arc_guard.Gov.t ->
   db:Arc_relation.Database.t ->
   program ->
   Arc_value.Bool3.t
@@ -81,6 +107,7 @@ val eval_collection_standalone :
   ?conv:Arc_value.Conventions.t ->
   ?externals:Externals.impl list ->
   ?tracer:Arc_obs.Obs.t ->
+  ?guard:Arc_guard.Gov.t ->
   db:Arc_relation.Database.t ->
   collection ->
   Arc_relation.Relation.t

@@ -6,6 +6,32 @@ type impl = {
   complete : (string * Value.t) list -> (string * Value.t) list list option;
 }
 
+exception External_error of { relation : string; cause : string }
+
+let name impl = impl.decl.External.ext_name
+
+let with_retry ?(attempts = 3) ?(backoff_ns = 1_000_000) ?(sleep = fun _ -> ())
+    impl =
+  if attempts < 1 then invalid_arg "Externals.with_retry: attempts < 1";
+  let complete bound =
+    let rec go k last_cause =
+      if k > attempts then
+        raise
+          (Arc_guard.Error.Guard_error
+             (Arc_guard.Error.make
+                (Arc_guard.Error.External_failure
+                   { relation = name impl; attempts; cause = last_cause })))
+      else
+        match impl.complete bound with
+        | result -> result
+        | exception External_error { cause; _ } ->
+            if k < attempts then sleep (backoff_ns * (1 lsl (k - 1)));
+            go (k + 1) cause
+    in
+    go 1 ""
+  in
+  { impl with complete }
+
 let get bound a = List.assoc_opt a bound
 
 let arithmetic name f ~inverse_left ~inverse_right =

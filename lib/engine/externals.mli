@@ -17,6 +17,24 @@ type impl = {
           means the pattern applied but no tuple matches (e.g. [5 > 7]). *)
 }
 
+exception External_error of { relation : string; cause : string }
+(** Transient failure of one completion attempt (a flaky or slow backing
+    service). The engine converts an uncaught [External_error] into a typed
+    [External_failure] evaluation error; {!with_retry} absorbs transient
+    ones. *)
+
+val name : impl -> string
+
+val with_retry :
+  ?attempts:int -> ?backoff_ns:int -> ?sleep:(int -> unit) -> impl -> impl
+(** [with_retry impl] retries [complete] on {!External_error} up to
+    [attempts] times total (default 3), sleeping
+    [backoff_ns * 2{^ k}] between attempts (exponential backoff, default
+    base 1ms). [sleep] is injectable and defaults to a no-op, so retries
+    are deterministic and instant in tests. When all attempts fail it
+    raises {!Arc_guard.Error.Guard_error} with
+    [External_failure {relation; attempts; cause}]. *)
+
 val arithmetic : string -> (Value.t -> Value.t -> Value.t) ->
   inverse_left:(Value.t -> Value.t -> Value.t) ->
   inverse_right:(Value.t -> Value.t -> Value.t) -> impl

@@ -1,0 +1,14 @@
+(** Cooperative cancellation tokens.
+
+    A token is shared between the caller (who may {!cancel} it, e.g. from a
+    signal handler or another thread of control) and the evaluation engine,
+    which polls it at operator boundaries and aborts with a typed
+    [Cancelled] error within one operator step. *)
+
+type t
+
+val create : unit -> t
+val cancel : t -> unit
+(** Idempotent; once set the token never resets. *)
+
+val cancelled : t -> bool

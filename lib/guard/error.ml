@@ -1,0 +1,75 @@
+type budget_exceeded = {
+  resource : Budget.resource;
+  limit : int;
+  used : int;
+}
+
+type external_failure = {
+  relation : string;
+  attempts : int;
+  cause : string;
+}
+
+type kind =
+  | Unstratifiable of { name : string; dep : string }
+  | Unbound_external of { relation : string; bound : string list }
+  | Unbound_abstract of { relation : string; bound : string list }
+  | Unknown_relation of string
+  | Head_unassigned of { head : string; attr : string }
+  | Budget_exceeded of budget_exceeded
+  | Cancelled
+  | External_failure of external_failure
+  | Msg of string
+
+type t = { kind : kind; context : string list }
+
+exception Guard_error of t
+
+let make ?(context = []) kind = { kind; context }
+let in_collection name e = { e with context = name :: e.context }
+
+let kind_to_string = function
+  | Unstratifiable { name; dep } ->
+      Printf.sprintf
+        "unstratifiable recursion: %S depends on %S through negation or \
+         aggregation"
+        name dep
+  | Unbound_external { relation; bound } ->
+      Printf.sprintf
+        "no access pattern of external relation %S accepts bound attributes \
+         {%s}"
+        relation
+        (String.concat ", " bound)
+  | Unbound_abstract { relation; bound } ->
+      Printf.sprintf
+        "abstract relation %S used without binding all of its attributes \
+         (bound: {%s})"
+        relation
+        (String.concat ", " bound)
+  | Unknown_relation name -> Printf.sprintf "unknown relation %S" name
+  | Head_unassigned { head; attr } ->
+      Printf.sprintf "head attribute %s.%s has no assignment predicate" head
+        attr
+  | Budget_exceeded { resource = Budget.Fixpoint_iterations; limit; used } ->
+      (* keeps the seed's "fixpoint iteration diverged" greppable *)
+      Printf.sprintf
+        "fixpoint iteration diverged: iteration budget exceeded (limit %d, \
+         used %d)"
+        limit used
+  | Budget_exceeded { resource; limit; used } ->
+      let unit_ = match resource with Budget.Wall_clock -> "ms" | _ -> "" in
+      Printf.sprintf "budget exceeded: %s (limit %d%s, used %d%s)"
+        (Budget.resource_to_string resource)
+        limit unit_ used unit_
+  | Cancelled -> "evaluation cancelled"
+  | External_failure { relation; attempts; cause } ->
+      Printf.sprintf "external relation %S failed after %d attempt%s: %s"
+        relation attempts
+        (if attempts = 1 then "" else "s")
+        cause
+  | Msg s -> s
+
+let to_string e =
+  List.fold_right
+    (fun name acc -> Printf.sprintf "in collection %S: %s" name acc)
+    e.context (kind_to_string e.kind)

@@ -1,0 +1,161 @@
+type event = { resource : Budget.resource; limit : int; used : int }
+
+type report = {
+  truncated : bool;
+  events : event list;
+  rows : int;
+  bindings : int;
+  elapsed_ns : int64;
+}
+
+type t = {
+  budget : Budget.t;
+  on_limit : [ `Fail | `Truncate ];
+  cancel : Cancel.t option;
+  clock : unit -> int64;
+  start_ns : int64;
+  deadline_ns : int64 option;  (* absolute *)
+  (* [active] gates every per-row/per-tick probe: false when only the
+     fixpoint cap (checked once per iteration anyway) is configured, so the
+     default governor costs the seed path nothing on hot loops. *)
+  active : bool;
+  mutable rows : int;
+  mutable bindings : int;
+  mutable depth : int;
+  mutable tripped : event list;  (* latest first *)
+}
+
+let make ?clock ?cancel ?(on_limit = `Fail) (budget : Budget.t) =
+  let clock =
+    match clock with Some c -> c | None -> Monotonic_clock.now
+  in
+  let start_ns = clock () in
+  {
+    budget;
+    on_limit;
+    cancel;
+    clock;
+    start_ns;
+    deadline_ns =
+      Option.map (fun ns -> Int64.add start_ns ns) budget.Budget.timeout_ns;
+    active =
+      budget.Budget.timeout_ns <> None
+      || budget.Budget.max_rows <> None
+      || budget.Budget.max_bindings <> None
+      || budget.Budget.max_depth <> None
+      || cancel <> None;
+    rows = 0;
+    bindings = 0;
+    depth = 0;
+    tripped = [];
+  }
+
+let default () = make Budget.default
+let unlimited () = make Budget.unlimited
+let budget t = t.budget
+let on_limit t = t.on_limit
+let active t = t.active
+
+let exceeded t resource ~limit ~used =
+  match t.on_limit with
+  | `Fail ->
+      raise
+        (Error.Guard_error
+           (Error.make (Error.Budget_exceeded { resource; limit; used })))
+  | `Truncate ->
+      if not (List.exists (fun e -> e.resource = resource) t.tripped) then
+        t.tripped <- { resource; limit; used } :: t.tripped
+
+let stopped t = t.tripped <> []
+
+let elapsed_ms t =
+  Int64.to_int (Int64.div (Int64.sub (t.clock ()) t.start_ns) 1_000_000L)
+
+let tick t =
+  if t.active then begin
+    (match t.cancel with
+    | Some c when Cancel.cancelled c ->
+        raise (Error.Guard_error (Error.make Error.Cancelled))
+    | _ -> ());
+    match t.deadline_ns with
+    | Some d when t.clock () > d ->
+        let limit =
+          match Budget.limit t.budget Budget.Wall_clock with
+          | Some ms -> ms
+          | None -> 0
+        in
+        exceeded t Budget.Wall_clock ~limit ~used:(elapsed_ms t)
+    | _ -> ()
+  end
+
+let charge t resource ~limit_opt ~counter n =
+  if not t.active then n
+  else begin
+    let used0 = counter () in
+    match limit_opt with
+    | None -> n
+    | Some limit ->
+        let used = used0 + n in
+        if used <= limit then n
+        else begin
+          exceeded t resource ~limit ~used;
+          (* truncate mode: keep only what fits *)
+          max 0 (limit - used0)
+        end
+  end
+
+let charge_rows t n =
+  let kept =
+    charge t Budget.Rows ~limit_opt:t.budget.Budget.max_rows
+      ~counter:(fun () -> t.rows)
+      n
+  in
+  if t.active then t.rows <- t.rows + kept;
+  kept
+
+let charge_bindings t n =
+  let kept =
+    charge t Budget.Bindings ~limit_opt:t.budget.Budget.max_bindings
+      ~counter:(fun () -> t.bindings)
+      n
+  in
+  if t.active then t.bindings <- t.bindings + kept;
+  kept
+
+let iteration_allowed t i =
+  match t.budget.Budget.max_iterations with
+  | None -> true
+  | Some limit ->
+      if i <= limit then true
+      else begin
+        exceeded t Budget.Fixpoint_iterations ~limit ~used:i;
+        false
+      end
+
+let enter_collection t =
+  if not t.active then true
+  else
+    match t.budget.Budget.max_depth with
+    | None ->
+        t.depth <- t.depth + 1;
+        true
+    | Some limit ->
+        if t.depth + 1 <= limit then begin
+          t.depth <- t.depth + 1;
+          true
+        end
+        else begin
+          exceeded t Budget.Depth ~limit ~used:(t.depth + 1);
+          false
+        end
+
+let leave_collection t = if t.active then t.depth <- max 0 (t.depth - 1)
+
+let report t =
+  {
+    truncated = t.tripped <> [];
+    events = List.rev t.tripped;
+    rows = t.rows;
+    bindings = t.bindings;
+    elapsed_ns = Int64.sub (t.clock ()) t.start_ns;
+  }

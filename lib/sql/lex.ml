@@ -118,13 +118,23 @@ let tokenize input =
           do
             incr pos
           done;
-          emit
-            (NUMBER
-               (V.Float (float_of_string (String.sub input start (!pos - start)))))
+          let lit = String.sub input start (!pos - start) in
+          match float_of_string_opt lit with
+          | Some f -> emit (NUMBER (V.Float f))
+          | None ->
+              raise
+                (Lex_error
+                   (Printf.sprintf "invalid numeric literal %S" lit, start))
         end
         else
-          emit
-            (NUMBER (V.Int (int_of_string (String.sub input start (!pos - start)))))
+          let lit = String.sub input start (!pos - start) in
+          (match int_of_string_opt lit with
+          | Some i -> emit (NUMBER (V.Int i))
+          | None ->
+              raise
+                (Lex_error
+                   ( Printf.sprintf "integer literal %S out of range" lit,
+                     start )))
     | 'a' .. 'z' | 'A' .. 'Z' | '_' | '$' ->
         let start = !pos in
         while

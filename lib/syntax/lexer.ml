@@ -164,10 +164,23 @@ let tokenize input =
           do
             incr pos
           done;
-          emit (NUMBER (V.Float (float_of_string (String.sub input start (!pos - start)))))
+          let lit = String.sub input start (!pos - start) in
+          match float_of_string_opt lit with
+          | Some f -> emit (NUMBER (V.Float f))
+          | None ->
+              raise
+                (Lex_error
+                   (Printf.sprintf "invalid numeric literal %S" lit, start))
         end
         else
-          emit (NUMBER (V.Int (int_of_string (String.sub input start (!pos - start)))))
+          let lit = String.sub input start (!pos - start) in
+          (match int_of_string_opt lit with
+          | Some i -> emit (NUMBER (V.Int i))
+          | None ->
+              raise
+                (Lex_error
+                   ( Printf.sprintf "integer literal %S out of range" lit,
+                     start )))
     | 'a' .. 'z' | 'A' .. 'Z' | '$' ->
         let start = !pos in
         while
@@ -189,9 +202,14 @@ let tokenize input =
           emit UNDERSCORE;
           let rest = String.sub word gl (String.length word - gl) in
           if rest = "" then ()
-          else if String.for_all (function '0' .. '9' -> true | _ -> false) rest
-          then emit (NUMBER (V.Int (int_of_string rest)))
-          else emit (IDENT rest)
+          else
+            match int_of_string_opt rest with
+            | Some i
+              when String.for_all
+                     (function '0' .. '9' -> true | _ -> false)
+                     rest ->
+                emit (NUMBER (V.Int i))
+            | _ -> emit (IDENT rest)
         end
         else emit (IDENT word)
     | _ -> (

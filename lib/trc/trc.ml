@@ -98,7 +98,10 @@ let tokenize input =
         while !pos < n && (match input.[!pos] with '0' .. '9' -> true | _ -> false) do
           incr pos
         done;
-        emit (NUMBER (V.Int (int_of_string (String.sub input start (!pos - start)))))
+        let lit = String.sub input start (!pos - start) in
+        (match int_of_string_opt lit with
+        | Some i -> emit (NUMBER (V.Int i))
+        | None -> pfail "integer literal %S out of range (at offset %d)" lit start)
     | 'a' .. 'z' | 'A' .. 'Z' | '_' ->
         let start = !pos in
         while

@@ -215,7 +215,8 @@ let error_context () =
   in
   match Eval.run_rows ~db:db_rs (program bad) with
   | _ -> Alcotest.fail "expected Eval_error"
-  | exception Eval.Eval_error msg ->
+  | exception Eval.Eval_error e ->
+      let msg = Eval.error_to_string e in
       if not (contains ~needle:"in collection \"Q\"" msg) then
         Alcotest.failf "error lacks collection context: %s" msg
 
