@@ -419,6 +419,148 @@ let guard_benches () =
   (rows, overhead)
 
 (* ------------------------------------------------------------------ *)
+(* Part 7: engine ablation — reference evaluator vs compiled plans     *)
+(* ------------------------------------------------------------------ *)
+
+module Exec = Arc_engine.Exec
+module Tuple = Arc_relation.Tuple
+
+(* The reference evaluator enumerates scopes as cross products and filters
+   afterwards; the plan engine compiles the same cores to hash joins,
+   hash semi/anti-joins and hash aggregates. Same results (asserted below,
+   bag-for-bag), different asymptotics — this part measures the gap on a
+   recursive workload, a join+aggregate workload, and sparse matrix
+   multiplication (Eq 26 scaled up). *)
+let engine_benches () =
+  section "PART 7 — Engine ablation: reference evaluator vs compiled plans";
+  let chain n =
+    Database.of_list
+      [
+        ( "P",
+          Relation.of_rows [ "s"; "t" ]
+            (List.init n (fun i -> [ V.Int i; V.Int (i + 1) ])) );
+      ]
+  in
+  let eq16 =
+    {
+      Arc_core.Ast.defs = Data.eq16_defs;
+      main = Arc_core.Ast.Coll Data.eq16_main;
+    }
+  in
+  let analytics_db n =
+    Database.of_list
+      [
+        ( "Orders",
+          Relation.of_rows [ "oid"; "cust"; "amount" ]
+            (List.init n (fun i ->
+                 [ V.Int i; V.Int (i mod 29); V.Int ((i * 13 mod 50) + 1) ]))
+        );
+        ( "Customers",
+          Relation.of_rows [ "cust"; "region" ]
+            (List.init 29 (fun i -> [ V.Int i; V.Int (i mod 5) ])) );
+      ]
+  in
+  let analytics_q =
+    let open Arc_core.Build in
+    Arc_core.Ast.program
+      (Arc_core.Ast.Coll
+         (collection "Q" [ "region"; "total" ]
+            (exists
+               ~grouping:[ ("c", "region") ]
+               [ bind "o" "Orders"; bind "c" "Customers" ]
+               (conj
+                  [
+                    eq (attr "o" "cust") (attr "c" "cust");
+                    eq (attr "Q" "region") (attr "c" "region");
+                    eq (attr "Q" "total") (sum (attr "o" "amount"));
+                  ]))))
+  in
+  let matrices n =
+    (* n×n matrices, ~half the entries present *)
+    let mat seed =
+      Relation.of_rows [ "row"; "col"; "val" ]
+        (List.concat
+           (List.init n (fun r ->
+                List.filter_map
+                  (fun c ->
+                    if (r + c + seed) mod 2 = 0 then
+                      Some [ V.Int r; V.Int c; V.Int ((r * c) + seed) ]
+                    else None)
+                  (List.init n Fun.id))))
+    in
+    Database.of_list [ ("A", mat 0); ("B", mat 1) ]
+  in
+  let matmul = Arc_core.Ast.program (Arc_core.Ast.Coll Data.eq26) in
+  let workloads =
+    [
+      ("recursion: TC chain 48 (eq16)", chain 48, eq16);
+      ("join+aggregate: analytics rollup, 400 orders", analytics_db 400,
+       analytics_q);
+      ("matrix multiplication 16x16 (eq26)", matrices 16, matmul);
+    ]
+  in
+  (* correctness gate first: both engines must agree bag-for-bag *)
+  let bag r =
+    List.sort compare (List.map Tuple.key (Relation.tuples r))
+  in
+  let results_match =
+    List.for_all
+      (fun (name, db, prog) ->
+        let ok = bag (Eval.run_rows ~db prog) = bag (Exec.run_rows ~db prog) in
+        if not ok then
+          Printf.printf "!!! %s: plan engine diverges from reference\n" name;
+        ok)
+      workloads
+  in
+  Printf.printf "reference ≡ plan on all engine-ablation workloads: %b\n"
+    results_match;
+  let tests =
+    List.concat_map
+      (fun (wname, db, prog) ->
+        [
+          Test.make ~name:(wname ^ ", reference")
+            (Staged.stage (fun () -> ignore (Eval.run_rows ~db prog)));
+          Test.make ~name:(wname ^ ", plan")
+            (Staged.stage (fun () -> ignore (Exec.run_rows ~db prog)));
+        ])
+      workloads
+  in
+  let rows = run_bench ~name:"engine" tests in
+  let find wname suffix =
+    match
+      List.find_opt
+        (fun (n, _) ->
+          let needle = Printf.sprintf "%s, %s" wname suffix in
+          String.length n >= String.length needle
+          && String.sub n (String.length n - String.length needle)
+               (String.length needle)
+             = needle)
+        rows
+    with
+    | Some (_, est) when not (Float.is_nan est) -> Some est
+    | _ -> None
+  in
+  let speedups =
+    List.filter_map
+      (fun (wname, _, _) ->
+        match (find wname "reference", find wname "plan") with
+        | Some refr, Some plan ->
+            let speedup = refr /. plan in
+            Printf.printf "%s: reference/plan speedup %.2fx\n" wname speedup;
+            Some
+              (Json.Obj
+                 [
+                   ("workload", Json.Str wname);
+                   ("reference_ns", Json.Float refr);
+                   ("plan_ns", Json.Float plan);
+                   ("speedup", Json.Float speedup);
+                 ])
+        | _ -> None)
+      workloads
+  in
+  (rows, speedups, results_match)
+
+(* ------------------------------------------------------------------ *)
 (* JSON report (BENCH_1.json)                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -502,6 +644,25 @@ let () =
   Out_channel.with_open_text guard_out (fun oc ->
       output_string oc (Json.pretty guard_report);
       output_char oc '\n');
+  let engine_rows, engine_speedups, engine_match = engine_benches () in
+  let engine_report =
+    Json.Obj
+      [
+        ("version", Json.Int 1);
+        ("harness", Json.Str "arc-bench-engine");
+        ("results_match", Json.Bool engine_match);
+        ("rows", time_rows_to_json engine_rows);
+        ("speedups", Json.List engine_speedups);
+      ]
+  in
+  let engine_out =
+    match Sys.getenv_opt "BENCH4_OUT" with
+    | Some f -> f
+    | None -> "BENCH_4.json"
+  in
+  Out_channel.with_open_text engine_out (fun oc ->
+      output_string oc (Json.pretty engine_report);
+      output_char oc '\n');
   rule ();
-  Printf.printf "bench complete; JSON reports written to %s and %s\n" out
-    guard_out
+  Printf.printf "bench complete; JSON reports written to %s, %s and %s\n" out
+    guard_out engine_out

@@ -149,6 +149,14 @@ let rec term_has_agg = function
 
 let pred_has_agg p = List.exists term_has_agg (pred_terms p)
 
+(* aggregate at the current scope level (not inside a deeper quantifier)? *)
+let rec formula_has_agg = function
+  | True -> false
+  | Pred p -> pred_has_agg p
+  | And fs | Or fs -> List.exists formula_has_agg fs
+  | Not f -> formula_has_agg f
+  | Exists _ -> false
+
 let rec conjuncts = function
   | True -> []
   | And fs -> List.concat_map conjuncts fs

@@ -114,6 +114,10 @@ val pred_terms : pred -> term list
 val term_has_agg : term -> bool
 val pred_has_agg : pred -> bool
 
+val formula_has_agg : formula -> bool
+(** An aggregation predicate at the current scope level — aggregates inside
+    a deeper quantifier belong to that scope ([Exists _] is [false]). *)
+
 val conjuncts : formula -> formula list
 (** Flattens nested [And]s; [True] yields []. *)
 

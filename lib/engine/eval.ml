@@ -129,14 +129,6 @@ let eval_pred_values ctx p vals =
 let eval_pred ctx benv p =
   eval_pred_values ctx p (List.map (eval_term ctx benv) (pred_terms p))
 
-(* aggregate at the current scope level (not inside a deeper quantifier)? *)
-let rec formula_has_agg = function
-  | True -> false
-  | Pred p -> pred_has_agg p
-  | And fs | Or fs -> List.exists formula_has_agg fs
-  | Not f -> formula_has_agg f
-  | Exists _ -> false
-
 (* ------------------------------------------------------------------ *)
 (* Literal join-tree leaves (Fig 12)                                   *)
 (* ------------------------------------------------------------------ *)
@@ -678,7 +670,7 @@ and group_rows_raw ctx benv keys pre rows : (benv * benv list) list =
         let kv =
           List.map (fun (v, a) -> eval_term ctx (row @ benv) (Attr (v, a))) keys
         in
-        let k = String.concat "|" (List.map V.to_string kv) in
+        let k = String.concat "" (List.map V.canonical kv) in
         match Hashtbl.find_opt tbl k with
         | Some rs -> Hashtbl.replace tbl k (rs @ [ row @ benv ])
         | None ->
@@ -842,86 +834,12 @@ and eval_collection_raw ctx benv (c : collection) : Relation.t =
 (* Definitions: stratified least-fixed-point computation               *)
 (* ------------------------------------------------------------------ *)
 
-let rec formula_deps ~neg ~grouped acc = function
-  | True | Pred _ -> acc
-  | And fs | Or fs -> List.fold_left (formula_deps ~neg ~grouped) acc fs
-  | Not f -> formula_deps ~neg:true ~grouped acc f
-  | Exists s ->
-      (* a grouping scope is nonmonotone only when it actually aggregates;
-         pure deduplication (grouping without aggregation predicates,
-         Section 2.7) is monotone and safe inside recursion *)
-      let grouped' =
-        grouped || (s.grouping <> None && formula_has_agg s.body)
-      in
-      let acc =
-        List.fold_left
-          (fun acc b ->
-            match b.source with
-            | Base n -> (n, neg || grouped') :: acc
-            | Nested c -> formula_deps ~neg ~grouped:grouped' acc c.body)
-          acc s.bindings
-      in
-      formula_deps ~neg ~grouped:grouped' acc s.body
-
-let def_deps (d : definition) =
-  formula_deps ~neg:false ~grouped:false [] d.def_body.body
-
-(* Tarjan's SCC algorithm; emits components dependencies-first. *)
-let sccs (defs : definition list) =
-  let names = List.map (fun d -> d.def_name) defs in
-  let adj =
-    List.map
-      (fun d ->
-        (d.def_name, List.filter (fun (n, _) -> List.mem n names) (def_deps d)))
-      defs
-  in
-  let index = Hashtbl.create 16 in
-  let lowlink = Hashtbl.create 16 in
-  let on_stack = Hashtbl.create 16 in
-  let stack = ref [] in
-  let counter = ref 0 in
-  let result = ref [] in
-  let rec strongconnect v =
-    Hashtbl.replace index v !counter;
-    Hashtbl.replace lowlink v !counter;
-    incr counter;
-    stack := v :: !stack;
-    Hashtbl.replace on_stack v true;
-    List.iter
-      (fun (w, _) ->
-        if not (Hashtbl.mem index w) then (
-          strongconnect w;
-          Hashtbl.replace lowlink v
-            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w)))
-        else if Hashtbl.find_opt on_stack w = Some true then
-          Hashtbl.replace lowlink v
-            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
-      (try List.assoc v adj with Not_found -> []);
-    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
-      let rec pop acc =
-        match !stack with
-        | w :: rest ->
-            stack := rest;
-            Hashtbl.replace on_stack w false;
-            if w = v then w :: acc else pop (w :: acc)
-        | [] -> acc
-      in
-      result := pop [] :: !result
-    end
-  in
-  List.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v) names;
-  (List.rev !result, adj)
-
 let rec compute_idb ctx (defs : definition list) =
-  let scc_list, adj = sccs defs in
+  let scc_list, adj = Arc_core.Depend.sccs defs in
   let find_def n = List.find (fun d -> d.def_name = n) defs in
   List.iter
     (fun component ->
-      let recursive =
-        match component with
-        | [ n ] -> List.exists (fun (m, _) -> m = n) (List.assoc n adj)
-        | _ -> true
-      in
+      let recursive = Arc_core.Depend.is_recursive adj component in
       if not recursive then
         let d = find_def (List.hd component) in
         Hashtbl.replace ctx.idb d.def_name (eval_collection ctx [] d.def_body)
@@ -1114,7 +1032,10 @@ and seminaive_fixpoint ctx find_def component =
 (* Entry points                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let make_ctx ?(conv = Conventions.sql_set) ?(externals = Externals.standard)
+(* Builds a context with abstracts registered and the IDB still empty; the
+   caller decides how the safe definitions are materialized (the reference
+   fixpoint below, or the plan executor via [Internal]). *)
+let prepare ?(conv = Conventions.sql_set) ?(externals = Externals.standard)
     ?(strategy = Seminaive) ?(tracer = Obs.null) ?guard ~db (prog : program) =
   let gov = match guard with Some g -> g | None -> Gov.default () in
   let aenv =
@@ -1148,6 +1069,11 @@ let make_ctx ?(conv = Conventions.sql_set) ?(externals = Externals.standard)
       gov;
     }
   in
+  (ctx, safe)
+
+let make_ctx ?conv ?externals ?strategy ?tracer ?guard ~db (prog : program) =
+  let ctx, safe = prepare ?conv ?externals ?strategy ?tracer ?guard ~db prog in
+  let tracer = ctx.tracer in
   if safe <> [] then begin
     let sp = Obs.enter tracer "definitions" in
     (* budget trips between collection evaluations (fixpoint bookkeeping)
@@ -1180,3 +1106,32 @@ let run_truth ?conv ?externals ?strategy ?tracer ?guard ~db prog =
 
 let eval_collection_standalone ?conv ?externals ?tracer ?guard ~db c =
   run_rows ?conv ?externals ?tracer ?guard ~db { defs = []; main = Coll c }
+
+(* ------------------------------------------------------------------ *)
+(* Internal surface for the plan executor (Arc_engine.Exec)            *)
+(* ------------------------------------------------------------------ *)
+
+module Internal = struct
+  type nonrec ctx = ctx
+  type nonrec benv = benv
+
+  let prepare = prepare
+  let conv ctx = ctx.conv
+  let strategy ctx = ctx.strategy
+  let tracer ctx = ctx.tracer
+  let gov ctx = ctx.gov
+  let db ctx = ctx.db
+  let idb_set ctx name r = Hashtbl.replace ctx.idb name r
+  let idb_get ctx name = Hashtbl.find_opt ctx.idb name
+  let idb_remove ctx name = Hashtbl.remove ctx.idb name
+  let eval_term = eval_term
+  let eval_gterm = eval_gterm
+  let eval_pred = eval_pred
+  let eval_pred_values = eval_pred_values
+  let eval_formula = eval_formula
+  let eval_gformula = eval_gformula
+  let eval_collection = eval_collection
+  let source_rows = source_rows
+  let resolve_deferred = resolve_deferred
+  let take = take
+end

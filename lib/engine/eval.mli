@@ -112,3 +112,69 @@ val eval_collection_standalone :
   collection ->
   Arc_relation.Relation.t
 (** Evaluates a single collection with no definition environment. *)
+
+(** Hooks for the physical plan executor ({!Arc_engine.Exec}).
+
+    The plan engine replaces the {e enumeration} strategy (nested loops →
+    hash operators) but deliberately shares every {e semantic} primitive
+    with this reference evaluator — term/predicate/formula evaluation,
+    group-aware evaluation, deferred external/abstract resolution, and the
+    collection fallback — so the two engines can only diverge in what they
+    enumerate, never in what a row means. Not part of the stable API. *)
+module Internal : sig
+  type ctx
+  type benv = (var * Arc_relation.Tuple.t) list
+
+  val prepare :
+    ?conv:Arc_value.Conventions.t ->
+    ?externals:Externals.impl list ->
+    ?strategy:recursion_strategy ->
+    ?tracer:Arc_obs.Obs.t ->
+    ?guard:Arc_guard.Gov.t ->
+    db:Arc_relation.Database.t ->
+    program ->
+    ctx * definition list
+  (** Validates safety, registers abstract definitions, and returns the
+      context with an {e empty} IDB plus the safe definitions the caller
+      must materialize (in dependency order). *)
+
+  val conv : ctx -> Arc_value.Conventions.t
+  val strategy : ctx -> recursion_strategy
+  val tracer : ctx -> Arc_obs.Obs.t
+  val gov : ctx -> Arc_guard.Gov.t
+  val db : ctx -> Arc_relation.Database.t
+  val idb_set : ctx -> rel_name -> Arc_relation.Relation.t -> unit
+  val idb_get : ctx -> rel_name -> Arc_relation.Relation.t option
+  val idb_remove : ctx -> rel_name -> unit
+  val eval_term : ctx -> benv -> term -> Arc_value.Value.t
+
+  val eval_gterm :
+    ctx -> rep:benv -> group:benv list -> scope_vars:var list -> term ->
+    Arc_value.Value.t
+
+  val eval_pred : ctx -> benv -> pred -> Arc_value.Bool3.t
+
+  val eval_pred_values :
+    ctx -> pred -> Arc_value.Value.t list -> Arc_value.Bool3.t
+
+  val eval_formula : ctx -> benv -> formula -> Arc_value.Bool3.t
+
+  val eval_gformula :
+    ctx -> rep:benv -> group:benv list -> scope_vars:var list -> formula ->
+    Arc_value.Bool3.t
+
+  val eval_collection : ctx -> benv -> collection -> Arc_relation.Relation.t
+  (** The reference pipeline for one collection — the plan engine's
+      fallback for join-annotated scopes. *)
+
+  val source_rows : ctx -> benv -> source -> Arc_relation.Tuple.t list
+  (** Governed scan (ticks, charges bindings, counts [tuples_scanned]). *)
+
+  val resolve_deferred :
+    ctx -> benv -> scope -> benv list -> binding list -> benv list
+  (** Resolves external/abstract bindings from seed equations found in the
+      scope body (which must be the {e pre-extraction} body). *)
+
+  val take : int -> 'a list -> 'a list
+  (** Governed truncation helper. *)
+end

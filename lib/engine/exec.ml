@@ -1,0 +1,661 @@
+open Arc_core.Ast
+module V = Arc_value.Value
+module B3 = Arc_value.Bool3
+module Conventions = Arc_value.Conventions
+module Aggregate = Arc_value.Aggregate
+module Relation = Arc_relation.Relation
+module Tuple = Arc_relation.Tuple
+module Schema = Arc_relation.Schema
+module Obs = Arc_obs.Obs
+module Gov = Arc_guard.Gov
+module Err = Arc_guard.Error
+module Depend = Arc_core.Depend
+module Ir = Arc_plan.Ir
+module Lower = Arc_plan.Lower
+module Opt = Arc_plan.Opt
+module I = Eval.Internal
+
+(* The physical engine: executes the Arc_plan IR with hash-based join,
+   semi/anti-join, aggregation and deduplication operators. All per-row
+   semantics — term, predicate and formula evaluation, deferred resolution,
+   and the collection fallback — are delegated to Eval.Internal, so the two
+   engines share one notion of what a row means and can only differ in what
+   they enumerate. *)
+
+exception Eval_error = Eval.Eval_error
+
+let raise_kind kind = raise (Eval_error (Err.make kind))
+
+type env = { ctx : I.ctx; outer : I.benv }
+
+let tracer env = I.tracer env.ctx
+let gov env = I.gov env.ctx
+
+let pred_true env full p = I.eval_pred env.ctx full p = B3.True
+let formula_true env full f = I.eval_formula env.ctx full f = B3.True
+
+(* Composite hash key for a list of terms evaluated under [row @ outer].
+   Under three-valued logic a NULL key component can never satisfy an
+   equality, so the row is excluded from matching ([None]); under two-valued
+   logic NULL is an ordinary value. Value.canonical equates values that
+   compare equal (Int 1 vs Float 1.0) and cannot collide otherwise. *)
+let key_of env (row : I.benv) terms =
+  let full = row @ env.outer in
+  let vals = List.map (I.eval_term env.ctx full) terms in
+  match (I.conv env.ctx).Conventions.null_logic with
+  | Conventions.Three_valued when List.exists V.is_null vals -> None
+  | _ -> Some (String.concat "" (List.map V.canonical vals))
+
+let group_key env (full : I.benv) keys =
+  let kv = List.map (fun (v, a) -> I.eval_term env.ctx full (Attr (v, a))) keys in
+  String.concat "" (List.map V.canonical kv)
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline execution: benv-level operators                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec exec_rows env (t : Ir.t) : I.benv list =
+  match t with
+  | One -> [ [] ]
+  | Scan { var; rel; filters; _ } ->
+      let sp = Obs.enter (tracer env) "scan" in
+      let tuples = I.source_rows env.ctx env.outer (Base rel) in
+      let rows = List.map (fun tp -> [ (var, tp) ]) tuples in
+      let kept =
+        if filters = [] then rows
+        else
+          List.filter
+            (fun (row : I.benv) ->
+              List.for_all (pred_true env (row @ env.outer)) filters)
+            rows
+      in
+      if Obs.enabled (tracer env) then begin
+        Obs.set sp "relation" (Obs.Str rel);
+        Obs.set sp "candidates" (Obs.Int (List.length rows));
+        Obs.set sp "survivors" (Obs.Int (List.length kept))
+      end;
+      Obs.leave (tracer env) sp;
+      kept
+  | Subquery { var; plan } ->
+      let r = exec_coll env plan in
+      List.map (fun tp -> [ (var, tp) ]) (Relation.tuples r)
+  | Lateral { input; var; plan } ->
+      let rows = exec_rows env input in
+      let sp = Obs.enter (tracer env) "lateral" in
+      let out =
+        List.concat_map
+          (fun (row : I.benv) ->
+            let r = exec_coll { env with outer = row @ env.outer } plan in
+            List.map (fun tp -> (var, tp) :: row) (Relation.tuples r))
+          rows
+      in
+      if Obs.enabled (tracer env) then begin
+        Obs.set sp "rows_in" (Obs.Int (List.length rows));
+        Obs.set sp "rows_out" (Obs.Int (List.length out))
+      end;
+      Obs.leave (tracer env) sp;
+      out
+  | Product { left; right } ->
+      let l = exec_rows env left in
+      let r = exec_rows env right in
+      List.concat_map (fun lr -> List.map (fun rr -> rr @ lr) r) l
+  | Hash_join { left; right; keys } ->
+      Gov.tick (gov env);
+      let sp = Obs.enter (tracer env) "hash_join" in
+      let build = exec_rows env right in
+      let inner_terms = List.map (fun k -> k.Ir.inner) keys in
+      let outer_terms = List.map (fun k -> k.Ir.outer) keys in
+      let tbl = Hashtbl.create (max 16 (List.length build)) in
+      List.iter
+        (fun rrow ->
+          match key_of env rrow inner_terms with
+          | Some k -> Hashtbl.add tbl k rrow
+          | None -> ())
+        build;
+      let probe = exec_rows env left in
+      let out =
+        List.concat_map
+          (fun lrow ->
+            match key_of env lrow outer_terms with
+            | Some k ->
+                List.map (fun rrow -> rrow @ lrow) (Hashtbl.find_all tbl k)
+            | None -> [])
+          probe
+      in
+      if Obs.enabled (tracer env) then begin
+        Obs.set sp "build" (Obs.Int (List.length build));
+        Obs.set sp "probe" (Obs.Int (List.length probe));
+        Obs.set sp "rows_out" (Obs.Int (List.length out))
+      end;
+      Obs.leave (tracer env) sp;
+      out
+  | Filter { input; preds } ->
+      let rows = exec_rows env input in
+      let sp = Obs.enter (tracer env) "filter" in
+      let kept =
+        List.filter
+          (fun (row : I.benv) ->
+            List.for_all (pred_true env (row @ env.outer)) preds)
+          rows
+      in
+      if Obs.enabled (tracer env) then begin
+        Obs.set sp "candidates" (Obs.Int (List.length rows));
+        Obs.set sp "survivors" (Obs.Int (List.length kept))
+      end;
+      Obs.leave (tracer env) sp;
+      kept
+  | Residual { input; conjs } ->
+      let rows = exec_rows env input in
+      let sp = Obs.enter (tracer env) "residual" in
+      let kept =
+        List.filter
+          (fun (row : I.benv) ->
+            List.for_all (formula_true env (row @ env.outer)) conjs)
+          rows
+      in
+      if Obs.enabled (tracer env) then begin
+        Obs.set sp "candidates" (Obs.Int (List.length rows));
+        Obs.set sp "survivors" (Obs.Int (List.length kept))
+      end;
+      Obs.leave (tracer env) sp;
+      kept
+  | Semi { anti; input; sub; keys; residual; _ } ->
+      Gov.tick (gov env);
+      let sp =
+        Obs.enter (tracer env) (if anti then "anti_join" else "semi_join")
+      in
+      let sub_rows = exec_rows env sub in
+      let witness row candidates =
+        List.exists
+          (fun (srow : I.benv) ->
+            List.for_all
+              (pred_true env (srow @ row @ env.outer))
+              residual)
+          candidates
+      in
+      let rows = exec_rows env input in
+      let kept =
+        match keys with
+        | [] -> List.filter (fun row -> witness row sub_rows <> anti) rows
+        | _ ->
+            let inner_terms = List.map (fun k -> k.Ir.inner) keys in
+            let outer_terms = List.map (fun k -> k.Ir.outer) keys in
+            let tbl = Hashtbl.create (max 16 (List.length sub_rows)) in
+            List.iter
+              (fun srow ->
+                match key_of env srow inner_terms with
+                | Some k -> Hashtbl.add tbl k srow
+                | None -> ())
+              sub_rows;
+            List.filter
+              (fun row ->
+                let found =
+                  match key_of env row outer_terms with
+                  | Some k -> witness row (Hashtbl.find_all tbl k)
+                  | None -> false
+                in
+                found <> anti)
+              rows
+      in
+      if Obs.enabled (tracer env) then begin
+        Obs.set sp "sub_rows" (Obs.Int (List.length sub_rows));
+        Obs.set sp "candidates" (Obs.Int (List.length rows));
+        Obs.set sp "survivors" (Obs.Int (List.length kept))
+      end;
+      Obs.leave (tracer env) sp;
+      kept
+  | Resolve { input; binding; scope } ->
+      Gov.tick (gov env);
+      let rows = exec_rows env input in
+      I.resolve_deferred env.ctx env.outer scope rows [ binding ]
+  | Prune { input; keep } ->
+      List.map
+        (fun (row : I.benv) ->
+          List.filter (fun (v, _) -> List.mem v keep) row)
+        (exec_rows env input)
+
+(* ------------------------------------------------------------------ *)
+(* Disjuncts and collections                                           *)
+(* ------------------------------------------------------------------ *)
+
+and exec_disjunct env (head : head) (d : Ir.disjunct_plan) : Tuple.t list =
+  let schema = Schema.make head.head_attrs in
+  let assign_term assigns a =
+    match List.assoc_opt a assigns with
+    | Some t -> t
+    | None ->
+        raise_kind (Err.Head_unassigned { head = head.head_name; attr = a })
+  in
+  match d with
+  | Project { input; assigns } ->
+      let rows = exec_rows env input in
+      List.map
+        (fun (row : I.benv) ->
+          let full = row @ env.outer in
+          Tuple.make schema
+            (Array.of_list
+               (List.map
+                  (fun a -> I.eval_term env.ctx full (assign_term assigns a))
+                  head.head_attrs)))
+        rows
+  | Aggregate { input; keys; scope_vars; post; assigns } ->
+      let rows = exec_rows env input in
+      Gov.tick (gov env);
+      let sp = Obs.enter (tracer env) "hash_aggregate" in
+      let groups =
+        if keys = [] then
+          let full = List.map (fun r -> r @ env.outer) rows in
+          [ ((match full with [] -> env.outer | r :: _ -> r), full) ]
+        else begin
+          let tbl = Hashtbl.create 16 in
+          let order = ref [] in
+          List.iter
+            (fun (row : I.benv) ->
+              let full = row @ env.outer in
+              let k = group_key env full keys in
+              match Hashtbl.find_opt tbl k with
+              | Some rs -> Hashtbl.replace tbl k (rs @ [ full ])
+              | None ->
+                  order := k :: !order;
+                  Hashtbl.replace tbl k [ full ])
+            rows;
+          List.rev_map
+            (fun k ->
+              let group = Hashtbl.find tbl k in
+              (List.hd group, group))
+            !order
+        end
+      in
+      if Obs.enabled (tracer env) then begin
+        Obs.set sp "rows_in" (Obs.Int (List.length rows));
+        Obs.set sp "keys" (Obs.Int (List.length keys));
+        Obs.set sp "buckets" (Obs.Int (List.length groups))
+      end;
+      Obs.leave (tracer env) sp;
+      List.filter_map
+        (fun (rep, group) ->
+          if
+            List.for_all
+              (fun f ->
+                I.eval_gformula env.ctx ~rep ~group ~scope_vars f = B3.True)
+              post
+          then
+            Some
+              (Tuple.make schema
+                 (Array.of_list
+                    (List.map
+                       (fun a ->
+                         I.eval_gterm env.ctx ~rep ~group ~scope_vars
+                           (assign_term assigns a))
+                       head.head_attrs)))
+          else None)
+        groups
+
+and exec_coll env (p : Ir.coll_plan) : Relation.t =
+  match p with
+  | Fallback { coll; _ } -> I.eval_collection env.ctx env.outer coll
+  | Union { head; disjuncts } -> (
+      let name = head.head_name in
+      Gov.tick (gov env);
+      if not (Gov.enter_collection (gov env)) then
+        Relation.empty ~name head.head_attrs
+      else
+        let sp = Obs.enter (tracer env) ("collection:" ^ name) in
+        let compute () =
+          let tuples = List.concat_map (exec_disjunct env head) disjuncts in
+          let tuples =
+            if not (Gov.active (gov env)) then tuples
+            else
+              let n = List.length tuples in
+              let allowed = Gov.charge_rows (gov env) n in
+              if allowed >= n then tuples else I.take allowed tuples
+          in
+          let r =
+            Relation.make ~name (Schema.make head.head_attrs) tuples
+          in
+          match (I.conv env.ctx).Conventions.collection with
+          | Conventions.Set -> Relation.dedup r
+          | Conventions.Bag -> r
+        in
+        match compute () with
+        | r ->
+            if Obs.enabled (tracer env) then
+              Obs.set sp "rows_emitted" (Obs.Int (Relation.cardinality r));
+            Obs.leave (tracer env) sp;
+            Gov.leave_collection (gov env);
+            r
+        | exception Eval_error e ->
+            Obs.leave (tracer env) sp;
+            Gov.leave_collection (gov env);
+            raise (Eval_error (Err.in_collection name e))
+        | exception Err.Guard_error e ->
+            Obs.leave (tracer env) sp;
+            Gov.leave_collection (gov env);
+            raise (Eval_error (Err.in_collection name e))
+        | exception e ->
+            Obs.leave (tracer env) sp;
+            Gov.leave_collection (gov env);
+            raise e)
+
+(* ------------------------------------------------------------------ *)
+(* Recursive strata: hash-based fixpoints over plans                   *)
+(* ------------------------------------------------------------------ *)
+
+let delta_name n = "__delta__" ^ n
+
+(* Count / substitute scans of component relations, preorder, descending
+   into nested sub-plans and semi-join subtrees. The traversal order only
+   needs to be self-consistent between [count_scans] and [subst_scan]. *)
+let rec count_scans component (t : Ir.t) : int =
+  match t with
+  | One -> 0
+  | Scan { rel; _ } -> if List.mem rel component then 1 else 0
+  | Subquery { plan; _ } -> count_scans_coll component plan
+  | Lateral { input; plan; _ } ->
+      count_scans component input + count_scans_coll component plan
+  | Product { left; right } | Hash_join { left; right; _ } ->
+      count_scans component left + count_scans component right
+  | Filter { input; _ } | Residual { input; _ } | Resolve { input; _ }
+  | Prune { input; _ } ->
+      count_scans component input
+  | Semi { input; sub; _ } ->
+      count_scans component input + count_scans component sub
+
+and count_scans_disjunct component = function
+  | Ir.Project { input; _ } | Ir.Aggregate { input; _ } ->
+      count_scans component input
+
+and count_scans_coll component = function
+  | Ir.Union { disjuncts; _ } ->
+      List.fold_left
+        (fun acc d -> acc + count_scans_disjunct component d)
+        0 disjuncts
+  | Ir.Fallback _ -> 0
+
+let subst_scan component i (p : Ir.coll_plan) : Ir.coll_plan =
+  let k = ref (-1) in
+  let rec go_t (t : Ir.t) : Ir.t =
+    match t with
+    | One -> t
+    | Scan s when List.mem s.rel component ->
+        incr k;
+        if !k = i then Scan { s with rel = delta_name s.rel } else t
+    | Scan _ -> t
+    | Subquery s -> Subquery { s with plan = go_coll s.plan }
+    | Lateral l -> Lateral { l with input = go_t l.input; plan = go_coll l.plan }
+    | Product { left; right } -> Product { left = go_t left; right = go_t right }
+    | Hash_join j -> Hash_join { j with left = go_t j.left; right = go_t j.right }
+    | Filter f -> Filter { f with input = go_t f.input }
+    | Residual r -> Residual { r with input = go_t r.input }
+    | Resolve r -> Resolve { r with input = go_t r.input }
+    | Prune p -> Prune { p with input = go_t p.input }
+    | Semi s -> Semi { s with input = go_t s.input; sub = go_t s.sub }
+  and go_disjunct = function
+    | Ir.Project pr -> Ir.Project { pr with input = go_t pr.input }
+    | Ir.Aggregate ag -> Ir.Aggregate { ag with input = go_t ag.input }
+  and go_coll = function
+    | Ir.Union u -> Ir.Union { u with disjuncts = List.map go_disjunct u.disjuncts }
+    | Ir.Fallback _ as f -> f
+  in
+  go_coll p
+
+(* Plan-level delta substitution is sound only when every reference to a
+   component relation is a plan [Scan]; references hidden inside fragments
+   the reference evaluator executes as callbacks (residual formulas,
+   resolve scopes, fallbacks, aggregate post-conditions) cannot be
+   substituted, so such components run the naive iteration instead. *)
+let mentions_component component deps =
+  List.exists (fun (n, _) -> List.mem n component) deps
+
+let rec opaque_refs component (t : Ir.t) : bool =
+  let formula_refs f =
+    mentions_component component
+      (Depend.formula_deps ~neg:false ~grouped:false [] f)
+  in
+  match t with
+  | One -> false
+  | Scan { filters; _ } ->
+      List.exists (fun p -> formula_refs (Pred p)) filters
+  | Subquery { plan; _ } -> opaque_refs_coll component plan
+  | Lateral { input; plan; _ } ->
+      opaque_refs component input || opaque_refs_coll component plan
+  | Product { left; right } | Hash_join { left; right; _ } ->
+      opaque_refs component left || opaque_refs component right
+  | Filter { input; _ } | Prune { input; _ } -> opaque_refs component input
+  | Residual { input; conjs } ->
+      List.exists formula_refs conjs || opaque_refs component input
+  | Resolve { input; scope; _ } ->
+      formula_refs (Exists scope) || opaque_refs component input
+  | Semi { input; sub; _ } ->
+      opaque_refs component input || opaque_refs component sub
+
+and opaque_refs_coll component = function
+  | Ir.Union { disjuncts; _ } ->
+      List.exists
+        (fun d ->
+          match d with
+          | Ir.Project { input; _ } -> opaque_refs component input
+          | Ir.Aggregate { input; post; _ } ->
+              opaque_refs component input
+              || List.exists
+                   (fun f ->
+                     mentions_component component
+                       (Depend.formula_deps ~neg:false ~grouped:false [] f))
+                   post)
+        disjuncts
+  | Ir.Fallback { coll; _ } ->
+      mentions_component component (Depend.collection_deps coll)
+
+let seminaive_eligible component (dps : Ir.def_plan list) =
+  List.for_all
+    (fun dp ->
+      (not (opaque_refs_coll component dp.Ir.dplan))
+      &&
+      (* every AST-level reference must correspond to a plan scan *)
+      let ast_refs =
+        List.length
+          (List.filter
+             (fun (n, _) -> List.mem n component)
+             (Depend.collection_deps dp.Ir.dcoll))
+      in
+      count_scans_coll component dp.Ir.dplan = ast_refs)
+    dps
+
+let naive_fixpoint env (dps : Ir.def_plan list) =
+  let ctx = env.ctx in
+  let sp = Obs.enter (tracer env) "fixpoint:naive" in
+  if Obs.enabled (tracer env) then
+    Obs.set sp "stratum"
+      (Obs.Str (String.concat "," (List.map (fun d -> d.Ir.dname) dps)));
+  let changed = ref true in
+  let iterations = ref 0 in
+  while !changed do
+    incr iterations;
+    Gov.tick (gov env);
+    changed := false;
+    if Gov.iteration_allowed (gov env) !iterations && not (Gov.stopped (gov env))
+    then begin
+      let isp = Obs.enter (tracer env) "iteration" in
+      List.iter
+        (fun dp ->
+          let n = dp.Ir.dname in
+          let current = Option.get (I.idb_get ctx n) in
+          let next =
+            Relation.dedup (Relation.union current (exec_coll env dp.Ir.dplan))
+          in
+          if Obs.enabled (tracer env) then
+            Obs.set isp ("delta:" ^ n)
+              (Obs.Int
+                 (Relation.cardinality next - Relation.cardinality current));
+          if not (Relation.equal_set next current) then begin
+            I.idb_set ctx n next;
+            changed := true
+          end)
+        dps;
+      Obs.leave (tracer env) isp
+    end
+  done;
+  Obs.set sp "iterations" (Obs.Int !iterations);
+  Obs.leave (tracer env) sp
+
+let seminaive_fixpoint env component (dps : Ir.def_plan list) =
+  let ctx = env.ctx in
+  let sp = Obs.enter (tracer env) "fixpoint:seminaive" in
+  if Obs.enabled (tracer env) then
+    Obs.set sp "stratum" (Obs.Str (String.concat "," component));
+  let ssp = Obs.enter (tracer env) "seed" in
+  List.iter
+    (fun dp ->
+      let n = dp.Ir.dname in
+      let seed = Relation.dedup (exec_coll env dp.Ir.dplan) in
+      I.idb_set ctx n seed;
+      I.idb_set ctx (delta_name n) seed;
+      if Obs.enabled (tracer env) then
+        Obs.set ssp ("delta:" ^ n) (Obs.Int (Relation.cardinality seed)))
+    dps;
+  Obs.leave (tracer env) ssp;
+  let iterations = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    incr iterations;
+    Gov.tick (gov env);
+    if
+      (not (Gov.iteration_allowed (gov env) !iterations))
+      || Gov.stopped (gov env)
+    then continue_ := false
+    else begin
+      let isp = Obs.enter (tracer env) "iteration" in
+      let new_deltas =
+        List.map
+          (fun dp ->
+            let n = dp.Ir.dname in
+            let occurrences = count_scans_coll component dp.Ir.dplan in
+            let derived =
+              List.init occurrences (fun i ->
+                  exec_coll env (subst_scan component i dp.Ir.dplan))
+            in
+            let full = Option.get (I.idb_get ctx n) in
+            let attrs =
+              match dp.Ir.dplan with
+              | Ir.Union { head; _ } | Ir.Fallback { head; _ } ->
+                  head.head_attrs
+            in
+            let fresh =
+              List.fold_left
+                (fun acc r ->
+                  Relation.union acc (Relation.minus (Relation.dedup r) full))
+                (Relation.empty ~name:n attrs)
+                derived
+            in
+            (n, Relation.dedup fresh))
+          dps
+      in
+      List.iter
+        (fun (n, fresh) ->
+          I.idb_set ctx n
+            (Relation.dedup (Relation.union (Option.get (I.idb_get ctx n)) fresh)))
+        new_deltas;
+      List.iter
+        (fun (n, fresh) -> I.idb_set ctx (delta_name n) fresh)
+        new_deltas;
+      if Obs.enabled (tracer env) then
+        List.iter
+          (fun (n, fresh) ->
+            Obs.set isp ("delta:" ^ n) (Obs.Int (Relation.cardinality fresh)))
+          new_deltas;
+      Obs.leave (tracer env) isp;
+      if List.for_all (fun (_, fresh) -> Relation.is_empty fresh) new_deltas
+      then continue_ := false
+    end
+  done;
+  Obs.set sp "iterations" (Obs.Int !iterations);
+  Obs.leave (tracer env) sp;
+  List.iter (fun n -> I.idb_remove ctx (delta_name n)) component
+
+let exec_stratum env (s : Ir.stratum) =
+  let ctx = env.ctx in
+  match s with
+  | Ir.Nonrecursive dp -> I.idb_set ctx dp.dname (exec_coll env dp.dplan)
+  | Ir.Recursive dps ->
+      let component = List.map (fun d -> d.Ir.dname) dps in
+      (* stratification check, as in the reference *)
+      List.iter
+        (fun dp ->
+          List.iter
+            (fun (m, negative) ->
+              if negative && List.mem m component then
+                raise_kind
+                  (Err.Unstratifiable { name = dp.Ir.dname; dep = m }))
+            (Depend.collection_deps dp.Ir.dcoll))
+        dps;
+      List.iter
+        (fun dp ->
+          let attrs =
+            match dp.Ir.dplan with
+            | Ir.Union { head; _ } | Ir.Fallback { head; _ } -> head.head_attrs
+          in
+          I.idb_set ctx dp.Ir.dname (Relation.empty ~name:dp.Ir.dname attrs))
+        dps;
+      let strategy =
+        match I.strategy ctx with
+        | Eval.Seminaive when seminaive_eligible component dps -> `Seminaive
+        | _ -> `Naive
+      in
+      (match strategy with
+      | `Naive -> naive_fixpoint env dps
+      | `Seminaive -> seminaive_fixpoint env component dps)
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Lower and optimize a program against a database: returns the context
+   (with abstracts registered, IDB empty), the raw and optimized plans, and
+   the per-pass change report. *)
+let compile ?conv ?externals ?strategy ?tracer ?guard ~db (prog : program) =
+  let ctx, safe = I.prepare ?conv ?externals ?strategy ?tracer ?guard ~db prog in
+  let lenv =
+    Lower.env_of_db ~db ~defs:(List.map (fun d -> d.def_name) safe)
+  in
+  let raw = Lower.lower_program lenv ~safe prog in
+  let optimized, report = Opt.optimize lenv raw in
+  (ctx, raw, optimized, report)
+
+let exec_program ctx (pp : Ir.program_plan) : Eval.outcome =
+  let env = { ctx; outer = [] } in
+  let tracer = I.tracer ctx in
+  if pp.strata <> [] then begin
+    let sp = Obs.enter tracer "definitions" in
+    (try List.iter (exec_stratum env) pp.strata
+     with
+    | Err.Guard_error e ->
+        Obs.leave tracer sp;
+        raise (Eval_error e)
+    | e ->
+        Obs.leave tracer sp;
+        raise e);
+    Obs.leave tracer sp
+  end;
+  try
+    match pp.main with
+    | Ir.Main_coll p -> Eval.Rows (exec_coll env p)
+    | Ir.Main_sentence f -> Eval.Truth (I.eval_formula ctx [] f)
+  with Err.Guard_error e -> raise (Eval_error e)
+
+let run ?conv ?externals ?strategy ?tracer ?guard ~db (prog : program) =
+  let ctx, _, optimized, _ =
+    compile ?conv ?externals ?strategy ?tracer ?guard ~db prog
+  in
+  exec_program ctx optimized
+
+let run_rows ?conv ?externals ?strategy ?tracer ?guard ~db prog =
+  match run ?conv ?externals ?strategy ?tracer ?guard ~db prog with
+  | Eval.Rows r -> r
+  | Eval.Truth _ ->
+      raise_kind (Err.Msg "expected a collection result, got a sentence")
+
+let run_truth ?conv ?externals ?strategy ?tracer ?guard ~db prog =
+  match run ?conv ?externals ?strategy ?tracer ?guard ~db prog with
+  | Eval.Truth t -> t
+  | Eval.Rows _ ->
+      raise_kind (Err.Msg "expected a sentence result, got a collection")

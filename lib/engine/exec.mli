@@ -1,0 +1,59 @@
+(** Physical plan executor: runs the {!Arc_plan} IR with hash-based join,
+    semi/anti-join, aggregation and deduplication operators. Per-row
+    semantics (terms, predicates, residual formulas, deferred resolution,
+    and the reference fallback) are shared with {!Eval} via its internals,
+    so the two engines can only differ in what they enumerate — which is
+    exactly what the differential tests check. *)
+
+open Arc_core.Ast
+
+val compile :
+  ?conv:Arc_value.Conventions.t ->
+  ?externals:Externals.impl list ->
+  ?strategy:Eval.recursion_strategy ->
+  ?tracer:Arc_obs.Obs.t ->
+  ?guard:Arc_guard.Gov.t ->
+  db:Arc_relation.Database.t ->
+  program ->
+  Eval.Internal.ctx * Arc_plan.Ir.program_plan * Arc_plan.Ir.program_plan
+  * (string * bool) list
+(** [compile ~db prog] validates and lowers [prog], returning the prepared
+    evaluation context, the raw lowered plan, the optimized plan, and the
+    rewrite report (pass name, whether it changed the plan). *)
+
+val exec_program : Eval.Internal.ctx -> Arc_plan.Ir.program_plan -> Eval.outcome
+(** Execute a compiled plan: materializes definition strata into the
+    context's IDB (hash-based naive or seminaive fixpoints for recursive
+    strata), then runs the main plan. Raises {!Eval.Eval_error} like the
+    reference evaluator. *)
+
+val run :
+  ?conv:Arc_value.Conventions.t ->
+  ?externals:Externals.impl list ->
+  ?strategy:Eval.recursion_strategy ->
+  ?tracer:Arc_obs.Obs.t ->
+  ?guard:Arc_guard.Gov.t ->
+  db:Arc_relation.Database.t ->
+  program ->
+  Eval.outcome
+(** Drop-in replacement for {!Eval.run} using the plan engine. *)
+
+val run_rows :
+  ?conv:Arc_value.Conventions.t ->
+  ?externals:Externals.impl list ->
+  ?strategy:Eval.recursion_strategy ->
+  ?tracer:Arc_obs.Obs.t ->
+  ?guard:Arc_guard.Gov.t ->
+  db:Arc_relation.Database.t ->
+  program ->
+  Arc_relation.Relation.t
+
+val run_truth :
+  ?conv:Arc_value.Conventions.t ->
+  ?externals:Externals.impl list ->
+  ?strategy:Eval.recursion_strategy ->
+  ?tracer:Arc_obs.Obs.t ->
+  ?guard:Arc_guard.Gov.t ->
+  db:Arc_relation.Database.t ->
+  program ->
+  Arc_value.Bool3.t

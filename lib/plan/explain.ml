@@ -1,0 +1,204 @@
+open Arc_core.Ast
+module Pp = Arc_core.Pp
+
+(* Compact one-line rendering of formulas for plan labels; full bodies are
+   available through the normal pretty-printers, the plan only needs enough
+   to identify the condition. *)
+let rec formula_to_string = function
+  | True -> "true"
+  | Pred p -> Pp.pred p
+  | And fs -> String.concat " \xe2\x88\xa7 " (List.map formula_to_string fs)
+  | Or fs ->
+      "(" ^ String.concat " \xe2\x88\xa8 " (List.map formula_to_string fs) ^ ")"
+  | Not f -> "\xc2\xac(" ^ formula_to_string f ^ ")"
+  | Exists s ->
+      let vars =
+        String.concat ", "
+          (List.map
+             (fun b ->
+               b.var ^ " \xe2\x88\x88 "
+               ^ (match b.source with
+                 | Base n -> n
+                 | Nested c -> c.head.head_name))
+             s.bindings)
+      in
+      "\xe2\x88\x83" ^ vars ^ "[\xe2\x80\xa6]"
+
+let key_to_string (k : Ir.key) = Pp.term k.outer ^ " = " ^ Pp.term k.inner
+let keys_to_string ks = String.concat " \xe2\x88\xa7 " (List.map key_to_string ks)
+let preds_to_string ps = String.concat " \xe2\x88\xa7 " (List.map Pp.pred ps)
+
+let assigns_to_string assigns =
+  String.concat ", "
+    (List.map (fun (a, t) -> a ^ " := " ^ Pp.term t) assigns)
+
+(* A node is rendered as a label plus a list of children; the tree is drawn
+   with box characters. *)
+type node = { label : string; children : node list }
+
+let est_suffix t = Printf.sprintf "  (\xe2\x89\x88%d rows)" (Ir.estimate t)
+
+let rec node_of (t : Ir.t) : node =
+  match t with
+  | One -> { label = "unit"; children = [] }
+  | Scan { var; rel; filters; _ } ->
+      let f =
+        if filters = [] then "" else " [" ^ preds_to_string filters ^ "]"
+      in
+      {
+        label = Printf.sprintf "scan %s as %s%s%s" rel var f (est_suffix t);
+        children = [];
+      }
+  | Subquery { var; plan } ->
+      {
+        label = "subquery " ^ var ^ " :=";
+        children = [ node_of_coll plan ];
+      }
+  | Lateral { input; var; plan } ->
+      {
+        label = "lateral " ^ var ^ " := (per input row)";
+        children = [ node_of input; node_of_coll plan ];
+      }
+  | Product { left; right } ->
+      {
+        label = "product" ^ est_suffix t;
+        children = [ node_of left; node_of right ];
+      }
+  | Hash_join { left; right; keys } ->
+      {
+        label = "hash join on " ^ keys_to_string keys ^ est_suffix t;
+        children = [ node_of left; node_of right ];
+      }
+  | Filter { input; preds } ->
+      { label = "filter " ^ preds_to_string preds; children = [ node_of input ] }
+  | Residual { input; conjs } ->
+      {
+        label =
+          "residual filter "
+          ^ String.concat " \xe2\x88\xa7 " (List.map formula_to_string conjs);
+        children = [ node_of input ];
+      }
+  | Semi { anti; input; sub; keys; residual; _ } ->
+      let kind = if anti then "hash anti join" else "hash semi join" in
+      let on = if keys = [] then "" else " on " ^ keys_to_string keys in
+      let res =
+        if residual = [] then ""
+        else " where " ^ preds_to_string residual
+      in
+      { label = kind ^ on ^ res; children = [ node_of input; node_of sub ] }
+  | Resolve { input; binding; _ } ->
+      let name =
+        match binding.source with Base n -> n | Nested _ -> "<nested>"
+      in
+      {
+        label =
+          Printf.sprintf "resolve %s \xe2\x88\x88 %s (external/abstract)"
+            binding.var name;
+        children = [ node_of input ];
+      }
+  | Prune { input; keep } ->
+      {
+        label = "prune to {" ^ String.concat ", " keep ^ "}";
+        children = [ node_of input ];
+      }
+
+and node_of_disjunct (d : Ir.disjunct_plan) : node =
+  match d with
+  | Project { input; assigns } ->
+      {
+        label = "project [" ^ assigns_to_string assigns ^ "]";
+        children = [ node_of input ];
+      }
+  | Aggregate { input; keys; post; assigns; _ } ->
+      let post_s =
+        if post = [] then ""
+        else
+          " having "
+          ^ String.concat " \xe2\x88\xa7 " (List.map formula_to_string post)
+      in
+      {
+        label =
+          "hash aggregate " ^ Pp.grouping keys ^ " [" ^ assigns_to_string assigns
+          ^ "]" ^ post_s;
+        children = [ node_of input ];
+      }
+
+and node_of_coll (p : Ir.coll_plan) : node =
+  match p with
+  | Union { head; disjuncts } ->
+      {
+        label =
+          Printf.sprintf "%s \xe2\x86\x90 union (%d disjunct%s)" (Pp.head head)
+            (List.length disjuncts)
+            (if List.length disjuncts = 1 then "" else "s");
+        children = List.map node_of_disjunct disjuncts;
+      }
+  | Fallback { head; reason; _ } ->
+      {
+        label =
+          Printf.sprintf "%s \xe2\x86\x90 reference evaluator (%s)"
+            (Pp.head head) reason;
+        children = [];
+      }
+
+let render (n : node) : string =
+  let buf = Buffer.create 256 in
+  let rec go prefix is_last n =
+    Buffer.add_string buf prefix;
+    if prefix <> "" || is_last <> `Root then
+      Buffer.add_string buf (match is_last with `Last -> "\xe2\x94\x94\xe2\x94\x80 " | `Mid -> "\xe2\x94\x9c\xe2\x94\x80 " | `Root -> "");
+    Buffer.add_string buf n.label;
+    Buffer.add_char buf '\n';
+    let child_prefix =
+      match is_last with
+      | `Root -> prefix
+      | `Last -> prefix ^ "   "
+      | `Mid -> prefix ^ "\xe2\x94\x82  "
+    in
+    let rec children = function
+      | [] -> ()
+      | [ c ] -> go child_prefix `Last c
+      | c :: rest ->
+          go child_prefix `Mid c;
+          children rest
+    in
+    children n.children
+  in
+  go "" `Root n;
+  Buffer.contents buf
+
+let coll_plan_to_string p = render (node_of_coll p)
+
+let program_plan_to_string (pp : Ir.program_plan) : string =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun s ->
+      match s with
+      | Ir.Nonrecursive dp ->
+          Buffer.add_string buf
+            (Printf.sprintf "definition %s:\n%s" dp.dname
+               (coll_plan_to_string dp.dplan))
+      | Ir.Recursive dps ->
+          Buffer.add_string buf
+            (Printf.sprintf "recursive stratum {%s} (least fixpoint):\n"
+               (String.concat ", " (List.map (fun d -> d.Ir.dname) dps)));
+          List.iter
+            (fun dp ->
+              Buffer.add_string buf (coll_plan_to_string dp.Ir.dplan))
+            dps)
+    pp.strata;
+  (match pp.main with
+  | Ir.Main_coll p ->
+      Buffer.add_string buf "main:\n";
+      Buffer.add_string buf (coll_plan_to_string p)
+  | Ir.Main_sentence f ->
+      Buffer.add_string buf
+        ("main (sentence): " ^ formula_to_string f ^ "\n"));
+  Buffer.contents buf
+
+let report_to_string (report : (string * bool) list) : string =
+  "rewrites: "
+  ^ String.concat ", "
+      (List.map
+         (fun (n, changed) -> n ^ if changed then " \xe2\x9c\x93" else " \xc2\xb7")
+         report)

@@ -1,0 +1,145 @@
+open Arc_core.Ast
+
+(* An equi-join key: [outer] is evaluated on the probe side (rows of the
+   plan built so far, plus the enclosing environment), [inner] on the build
+   side (the joined unit / the sub-scope of a semi-join). *)
+type key = { outer : term; inner : term }
+
+type t =
+  | One  (** The unit input: a single empty environment. *)
+  | Scan of { var : var; rel : rel_name; filters : pred list; card : int }
+  | Subquery of { var : var; plan : coll_plan }
+      (** Uncorrelated nested collection: materialized once per scope. *)
+  | Lateral of { input : t; var : var; plan : coll_plan }
+      (** Correlated nested collection: re-evaluated per input row. *)
+  | Product of { left : t; right : t }
+  | Hash_join of { left : t; right : t; keys : key list }
+  | Filter of { input : t; preds : pred list }
+  | Residual of { input : t; conjs : formula list }
+      (** Conditions with no specialized operator (disjunctions, complex
+          quantified subformulas); evaluated by the reference formula
+          evaluator per row. *)
+  | Semi of {
+      anti : bool;
+      input : t;
+      sub : t;
+      sub_vars : var list;
+      keys : key list;
+      residual : pred list;
+    }  (** Decorrelated [Exists] / [Not (Exists …)] condition. *)
+  | Resolve of { input : t; binding : binding; scope : scope }
+      (** Deferred external/abstract binding, resolved from seed equations
+          in the (pre-extraction) scope body. *)
+  | Prune of { input : t; keep : var list }
+
+and disjunct_plan =
+  | Project of { input : t; assigns : (attr * term) list }
+  | Aggregate of {
+      input : t;
+      keys : grouping;
+      scope_vars : var list;
+      post : formula list;
+      assigns : (attr * term) list;
+    }
+
+and coll_plan =
+  | Union of { head : head; disjuncts : disjunct_plan list }
+  | Fallback of { head : head; coll : collection; reason : string }
+
+type def_plan = { dname : rel_name; dcoll : collection; dplan : coll_plan }
+
+type stratum = Nonrecursive of def_plan | Recursive of def_plan list
+
+type main_plan = Main_coll of coll_plan | Main_sentence of formula
+
+type program_plan = { strata : stratum list; main : main_plan }
+
+(* ------------------------------------------------------------------ *)
+(* Structural helpers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let rec bound_vars = function
+  | One -> []
+  | Scan { var; _ } | Subquery { var; _ } -> [ var ]
+  | Lateral { input; var; _ } -> var :: bound_vars input
+  | Product { left; right } | Hash_join { left; right; _ } ->
+      bound_vars right @ bound_vars left
+  | Filter { input; _ } | Residual { input; _ } | Semi { input; _ } ->
+      bound_vars input
+  | Resolve { input; binding; _ } -> binding.var :: bound_vars input
+  | Prune { keep; _ } -> keep
+
+let sat_mul a b =
+  let cap = 1_000_000_000 in
+  if a <= 0 || b <= 0 then 1 else if a > cap / b then cap else a * b
+
+let rec estimate = function
+  | One -> 1
+  | Scan { card; filters; _ } ->
+      max 1 (card lsr min 4 (List.length filters))
+  | Subquery _ -> 32
+  | Lateral { input; _ } -> sat_mul (estimate input) 8
+  | Product { left; right } -> sat_mul (estimate left) (estimate right)
+  | Hash_join { left; right; keys } ->
+      max 1 (sat_mul (estimate left) (estimate right) / (1 lsl min 12 (4 * List.length keys)))
+  | Filter { input; preds } -> max 1 (estimate input lsr min 4 (List.length preds))
+  | Residual { input; _ } | Semi { input; _ } -> max 1 (estimate input lsr 1)
+  | Resolve { input; _ } | Prune { input; _ } -> estimate input
+
+(* all range variables syntactically referenced anywhere in a fragment —
+   a safe over-approximation of the inputs it needs *)
+let term_ref_vars t = List.map fst (term_vars t)
+let pred_ref_vars p = List.concat_map term_ref_vars (pred_terms p)
+
+let rec formula_ref_vars = function
+  | True -> []
+  | Pred p -> pred_ref_vars p
+  | And fs | Or fs -> List.concat_map formula_ref_vars fs
+  | Not f -> formula_ref_vars f
+  | Exists s ->
+      List.concat_map
+        (fun b ->
+          match b.source with
+          | Base _ -> []
+          | Nested c -> formula_ref_vars c.body)
+        s.bindings
+      @ formula_ref_vars s.body
+
+let rec plan_ref_vars = function
+  | One -> []
+  | Scan { filters; _ } -> List.concat_map pred_ref_vars filters
+  | Subquery { plan; _ } -> coll_plan_ref_vars plan
+  | Lateral { input; plan; _ } ->
+      plan_ref_vars input @ coll_plan_ref_vars plan
+  | Product { left; right } -> plan_ref_vars left @ plan_ref_vars right
+  | Hash_join { left; right; keys } ->
+      plan_ref_vars left @ plan_ref_vars right
+      @ List.concat_map
+          (fun k -> term_ref_vars k.outer @ term_ref_vars k.inner)
+          keys
+  | Filter { input; preds } ->
+      plan_ref_vars input @ List.concat_map pred_ref_vars preds
+  | Residual { input; conjs } ->
+      plan_ref_vars input @ List.concat_map formula_ref_vars conjs
+  | Semi { input; sub; keys; residual; _ } ->
+      plan_ref_vars input @ plan_ref_vars sub
+      @ List.concat_map
+          (fun k -> term_ref_vars k.outer @ term_ref_vars k.inner)
+          keys
+      @ List.concat_map pred_ref_vars residual
+  | Resolve { input; scope; _ } ->
+      plan_ref_vars input @ formula_ref_vars scope.body
+  | Prune { input; _ } -> plan_ref_vars input
+
+and disjunct_ref_vars = function
+  | Project { input; assigns } ->
+      plan_ref_vars input @ List.concat_map (fun (_, t) -> term_ref_vars t) assigns
+  | Aggregate { input; keys; post; assigns; _ } ->
+      plan_ref_vars input
+      @ List.map fst keys
+      @ List.concat_map formula_ref_vars post
+      @ List.concat_map (fun (_, t) -> term_ref_vars t) assigns
+
+and coll_plan_ref_vars = function
+  | Union { disjuncts; _ } -> List.concat_map disjunct_ref_vars disjuncts
+  | Fallback { coll; _ } -> formula_ref_vars coll.body

@@ -1,0 +1,177 @@
+open Arc_core.Ast
+module Analysis = Arc_core.Analysis
+module Canon = Arc_core.Canon
+module Relation = Arc_relation.Relation
+module Database = Arc_relation.Database
+
+(* What the lowering needs to know about the world: which relation names are
+   finite (base relations with a cardinality estimate, safe definitions),
+   everything else being deferred to external/abstract resolution. *)
+type env = { cards : (rel_name * int) list; defs : rel_name list }
+
+let env ?(cards = []) ?(defs = []) () = { cards; defs }
+
+let env_of_db ~db ~defs =
+  {
+    cards =
+      List.map
+        (fun n -> (n, Relation.cardinality (Database.find db n)))
+        (Database.names db);
+    defs;
+  }
+
+let default_card = 64
+
+let source_finite env = function
+  | Nested _ -> true
+  | Base n -> List.mem_assoc n env.cards || List.mem n env.defs
+
+let card env n =
+  match List.assoc_opt n env.cards with Some c -> c | None -> default_card
+
+(* ------------------------------------------------------------------ *)
+(* Collection lowering                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Mirrors the reference evaluator's head-assignment extraction
+   (eval.ml): assignments may sit at any positive existential depth; an
+   extracted predicate is replaced by [True]; a second assignment to the
+   same attribute becomes the constraint [t0 = t]. *)
+let extract_assignments ~head scope_body =
+  let assignments = Hashtbl.create 8 in
+  let rec extract f =
+    match f with
+    | Pred p -> (
+        match Analysis.assignment_of ~heads:[ head.head_name ] p with
+        | Some ((_, a), t) when List.mem a head.head_attrs -> (
+            match Hashtbl.find_opt assignments a with
+            | None ->
+                Hashtbl.add assignments a t;
+                True
+            | Some t0 when not (equal_term t0 t) -> Pred (Cmp (Eq, t0, t))
+            | Some _ -> True)
+        | _ -> f)
+    | And fs -> And (List.map extract fs)
+    | Exists s -> Exists { s with body = extract s.body }
+    | True | Or _ | Not _ -> f
+  in
+  let residual = Canon.simplify_formula (extract scope_body) in
+  let assigns =
+    List.filter_map
+      (fun a ->
+        match Hashtbl.find_opt assignments a with
+        | Some t -> Some (a, t)
+        | None -> None)
+      head.head_attrs
+  in
+  (assigns, residual)
+
+let free_vars_collection c = Analysis.free_vars_query (Coll c)
+
+let product left right =
+  match left with Ir.One -> right | _ -> Ir.Product { left; right }
+
+let rec lower_collection env (c : collection) : Ir.coll_plan =
+  let body = Canon.simplify_formula c.body in
+  let ds = disjuncts body in
+  let annotated =
+    List.exists
+      (fun d -> match d with Exists s -> s.join <> None | _ -> false)
+      ds
+  in
+  if annotated then
+    Fallback
+      { head = c.head; coll = c; reason = "join-annotated scope" }
+  else
+    Union
+      { head = c.head; disjuncts = List.map (lower_disjunct env c.head) ds }
+
+and lower_disjunct env head d : Ir.disjunct_plan =
+  let scope =
+    match d with
+    | Exists s -> s
+    | f -> { bindings = []; grouping = None; join = None; body = f }
+  in
+  let assigns, residual = extract_assignments ~head scope.body in
+  let conditions = conjuncts residual in
+  let finite, deferred =
+    List.partition (fun b -> source_finite env b.source) scope.bindings
+  in
+  (* enumeration chain, in binding order (later bindings see earlier ones) *)
+  let chain =
+    List.fold_left
+      (fun acc b ->
+        match b.source with
+        | Base n ->
+            product acc
+              (Ir.Scan { var = b.var; rel = n; filters = []; card = card env n })
+        | Nested nc ->
+            let sub = lower_collection env nc in
+            let earlier = Ir.bound_vars acc in
+            let correlated =
+              List.exists
+                (fun v -> List.mem v earlier)
+                (free_vars_collection nc)
+            in
+            if correlated then Ir.Lateral { input = acc; var = b.var; plan = sub }
+            else product acc (Ir.Subquery { var = b.var; plan = sub }))
+      Ir.One finite
+  in
+  (* deferred bindings resolve in binding order against the PRE-extraction
+     scope body (seed equations are detected there, as in the reference) *)
+  let chain =
+    List.fold_left
+      (fun acc b -> Ir.Resolve { input = acc; binding = b; scope })
+      chain deferred
+  in
+  match scope.grouping with
+  | None ->
+      let input =
+        if conditions = [] then chain
+        else Ir.Residual { input = chain; conjs = conditions }
+      in
+      Project { input; assigns }
+  | Some keys ->
+      let pre, post =
+        List.partition (fun f -> not (formula_has_agg f)) conditions
+      in
+      let input =
+        if pre = [] then chain else Ir.Residual { input = chain; conjs = pre }
+      in
+      Aggregate
+        {
+          input;
+          keys;
+          scope_vars = List.map (fun b -> b.var) scope.bindings;
+          post;
+          assigns;
+        }
+
+(* ------------------------------------------------------------------ *)
+(* Program lowering                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let lower_program env ~safe (prog : program) : Ir.program_plan =
+  let scc_list, adj = Arc_core.Depend.sccs safe in
+  let find n = List.find (fun d -> d.def_name = n) safe in
+  let def_plan d =
+    {
+      Ir.dname = d.def_name;
+      dcoll = d.def_body;
+      dplan = lower_collection env d.def_body;
+    }
+  in
+  let strata =
+    List.map
+      (fun component ->
+        if Arc_core.Depend.is_recursive adj component then
+          Ir.Recursive (List.map (fun n -> def_plan (find n)) component)
+        else Ir.Nonrecursive (def_plan (find (List.hd component))))
+      scc_list
+  in
+  let main =
+    match prog.main with
+    | Coll c -> Ir.Main_coll (lower_collection env c)
+    | Sentence f -> Ir.Main_sentence f
+  in
+  { Ir.strata; main }

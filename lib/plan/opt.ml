@@ -1,0 +1,569 @@
+open Arc_core.Ast
+
+(* Each pass is a pure, named [coll_plan -> coll_plan] function so that
+   `arc explain` can report which rewrites fired. Passes only restructure
+   the enumeration; the per-row semantics (term/predicate evaluation,
+   resolution, aggregation) are untouched, which is what the differential
+   and property tests check. *)
+type pass = { name : string; transform : env -> Ir.coll_plan -> Ir.coll_plan }
+
+and env = Lower.env
+
+(* ------------------------------------------------------------------ *)
+(* Shared traversal: apply [f] to every pipeline rooted in a plan,      *)
+(* including sub-plans of nested collections and semi-join subtrees.    *)
+(* ------------------------------------------------------------------ *)
+
+let rec map_pipelines (f : Ir.t -> Ir.t) (p : Ir.coll_plan) : Ir.coll_plan =
+  match p with
+  | Fallback _ -> p
+  | Union u ->
+      Union
+        {
+          u with
+          disjuncts =
+            List.map
+              (fun d ->
+                match d with
+                | Ir.Project pr ->
+                    Ir.Project { pr with input = f (map_nested f pr.input) }
+                | Ir.Aggregate ag ->
+                    Ir.Aggregate { ag with input = f (map_nested f ag.input) })
+              u.disjuncts;
+        }
+
+and map_nested f (t : Ir.t) : Ir.t =
+  match t with
+  | One | Scan _ -> t
+  | Subquery s -> Subquery { s with plan = map_pipelines f s.plan }
+  | Lateral l ->
+      Lateral
+        { l with input = map_nested f l.input; plan = map_pipelines f l.plan }
+  | Product p ->
+      Product { left = map_nested f p.left; right = map_nested f p.right }
+  | Hash_join j ->
+      Hash_join
+        { j with left = map_nested f j.left; right = map_nested f j.right }
+  | Filter fl -> Filter { fl with input = map_nested f fl.input }
+  | Residual r -> Residual { r with input = map_nested f r.input }
+  | Semi s ->
+      Semi
+        { s with input = map_nested f s.input; sub = f (map_nested f s.sub) }
+  | Resolve r -> Resolve { r with input = map_nested f r.input }
+  | Prune p -> Prune { p with input = map_nested f p.input }
+
+let subset xs ys = List.for_all (fun x -> List.mem x ys) xs
+
+(* ------------------------------------------------------------------ *)
+(* Pass 1: predicate pushdown                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Sink a predicate as deep as its variable set allows: into a scan's
+   filter list when it touches a single scope variable, below resolves and
+   semi-joins it does not depend on, down the covering side of a product.
+   [rv] is the predicate's variable set restricted to the variables bound
+   within the tree it is being pushed into. *)
+let filter_above t pd =
+  match t with
+  | Ir.Filter f -> Ir.Filter { f with preds = f.preds @ [ pd ] }
+  | _ -> Ir.Filter { input = t; preds = [ pd ] }
+
+let rec sink rv pd (t : Ir.t) : Ir.t =
+  match t with
+  | Scan s when subset rv [ s.var ] ->
+      Scan { s with filters = s.filters @ [ pd ] }
+  | Product { left; right } ->
+      if subset rv (Ir.bound_vars left) then
+        Product { left = sink rv pd left; right }
+      else if subset rv (Ir.bound_vars right) then
+        Product { left; right = sink rv pd right }
+      else filter_above t pd
+  | Hash_join j ->
+      if subset rv (Ir.bound_vars j.left) then
+        Hash_join { j with left = sink rv pd j.left }
+      else if subset rv (Ir.bound_vars j.right) then
+        Hash_join { j with right = sink rv pd j.right }
+      else filter_above t pd
+  | Filter f -> Filter { f with input = sink rv pd f.input }
+  | Semi s -> Semi { s with input = sink rv pd s.input }
+  | Resolve r when not (List.mem r.binding.var rv) ->
+      Resolve { r with input = sink rv pd r.input }
+  | Lateral l when not (List.mem l.var rv) ->
+      Lateral { l with input = sink rv pd l.input }
+  | _ -> filter_above t pd
+
+let pushdown_pipeline (t : Ir.t) : Ir.t =
+  let rec go t =
+    match t with
+    | Ir.Residual { input; conjs } ->
+        let input = go input in
+        let pushable, rest =
+          List.partition
+            (fun f ->
+              match f with
+              | Pred p -> not (pred_has_agg p)
+              | _ -> false)
+            conjs
+        in
+        let scope_vars = Ir.bound_vars input in
+        let input =
+          List.fold_left
+            (fun acc f ->
+              match f with
+              | Pred p ->
+                  let rv =
+                    List.filter
+                      (fun v -> List.mem v scope_vars)
+                      (Ir.pred_ref_vars p)
+                  in
+                  sink rv p acc
+              | _ -> acc)
+            input pushable
+        in
+        if rest = [] then input else Residual { input; conjs = rest }
+    | Ir.Filter { input; preds } ->
+        let input = go input in
+        let scope_vars = Ir.bound_vars input in
+        List.fold_left
+          (fun acc p ->
+            let rv =
+              List.filter (fun v -> List.mem v scope_vars) (Ir.pred_ref_vars p)
+            in
+            sink rv p acc)
+          input preds
+    | Ir.Resolve r -> Resolve { r with input = go r.input }
+    | Ir.Semi s -> Semi { s with input = go s.input }
+    | t -> t
+  in
+  go t
+
+let pass_pushdown =
+  {
+    name = "predicate-pushdown";
+    transform = (fun _env p -> map_pipelines pushdown_pipeline p);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Pass 2: decorrelate EXISTS / NOT EXISTS into hash semi/anti-joins    *)
+(* ------------------------------------------------------------------ *)
+
+(* A sub-scope is convertible when it is a plain conjunctive scope over
+   finite base relations: no grouping, no join annotation, every conjunct a
+   non-aggregating predicate. Its conjuncts split into sub-local filters
+   (pushed into the sub-scans), equality correlation keys, and residual
+   predicates checked per (outer row, sub row) pair. *)
+let convertible env (s : scope) =
+  s.grouping = None && s.join = None && s.bindings <> []
+  && List.for_all
+       (fun b ->
+         match b.source with
+         | Base n -> Lower.source_finite env (Base n)
+         | Nested _ -> false)
+       s.bindings
+  && List.for_all
+       (fun f ->
+         match f with Pred p -> not (pred_has_agg p) | _ -> false)
+       (conjuncts s.body)
+
+let build_semi env ~anti input (s : scope) : Ir.t =
+  let sub_vars = List.map (fun b -> b.var) s.bindings in
+  let sub_chain =
+    List.fold_left
+      (fun acc b ->
+        match b.source with
+        | Base n ->
+            Lower.product acc
+              (Ir.Scan
+                 { var = b.var; rel = n; filters = []; card = Lower.card env n })
+        | Nested _ -> assert false)
+      Ir.One s.bindings
+  in
+  let sub_filters = ref [] in
+  let keys = ref [] in
+  let residual = ref [] in
+  List.iter
+    (fun f ->
+      match f with
+      | Pred p -> (
+          let vs = Ir.pred_ref_vars p in
+          let subrefs = List.filter (fun v -> List.mem v sub_vars) vs in
+          let outrefs = List.filter (fun v -> not (List.mem v sub_vars)) vs in
+          if subrefs <> [] && outrefs = [] then
+            sub_filters := !sub_filters @ [ p ]
+          else
+            match p with
+            | Cmp (Eq, l, r)
+              when (not (term_has_agg l)) && not (term_has_agg r) ->
+                let lv = Ir.term_ref_vars l and rv = Ir.term_ref_vars r in
+                let sub_side t = subset t sub_vars in
+                let outer_side t =
+                  List.for_all (fun v -> not (List.mem v sub_vars)) t
+                in
+                if sub_side lv && lv <> [] && outer_side rv then
+                  keys := !keys @ [ { Ir.outer = r; inner = l } ]
+                else if sub_side rv && rv <> [] && outer_side lv then
+                  keys := !keys @ [ { Ir.outer = l; inner = r } ]
+                else residual := !residual @ [ p ]
+            | _ -> residual := !residual @ [ p ])
+      | _ -> assert false)
+    (conjuncts s.body);
+  let sub =
+    List.fold_left
+      (fun acc p ->
+        let rv =
+          List.filter (fun v -> List.mem v sub_vars) (Ir.pred_ref_vars p)
+        in
+        sink rv p acc)
+      sub_chain !sub_filters
+  in
+  Semi { anti; input; sub; sub_vars; keys = !keys; residual = !residual }
+
+let decorrelate_pipeline env (t : Ir.t) : Ir.t =
+  let rec go t =
+    match t with
+    | Ir.Residual { input; conjs } ->
+        let input = go input in
+        let input, rest =
+          List.fold_left
+            (fun (input, rest) f ->
+              match f with
+              | Exists s when convertible env s ->
+                  (build_semi env ~anti:false input s, rest)
+              | Not (Exists s) when convertible env s ->
+                  (build_semi env ~anti:true input s, rest)
+              | f -> (input, rest @ [ f ]))
+            (input, []) conjs
+        in
+        if rest = [] then input else Residual { input; conjs = rest }
+    | Ir.Filter f -> Filter { f with input = go f.input }
+    | Ir.Resolve r -> Resolve { r with input = go r.input }
+    | Ir.Semi s -> Semi { s with input = go s.input }
+    | t -> t
+  in
+  go t
+
+let pass_decorrelate =
+  {
+    name = "decorrelate-exists";
+    transform = (fun env p -> map_pipelines (decorrelate_pipeline env) p);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Pass 3: hash-join formation and greedy input ordering               *)
+(* ------------------------------------------------------------------ *)
+
+(* Flatten a Product/Filter region into independent units plus predicates,
+   then rebuild a left-deep tree greedily: start from the smallest estimated
+   unit; repeatedly join the smallest unit reachable through an equality
+   (hash join), falling back to the smallest remaining unit (product).
+   Predicates become hash keys when one side evaluates on the bound prefix
+   and the other on the new unit alone; they are applied as filters at the
+   first point all their variables are bound. *)
+let reorder_region (t : Ir.t) : Ir.t =
+  let rec flatten t =
+    match t with
+    | Ir.Product { left; right } ->
+        let ul, pl = flatten left and ur, pr = flatten right in
+        (ul @ ur, pl @ pr)
+    | Ir.Filter { input; preds } ->
+        let u, p = flatten input in
+        (u, p @ preds)
+    | Ir.One -> ([], [])
+    | t -> ([ t ], [])
+  in
+  let units, preds = flatten t in
+  match units with
+  | [] | [ _ ] ->
+      (* nothing to reorder; reattach filters *)
+      let base = match units with [] -> Ir.One | u :: _ -> u in
+      List.fold_left filter_above base preds
+  | _ ->
+      let region_vars = List.concat_map Ir.bound_vars units in
+      let rv_of p =
+        List.filter (fun v -> List.mem v region_vars) (Ir.pred_ref_vars p)
+      in
+      let key_for bound unit_vars p =
+        match p with
+        | Cmp (Eq, l, r) when (not (term_has_agg l)) && not (term_has_agg r)
+          ->
+            let lv = List.filter (fun v -> List.mem v region_vars)
+                (Ir.term_ref_vars l)
+            and rv = List.filter (fun v -> List.mem v region_vars)
+                (Ir.term_ref_vars r)
+            in
+            if subset lv bound && subset rv unit_vars && rv <> [] then
+              Some { Ir.outer = l; inner = r }
+            else if subset rv bound && subset lv unit_vars && lv <> [] then
+              Some { Ir.outer = r; inner = l }
+            else None
+        | _ -> None
+      in
+      let by_est us =
+        List.sort (fun a b -> compare (Ir.estimate a) (Ir.estimate b)) us
+      in
+      let first = List.hd (by_est units) in
+      let remaining = ref (List.filter (fun u -> u != first) units) in
+      let pending = ref preds in
+      let acc = ref first in
+      let bound = ref (Ir.bound_vars first) in
+      let apply_bound_preds () =
+        let applicable, rest =
+          List.partition (fun p -> subset (rv_of p) !bound) !pending
+        in
+        pending := rest;
+        List.iter (fun p -> acc := filter_above !acc p) applicable
+      in
+      apply_bound_preds ();
+      while !remaining <> [] do
+        let candidates =
+          List.filter_map
+            (fun u ->
+              let uv = Ir.bound_vars u in
+              let keys = List.filter_map (key_for !bound uv) !pending in
+              if keys = [] then None else Some (u, keys))
+            !remaining
+        in
+        let next, keys =
+          match candidates with
+          | [] -> (List.hd (by_est !remaining), [])
+          | _ ->
+              List.hd
+                (List.sort
+                   (fun (a, _) (b, _) ->
+                     compare (Ir.estimate a) (Ir.estimate b))
+                   candidates)
+        in
+        remaining := List.filter (fun u -> u != next) !remaining;
+        let key_preds =
+          List.filter
+            (fun p ->
+              List.exists
+                (fun k ->
+                  match p with
+                  | Cmp (Eq, l, r) ->
+                      (equal_term l k.Ir.outer && equal_term r k.Ir.inner)
+                      || (equal_term r k.Ir.outer && equal_term l k.Ir.inner)
+                  | _ -> false)
+                keys)
+            !pending
+        in
+        pending := List.filter (fun p -> not (List.memq p key_preds)) !pending;
+        acc :=
+          (if keys = [] then Ir.Product { left = !acc; right = next }
+           else Ir.Hash_join { left = !acc; right = next; keys });
+        bound := Ir.bound_vars next @ !bound;
+        apply_bound_preds ()
+      done;
+      List.iter (fun p -> acc := filter_above !acc p) !pending;
+      !acc
+
+let reorder_pipeline (t : Ir.t) : Ir.t =
+  let rec go t =
+    match t with
+    | Ir.Product _ | Ir.Filter _ ->
+        (* recurse into units first, then rebuild this region *)
+        let t =
+          match t with
+          | Ir.Product { left; right } ->
+              Ir.Product { left = go left; right = go right }
+          | Ir.Filter f -> Ir.Filter { f with input = go f.input }
+          | t -> t
+        in
+        reorder_region t
+    | Ir.Residual r -> Residual { r with input = go r.input }
+    | Ir.Semi s -> Semi { s with input = go s.input }
+    | Ir.Resolve r -> Resolve { r with input = go r.input }
+    | Ir.Lateral l -> Lateral { l with input = go l.input }
+    | t -> t
+  in
+  go t
+
+let pass_reorder =
+  {
+    name = "hash-join-order";
+    transform = (fun _env p -> map_pipelines reorder_pipeline p);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Pass 4: dead-column pruning                                         *)
+(* ------------------------------------------------------------------ *)
+
+let union_vars a b = a @ List.filter (fun v -> not (List.mem v a)) b
+
+let wrap needed t =
+  let bv = Ir.bound_vars t in
+  let keep = List.filter (fun v -> List.mem v needed) bv in
+  if List.length keep < List.length bv then Ir.Prune { input = t; keep }
+  else t
+
+let rec prune_t needed (t : Ir.t) : Ir.t =
+  match t with
+  | One | Scan _ | Subquery _ -> t
+  | Prune { input; _ } -> prune_t needed input
+  | Product { left; right } ->
+      let nl = union_vars needed (Ir.plan_ref_vars right) in
+      Product
+        {
+          left = wrap nl (prune_t nl left);
+          right = wrap needed (prune_t needed right);
+        }
+  | Hash_join { left; right; keys } ->
+      let nl =
+        union_vars needed
+          (List.concat_map (fun k -> Ir.term_ref_vars k.Ir.outer) keys)
+      in
+      let nr =
+        union_vars needed
+          (List.concat_map (fun k -> Ir.term_ref_vars k.Ir.inner) keys)
+      in
+      Hash_join
+        { left = wrap nl (prune_t nl left); right = wrap nr (prune_t nr right);
+          keys }
+  | Filter { input; preds } ->
+      let n = union_vars needed (List.concat_map Ir.pred_ref_vars preds) in
+      Filter { input = prune_t n input; preds }
+  | Residual { input; conjs } ->
+      let n = union_vars needed (List.concat_map Ir.formula_ref_vars conjs) in
+      Residual { input = prune_t n input; conjs }
+  | Semi s ->
+      let n =
+        union_vars needed
+          (List.concat_map (fun k -> Ir.term_ref_vars k.Ir.outer) s.keys
+          @ List.concat_map Ir.pred_ref_vars s.residual)
+      in
+      let sub_needed =
+        List.concat_map (fun k -> Ir.term_ref_vars k.Ir.inner) s.keys
+        @ List.concat_map Ir.pred_ref_vars s.residual
+      in
+      Semi
+        {
+          s with
+          input = prune_t n s.input;
+          sub = wrap sub_needed (prune_t sub_needed s.sub);
+        }
+  | Resolve r ->
+      let n = union_vars needed (Ir.formula_ref_vars r.scope.body) in
+      Resolve { r with input = prune_t n r.input }
+  | Lateral l ->
+      let n = union_vars needed (Ir.coll_plan_ref_vars l.plan) in
+      Lateral { l with input = prune_t n l.input }
+
+let prune_coll (p : Ir.coll_plan) : Ir.coll_plan =
+  match p with
+  | Fallback _ -> p
+  | Union u ->
+      Union
+        {
+          u with
+          disjuncts =
+            List.map
+              (fun d ->
+                match d with
+                | Ir.Project pr ->
+                    let n =
+                      List.concat_map
+                        (fun (_, t) -> Ir.term_ref_vars t)
+                        pr.assigns
+                    in
+                    Ir.Project { pr with input = wrap n (prune_t n pr.input) }
+                | Ir.Aggregate ag ->
+                    let n =
+                      List.map fst ag.keys
+                      @ List.concat_map Ir.formula_ref_vars ag.post
+                      @ List.concat_map
+                          (fun (_, t) -> Ir.term_ref_vars t)
+                          ag.assigns
+                    in
+                    Ir.Aggregate { ag with input = wrap n (prune_t n ag.input) })
+              u.disjuncts;
+        }
+
+let rec deep_prune (p : Ir.coll_plan) : Ir.coll_plan =
+  (* prune this level, then recurse into nested collection plans *)
+  match prune_coll p with
+  | Fallback _ as p -> p
+  | Union u ->
+      Union
+        {
+          u with
+          disjuncts =
+            List.map
+              (fun d ->
+                match d with
+                | Ir.Project pr ->
+                    Ir.Project { pr with input = prune_nested pr.input }
+                | Ir.Aggregate ag ->
+                    Ir.Aggregate { ag with input = prune_nested ag.input })
+              u.disjuncts;
+        }
+
+and prune_nested (t : Ir.t) : Ir.t =
+  match t with
+  | One | Scan _ -> t
+  | Subquery s -> Subquery { s with plan = deep_prune s.plan }
+  | Lateral l ->
+      Lateral { l with input = prune_nested l.input; plan = deep_prune l.plan }
+  | Product p ->
+      Product { left = prune_nested p.left; right = prune_nested p.right }
+  | Hash_join j ->
+      Hash_join
+        { j with left = prune_nested j.left; right = prune_nested j.right }
+  | Filter f -> Filter { f with input = prune_nested f.input }
+  | Residual r -> Residual { r with input = prune_nested r.input }
+  | Semi s ->
+      Semi { s with input = prune_nested s.input; sub = prune_nested s.sub }
+  | Resolve r -> Resolve { r with input = prune_nested r.input }
+  | Prune p -> Prune { p with input = prune_nested p.input }
+
+let pass_prune =
+  { name = "prune-columns"; transform = (fun _env p -> deep_prune p) }
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let pipeline = [ pass_pushdown; pass_decorrelate; pass_reorder; pass_prune ]
+
+let optimize_coll ?(passes = pipeline) env (p : Ir.coll_plan) =
+  List.fold_left
+    (fun (p, report) pass ->
+      let p' = pass.transform env p in
+      (p', report @ [ (pass.name, p' <> p) ]))
+    (p, []) passes
+
+let optimize ?(passes = pipeline) env (pp : Ir.program_plan) =
+  let changed = Hashtbl.create 8 in
+  let note report =
+    List.iter
+      (fun (n, c) ->
+        Hashtbl.replace changed n
+          (c || Option.value ~default:false (Hashtbl.find_opt changed n)))
+      report
+  in
+  let opt_coll p =
+    let p', report = optimize_coll ~passes env p in
+    note report;
+    p'
+  in
+  let opt_def dp = { dp with Ir.dplan = opt_coll dp.Ir.dplan } in
+  let strata =
+    List.map
+      (fun s ->
+        match s with
+        | Ir.Nonrecursive dp -> Ir.Nonrecursive (opt_def dp)
+        | Ir.Recursive dps -> Ir.Recursive (List.map opt_def dps))
+      pp.Ir.strata
+  in
+  let main =
+    match pp.Ir.main with
+    | Ir.Main_coll p -> Ir.Main_coll (opt_coll p)
+    | Ir.Main_sentence f -> Ir.Main_sentence f
+  in
+  let report =
+    List.map
+      (fun pass ->
+        ( pass.name,
+          Option.value ~default:false (Hashtbl.find_opt changed pass.name) ))
+      passes
+  in
+  ({ Ir.strata; main }, report)

@@ -45,9 +45,16 @@ let compare t1 t2 =
         0 a1
   | c -> c
 
+(* Length-prefixed attribute names plus Value.canonical cells: no choice of
+   attribute names or string values can make two distinct tuples collide
+   (the old "A=x|B=y" form collided with values containing '|' or '='). *)
 let key t =
-  String.concat "|"
-    (List.map (fun a -> a ^ "=" ^ Value.to_string (get t a)) (sorted_attrs t))
+  String.concat ""
+    (List.map
+       (fun a ->
+         "a" ^ string_of_int (String.length a) ^ ":" ^ a
+         ^ Value.canonical (get t a))
+       (sorted_attrs t))
 
 let to_string t =
   "("

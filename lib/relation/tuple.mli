@@ -27,7 +27,9 @@ val compare : t -> t -> int
 (** Deterministic total order over tuples of the same schema. *)
 
 val key : t -> string
-(** Canonical string key (sorted by attribute name) for hashing/grouping. *)
+(** Canonical string key (sorted by attribute name, length-prefixed
+    {!Arc_value.Value.canonical} cells) for hashing/grouping. Injective up
+    to {!equal}: two tuples share a key iff they are [equal]. *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

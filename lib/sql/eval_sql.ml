@@ -379,7 +379,7 @@ and eval_select env (outer : row) s : Relation.t =
                   (fun (t, c) -> resolve_col (r @ outer) t c)
                   s.group_by
               in
-              let k = String.concat "|" (List.map V.to_string kv) in
+              let k = String.concat "" (List.map V.canonical kv) in
               match Hashtbl.find_opt tbl k with
               | Some rs -> Hashtbl.replace tbl k (rs @ [ r @ outer ])
               | None ->

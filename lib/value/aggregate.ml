@@ -37,7 +37,7 @@ let dedup values =
   let seen = Hashtbl.create 16 in
   List.filter
     (fun v ->
-      let key = Value.to_string v in
+      let key = Value.canonical v in
       if Hashtbl.mem seen key then false
       else (
         Hashtbl.add seen key ();

@@ -129,6 +129,22 @@ let to_string = function
 
 let pp fmt v = Format.pp_print_string fmt (to_string v)
 
+(* Injective (up to [equal]) serialization for hash keys. Every form is
+   self-delimiting — tagged, and either fixed-width, terminated by ';', or
+   length-prefixed — so concatenations of canonical forms can never collide
+   the way naive [to_string] concatenations do. Int/Float values that
+   compare equal (e.g. [Int 1] and [Float 1.0]) share the "d" form. *)
+let canonical = function
+  | Null -> "n;"
+  | Bool true -> "b1;"
+  | Bool false -> "b0;"
+  | Int x -> "d" ^ string_of_int x ^ ";"
+  | Float f ->
+      if Float.is_integer f && Float.abs f <= 4.0e18 then
+        "d" ^ string_of_int (int_of_float f) ^ ";"
+      else "f" ^ Printf.sprintf "%h" f ^ ";"
+  | Str s -> "s" ^ string_of_int (String.length s) ^ ":" ^ s
+
 let int x = Int x
 let str s = Str s
 let float x = Float x

@@ -57,6 +57,12 @@ val like : t -> string -> bool option
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 
+val canonical : t -> string
+(** Serialization for hash keys: injective up to {!equal} (so [Int 1] and
+    [Float 1.0] agree), and self-delimiting (tagged and length-prefixed or
+    terminated), so concatenating canonical forms cannot collide the way
+    concatenating {!to_string} forms can. Not meant for display. *)
+
 val int : int -> t
 val str : string -> t
 val float : float -> t

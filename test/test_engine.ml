@@ -797,6 +797,44 @@ let dedup_via_grouping () =
     (Relation.of_rows [ "A"; "B" ] [ [ i 1; i 2 ]; [ i 3; i 4 ] ])
     result
 
+(* regression: group keys are canonical serializations, so string values
+   that would collide under naive concatenation stay in separate groups *)
+let grouping_key_collisions () =
+  let db =
+    Database.of_list
+      [
+        ( "R",
+          Relation.of_rows [ "A"; "B" ]
+            [
+              [ s "ab"; s "c" ]; [ s "ab"; s "c" ];
+              [ s "a"; s "bc" ];
+              [ s "x'|y"; s "z" ]; [ s "x"; s "'|y'z" ];
+            ] );
+      ]
+  in
+  let q =
+    coll "Q" [ "A"; "B"; "n" ]
+      (exists
+         ~grouping:[ ("r", "A"); ("r", "B") ]
+         [ bind "r" "R" ]
+         (conj
+            [
+              eq (attr "Q" "A") (attr "r" "A");
+              eq (attr "Q" "B") (attr "r" "B");
+              eq (attr "Q" "n") (count (attr "r" "A"));
+            ]))
+  in
+  let result = Eval.run_rows ~conv:Conventions.sql ~db (program q) in
+  check_rel
+    (Relation.of_rows [ "A"; "B"; "n" ]
+       [
+         [ s "ab"; s "c"; i 2 ];
+         [ s "a"; s "bc"; i 1 ];
+         [ s "x'|y"; s "z"; i 1 ];
+         [ s "x"; s "'|y'z"; i 1 ];
+       ])
+    result
+
 (* abstract relations (Example 2): Subset over drinkers *)
 let unique_set_abstract () =
   let likes =
@@ -1164,6 +1202,8 @@ let () =
           Alcotest.test_case "set/bag (un)nesting" `Quick set_bag_unnesting;
           Alcotest.test_case "NOT IN with NULLs (eq17)" `Quick not_in_nulls;
           Alcotest.test_case "dedup via grouping" `Quick dedup_via_grouping;
+          Alcotest.test_case "grouping key collision regression" `Quick
+            grouping_key_collisions;
         ] );
       ( "count bug",
         [

@@ -1,0 +1,301 @@
+(* Plan library tests: lowering shapes (via the explain renderer), each
+   optimizer rewrite pass preserving results, hash-key NULL semantics under
+   both null logics, plan-level seminaive fixpoints, governor integration,
+   tracer spans, and the join-annotation fallback. *)
+
+open Arc_core.Ast
+open Arc_core.Build
+module V = Arc_value.Value
+module Conventions = Arc_value.Conventions
+module Relation = Arc_relation.Relation
+module Tuple = Arc_relation.Tuple
+module Database = Arc_relation.Database
+module Eval = Arc_engine.Eval
+module Exec = Arc_engine.Exec
+module Lower = Arc_plan.Lower
+module Opt = Arc_plan.Opt
+module Explain = Arc_plan.Explain
+module Obs = Arc_obs.Obs
+module Gov = Arc_guard.Gov
+module Budget = Arc_guard.Budget
+module Data = Arc_catalog.Data
+
+let program ?(defs = []) main = { defs; main }
+
+let bag r = List.sort compare (List.map Tuple.key (Relation.tuples r))
+
+let check_same_bag msg r1 r2 =
+  Alcotest.(check (list string)) msg (bag r1) (bag r2)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* a two-relation equi-join with a pushable constant filter *)
+let join_query =
+  collection "Q" [ "A"; "C" ]
+    (exists [ bind "r" "R"; bind "s" "S" ]
+       (conj
+          [
+            eq (attr "r" "B") (attr "s" "B");
+            eq (attr "Q" "A") (attr "r" "A");
+            eq (attr "Q" "C") (attr "s" "C");
+          ]))
+
+let explain_of ?passes ~db q =
+  let env = Lower.env_of_db ~db ~defs:[] in
+  let raw = Lower.lower_collection env q in
+  let opt, report =
+    match passes with
+    | None -> Opt.optimize_coll env raw
+    | Some ps -> Opt.optimize_coll ~passes:ps env raw
+  in
+  (Explain.coll_plan_to_string raw, Explain.coll_plan_to_string opt, report)
+
+(* ---------------------------------------------------------------- *)
+
+let lowering_shape () =
+  let raw, opt, report = explain_of ~db:Data.db_rs join_query in
+  Alcotest.(check bool) "raw plan enumerates a product" true
+    (contains raw "scan R as r" && contains raw "scan S as s");
+  Alcotest.(check bool) "optimized plan uses a hash join" true
+    (contains opt "hash join on");
+  Alcotest.(check bool) "reorder pass reported as applied" true
+    (List.assoc "hash-join-order" report);
+  Alcotest.(check bool) "no residual product left" false
+    (contains opt "product")
+
+let fallback_shape () =
+  (* eq18 carries an explicit join-tree annotation: lowered to a fallback *)
+  let raw, opt, _ = explain_of ~db:Data.db_outer Data.eq18 in
+  Alcotest.(check bool) "raw is a reference fallback" true
+    (contains raw "reference evaluator");
+  Alcotest.(check bool) "fallback survives optimization" true
+    (contains opt "reference evaluator")
+
+let semi_shape () =
+  let q =
+    collection "Q" [ "A" ]
+      (exists [ bind "r" "R" ]
+         (conj
+            [
+              eq (attr "Q" "A") (attr "r" "A");
+              not_
+                (exists [ bind "s" "S" ]
+                   (eq (attr "s" "B") (attr "r" "B")));
+            ]))
+  in
+  let _, opt, report = explain_of ~db:Data.db_rs q in
+  Alcotest.(check bool) "negated exists becomes a hash anti join" true
+    (contains opt "hash anti join");
+  Alcotest.(check bool) "decorrelate pass reported" true
+    (List.assoc "decorrelate-exists" report)
+
+(* every prefix of the pass pipeline preserves results on a fixed corpus *)
+let passes_preserve () =
+  let cases =
+    [
+      ("join", Data.db_rs, join_query);
+      ("grouping", Data.db_grouping, Data.eq3);
+      ("payroll", Data.db_payroll, Data.eq8);
+      ("countbug", Data.db_countbug, Data.eq27);
+      ("division", Data.db_beers, Data.eq22);
+    ]
+  in
+  List.iter
+    (fun (name, db, q) ->
+      let env = Lower.env_of_db ~db ~defs:[] in
+      let raw = Lower.lower_collection env q in
+      let prog = program (Coll q) in
+      let reference = Eval.run_rows ~db prog in
+      let rec prefixes acc = function
+        | [] -> [ List.rev acc ]
+        | p :: rest -> List.rev acc :: prefixes (p :: acc) rest
+      in
+      List.iter
+        (fun passes ->
+          let opt, _ = Opt.optimize_coll ~passes env raw in
+          let ctx, _ = Eval.Internal.prepare ~db prog in
+          match
+            Exec.exec_program ctx
+              { Arc_plan.Ir.strata = []; main = Arc_plan.Ir.Main_coll opt }
+          with
+          | Eval.Rows r ->
+              check_same_bag
+                (Printf.sprintf "%s with %d passes" name (List.length passes))
+                reference r
+          | Eval.Truth _ -> Alcotest.fail "expected rows")
+        (prefixes [] Opt.pipeline))
+    cases
+
+let null_key_semantics () =
+  let db =
+    Database.of_list
+      [
+        ("R", Relation.of_rows [ "A" ] [ [ V.Int 1 ]; [ V.Null ] ]);
+        ("S", Relation.of_rows [ "A" ] [ [ V.Int 1 ]; [ V.Null ] ]);
+      ]
+  in
+  let q =
+    collection "Q" [ "A" ]
+      (exists [ bind "r" "R"; bind "s" "S" ]
+         (conj
+            [
+              eq (attr "r" "A") (attr "s" "A");
+              eq (attr "Q" "A") (attr "r" "A");
+            ]))
+  in
+  let run conv engine =
+    match engine with
+    | `Reference -> Eval.run_rows ~conv ~db (program (Coll q))
+    | `Plan -> Exec.run_rows ~conv ~db (program (Coll q))
+  in
+  (* 3VL: NULL = NULL is Unknown — only the (1,1) match survives *)
+  let r3 = run Conventions.sql `Plan in
+  Alcotest.(check int) "3VL: null keys never match" 1 (Relation.cardinality r3);
+  check_same_bag "3VL parity" (run Conventions.sql `Reference) r3;
+  (* 2VL: NULL is an ordinary value — both pairs match *)
+  let conv2 = Conventions.classical in
+  let r2 = run conv2 `Plan in
+  Alcotest.(check int) "2VL: null is a regular key" 2 (Relation.cardinality r2);
+  check_same_bag "2VL parity" (run conv2 `Reference) r2
+
+let tc_defs =
+  [
+    {
+      def_name = "T";
+      def_body =
+        collection "T" [ "src"; "dst" ]
+          (disj
+             [
+               exists [ bind "e" "E" ]
+                 (conj
+                    [
+                      eq (attr "T" "src") (attr "e" "src");
+                      eq (attr "T" "dst") (attr "e" "dst");
+                    ]);
+               exists [ bind "t" "T"; bind "e" "E" ]
+                 (conj
+                    [
+                      eq (attr "t" "dst") (attr "e" "src");
+                      eq (attr "T" "src") (attr "t" "src");
+                      eq (attr "T" "dst") (attr "e" "dst");
+                    ]);
+             ]);
+    };
+  ]
+
+let tc_main =
+  collection "Q" [ "src"; "dst" ]
+    (exists [ bind "t" "T" ]
+       (conj
+          [
+            eq (attr "Q" "src") (attr "t" "src");
+            eq (attr "Q" "dst") (attr "t" "dst");
+          ]))
+
+let db_chain n =
+  Database.of_list
+    [
+      ( "E",
+        Relation.of_rows [ "src"; "dst" ]
+          (List.init n (fun i -> [ V.Int i; V.Int (i + 1) ])) );
+    ]
+
+let plan_seminaive () =
+  let db = db_chain 16 in
+  let prog = program ~defs:tc_defs (Coll tc_main) in
+  let naive = Exec.run_rows ~strategy:Eval.Naive ~db prog in
+  let semi = Exec.run_rows ~strategy:Eval.Seminaive ~db prog in
+  let reference = Eval.run_rows ~db prog in
+  Alcotest.(check int) "chain closure size" (16 * 17 / 2)
+    (Relation.cardinality naive);
+  check_same_bag "plan naive = plan seminaive" naive semi;
+  check_same_bag "plan = reference on TC" reference semi
+
+let plan_seminaive_actually_runs () =
+  (* the seminaive fixpoint must be chosen (not silently degrade to naive)
+     for a plain scan-only recursive definition *)
+  let tracer = Obs.collector () in
+  let _ =
+    Exec.run_rows ~strategy:Eval.Seminaive ~tracer ~db:(db_chain 6)
+      (program ~defs:tc_defs (Coll tc_main))
+  in
+  let spans = Obs.spans tracer in
+  Alcotest.(check bool) "fixpoint:seminaive span present" true
+    (Obs.find_spans spans "fixpoint:seminaive" <> []);
+  Alcotest.(check bool) "no naive fixpoint span" true
+    (Obs.find_spans spans "fixpoint:naive" = [])
+
+let tracer_spans () =
+  let tracer = Obs.collector () in
+  let _ = Exec.run_rows ~tracer ~db:Data.db_rs (program (Coll join_query)) in
+  let spans = Obs.spans tracer in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " span present") true
+        (Obs.find_spans spans name <> []))
+    [ "collection:Q"; "hash_join"; "scan" ]
+
+let guard_truncates () =
+  let guard = Gov.make ~on_limit:`Truncate { Budget.default with max_rows = Some 2 } in
+  let r =
+    Exec.run_rows ~guard ~db:(db_chain 10)
+      (program
+         (Coll
+            (collection "Q" [ "src" ]
+               (exists [ bind "e" "E" ]
+                  (eq (attr "Q" "src") (attr "e" "src"))))))
+  in
+  Alcotest.(check bool) "row budget clips plan output" true
+    (Relation.cardinality r <= 2);
+  Alcotest.(check bool) "governor reports truncation" true
+    (Gov.report guard).Gov.truncated
+
+let explain_program () =
+  let db = db_chain 4 in
+  let _, _, opt, report =
+    Exec.compile ~db (program ~defs:tc_defs (Coll tc_main))
+  in
+  let s = Explain.program_plan_to_string opt in
+  Alcotest.(check bool) "recursive stratum rendered" true
+    (contains s "recursive stratum {T}");
+  Alcotest.(check bool) "main rendered" true (contains s "main:");
+  let rs = Explain.report_to_string report in
+  Alcotest.(check bool) "report lists all passes" true
+    (List.for_all
+       (fun n -> contains rs n)
+       [ "predicate-pushdown"; "decorrelate-exists"; "hash-join-order";
+         "prune-columns" ])
+
+let () =
+  Alcotest.run "arc_plan"
+    [
+      ( "lowering",
+        [
+          Alcotest.test_case "join lowers and optimizes to hash join" `Quick
+            lowering_shape;
+          Alcotest.test_case "join annotation falls back to reference" `Quick
+            fallback_shape;
+          Alcotest.test_case "negated exists decorrelates" `Quick semi_shape;
+        ] );
+      ( "rewrites",
+        [ Alcotest.test_case "every pass prefix preserves results" `Quick
+            passes_preserve ] );
+      ( "execution",
+        [
+          Alcotest.test_case "null hash keys respect null logic" `Quick
+            null_key_semantics;
+          Alcotest.test_case "plan-level seminaive = naive = reference" `Quick
+            plan_seminaive;
+          Alcotest.test_case "seminaive strategy engages on plans" `Quick
+            plan_seminaive_actually_runs;
+          Alcotest.test_case "operator spans reach the tracer" `Quick
+            tracer_spans;
+          Alcotest.test_case "row budget truncates plan output" `Quick
+            guard_truncates;
+          Alcotest.test_case "explain renders program plans" `Quick
+            explain_program;
+        ] );
+    ]

@@ -277,6 +277,53 @@ let prop_dedup_wrap =
              = Relation.cardinality (Relation.dedup bag_wrapped)
       | _ -> true)
 
+(* plan engine ≡ reference evaluator on random safe cores, bag-for-bag,
+   under both bag and set semantics *)
+let bag_equal r1 r2 =
+  let keys r =
+    List.sort compare
+      (List.map Arc_relation.Tuple.key (Relation.tuples r))
+  in
+  keys r1 = keys r2
+
+let prop_plan_matches_reference =
+  QCheck.Test.make ~name:"plan engine ≡ reference (bag & set)" ~count:150
+    arbitrary_q_db (fun (q, db) ->
+      List.for_all
+        (fun conv ->
+          bag_equal
+            (Eval.run_rows ~conv ~db (program q))
+            (Arc_engine.Exec.run_rows ~conv ~db (program q)))
+        [ Conventions.sql; Conventions.sql_set; Conventions.classical ])
+
+(* every optimizer pass prefix preserves plan-engine results *)
+let prop_passes_preserve =
+  QCheck.Test.make ~name:"optimizer pass prefixes preserve results" ~count:100
+    arbitrary_q_db (fun (q, db) ->
+      match q with
+      | Coll c ->
+          let env = Arc_plan.Lower.env_of_db ~db ~defs:[] in
+          let raw = Arc_plan.Lower.lower_collection env c in
+          let reference = Eval.run_rows ~db (program q) in
+          let rec prefixes acc = function
+            | [] -> [ List.rev acc ]
+            | p :: rest -> List.rev acc :: prefixes (p :: acc) rest
+          in
+          List.for_all
+            (fun passes ->
+              let opt, _ =
+                Arc_plan.Opt.optimize_coll ~passes env raw
+              in
+              let ctx, _ = Eval.Internal.prepare ~db (program q) in
+              match
+                Arc_engine.Exec.exec_program ctx
+                  { Arc_plan.Ir.strata = []; main = Arc_plan.Ir.Main_coll opt }
+              with
+              | Eval.Rows r -> bag_equal reference r
+              | Eval.Truth _ -> false)
+            (prefixes [] Arc_plan.Opt.pipeline)
+      | _ -> true)
+
 (* intent similarity is reflexive (=1.0) and symmetric on random queries *)
 let prop_similarity_laws =
   QCheck.Test.make ~name:"similarity reflexive & symmetric" ~count:80
@@ -304,6 +351,9 @@ let () =
       ( "semantics",
         List.map QCheck_alcotest.to_alcotest
           [ prop_fio_foi; prop_recursion_oracle ] );
+      ( "planner",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_plan_matches_reference; prop_passes_preserve ] );
       ( "intent",
         List.map QCheck_alcotest.to_alcotest [ prop_similarity_laws ] );
     ]

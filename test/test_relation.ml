@@ -47,6 +47,36 @@ let rel_dedup () =
   Alcotest.(check int) "bag card" 3 (Relation.cardinality r);
   Alcotest.(check int) "set card" 2 (Relation.cardinality (Relation.dedup r))
 
+(* regression: the dedup key must be a canonical (self-delimiting) tuple
+   serialization — string values chosen so that a naive concatenation of
+   printed values would collide across attribute boundaries *)
+let rel_dedup_collisions () =
+  let s = V.str in
+  let r =
+    Relation.of_rows [ "A"; "B" ]
+      [
+        [ s "x'|B='y"; s "z" ];
+        [ s "x"; s "y'|B='z" ];
+        [ s "ab"; s "c" ];
+        [ s "a"; s "bc" ];
+        [ s "a;b"; s "c" ];
+        [ s "a"; s "b;c" ];
+      ]
+  in
+  Alcotest.(check int) "no cross-attribute collisions" 6
+    (Relation.cardinality (Relation.dedup r));
+  (* numeric cross-type equality is still respected: Int 1 = Float 1.0 *)
+  let n =
+    Relation.of_rows [ "A" ] [ [ V.Int 1 ]; [ V.Float 1.0 ]; [ V.Float 1.5 ] ]
+  in
+  Alcotest.(check int) "Int 1 and Float 1.0 deduplicate" 2
+    (Relation.cardinality (Relation.dedup n));
+  (* and key agrees with tuple equality on attribute order *)
+  let t1 = Tuple.of_alist [ ("A", i 1); ("B", i 2) ] in
+  let t2 = Tuple.of_alist [ ("B", i 2); ("A", i 1) ] in
+  Alcotest.(check string) "key is order-insensitive" (Tuple.key t1)
+    (Tuple.key t2)
+
 let rel_ops () =
   let r = Relation.of_rows [ "A" ] [ [ i 1 ]; [ i 2 ]; [ i 2 ] ] in
   let s = Relation.of_rows [ "A" ] [ [ i 2 ]; [ i 3 ] ] in
@@ -184,6 +214,8 @@ let () =
       ( "relation",
         [
           Alcotest.test_case "dedup" `Quick rel_dedup;
+          Alcotest.test_case "dedup collision regression" `Quick
+            rel_dedup_collisions;
           Alcotest.test_case "bag ops" `Quick rel_ops;
           Alcotest.test_case "select/project" `Quick rel_select_project;
           Alcotest.test_case "natural join" `Quick rel_join;
