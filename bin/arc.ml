@@ -194,7 +194,7 @@ let render lang fmt schemas text =
         | `Dot ->
             Arc_higraph.Higraph.to_dot
               (Arc_higraph.Higraph.of_query ~defs:prog.A.defs prog.A.main)
-        | `Sql -> Arc_sql.Print.statement (Arc_sql.Of_arc.statement prog)
+        | `Sql -> Arc_sql.Print.statement (Arc_sql.Of_arc.statement ~schemas prog)
         | `Pattern -> Arc_core.Pattern.to_string (Arc_core.Pattern.of_query prog.A.main)
         | `Skeleton -> Arc_core.Canon.skeleton prog.A.main
       in
@@ -867,6 +867,86 @@ let chaos_cmd =
     Term.(ret (const chaos_run $ chaos_seed))
 
 (* ------------------------------------------------------------------ *)
+(* fuzz                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_seed =
+  Arg.(
+    value & opt int 42
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:
+          "Campaign seed. The same (seed, count) pair replays the same \
+           cases exactly.")
+
+let fuzz_count =
+  Arg.(
+    value & opt int 200
+    & info [ "count" ] ~docv:"N" ~doc:"Number of fuzz iterations to run.")
+
+let fuzz_shrink =
+  Arg.(
+    value & opt bool true
+    & info [ "shrink" ] ~docv:"BOOL"
+        ~doc:
+          "Greedily shrink each divergent case (preserving its divergence \
+           kind) before saving the repro.")
+
+let fuzz_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"DIR"
+        ~doc:
+          "Write each divergent case as a replayable repro directory \
+           (query.arc + per-relation CSVs + meta.txt) under $(docv), \
+           created if missing.")
+
+let rec mkdirs d =
+  if not (Sys.file_exists d) then begin
+    mkdirs (Filename.dirname d);
+    Sys.mkdir d 0o755
+  end
+
+let fuzz_run seed count shrink out =
+  wrap (fun () ->
+      Option.iter mkdirs out;
+      let tracer = Obs.collector () in
+      let stats, findings =
+        Arc_fuzz.Driver.run ~tracer ~shrink ?out ~seed ~count ()
+      in
+      List.iter
+        (fun (f : Arc_fuzz.Driver.finding) ->
+          Printf.printf "DIVERGENCE %s\n" f.Arc_fuzz.Driver.f_name;
+          List.iter
+            (fun d ->
+              Printf.printf "  %s\n" (Arc_fuzz.Oracle.divergence_to_string d))
+            f.Arc_fuzz.Driver.f_divergences;
+          Option.iter
+            (fun p -> Printf.printf "  repro: %s\n" p)
+            f.Arc_fuzz.Driver.f_repro)
+        findings;
+      let spans = Obs.spans tracer in
+      Printf.printf "fuzz: %d cases generated, %d skipped, %d diverged (seed %d)\n"
+        (Obs.counter_total spans "fuzz.generated")
+        (Obs.counter_total spans "fuzz.skipped")
+        (Obs.counter_total spans "fuzz.diverged")
+        seed;
+      if stats.Arc_fuzz.Driver.diverged > 0 then exit 1)
+
+let fuzz_cmd =
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: generate random validated ARC cores and \
+          NULL-bearing databases, run them through the reference evaluator \
+          and the plan engine under every convention combination and both \
+          recursion strategies, round-trip them through the SQL / Datalog / \
+          TRC frontends where the fragment permits, and greedily shrink any \
+          divergence into a replayable repro directory. Exits nonzero if \
+          any divergence was found. See docs/fuzzing.md.")
+    Term.(ret (const fuzz_run $ fuzz_seed $ fuzz_count $ fuzz_shrink $ fuzz_out))
+
+(* ------------------------------------------------------------------ *)
 (* main                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -878,7 +958,7 @@ let main_cmd =
           metalanguage for relational queries.")
     [
       render_cmd; validate_cmd; eval_cmd; explain_cmd; trace_cmd; fragment_cmd;
-      compare_cmd; catalog_cmd; chaos_cmd;
+      compare_cmd; catalog_cmd; chaos_cmd; fuzz_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

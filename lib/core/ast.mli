@@ -23,7 +23,7 @@ type rel_name = string
 
 type cmp_op = Eq | Neq | Lt | Leq | Gt | Geq
 
-type scalar_op = Add | Sub | Mul | Div | Neg
+type scalar_op = Add | Sub | Mul | Div | Mod | Neg
 
 type term =
   | Const of Arc_value.Value.t

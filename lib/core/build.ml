@@ -11,6 +11,7 @@ let add a b = Scalar (Add, [ a; b ])
 let sub a b = Scalar (Sub, [ a; b ])
 let mul a b = Scalar (Mul, [ a; b ])
 let div a b = Scalar (Div, [ a; b ])
+let mod_ a b = Scalar (Mod, [ a; b ])
 
 let agg name t =
   match Aggregate.kind_of_string name with
@@ -33,7 +34,7 @@ let is_null t = Pred (Is_null t)
 let not_null t = Pred (Not_null t)
 let like t p = Pred (Like (t, p))
 
-let conj = function [ f ] -> f | fs -> And fs
+let conj = function [] -> True | [ f ] -> f | fs -> And fs
 let disj = function [ f ] -> f | fs -> Or fs
 let not_ f = Not f
 

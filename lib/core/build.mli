@@ -17,6 +17,7 @@ val add : term -> term -> term
 val sub : term -> term -> term
 val mul : term -> term -> term
 val div : term -> term -> term
+val mod_ : term -> term -> term
 val agg : string -> term -> term
 (** [agg "sum" t]; raises [Invalid_argument] on unknown aggregate names. *)
 

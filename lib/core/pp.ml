@@ -7,6 +7,7 @@ let scalar_op_symbol = function
   | Sub -> "-"
   | Mul -> "*"
   | Div -> "/"
+  | Mod -> "%"
   | Neg -> "-"
 
 let rec term = function
@@ -23,7 +24,7 @@ let rec term = function
 
 and atom t =
   match t with
-  | Scalar ((Add | Sub | Mul | Div), [ _; _ ]) -> "(" ^ term t ^ ")"
+  | Scalar ((Add | Sub | Mul | Div | Mod), [ _; _ ]) -> "(" ^ term t ^ ")"
   | _ -> term t
 
 let pred = function
@@ -31,7 +32,7 @@ let pred = function
       Printf.sprintf "%s %s %s" (term l) (cmp_op_to_string op) (term r)
   | Is_null t -> term t ^ " is null"
   | Not_null t -> term t ^ " is not null"
-  | Like (t, p) -> Printf.sprintf "%s like '%s'" (term t) p
+  | Like (t, p) -> Printf.sprintf "%s like %s" (term t) (Value.to_string (Value.Str p))
 
 let rec join_tree = function
   | J_var v -> v

@@ -37,6 +37,7 @@ let rec eval_expr (env : env) = function
       | CA.Sub -> V.sub vl vr
       | CA.Mul -> V.mul vl vr
       | CA.Div -> V.div vl vr
+      | CA.Mod -> V.modulo vl vr
       | CA.Neg -> fail "unary negation as binop")
 
 let test_cmp op vl vr =

@@ -55,6 +55,7 @@ let scalar_apply op args =
   | Sub, [ a; b ] -> V.sub a b
   | Mul, [ a; b ] -> V.mul a b
   | Div, [ a; b ] -> V.div a b
+  | Mod, [ a; b ] -> V.modulo a b
   | Neg, [ a ] -> V.neg a
   | _ -> fail "malformed scalar application"
 
@@ -1087,12 +1088,16 @@ let make_ctx ?conv ?externals ?strategy ?tracer ?guard ~db (prog : program) =
   ctx
 
 let run ?conv ?externals ?strategy ?tracer ?guard ~db (prog : program) =
-  let ctx = make_ctx ?conv ?externals ?strategy ?tracer ?guard ~db prog in
   try
+    let ctx = make_ctx ?conv ?externals ?strategy ?tracer ?guard ~db prog in
     match prog.main with
     | Coll c -> Rows (eval_collection ctx [] c)
     | Sentence f -> Truth (eval_formula ctx [] f)
-  with Err.Guard_error e -> raise (Eval_error e)
+  with
+  | Err.Guard_error e -> raise (Eval_error e)
+  | V.Type_error m ->
+      (* ill-typed data meets an operator: a typed failure, not a crash *)
+      raise (Eval_error { Err.kind = Err.Msg ("type error: " ^ m); context = [] })
 
 let run_rows ?conv ?externals ?strategy ?tracer ?guard ~db prog =
   match run ?conv ?externals ?strategy ?tracer ?guard ~db prog with

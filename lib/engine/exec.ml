@@ -640,13 +640,17 @@ let exec_program ctx (pp : Ir.program_plan) : Eval.outcome =
     match pp.main with
     | Ir.Main_coll p -> Eval.Rows (exec_coll env p)
     | Ir.Main_sentence f -> Eval.Truth (I.eval_formula ctx [] f)
-  with Err.Guard_error e -> raise (Eval_error e)
+  with
+  | Err.Guard_error e -> raise (Eval_error e)
+  | V.Type_error m -> raise (Eval_error { Err.kind = Err.Msg ("type error: " ^ m); context = [] })
 
 let run ?conv ?externals ?strategy ?tracer ?guard ~db (prog : program) =
-  let ctx, _, optimized, _ =
-    compile ?conv ?externals ?strategy ?tracer ?guard ~db prog
-  in
-  exec_program ctx optimized
+  try
+    let ctx, _, optimized, _ =
+      compile ?conv ?externals ?strategy ?tracer ?guard ~db prog
+    in
+    exec_program ctx optimized
+  with V.Type_error m -> raise (Eval_error { Err.kind = Err.Msg ("type error: " ^ m); context = [] })
 
 let run_rows ?conv ?externals ?strategy ?tracer ?guard ~db prog =
   match run ?conv ?externals ?strategy ?tracer ?guard ~db prog with

@@ -1,0 +1,94 @@
+(** Replayable repro directories.
+
+    A repro is a directory holding one shrunk failing case:
+
+    {v
+    test/repros/<name>/
+      query.arc     ASCII concrete syntax (Printer/Parser round-trip)
+      <Rel>.csv     one typed CSV per base relation (Csv round-trip)
+      meta.txt      key: value lines — kind, conv, detail, seed
+    v}
+
+    Everything is plain text so a repro diff reads like a bug report; the
+    loader re-parses the query and CSVs into a {!Case.t} that the oracle
+    replays verbatim (see [test/test_fuzz.ml]). *)
+
+module Relation = Arc_relation.Relation
+module Database = Arc_relation.Database
+module Csv = Arc_relation.Csv
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let save ~dir ~name (case : Case.t) ~(meta : (string * string) list) =
+  let root = Filename.concat dir name in
+  if not (Sys.file_exists root) then Sys.mkdir root 0o755;
+  write_file
+    (Filename.concat root "query.arc")
+    (Arc_syntax.Printer.program ~unicode:false case.Case.prog ^ "\n");
+  List.iter
+    (fun rel ->
+      write_file
+        (Filename.concat root (rel ^ ".csv"))
+        (Csv.write (Database.find case.db rel)))
+    (Database.names case.db);
+  write_file
+    (Filename.concat root "meta.txt")
+    (String.concat ""
+       (List.map
+          (fun (k, v) ->
+            Printf.sprintf "%s: %s\n" k
+              (String.concat " " (String.split_on_char '\n' v)))
+          meta));
+  root
+
+let load dir : Case.t * (string * string) list =
+  let prog =
+    Arc_syntax.Parser.program_of_string
+      (read_file (Filename.concat dir "query.arc"))
+  in
+  let rels =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".csv")
+    |> List.sort compare
+    |> List.map (fun f ->
+           let name = Filename.chop_suffix f ".csv" in
+           (name, Csv.read ~name (read_file (Filename.concat dir f))))
+  in
+  let meta =
+    let path = Filename.concat dir "meta.txt" in
+    if Sys.file_exists path then
+      String.split_on_char '\n' (read_file path)
+      |> List.filter_map (fun line ->
+             match String.index_opt line ':' with
+             | Some i ->
+                 Some
+                   ( String.sub line 0 i,
+                     String.trim
+                       (String.sub line (i + 1) (String.length line - i - 1))
+                   )
+             | None -> None)
+    else []
+  in
+  ({ Case.prog; db = Database.of_list rels }, meta)
+
+let list_repros root =
+  if not (Sys.file_exists root) then []
+  else
+    Sys.readdir root |> Array.to_list |> List.sort compare
+    |> List.filter_map (fun d ->
+           let dir = Filename.concat root d in
+           if
+             Sys.is_directory dir
+             && Sys.file_exists (Filename.concat dir "query.arc")
+           then Some dir
+           else None)

@@ -1,0 +1,150 @@
+(** Greedy structural shrinking of failing cases.
+
+    [shrink ~fails case] repeatedly replaces the case with the first
+    one-step-smaller variant that (a) still validates and (b) still fails
+    the caller's predicate, until no variant does. Every accepted variant
+    strictly decreases {!Case.size}, so shrinking terminates; an attempt
+    cap additionally bounds the number of oracle invocations on stubborn
+    cases.
+
+    Variant moves: halve/deplete relations row-wise; drop definitions,
+    disjuncts, conjuncts, bindings, grouping keys, and join annotations;
+    replace subformulas with [True]; strip a negation. *)
+
+open Arc_core.Ast
+module Relation = Arc_relation.Relation
+module Schema = Arc_relation.Schema
+module Tuple = Arc_relation.Tuple
+module Database = Arc_relation.Database
+
+let drop_one xs = List.mapi (fun i _ -> List.filteri (fun j _ -> j <> i) xs) xs
+let take n xs = List.filteri (fun i _ -> i < n) xs
+let drop n xs = List.filteri (fun i _ -> i >= n) xs
+
+let set_nth xs i x = List.mapi (fun j y -> if i = j then x else y) xs
+
+let rec formula_variants (f : formula) : formula list =
+  match f with
+  | True -> []
+  | Pred _ -> [ True ]
+  | And fs ->
+      (* never produce the empty connective — True is its printable form *)
+      List.map
+        (function [] -> True | fs' -> And fs')
+        (drop_one fs)
+      @ List.concat
+          (List.mapi
+             (fun i fi ->
+               List.map
+                 (fun fi' -> And (set_nth fs i fi'))
+                 (formula_variants fi))
+             fs)
+  | Or fs ->
+      (if List.length fs > 1 then List.map (fun fs' -> Or fs') (drop_one fs)
+       else [])
+      @ List.concat
+          (List.mapi
+             (fun i fi ->
+               List.map (fun fi' -> Or (set_nth fs i fi')) (formula_variants fi))
+             fs)
+  | Not g -> (g :: List.map (fun g' -> Not g') (formula_variants g)) @ [ True ]
+  | Exists s -> List.map (fun s' -> Exists s') (scope_variants s) @ [ True ]
+
+and scope_variants (s : scope) : scope list =
+  let drop_bindings =
+    if List.length s.bindings > 1 then
+      List.map (fun bs -> { s with bindings = bs }) (drop_one s.bindings)
+    else []
+  in
+  let grouping_moves =
+    match s.grouping with
+    | None -> []
+    | Some ks ->
+        { s with grouping = None }
+        :: List.map (fun ks' -> { s with grouping = Some ks' }) (drop_one ks)
+  in
+  let join_moves =
+    match s.join with Some _ -> [ { s with join = None } ] | None -> []
+  in
+  let bodies =
+    List.map (fun b -> { s with body = b }) (formula_variants s.body)
+  in
+  drop_bindings @ grouping_moves @ join_moves @ bodies
+
+let collection_variants (c : collection) =
+  List.map (fun b -> { c with body = b }) (formula_variants c.body)
+
+let program_variants (p : program) : program list =
+  let drop_defs = List.map (fun ds -> { p with defs = ds }) (drop_one p.defs) in
+  let def_bodies =
+    List.concat
+      (List.mapi
+         (fun i d ->
+           List.map
+             (fun c -> { p with defs = set_nth p.defs i { d with def_body = c } })
+             (collection_variants d.def_body))
+         p.defs)
+  in
+  let mains =
+    match p.main with
+    | Coll c ->
+        List.map (fun c' -> { p with main = Coll c' }) (collection_variants c)
+    | Sentence f ->
+        List.map (fun f' -> { p with main = Sentence f' }) (formula_variants f)
+  in
+  drop_defs @ mains @ def_bodies
+
+let db_variants db : Database.t list =
+  let names = Database.names db in
+  let rebuild name rows' =
+    Database.of_list
+      (List.map
+         (fun nm ->
+           if nm = name then
+             let attrs =
+               Schema.attrs (Relation.schema (Database.find db nm))
+             in
+             (nm, Relation.of_rows ~name:nm attrs rows')
+           else (nm, Database.find db nm))
+         names)
+  in
+  List.concat_map
+    (fun name ->
+      let rows =
+        List.map Tuple.values (Relation.tuples (Database.find db name))
+      in
+      let n = List.length rows in
+      if n = 0 then []
+      else
+        let halves = if n >= 2 then [ take (n / 2) rows; drop (n / 2) rows ] else [] in
+        List.map (rebuild name) (halves @ drop_one rows))
+    names
+
+let case_variants (c : Case.t) : Case.t list =
+  List.map (fun db -> { c with Case.db }) (db_variants c.Case.db)
+  @ List.map (fun prog -> { c with Case.prog }) (program_variants c.prog)
+
+let valid c = match Case.validate c with Ok () -> true | Error _ -> false
+
+let shrink ?(max_attempts = 500) ~fails (c0 : Case.t) : Case.t * int =
+  let attempts = ref 0 in
+  let steps = ref 0 in
+  let rec go c =
+    let sz = Case.size c in
+    let accepted =
+      List.find_opt
+        (fun v ->
+          !attempts < max_attempts
+          &&
+          (incr attempts;
+           Case.size v < sz && valid v && fails v))
+        (case_variants c)
+    in
+    match accepted with
+    | Some v ->
+        incr steps;
+        go v
+    | None -> c
+  in
+  let c = go c0 in
+  (c, !steps)

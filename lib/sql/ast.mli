@@ -18,7 +18,7 @@ type expr =
   | E_count_star
   | E_scalar_subquery of set_query
 
-and binop = B_add | B_sub | B_mul | B_div
+and binop = B_add | B_sub | B_mul | B_div | B_mod
 
 and cond =
   | C_true

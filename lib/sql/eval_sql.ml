@@ -57,6 +57,7 @@ let binop_apply op l r =
   | B_sub -> V.sub l r
   | B_mul -> V.mul l r
   | B_div -> V.div l r
+  | B_mod -> V.modulo l r
 
 let test_cmp op c =
   match op with
@@ -134,6 +135,9 @@ and eval_gexpr env ~rep ~group e : V.t =
   | E_binop (op, l, r) ->
       binop_apply op (eval_gexpr env ~rep ~group l) (eval_gexpr env ~rep ~group r)
   | E_neg e -> V.neg (eval_gexpr env ~rep ~group e)
+  (* constants survive an empty global group: SELECT 'x', sum(a) FROM t
+     with t empty yields ('x', NULL), not (NULL, NULL) *)
+  | E_const v -> v
   | _ -> ( match rep with Some r -> eval_expr env r e | None -> V.Null)
 
 and eval_gcond env ~rep ~group c : B3.t =

@@ -77,47 +77,80 @@ let tokenize input =
     | '!' when peek 1 = Some '=' ->
         emit (OP "<>");
         pos := !pos + 2
-    | '+' | '-' | '/' ->
+    | '+' | '-' | '/' | '%' ->
         emit (OP (String.make 1 c));
         incr pos
     | '\'' ->
-        let start = !pos + 1 in
-        let e = ref start in
-        while !e < n && input.[!e] <> '\'' do
-          incr e
+        (* embedded quotes double, SQL-style: 'it''s' *)
+        let buf = Buffer.create 16 in
+        let i = ref (!pos + 1) in
+        let fin = ref false in
+        while not !fin do
+          if !i >= n then raise (Lex_error ("unterminated string", !pos))
+          else if input.[!i] <> '\'' then (
+            Buffer.add_char buf input.[!i];
+            incr i)
+          else if !i + 1 < n && input.[!i + 1] = '\'' then (
+            Buffer.add_char buf '\'';
+            i := !i + 2)
+          else (
+            fin := true;
+            incr i)
         done;
-        if !e >= n then raise (Lex_error ("unterminated string", !pos));
-        emit (STRING (String.sub input start (!e - start)));
-        pos := !e + 1
+        emit (STRING (Buffer.contents buf));
+        pos := !i
     | '"' ->
-        let start = !pos + 1 in
-        let e = ref start in
-        while !e < n && input.[!e] <> '"' do
-          incr e
+        (* embedded double quotes double: "a""b" *)
+        let buf = Buffer.create 16 in
+        let i = ref (!pos + 1) in
+        let fin = ref false in
+        while not !fin do
+          if !i >= n then
+            raise (Lex_error ("unterminated quoted identifier", !pos))
+          else if input.[!i] <> '"' then (
+            Buffer.add_char buf input.[!i];
+            incr i)
+          else if !i + 1 < n && input.[!i + 1] = '"' then (
+            Buffer.add_char buf '"';
+            i := !i + 2)
+          else (
+            fin := true;
+            incr i)
         done;
-        if !e >= n then
-          raise (Lex_error ("unterminated quoted identifier", !pos));
-        emit (IDENT (String.sub input start (!e - start)));
-        pos := !e + 1
+        emit (IDENT (Buffer.contents buf));
+        pos := !i
     | '0' .. '9' ->
         let start = !pos in
-        while
-          !pos < n && match input.[!pos] with '0' .. '9' -> true | _ -> false
-        do
-          incr pos
-        done;
-        let is_float =
-          !pos + 1 < n
-          && input.[!pos] = '.'
-          && match input.[!pos + 1] with '0' .. '9' -> true | _ -> false
-        in
-        if is_float then begin
-          incr pos;
+        let scan_digits () =
           while
             !pos < n && match input.[!pos] with '0' .. '9' -> true | _ -> false
           do
             incr pos
-          done;
+          done
+        in
+        scan_digits ();
+        let is_float = ref false in
+        if
+          !pos + 1 < n
+          && input.[!pos] = '.'
+          && match input.[!pos + 1] with '0' .. '9' -> true | _ -> false
+        then begin
+          is_float := true;
+          incr pos;
+          scan_digits ()
+        end;
+        (* exponent: e/E, optional sign, mandatory digits *)
+        (match (peek 0, peek 1, peek 2) with
+        | Some ('e' | 'E'), Some '0' .. '9', _ ->
+            is_float := true;
+            incr pos;
+            scan_digits ()
+        | Some ('e' | 'E'), Some ('+' | '-'), Some ('0' .. '9') ->
+            is_float := true;
+            pos := !pos + 2;
+            scan_digits ()
+        | _ -> ());
+        if !is_float then begin
           let lit = String.sub input start (!pos - start) in
           match float_of_string_opt lit with
           | Some f -> emit (NUMBER (V.Float f))

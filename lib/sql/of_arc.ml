@@ -23,6 +23,7 @@ let rec tr_term (t : A.term) : expr =
         | A.Sub -> B_sub
         | A.Mul -> B_mul
         | A.Div -> B_div
+        | A.Mod -> B_mod
         | A.Neg -> unsupported "binary negation"
       in
       E_binop (op', tr_term l, tr_term r)
@@ -44,14 +45,14 @@ let tr_cmp = function
 (* Formulas in boolean position                                        *)
 (* ------------------------------------------------------------------ *)
 
-let rec tr_bool_formula ~conv (f : A.formula) : cond =
+let rec tr_bool_formula ~conv ~schemas (f : A.formula) : cond =
   match f with
   | A.True -> C_true
   | A.Pred p -> tr_pred p
-  | A.And fs -> C_and (List.map (tr_bool_formula ~conv) fs)
-  | A.Or fs -> C_or (List.map (tr_bool_formula ~conv) fs)
-  | A.Not f -> C_not (tr_bool_formula ~conv f)
-  | A.Exists scope -> C_exists (tr_boolean_scope ~conv scope)
+  | A.And fs -> C_and (List.map (tr_bool_formula ~conv ~schemas) fs)
+  | A.Or fs -> C_or (List.map (tr_bool_formula ~conv ~schemas) fs)
+  | A.Not f -> C_not (tr_bool_formula ~conv ~schemas f)
+  | A.Exists scope -> C_exists (tr_boolean_scope ~conv ~schemas scope)
 
 and tr_pred (p : A.pred) : cond =
   match p with
@@ -62,8 +63,8 @@ and tr_pred (p : A.pred) : cond =
 
 (* a quantifier scope used as a condition: SELECT 1 FROM … WHERE … with
    aggregate comparisons going to HAVING *)
-and tr_boolean_scope ~conv (scope : A.scope) : set_query =
-  let from, on_assigned = tr_bindings_and_join ~conv ~heads:[] scope in
+and tr_boolean_scope ~conv ~schemas (scope : A.scope) : set_query =
+  let from, on_assigned = tr_bindings_and_join ~conv ~schemas ~heads:[] scope in
   let conjs = A.conjuncts scope.A.body in
   let conjs =
     List.filter (fun f -> not (List.memq f on_assigned)) conjs
@@ -76,12 +77,12 @@ and tr_boolean_scope ~conv (scope : A.scope) : set_query =
   let where =
     match pre with
     | [] -> None
-    | fs -> Some (C_and (List.map (tr_bool_formula ~conv) fs))
+    | fs -> Some (C_and (List.map (tr_bool_formula ~conv ~schemas) fs))
   in
   let having =
     match post with
     | [] -> None
-    | fs -> Some (C_and (List.map (tr_bool_formula ~conv) fs))
+    | fs -> Some (C_and (List.map (tr_bool_formula ~conv ~schemas) fs))
   in
   let group_by =
     match scope.A.grouping with
@@ -144,14 +145,47 @@ and correlated (c : A.collection) : bool =
 
 (* returns the FROM list and the list of conjuncts consumed as ON
    conditions (physical equality against the scope body conjuncts) *)
-and tr_bindings_and_join ~conv ~heads (scope : A.scope) :
+and tr_bindings_and_join ~conv ~schemas ~heads (scope : A.scope) :
     table_ref list * A.formula list =
+  (* Under Set conventions base relations are semantically sets, and a
+     grouping scope makes input multiplicity observable through its
+     aggregates, so base sources must be deduplicated. SQL keeps bag
+     inputs; expand to SELECT DISTINCT derived tables (needs the schema
+     to name the columns — no faithful translation without it). *)
+  let dedup_inputs =
+    conv.Conventions.collection = Conventions.Set && scope.A.grouping <> None
+  in
   let source_ref (b : A.binding) : table_ref =
     match b.A.source with
+    | A.Base n when dedup_inputs -> (
+        match List.assoc_opt n schemas with
+        | Some cols ->
+            T_sub
+              ( Q_select
+                  {
+                    distinct = true;
+                    items =
+                      List.map
+                        (fun a ->
+                          { item_expr = E_col (None, a); item_alias = Some a })
+                        cols;
+                    from = [ T_rel (n, None) ];
+                    where = None;
+                    group_by = [];
+                    having = None;
+                    order_by = [];
+                    limit = None;
+                  },
+                b.A.var )
+        | None ->
+            unsupported
+              "aggregation over base relation %s under Set conventions needs \
+               its schema to deduplicate"
+              n)
     | A.Base n -> T_rel (n, Some b.A.var)
     | A.Nested c ->
-        if correlated c then T_lateral (tr_collection ~conv c, b.A.var)
-        else T_sub (tr_collection ~conv c, b.A.var)
+        if correlated c then T_lateral (tr_collection ~conv ~schemas c, b.A.var)
+        else T_sub (tr_collection ~conv ~schemas c, b.A.var)
   in
   match scope.A.join with
   | None ->
@@ -201,72 +235,134 @@ and tr_bindings_and_join ~conv ~heads (scope : A.scope) :
             && List.for_all (fun v -> List.mem v tree_vars) vs
         | _ -> false
       in
-      (* literal leaves: inner(11, s) folds back into plain SQL — drop the
-         literal from the tree; its predicate stays (in ON at that node) *)
-      let rec covers node vs =
+      let covers node vs =
         let nv = A.join_tree_vars node in
         List.for_all (fun v -> List.mem v nv) vs
       in
-      let rec node_conds node ~outer =
+      (* Mirror the engine: each attachable conjunct acts at the *smallest*
+         join-tree node covering its variables. One-sided predicates filter
+         their operand before the join (a WHERE inside the operand's derived
+         table); only genuinely spanning conjuncts become outer-join ON
+         conditions. Hoisting a one-sided predicate into ON would change
+         which rows get null-padded. Inside inner-only regions the placement
+         is observationally equivalent to WHERE, so predicates are left
+         unconsumed there unless an enclosing outer join makes the
+         distinction matter. *)
+      let rec smallest node vs =
+        match node with
+        | A.J_var _ | A.J_lit _ -> node
+        | A.J_inner l -> (
+            match List.find_opt (fun c -> covers c vs) l with
+            | Some c -> smallest c vs
+            | None -> node)
+        | A.J_left (a, b) | A.J_full (a, b) ->
+            if covers a vs then smallest a vs
+            else if covers b vs then smallest b vs
+            else node
+      in
+      let assigned node =
         List.filter_map
           (fun f ->
             if (not (List.memq f !consumed)) && attachable f then
               let vs = Option.get (pred_vars f) in
-              if
-                covers node vs
-                && (match node with
-                   | A.J_left (a, b) | A.J_full (a, b) ->
-                       (* belongs here unless fully inside one side that
-                          itself contains a join node covering it *)
-                       not (strictly_inside a vs || strictly_inside b vs)
-                   | _ -> outer)
-              then (
+              if covers jt vs && smallest jt vs == node then (
                 consumed := f :: !consumed;
-                Some (tr_bool_formula ~conv f))
+                Some f)
               else None
             else None)
           conjs
-      and strictly_inside node vs =
-        covers node vs
-        &&
-        match node with
-        | A.J_left _ | A.J_full _ | A.J_inner _ -> true
-        | A.J_var _ | A.J_lit _ -> false
       in
-      let rec build node : table_ref =
+      let on_cond = function
+        | [] -> None
+        | fs -> Some (C_and (List.map (tr_bool_formula ~conv ~schemas) fs))
+      in
+      (* literal leaves: inner(11, s) folds back into plain SQL — drop the
+         literal from the tree; its predicate stays in WHERE *)
+      let rec build ~under_outer node : table_ref =
         match node with
         | A.J_var v -> (
-            match source_ref (binding_of v) with
-            | T_lateral (q, a) -> T_sub (q, a)
-            | tr -> tr)
+            let preds = if under_outer then assigned node else [] in
+            let b = binding_of v in
+            match preds with
+            | [] -> (
+                match source_ref b with
+                | T_lateral (q, a) -> T_sub (q, a)
+                | tr -> tr)
+            | preds ->
+                let cols =
+                  match b.A.source with
+                  | A.Base n -> (
+                      match List.assoc_opt n schemas with
+                      | Some cols -> cols
+                      | None ->
+                          unsupported
+                            "outer-join operand %s carries a one-sided \
+                             predicate and needs its schema to pre-filter"
+                            n)
+                  | A.Nested c -> c.A.head.head_attrs
+                in
+                let inner =
+                  match b.A.source with
+                  | A.Base n -> T_rel (n, Some v)
+                  | A.Nested c -> T_sub (tr_collection ~conv ~schemas c, v)
+                in
+                T_sub
+                  ( Q_select
+                      {
+                        distinct = dedup_inputs;
+                        items =
+                          List.map
+                            (fun a ->
+                              {
+                                item_expr = E_col (Some v, a);
+                                item_alias = Some a;
+                              })
+                            cols;
+                        from = [ inner ];
+                        where = on_cond preds;
+                        group_by = [];
+                        having = None;
+                        order_by = [];
+                        limit = None;
+                      },
+                    v ))
         | A.J_lit _ -> unsupported "literal leaf outside inner()"
         | A.J_inner children -> (
+            let mine = if under_outer then assigned node else [] in
             let children =
               List.filter (function A.J_lit _ -> false | _ -> true) children
             in
             match children with
             | [] -> unsupported "empty inner()"
+            | [ only ] ->
+                if mine <> [] then
+                  unsupported "predicate spans a single-operand inner()"
+                else build ~under_outer only
             | first :: rest ->
-                List.fold_left
-                  (fun acc child ->
-                    T_join (J_inner, acc, build child, None))
-                  (build first) rest)
+                let last = List.length rest - 1 in
+                let tref, _ =
+                  List.fold_left
+                    (fun (acc, i) child ->
+                      ( T_join
+                          ( J_inner,
+                            acc,
+                            build ~under_outer child,
+                            if i = last then on_cond mine else None ),
+                        i + 1 ))
+                    (build ~under_outer first, 0)
+                    rest
+                in
+                tref)
         | A.J_left (a, b) ->
-            let conds = node_conds node ~outer:false in
+            let conds = on_cond (assigned node) in
             T_join
-              ( J_left,
-                build a,
-                build b,
-                match conds with [] -> None | cs -> Some (C_and cs) )
+              (J_left, build ~under_outer:true a, build ~under_outer:true b, conds)
         | A.J_full (a, b) ->
-            let conds = node_conds node ~outer:false in
+            let conds = on_cond (assigned node) in
             T_join
-              ( J_full,
-                build a,
-                build b,
-                match conds with [] -> None | cs -> Some (C_and cs) )
+              (J_full, build ~under_outer:true a, build ~under_outer:true b, conds)
       in
-      let tree_ref = build jt in
+      let tree_ref = build ~under_outer:false jt in
       (* bindings not in the tree join as comma items *)
       let rest =
         List.filter
@@ -279,8 +375,8 @@ and tr_bindings_and_join ~conv ~heads (scope : A.scope) :
 (* Collections                                                         *)
 (* ------------------------------------------------------------------ *)
 
-and tr_collection ?(conv = Conventions.sql_set) (c : A.collection) : set_query
-    =
+and tr_collection ?(conv = Conventions.sql_set) ?(schemas = [])
+    (c : A.collection) : set_query =
   let distinct =
     match conv.Conventions.collection with
     | Conventions.Set -> true
@@ -294,7 +390,7 @@ and tr_collection ?(conv = Conventions.sql_set) (c : A.collection) : set_query
       | f -> { A.bindings = []; grouping = None; join = None; body = f }
     in
     let from, on_assigned =
-      tr_bindings_and_join ~conv ~heads:[ head_name ] scope
+      tr_bindings_and_join ~conv ~schemas ~heads:[ head_name ] scope
     in
     let conjs = A.conjuncts scope.A.body in
     let conjs = List.filter (fun f -> not (List.memq f on_assigned)) conjs in
@@ -334,12 +430,12 @@ and tr_collection ?(conv = Conventions.sql_set) (c : A.collection) : set_query
     let where =
       match pre with
       | [] -> None
-      | fs -> Some (C_and (List.map (tr_bool_formula ~conv) fs))
+      | fs -> Some (C_and (List.map (tr_bool_formula ~conv ~schemas) fs))
     in
     let having =
       match post with
       | [] -> None
-      | fs -> Some (C_and (List.map (tr_bool_formula ~conv) fs))
+      | fs -> Some (C_and (List.map (tr_bool_formula ~conv ~schemas) fs))
     in
     let group_by =
       match scope.A.grouping with
@@ -392,21 +488,31 @@ let rec def_is_recursive (d : A.definition) =
   in
   walk_f d.A.def_body.A.body
 
-let statement ?(conv = Conventions.sql_set) (p : A.program) : statement =
+let statement ?(conv = Conventions.sql_set) ?(schemas = []) (p : A.program) :
+    statement =
+  (* definitions contribute their head attributes, so grouping scopes over
+     defined collections can deduplicate under Set conventions too *)
+  let schemas =
+    schemas
+    @ List.map
+        (fun (d : A.definition) ->
+          (d.A.def_name, d.A.def_body.A.head.head_attrs))
+        p.A.defs
+  in
   let ctes =
     List.map
       (fun (d : A.definition) ->
         {
           cte_name = d.A.def_name;
           cte_cols = d.A.def_body.A.head.head_attrs;
-          cte_body = tr_collection ~conv d.A.def_body;
+          cte_body = tr_collection ~conv ~schemas d.A.def_body;
         })
       p.A.defs
   in
   let recursive = List.exists def_is_recursive p.A.defs in
   let body =
     match p.A.main with
-    | A.Coll c -> tr_collection ~conv c
+    | A.Coll c -> tr_collection ~conv ~schemas c
     | A.Sentence f ->
         (* Fig 9: SQL can only return a unary relation for a sentence *)
         Q_select
@@ -414,7 +520,7 @@ let statement ?(conv = Conventions.sql_set) (p : A.program) : statement =
             distinct = true;
             items = [ { item_expr = E_const (V.Int 1); item_alias = Some "holds" } ];
             from = [];
-            where = Some (tr_bool_formula ~conv f);
+            where = Some (tr_bool_formula ~conv ~schemas f);
             group_by = [];
             having = None;
             order_by = [];
@@ -423,4 +529,5 @@ let statement ?(conv = Conventions.sql_set) (p : A.program) : statement =
   in
   { with_recursive = recursive; ctes; body }
 
-let collection ?(conv = Conventions.sql_set) c = tr_collection ~conv c
+let collection ?(conv = Conventions.sql_set) ?(schemas = []) c =
+  tr_collection ~conv ~schemas c

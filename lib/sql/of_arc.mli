@@ -21,7 +21,21 @@
 exception Unsupported of string
 
 val statement :
-  ?conv:Arc_value.Conventions.t -> Arc_core.Ast.program -> Ast.statement
+  ?conv:Arc_value.Conventions.t ->
+  ?schemas:(string * string list) list ->
+  Arc_core.Ast.program ->
+  Ast.statement
+(** [schemas] maps base-relation names to their attribute lists. It is
+    only consulted under [Set] collection conventions when a grouping
+    scope ranges over a base relation: there the inputs are semantically
+    sets, aggregates observe multiplicity, and the source must be
+    rendered as a [SELECT DISTINCT …] derived table — impossible without
+    knowing the columns. Such queries raise {!Unsupported} when the
+    schema is absent. Definitions contribute their head attributes
+    automatically. *)
 
 val collection :
-  ?conv:Arc_value.Conventions.t -> Arc_core.Ast.collection -> Ast.set_query
+  ?conv:Arc_value.Conventions.t ->
+  ?schemas:(string * string list) list ->
+  Arc_core.Ast.collection ->
+  Ast.set_query

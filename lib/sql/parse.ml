@@ -68,6 +68,9 @@ and parse_mul st i =
     | OP "/" ->
         let r, i = parse_eatom st (i + 1) in
         loop (E_binop (B_div, acc, r)) i
+    | OP "%" ->
+        let r, i = parse_eatom st (i + 1) in
+        loop (E_binop (B_mod, acc, r)) i
     | _ -> (acc, i)
   in
   loop l i

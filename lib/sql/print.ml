@@ -2,11 +2,44 @@ open Ast
 module V = Arc_value.Value
 module Aggregate = Arc_value.Aggregate
 
+(* must cover every word the lexer treats as a keyword, so an identifier
+   that collides with one round-trips through quoting *)
+let keywords =
+  [
+    "select"; "distinct"; "from"; "where"; "group"; "by"; "having"; "as";
+    "on"; "join"; "left"; "right"; "full"; "cross"; "inner"; "outer";
+    "lateral"; "exists"; "in"; "is"; "not"; "null"; "like"; "and"; "or";
+    "union"; "all"; "except"; "intersect"; "with"; "recursive"; "true";
+    "false"; "into"; "order"; "asc"; "desc"; "limit";
+  ]
+
+let is_plain_ident s =
+  s <> ""
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | '$' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '$' -> true | _ -> false)
+       s
+  && not (List.mem (String.lowercase_ascii s) keywords)
+
+let ident s =
+  if is_plain_ident s then s
+  else begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
 let binop_str = function
   | B_add -> "+"
   | B_sub -> "-"
   | B_mul -> "*"
   | B_div -> "/"
+  | B_mod -> "%"
 
 let agg_name = function
   | Aggregate.Sum -> "sum"
@@ -20,8 +53,8 @@ let agg_name = function
 
 let rec expr = function
   | E_const v -> V.to_string v
-  | E_col (None, c) -> c
-  | E_col (Some t, c) -> t ^ "." ^ c
+  | E_col (None, c) -> ident c
+  | E_col (Some t, c) -> ident t ^ "." ^ ident c
   | E_binop (op, l, r) ->
       Printf.sprintf "%s %s %s" (eatom l) (binop_str op) (eatom r)
   | E_neg e -> "-" ^ eatom e
@@ -52,7 +85,7 @@ and cond = function
   | C_in (e, q) -> expr e ^ " in (" ^ set_query q ^ ")"
   | C_is_null e -> expr e ^ " is null"
   | C_is_not_null e -> expr e ^ " is not null"
-  | C_like (e, p) -> expr e ^ " like '" ^ p ^ "'"
+  | C_like (e, p) -> expr e ^ " like " ^ V.to_string (V.Str p)
 
 and catom c =
   match c with C_or _ | C_and _ -> "(" ^ cond c ^ ")" | _ -> cond c
@@ -60,9 +93,9 @@ and catom c =
 and corom c = match c with C_or _ -> "(" ^ cond c ^ ")" | _ -> cond c
 
 and table_ref = function
-  | T_rel (n, None) -> n
-  | T_rel (n, Some a) -> n ^ " as " ^ a
-  | T_sub (q, a) -> "(" ^ set_query q ^ ") as " ^ a
+  | T_rel (n, None) -> ident n
+  | T_rel (n, Some a) -> ident n ^ " as " ^ ident a
+  | T_sub (q, a) -> "(" ^ set_query q ^ ") as " ^ ident a
   | T_join (k, l, r, on) ->
       let kw =
         match k with
@@ -78,11 +111,11 @@ and table_ref = function
       in
       let rhs =
         match r with
-        | T_lateral (q, a) -> "lateral (" ^ set_query q ^ ") as " ^ a
+        | T_lateral (q, a) -> "lateral (" ^ set_query q ^ ") as " ^ ident a
         | _ -> join_operand r
       in
       table_ref l ^ " " ^ kw ^ " " ^ rhs ^ on_str
-  | T_lateral (q, a) -> "join lateral (" ^ set_query q ^ ") as " ^ a ^ " on true"
+  | T_lateral (q, a) -> "join lateral (" ^ set_query q ^ ") as " ^ ident a ^ " on true"
 
 and join_operand r =
   match r with
@@ -95,7 +128,7 @@ and select_str s =
       (List.map
          (fun it ->
            expr it.item_expr
-           ^ match it.item_alias with Some a -> " as " ^ a | None -> "")
+           ^ match it.item_alias with Some a -> " as " ^ ident a | None -> "")
          s.items)
   in
   let parts =
@@ -122,7 +155,7 @@ and select_str s =
            ^ String.concat ", "
                (List.map
                   (fun (t, c) ->
-                    match t with Some t -> t ^ "." ^ c | None -> c)
+                    match t with Some t -> ident t ^ "." ^ ident c | None -> ident c)
                   s.group_by);
          ])
     @ (match s.having with Some c -> [ "having " ^ cond c ] | None -> [])
@@ -162,9 +195,9 @@ let statement st =
       ^ String.concat ", "
           (List.map
              (fun c ->
-               c.cte_name
+               ident c.cte_name
                ^ (if c.cte_cols = [] then ""
-                  else "(" ^ String.concat ", " c.cte_cols ^ ")")
+                  else "(" ^ String.concat ", " (List.map ident c.cte_cols) ^ ")")
                ^ " as (" ^ set_query c.cte_body ^ ")")
              st.ctes)
       ^ " "

@@ -47,6 +47,7 @@ let rec tr_expr ctx (scope : scope) extras e : A.term =
         | B_sub -> A.Sub
         | B_mul -> A.Mul
         | B_div -> A.Div
+        | B_mod -> A.Mod
       in
       A.Scalar (op', [ tr_expr ctx scope extras l; tr_expr ctx scope extras r ])
   | E_neg e -> A.Scalar (A.Neg, [ tr_expr ctx scope extras e ])

@@ -22,6 +22,12 @@ let expect st i t =
 
 let try_parse f st i = try Some (f st i) with Fail _ -> None
 
+let starts_term_op = function
+  | OP ("=" | "<>" | "<" | "<=" | ">" | ">=" | "+" | "-" | "*" | "/" | "%") ->
+      true
+  | KW ("is" | "like") -> true
+  | _ -> false
+
 (* ---------------- terms ---------------- *)
 
 let rec parse_term st i = parse_add st i
@@ -50,6 +56,9 @@ and parse_mul st i =
     | OP "/" ->
         let r, i = parse_atom st (i + 1) in
         loop (Scalar (Div, [ acc; r ])) i
+    | OP "%" ->
+        let r, i = parse_atom st (i + 1) in
+        loop (Scalar (Mod, [ acc; r ])) i
     | _ -> (acc, i)
   in
   loop l i
@@ -59,6 +68,8 @@ and parse_atom st i =
   | NUMBER v -> (Const v, i + 1)
   | STRING s -> (Const (V.Str s), i + 1)
   | KW "null" -> (Const V.Null, i + 1)
+  | KW "true" -> (Const (V.Bool true), i + 1)
+  | KW "false" -> (Const (V.Bool false), i + 1)
   | OP "-" ->
       let t, i = parse_atom st (i + 1) in
       (Scalar (Neg, [ t ]), i)
@@ -148,7 +159,11 @@ and parse_unary st i =
       let f, i = parse_unary st (i + 1) in
       (Not f, i)
   | KW "exists" -> parse_exists st (i + 1)
-  | KW "true" when tok st (i + 1) <> OP "=" -> (True, i + 1)
+  (* bare true/false are formulas (True, the empty disjunction) — but when a
+     term operator follows they open a boolean-constant predicate, e.g.
+     [true <> r.a], and fall through to parse_pred *)
+  | KW "true" when not (starts_term_op (tok st (i + 1))) -> (True, i + 1)
+  | KW "false" when not (starts_term_op (tok st (i + 1))) -> (Or [], i + 1)
   | LPAREN -> (
       (* could be a parenthesized formula or a parenthesized term starting a
          predicate; try the predicate reading first *)

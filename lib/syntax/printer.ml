@@ -43,7 +43,17 @@ let is_plain_ident s =
        (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '$' -> true | _ -> false)
        s
 
-let ident s = if is_plain_ident s then s else "\"" ^ s ^ "\""
+let quote_ident s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let ident s = if is_plain_ident s then s else quote_ident s
 
 let attr_ref v a =
   ident v ^ "."
@@ -52,7 +62,7 @@ let attr_ref v a =
     is_plain_ident a
     || (a <> "" && String.for_all (function '0' .. '9' | '$' -> true | _ -> false) a)
   then a
-  else "\"" ^ a ^ "\""
+  else quote_ident a
 
 let rec term_str t =
   match t with
@@ -72,7 +82,7 @@ let rec term_str t =
 
 and atom_str t =
   match t with
-  | Scalar ((Add | Sub | Mul | Div), [ _; _ ]) -> "(" ^ term_str t ^ ")"
+  | Scalar ((Add | Sub | Mul | Div | Mod), [ _; _ ]) -> "(" ^ term_str t ^ ")"
   | _ -> term_str t
 
 let pred_str p =
@@ -81,7 +91,8 @@ let pred_str p =
       Printf.sprintf "%s %s %s" (term_str l) (cmp_op_to_string op) (term_str r)
   | Is_null t -> term_str t ^ " is null"
   | Not_null t -> term_str t ^ " is not null"
-  | Like (t, pat) -> Printf.sprintf "%s like '%s'" (term_str t) pat
+  | Like (t, pat) ->
+      Printf.sprintf "%s like %s" (term_str t) (V.to_string (V.Str pat))
 
 let rec join_tree_str jt =
   match jt with
@@ -106,6 +117,9 @@ let rec formula_str s f =
   match f with
   | True -> "true"
   | Pred p -> pred_str p
+  (* the empty conjunction/disjunction are the constants true/false *)
+  | And [] -> "true"
+  | Or [] -> "false"
   | And fs ->
       String.concat (" " ^ s.and_ ^ " ") (List.map (conj_atom s) fs)
   | Or fs -> String.concat (" " ^ s.or_ ^ " ") (List.map (disj_atom s) fs)

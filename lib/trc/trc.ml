@@ -281,7 +281,13 @@ let to_string q =
 (* Normalization (Section 2.1)                                         *)
 (* ------------------------------------------------------------------ *)
 
-(* step 0: ∀x[φ] → ¬∃x[¬φ] *)
+(* step 0: ∀x[φ] → ¬∃x[¬φ], keeping each variable's range atom positive on
+   the conjunctive spine of the ∃ so scope clarification can find it.
+   Both ∀v∈R[φ] (range sugar, parsed as v∈R ∧ φ) and the textbook
+   implication ∀v[¬(v∈R) ∨ φ] mean ¬∃v∈R[¬φ]; the blind ¬∃v[¬(v∈R ∧ φ)]
+   buries the range under negation, where {!extract_membership} cannot
+   reach it. Variables with no recognizable range keep the blind shape and
+   fail later with the usual range error. *)
 let rec eliminate_forall f =
   match f with
   | T_member _ | T_cmp _ -> f
@@ -289,7 +295,33 @@ let rec eliminate_forall f =
   | T_or fs -> T_or (List.map eliminate_forall fs)
   | T_not f -> T_not (eliminate_forall f)
   | T_exists (vs, f) -> T_exists (vs, eliminate_forall f)
-  | T_forall (vs, f) -> T_not (T_exists (vs, T_not (eliminate_forall f)))
+  | T_forall (vs, f) ->
+      let f = eliminate_forall f in
+      let ranges, rest = forall_ranges vs f in
+      T_not (T_exists (vs, T_and (ranges @ [ T_not rest ])))
+
+(* split off one positive range atom per quantified variable: from the
+   conjunctive spine (range sugar), or negated on a disjunctive spine (the
+   implication form) *)
+and forall_ranges vs f =
+  match f with
+  | T_member (v, _) when List.mem v vs -> ([ f ], T_and [])
+  | T_and fs ->
+      let ranges, rest =
+        List.partition
+          (function T_member (v, _) -> List.mem v vs | _ -> false)
+          fs
+      in
+      (ranges, match rest with [ g ] -> g | gs -> T_and gs)
+  | T_or fs ->
+      let ranges, rest =
+        List.partition
+          (function T_not (T_member (v, _)) -> List.mem v vs | _ -> false)
+          fs
+      in
+      ( List.map (function T_not m -> m | g -> g) ranges,
+        match rest with [ g ] -> g | gs -> T_or gs )
+  | _ -> ([], f)
 
 (* step 1: clarify scopes — pull each quantified variable's membership atom
    out of the conjunctive spine of its scope *)

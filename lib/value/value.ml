@@ -75,10 +75,15 @@ let add = arith "+" ( + ) ( +. )
 let sub = arith "-" ( - ) ( -. )
 let mul = arith "*" ( * ) ( *. )
 
-let div a b =
-  match b with
-  | Int 0 -> raise (Type_error "integer division by zero")
-  | _ -> arith "/" ( / ) ( /. ) a b
+(* SQL-style: division (and modulo) by zero is NULL, not an error. This
+   also keeps float division total — no infinities or NaNs escape into
+   result sets, where their canonical forms would not round-trip. *)
+let is_zero = function Int 0 -> true | Float f -> f = 0.0 | _ -> false
+
+let div a b = if is_zero b then Null else arith "/" ( / ) ( /. ) a b
+
+let modulo a b =
+  if is_zero b then Null else arith "%" ( mod ) Float.rem a b
 
 let neg = function
   | Null -> Null
@@ -117,14 +122,29 @@ let like v pat =
       Some (go 0 0)
   | _ -> raise (Type_error "LIKE applied to non-string")
 
+(* Shortest decimal form that parses back to the same float. *)
+let float_repr x =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.1f" x
+  else
+    let s = Printf.sprintf "%.15g" x in
+    if float_of_string s = x then s else Printf.sprintf "%.17g" x
+
+(* SQL-style single-quoted literal: embedded quotes double. *)
+let quote_str s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '\'';
+  String.iter
+    (fun c ->
+      if c = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '\'';
+  Buffer.contents buf
+
 let to_string = function
   | Null -> "null"
   | Int x -> string_of_int x
-  | Float x ->
-      if Float.is_integer x && Float.abs x < 1e15 then
-        Printf.sprintf "%.1f" x
-      else Printf.sprintf "%g" x
-  | Str s -> "'" ^ s ^ "'"
+  | Float x -> float_repr x
+  | Str s -> quote_str s
   | Bool b -> string_of_bool b
 
 let pp fmt v = Format.pp_print_string fmt (to_string v)

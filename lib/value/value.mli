@@ -41,10 +41,15 @@ exception Type_error of string
 val add : t -> t -> t
 val sub : t -> t -> t
 val mul : t -> t -> t
+
 val div : t -> t -> t
-(** Arithmetic is null-strict: any [Null] operand yields [Null].
-    [div] by zero raises [Type_error] for ints and yields [Float infinity]
-    semantics avoided: integer division by zero raises. *)
+(** Arithmetic is null-strict: any [Null] operand yields [Null]. Division
+    by zero (integer or float) yields [Null], SQL-style — never an error,
+    never an infinity or NaN. *)
+
+val modulo : t -> t -> t
+(** Remainder ([mod] for ints, [Float.rem] for floats); modulo by zero
+    yields [Null] like {!div}. *)
 
 val neg : t -> t
 
@@ -55,7 +60,12 @@ val like : t -> string -> bool option
 (** SQL [LIKE] with [%] and [_] wildcards; [None] when the value is [Null]. *)
 
 val pp : Format.formatter -> t -> unit
+
 val to_string : t -> string
+(** Literal syntax accepted by every frontend lexer: strings are
+    single-quoted with embedded quotes doubled ([''']), floats print in a
+    shortest form that reparses to the identical float (exponent notation
+    when needed). *)
 
 val canonical : t -> string
 (** Serialization for hash keys: injective up to {!equal} (so [Int 1] and

@@ -1,0 +1,1 @@
+{Q(h0) | exists v1 in R0[Q.h0 = false and true <> v1.c0]}

@@ -1,0 +1,1 @@
+{Q(h0, h1) | exists v1 in R0, gamma_0[Q.h0 = sum(v1.c0) and Q.h1 = 'x']}

@@ -1,0 +1,1 @@
+{Q(h0) | exists v1 in R0, v2 in R1, full(v1, v2)[Q.h0 = v2.c0 and v1.c0 < v1.c0]}

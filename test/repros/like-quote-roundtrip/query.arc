@@ -1,0 +1,1 @@
+{Q(h0) | exists v1 in R0[Q.h0 = v1.c0 and v1.c0 like '%''%']}

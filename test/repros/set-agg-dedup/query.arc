@@ -1,0 +1,1 @@
+{Q(h0) | exists v1 in R0, gamma_0[Q.h0 = sum(v1.c0)]}

@@ -161,6 +161,41 @@ let table_render () =
   Alcotest.(check bool) "nullary rendering" true
     (contains (Relation.to_table nullary) "nullary")
 
+let csv_roundtrip () =
+  let check_rt name r =
+    let r' = Arc_relation.Csv.read ~name:"R" (Arc_relation.Csv.write r) in
+    Alcotest.(check bool) (name ^ ": schema") true
+      (Schema.equal (Relation.schema r) (Relation.schema r'));
+    Alcotest.(check bool) (name ^ ": rows") true (Relation.equal_bag r r')
+  in
+  check_rt "adversarial values"
+    (Relation.of_rows [ "A"; "B"; "C" ]
+       [
+         [ i 1; V.Str "plain"; V.Null ];
+         [ i (-3); V.Str "comma, inside"; V.Bool true ];
+         [ V.Float 2.5; V.Str "quote \" and 'tick'"; V.Bool false ];
+         [ V.Float 1e-7; V.Str "null"; V.Null ];
+         [ V.Float 1e20; V.Str ""; V.Str "line\nbreak" ];
+         [ V.Int 0; V.Str "123"; V.Str "true" ];
+       ]);
+  check_rt "nasty attribute names"
+    (Relation.of_rows [ "a,b"; "with \"quote\""; "null" ] [ [ i 1; i 2; i 3 ] ]);
+  check_rt "empty relation" (Relation.of_rows [ "A" ] []);
+  check_rt "nullary with rows"
+    (Relation.make (Schema.make []) [ Tuple.make (Schema.make []) [||] ]);
+  (* the quoted string "null" must stay a string, the bare marker a NULL *)
+  let r = Arc_relation.Csv.read "A,B\n\"null\",null\n" in
+  let tp = List.hd (Relation.tuples r) in
+  Alcotest.(check bool) "quoted null is a string" true
+    (Tuple.get tp "A" = V.Str "null");
+  Alcotest.(check bool) "bare null is NULL" true (V.is_null (Tuple.get tp "B"));
+  Alcotest.check_raises "bare string rejected"
+    (Arc_relation.Csv.Csv_error "malformed bare field \"abc\" (strings must be quoted)")
+    (fun () -> ignore (Arc_relation.Csv.read "A\nabc\n"));
+  Alcotest.check_raises "ragged row rejected"
+    (Arc_relation.Csv.Csv_error "row has 2 field(s), header has 1")
+    (fun () -> ignore (Arc_relation.Csv.read "A\n1,2\n"))
+
 (* properties *)
 let gen_rel =
   QCheck.make
@@ -222,6 +257,7 @@ let () =
           Alcotest.test_case "set/bag equality" `Quick rel_equalities;
           Alcotest.test_case "errors" `Quick rel_errors;
           Alcotest.test_case "table rendering" `Quick table_render;
+          Alcotest.test_case "csv roundtrip" `Quick csv_roundtrip;
         ] );
       ("database", [ Alcotest.test_case "basics" `Quick database ]);
       ( "properties",

@@ -511,7 +511,7 @@ let of_arc_roundtrip () =
       let via_engine =
         Eval.run_rows ~conv:Conventions.sql_set ~db:figures_db prog
       in
-      let sql = Sql.Of_arc.statement ~conv:Conventions.sql_set prog in
+      let sql = Sql.Of_arc.statement ~conv:Conventions.sql_set ~schemas prog in
       let via_sql = Sql.Eval_sql.run ~db:figures_db sql in
       if
         not
@@ -578,6 +578,95 @@ let of_arc_recursive () =
   let via_sql = Sql.Eval_sql.run ~db sql in
   Alcotest.(check bool) "recursion agrees" true
     (Relation.equal_set via_engine via_sql)
+
+(* Satellite: Of_arc output must survive print → re-parse → to_arc as a
+   semantically equivalent core — including identifier quoting, string
+   escaping, operator precedence, and the NOT EXISTS/NOT IN family. *)
+let of_arc_reparse_roundtrip () =
+  let open Arc_core.Build in
+  let db_strs =
+    Database.of_list
+      [
+        ( "T",
+          Relation.of_rows [ "name" ]
+            [ [ s "it's" ]; [ s "plain" ]; [ s "a,b" ]; [ s "null" ] ] );
+      ]
+  in
+  let value_rows r =
+    let attrs = Arc_relation.Schema.attrs (Relation.schema r) in
+    List.sort compare
+      (List.map
+         (fun tp -> List.map (Arc_relation.Tuple.get tp) attrs)
+         (Relation.tuples r))
+  in
+  let all_schemas = schemas @ [ ("T", [ "name" ]) ] in
+  let check (db, q, name) =
+    let prog = Arc_core.Ast.program q in
+    let direct = Eval.run_rows ~conv:Conventions.sql_set ~db prog in
+    let sql_text =
+      Sql.Print.statement (Sql.Of_arc.statement ~conv:Conventions.sql_set prog)
+    in
+    let reparsed =
+      try Sql.Parse.statement_of_string sql_text
+      with Sql.Parse.Parse_error m ->
+        Alcotest.failf "%s: reparse of %S failed: %s" name sql_text m
+    in
+    let back = Sql.To_arc.statement ~schemas:all_schemas reparsed in
+    let via = Eval.run_rows ~conv:Conventions.sql_set ~db back in
+    if value_rows direct <> value_rows via then
+      Alcotest.failf "%s: %S changed meaning on re-parse" name sql_text
+  in
+  List.iter check
+    [
+      ( db_strs,
+        coll "Q" [ "n" ]
+          (exists [ bind "t" "T" ]
+             (conj
+                [
+                  eq (attr "Q" "n") (attr "t" "name");
+                  eq (attr "t" "name") (cstr "it's");
+                ])),
+        "embedded quote in literal" );
+      ( db_strs,
+        coll "Q" [ "n" ]
+          (exists [ bind "t" "T" ]
+             (conj
+                [
+                  eq (attr "Q" "n") (attr "t" "name");
+                  like (attr "t" "name") "it'%";
+                ])),
+        "embedded quote in LIKE pattern" );
+      ( figures_db,
+        coll "Q" [ "x"; "y" ]
+          (exists [ bind "r" "R" ]
+             (conj
+                [
+                  eq (attr "Q" "x")
+                    (add (attr "r" "A") (mul (attr "r" "B") (cint 2)));
+                  eq (attr "Q" "y") (mod_ (attr "r" "B") (cint 3));
+                ])),
+        "arithmetic precedence and mod" );
+      ( figures_db,
+        coll "Q" [ "A" ]
+          (exists [ bind "r" "R" ]
+             (conj
+                [
+                  eq (attr "Q" "A") (attr "r" "A");
+                  not_
+                    (exists [ bind "s2" "S" ]
+                       (eq (attr "r" "B") (attr "s2" "B")));
+                ])),
+        "not exists" );
+      ( figures_db,
+        coll "Q" [ "f" ]
+          (exists [ bind "r" "R" ]
+             (conj
+                [
+                  eq (attr "Q" "f") (attr "r" "A");
+                  gt (attr "r" "A") (const (V.Float 1e-7));
+                ])),
+        "exponent float literal" );
+    ]
 
 let full_circle () =
   (* SQL → ARC → SQL: the reprinted SQL must still evaluate to the same
@@ -680,6 +769,8 @@ let () =
         [
           Alcotest.test_case "round-trips" `Quick of_arc_roundtrip;
           Alcotest.test_case "full circle SQL→ARC→SQL" `Quick full_circle;
+          Alcotest.test_case "of_arc print/re-parse fidelity" `Quick
+            of_arc_reparse_roundtrip;
           Alcotest.test_case "sentence" `Quick of_arc_sentence;
           Alcotest.test_case "recursion" `Quick of_arc_recursive;
         ] );

@@ -92,6 +92,38 @@ let forall_range_sugar () =
   Alcotest.(check bool) "division result" true
     (Relation.equal_set r (Relation.of_rows [ "sup" ] [ [ V.str "a" ] ]))
 
+(* regression: ∀-elimination must keep each quantified variable's range
+   atom positive on the ∃'s conjunctive spine, or range extraction fails.
+   Both the range sugar and the implication idiom once raised
+   Normalize_error on every forall (found by the differential fuzzer). *)
+let division_db =
+  Database.of_list
+    [
+      ( "Supplies",
+        Relation.of_rows [ "sup"; "part" ]
+          [
+            [ V.str "a"; V.str "x" ]; [ V.str "a"; V.str "y" ];
+            [ V.str "b"; V.str "x" ];
+          ] );
+      ("Parts", Relation.of_rows [ "part" ] [ [ V.str "x" ]; [ V.str "y" ] ]);
+    ]
+
+let check_division name q =
+  let c = Trc.to_arc q in
+  let r = Arc_engine.Eval.run_rows ~db:division_db (program (Coll c)) in
+  Alcotest.(check bool) name true
+    (Relation.equal_set r (Relation.of_rows [ "sup" ] [ [ V.str "a" ] ]))
+
+let forall_sugar_division () =
+  check_division "forall range sugar"
+    "{s1.sup | s1 in Supplies and forall p in Parts [exists s2 in Supplies[s2.sup \
+     = s1.sup and s2.part = p.part]]}"
+
+let forall_implication_division () =
+  check_division "forall implication idiom"
+    "{s1.sup | s1 in Supplies and forall p [not (p in Parts) or exists s2 in \
+     Supplies[s2.sup = s1.sup and s2.part = p.part]]}"
+
 let multi_projection_dedup () =
   let c = Trc.to_arc "{r.A, s.A | r in R and s in R and r.B = s.B}" in
   Alcotest.(check (list string)) "head attrs deduplicated" [ "A"; "A2" ]
@@ -124,6 +156,10 @@ let () =
           Alcotest.test_case "range sugar" `Quick sugar_range_in_quantifier;
           Alcotest.test_case "evaluation" `Quick evaluation_agrees;
           Alcotest.test_case "division via ¬∃¬" `Quick forall_range_sugar;
+          Alcotest.test_case "division via forall-in sugar" `Quick
+            forall_sugar_division;
+          Alcotest.test_case "division via forall implication" `Quick
+            forall_implication_division;
           Alcotest.test_case "head dedup" `Quick multi_projection_dedup;
         ] );
       ( "misc",

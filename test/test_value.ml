@@ -28,9 +28,57 @@ let value_arith () =
   Alcotest.(check bool) "null strict" true (V.is_null (V.add V.Null (i 1)));
   Alcotest.(check bool) "mixed int/float" true
     (V.equal (V.mul (i 2) (V.Float 1.5)) (V.Float 3.));
-  Alcotest.check_raises "div by zero"
-    (V.Type_error "integer division by zero") (fun () ->
-      ignore (V.div (i 1) (i 0)))
+  (* SQL semantics: division/modulo by zero yields NULL, never an error,
+     never an infinity (which would not round-trip through canonical) *)
+  Alcotest.(check bool) "int div by zero is null" true
+    (V.is_null (V.div (i 1) (i 0)));
+  Alcotest.(check bool) "float div by zero is null" true
+    (V.is_null (V.div (V.Float 1.5) (V.Float 0.)));
+  Alcotest.(check bool) "mixed div by zero is null" true
+    (V.is_null (V.div (i 1) (V.Float 0.)));
+  Alcotest.(check bool) "7 mod 3 = 1" true
+    (V.equal (V.modulo (i 7) (i 3)) (i 1));
+  Alcotest.(check bool) "mod by zero is null" true
+    (V.is_null (V.modulo (i 7) (i 0)));
+  Alcotest.(check bool) "float mod" true
+    (V.equal (V.modulo (V.Float 7.5) (i 2)) (V.Float 1.5));
+  Alcotest.(check bool) "mod null strict" true
+    (V.is_null (V.modulo V.Null (i 3)))
+
+(* Int/Float values that compare equal must agree on their hash key, or
+   the reference evaluator's grouping and the plan engine's hash joins
+   would partition the same rows differently. *)
+let value_canonical_coercion () =
+  Alcotest.(check string)
+    "Int 1 and Float 1.0 share a canonical form" (V.canonical (i 1))
+    (V.canonical (V.Float 1.0));
+  Alcotest.(check bool) "Float 1.5 differs from Int 1" true
+    (V.canonical (V.Float 1.5) <> V.canonical (i 1));
+  Alcotest.(check bool) "equal values, equal keys" true
+    (List.for_all
+       (fun (a, b) -> (V.equal a b) = (V.canonical a = V.canonical b))
+       [
+         (i 0, V.Float 0.);
+         (i (-3), V.Float (-3.));
+         (i 7, V.Float 7.2);
+         (V.Float 2.5, V.Float 2.5);
+         (V.Null, i 0);
+         (V.Bool true, i 1);
+         (V.Str "1", i 1);
+       ])
+
+let value_to_string_roundtrip () =
+  Alcotest.(check string) "quote doubling" "'it''s'"
+    (V.to_string (V.Str "it's"));
+  Alcotest.(check string) "plain string" "'abc'" (V.to_string (V.Str "abc"));
+  (* float_repr must reparse to the identical float *)
+  List.iter
+    (fun f ->
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "float %h reparses" f)
+        f
+        (float_of_string (V.to_string (V.Float f))))
+    [ 0.5; 1.0; -2.25; 1e-7; 1e20; 3.141592653589793; 0.1 ]
 
 let value_like () =
   let t pat s expect =
@@ -163,6 +211,10 @@ let () =
           Alcotest.test_case "compare" `Quick value_compare;
           Alcotest.test_case "cmp3" `Quick value_cmp3;
           Alcotest.test_case "arithmetic" `Quick value_arith;
+          Alcotest.test_case "canonical int/float coercion" `Quick
+            value_canonical_coercion;
+          Alcotest.test_case "to_string roundtrip" `Quick
+            value_to_string_roundtrip;
           Alcotest.test_case "like" `Quick value_like;
         ] );
       ( "bool3",
