@@ -15,8 +15,13 @@ module V = Arc_value.Value
 module Relation = Arc_relation.Relation
 module Database = Arc_relation.Database
 module Eval = Arc_engine.Eval
+module Exec = Arc_engine.Exec
+module Tuple = Arc_relation.Tuple
 module Obs = Arc_obs.Obs
 module Json = Arc_obs.Json
+module Metrics = Arc_obs.Metrics
+module Ir = Arc_plan.Ir
+module Explain = Arc_plan.Explain
 
 let rule () = print_endline (String.make 78 '=')
 
@@ -88,6 +93,69 @@ let run_bench ~name tests =
       (name, est))
     rows
 
+(* Bechamel prefixes grouped test names ("guard/…", "engine/…"), so report
+   rows are matched by suffix. *)
+let find_suffix rows needle =
+  match
+    List.find_opt
+      (fun (n, _) ->
+        String.length n >= String.length needle
+        && String.sub n (String.length n - String.length needle)
+             (String.length needle)
+           = needle)
+      rows
+  with
+  | Some (_, est) when not (Float.is_nan est) -> Some est
+  | _ -> None
+
+(* Simple warmup/repeat/median timer for ablations where the two arms must
+   run the exact same code path (Bechamel's staging would not let the
+   per-run setup — a fresh stats table — stay out of the measurement
+   cleanly). The arms are sampled interleaved: heap growth and GC drift
+   move both arms together, so back-to-back blocks would misread drift as
+   overhead. Each pair reports its minimum — the least-interfered run —
+   because by this point in the bench the major heap is large and any
+   individual sample can eat a collection. *)
+let min_pair_ns ?(warmup = 3) ?(repeats = 21) f g =
+  Gc.compact ();
+  for _ = 1 to warmup do
+    f ();
+    g ()
+  done;
+  let sample h =
+    let t0 = Metrics.now_ns () in
+    h ();
+    let t1 = Metrics.now_ns () in
+    Int64.to_float (Int64.sub t1 t0)
+  in
+  let fs = ref [] and gs = ref [] in
+  for _ = 1 to repeats do
+    fs := sample f :: !fs;
+    gs := sample g :: !gs
+  done;
+  let best l = List.fold_left Float.min Float.infinity l in
+  (best !fs, best !gs)
+
+(* ------------------------------------------------------------------ *)
+(* Shared workload data                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* chain database P(s,t): 0→1→…→n, the recursion workload of Parts 3, 5,
+   6, 7 and 8 *)
+let chain n =
+  Database.of_list
+    [
+      ( "P",
+        Relation.of_rows [ "s"; "t" ]
+          (List.init n (fun i -> [ V.Int i; V.Int (i + 1) ])) );
+    ]
+
+let eq16 =
+  {
+    Arc_core.Ast.defs = Data.eq16_defs;
+    main = Arc_core.Ast.Coll Data.eq16_main;
+  }
+
 (* ------------------------------------------------------------------ *)
 (* Part 2: one timed benchmark per experiment                          *)
 (* ------------------------------------------------------------------ *)
@@ -119,14 +187,6 @@ let ablation_benches () =
   section
     "PART 3 — Ablations: FIO vs FOI cost, translation, parsing, recursion";
   let db40 = grouped_db 40 and db160 = grouped_db 160 in
-  let chain n =
-    Database.of_list
-      [
-        ( "P",
-          Relation.of_rows [ "s"; "t" ]
-            (List.init n (fun i -> [ V.Int i; V.Int (i + 1) ])) );
-      ]
-  in
   let fio db () = ignore (Eval.run_rows ~db (Arc_core.Ast.program (Arc_core.Ast.Coll Data.eq3)))
   and foi db () = ignore (Eval.run_rows ~db (Arc_core.Ast.program (Arc_core.Ast.Coll Data.eq7))) in
   let sql_text = Data.sql_fig6a in
@@ -149,19 +209,11 @@ let ablation_benches () =
       Test.make ~name:"eval: recursion naive, chain 24"
         (Staged.stage (fun () ->
              ignore
-               (Eval.run_rows ~strategy:Eval.Naive ~db:(chain 24)
-                  {
-                    Arc_core.Ast.defs = Data.eq16_defs;
-                    main = Arc_core.Ast.Coll Data.eq16_main;
-                  })));
+               (Eval.run_rows ~strategy:Eval.Naive ~db:(chain 24) eq16)));
       Test.make ~name:"eval: recursion semi-naive, chain 24"
         (Staged.stage (fun () ->
              ignore
-               (Eval.run_rows ~strategy:Eval.Seminaive ~db:(chain 24)
-                  {
-                    Arc_core.Ast.defs = Data.eq16_defs;
-                    main = Arc_core.Ast.Coll Data.eq16_main;
-                  })));
+               (Eval.run_rows ~strategy:Eval.Seminaive ~db:(chain 24) eq16)));
       Test.make ~name:"eval: unique-set (4 nested negations), 5 drinkers"
         (Staged.stage (fun () ->
              ignore
@@ -186,7 +238,8 @@ let ablation_benches () =
                (Arc_sql.To_arc.statement ~schemas:sql_schemas
                   (Arc_sql.Parse.statement_of_string sql_text))));
       Test.make ~name:"translate: ARC → SQL (Fig 6a)"
-        (Staged.stage (fun () -> ignore (Arc_sql.Of_arc.statement arc_prog)));
+        (Staged.stage (fun () ->
+             ignore (Arc_sql.Of_arc.statement ~schemas:sql_schemas arc_prog)));
       Test.make ~name:"parse: comprehension syntax (Eq 22)"
         (Staged.stage (fun () ->
              ignore (Arc_syntax.Parser.query_of_string comp_text)));
@@ -259,17 +312,6 @@ let modality_metrics () =
 
 let traced_workloads () =
   section "PART 5 — Operator counters (traced workloads)";
-  let chain n =
-    Database.of_list
-      [
-        ( "P",
-          Relation.of_rows [ "s"; "t" ]
-            (List.init n (fun i -> [ V.Int i; V.Int (i + 1) ])) );
-      ]
-  in
-  let eq16 =
-    { Arc_core.Ast.defs = Data.eq16_defs; main = Arc_core.Ast.Coll Data.eq16_main }
-  in
   let workloads =
     [
       ( "recursion chain24, naive",
@@ -325,18 +367,7 @@ module Budget = Arc_guard.Budget
    starts at [Gov.make]), so each run builds a fresh one. *)
 let guard_benches () =
   section "PART 6 — Guard ablation: governed vs ungoverned evaluation";
-  let chain n =
-    Database.of_list
-      [
-        ( "P",
-          Relation.of_rows [ "s"; "t" ]
-            (List.init n (fun i -> [ V.Int i; V.Int (i + 1) ])) );
-      ]
-  in
   let db_chain = chain 24 in
-  let eq16 =
-    { Arc_core.Ast.defs = Data.eq16_defs; main = Arc_core.Ast.Coll Data.eq16_main }
-  in
   let active_guard () =
     Gov.make ~on_limit:`Fail
       (Budget.with_timeout_ms 600_000
@@ -378,19 +409,7 @@ let guard_benches () =
   in
   let rows = run_bench ~name:"guard" tests in
   let find wname vname =
-    match
-      List.find_opt
-        (fun (n, _) ->
-          let needle = Printf.sprintf "%s, %s guard" wname vname in
-          (* grouped bechamel names carry a "guard/" prefix *)
-          String.length n >= String.length needle
-          && String.sub n (String.length n - String.length needle)
-               (String.length needle)
-             = needle)
-        rows
-    with
-    | Some (_, est) when not (Float.is_nan est) -> Some est
-    | _ -> None
+    find_suffix rows (Printf.sprintf "%s, %s guard" wname vname)
   in
   let overhead =
     List.filter_map
@@ -422,31 +441,9 @@ let guard_benches () =
 (* Part 7: engine ablation — reference evaluator vs compiled plans     *)
 (* ------------------------------------------------------------------ *)
 
-module Exec = Arc_engine.Exec
-module Tuple = Arc_relation.Tuple
-
-(* The reference evaluator enumerates scopes as cross products and filters
-   afterwards; the plan engine compiles the same cores to hash joins,
-   hash semi/anti-joins and hash aggregates. Same results (asserted below,
-   bag-for-bag), different asymptotics — this part measures the gap on a
-   recursive workload, a join+aggregate workload, and sparse matrix
-   multiplication (Eq 26 scaled up). *)
-let engine_benches () =
-  section "PART 7 — Engine ablation: reference evaluator vs compiled plans";
-  let chain n =
-    Database.of_list
-      [
-        ( "P",
-          Relation.of_rows [ "s"; "t" ]
-            (List.init n (fun i -> [ V.Int i; V.Int (i + 1) ])) );
-      ]
-  in
-  let eq16 =
-    {
-      Arc_core.Ast.defs = Data.eq16_defs;
-      main = Arc_core.Ast.Coll Data.eq16_main;
-    }
-  in
+(* The three workloads of the engine ablation (Part 7), reused by the
+   EXPLAIN ANALYZE report (Part 8). *)
+let engine_workloads () =
   let analytics_db n =
     Database.of_list
       [
@@ -491,14 +488,23 @@ let engine_benches () =
     Database.of_list [ ("A", mat 0); ("B", mat 1) ]
   in
   let matmul = Arc_core.Ast.program (Arc_core.Ast.Coll Data.eq26) in
-  let workloads =
-    [
-      ("recursion: TC chain 48 (eq16)", chain 48, eq16);
-      ("join+aggregate: analytics rollup, 400 orders", analytics_db 400,
-       analytics_q);
-      ("matrix multiplication 16x16 (eq26)", matrices 16, matmul);
-    ]
-  in
+  [
+    ("recursion: TC chain 48 (eq16)", chain 48, eq16);
+    ( "join+aggregate: analytics rollup, 400 orders",
+      analytics_db 400,
+      analytics_q );
+    ("matrix multiplication 16x16 (eq26)", matrices 16, matmul);
+  ]
+
+(* The reference evaluator enumerates scopes as cross products and filters
+   afterwards; the plan engine compiles the same cores to hash joins,
+   hash semi/anti-joins and hash aggregates. Same results (asserted below,
+   bag-for-bag), different asymptotics — this part measures the gap on a
+   recursive workload, a join+aggregate workload, and sparse matrix
+   multiplication (Eq 26 scaled up). *)
+let engine_benches () =
+  section "PART 7 — Engine ablation: reference evaluator vs compiled plans";
+  let workloads = engine_workloads () in
   (* correctness gate first: both engines must agree bag-for-bag *)
   let bag r =
     List.sort compare (List.map Tuple.key (Relation.tuples r))
@@ -527,18 +533,7 @@ let engine_benches () =
   in
   let rows = run_bench ~name:"engine" tests in
   let find wname suffix =
-    match
-      List.find_opt
-        (fun (n, _) ->
-          let needle = Printf.sprintf "%s, %s" wname suffix in
-          String.length n >= String.length needle
-          && String.sub n (String.length n - String.length needle)
-               (String.length needle)
-             = needle)
-        rows
-    with
-    | Some (_, est) when not (Float.is_nan est) -> Some est
-    | _ -> None
+    find_suffix rows (Printf.sprintf "%s, %s" wname suffix)
   in
   let speedups =
     List.filter_map
@@ -559,6 +554,88 @@ let engine_benches () =
       workloads
   in
   (rows, speedups, results_match)
+
+(* ------------------------------------------------------------------ *)
+(* Part 8: EXPLAIN ANALYZE — per-node actuals and metrics overhead     *)
+(* ------------------------------------------------------------------ *)
+
+let node_to_json (ni : Explain.node_info) =
+  let base =
+    [
+      ("id", Json.Int ni.Explain.ni_id);
+      ("def", Json.Str ni.Explain.ni_def);
+      ("op", Json.Str ni.Explain.ni_op);
+      ("est_rows", Json.Int ni.Explain.ni_est);
+    ]
+  in
+  let actual =
+    match ni.Explain.ni_actual with
+    | None -> [ ("executed", Json.Bool false) ]
+    | Some a ->
+        [
+          ("executed", Json.Bool true);
+          ("invocations", Json.Int a.Ir.a_invocations);
+          ("act_rows", Json.Int a.Ir.a_rows);
+          ("excl_ns", Json.Int (Int64.to_int ni.Explain.ni_excl_ns));
+        ]
+        @ (match ni.Explain.ni_q with
+          | Some q -> [ ("q_error", Json.Float q) ]
+          | None -> [])
+        @
+        if a.Ir.a_iterations > 0 then
+          [ ("iterations", Json.Int a.Ir.a_iterations) ]
+        else []
+  in
+  Json.Obj (base @ actual)
+
+(* Per-workload EXPLAIN ANALYZE (per-node estimated vs actual rows,
+   Q-error, exclusive time) plus the cost of collecting it: the same plan
+   executed with and without a stats table. The off arm is the price
+   everyone pays, so the on/off gap must stay within a few percent
+   (mirroring the Part 3 tracer and Part 6 governor ablations). *)
+let analyze_report () =
+  section "PART 8 — EXPLAIN ANALYZE: per-node actuals and metrics overhead";
+  List.map
+    (fun (wname, db, prog) ->
+      let ctx, _raw, optimized, _report = Exec.compile ~db prog in
+      let stats = Ir.fresh_stats () in
+      ignore (Exec.exec_program ~stats ctx optimized);
+      let infos = Explain.analyze_info optimized ~stats in
+      let worst_q =
+        List.fold_left
+          (fun acc ni ->
+            match ni.Explain.ni_q with Some q -> Float.max acc q | None -> acc)
+          1.0 infos
+      in
+      (* both arms compile fresh each run: exec_program materializes
+         strata into the context's IDB, so a reused context would not
+         time the same work twice *)
+      let off, on =
+        min_pair_ns
+          (fun () ->
+            let ctx, _, opt, _ = Exec.compile ~db prog in
+            ignore (Exec.exec_program ctx opt))
+          (fun () ->
+            let ctx, _, opt, _ = Exec.compile ~db prog in
+            ignore (Exec.exec_program ~stats:(Ir.fresh_stats ()) ctx opt))
+      in
+      let pct = (on -. off) /. off *. 100.0 in
+      Printf.printf
+        "%s:\n    %d plan nodes, worst q-error %.1f\n    metrics off %.2f \
+         ms, on %.2f ms, overhead %+.2f%%\n"
+        wname
+        (List.length infos)
+        worst_q (off /. 1e6) (on /. 1e6) pct;
+      Json.Obj
+        [
+          ("workload", Json.Str wname);
+          ("nodes", Json.List (List.map node_to_json infos));
+          ("worst_q_error", Json.Float worst_q);
+          ("metrics_off_ns", Json.Float off);
+          ("metrics_on_ns", Json.Float on);
+          ("overhead_pct", Json.Float pct);
+        ])
+    (engine_workloads ())
 
 (* ------------------------------------------------------------------ *)
 (* JSON report (BENCH_1.json)                                          *)
@@ -663,6 +740,23 @@ let () =
   Out_channel.with_open_text engine_out (fun oc ->
       output_string oc (Json.pretty engine_report);
       output_char oc '\n');
+  let analyze_rows = analyze_report () in
+  let analyze_json =
+    Json.Obj
+      [
+        ("version", Json.Int 1);
+        ("harness", Json.Str "arc-bench-analyze");
+        ("workloads", Json.List analyze_rows);
+      ]
+  in
+  let analyze_out =
+    match Sys.getenv_opt "BENCH6_OUT" with
+    | Some f -> f
+    | None -> "BENCH_6.json"
+  in
+  Out_channel.with_open_text analyze_out (fun oc ->
+      output_string oc (Json.pretty analyze_json);
+      output_char oc '\n');
   rule ();
-  Printf.printf "bench complete; JSON reports written to %s, %s and %s\n" out
-    guard_out engine_out
+  Printf.printf "bench complete; JSON reports written to %s, %s, %s and %s\n"
+    out guard_out engine_out analyze_out

@@ -245,21 +245,54 @@ let validate_cmd =
 
 module Obs = Arc_obs.Obs
 module Sink = Arc_obs.Sink
+module Metrics = Arc_obs.Metrics
+module Json = Arc_obs.Json
 
-(* per-operator totals, for --profile *)
+(* Output-file convention shared by trace/analyze/metrics flags: no file
+   or "-" means stdout. *)
+let write_out ?label out s =
+  match out with
+  | None | Some "-" -> print_string s
+  | Some file ->
+      Out_channel.with_open_text file (fun oc -> output_string oc s);
+      Option.iter (fun l -> Printf.printf "%s written to %s\n" l file) label
+
+let write_metrics m file =
+  let s =
+    if Filename.check_suffix file ".json" then
+      Json.pretty (Metrics.to_json m) ^ "\n"
+    else Metrics.to_prometheus m
+  in
+  write_out ~label:"metrics" (Some file) s
+
+(* Fold a span forest into the metrics registry: per-operator call
+   counters, latency histograms, and every integer span attribute as a
+   labeled counter. *)
+let metrics_of_spans spans =
+  let m = Metrics.create () in
+  let rec walk (sp : Obs.span) =
+    let labels = [ ("op", sp.Obs.name) ] in
+    Metrics.inc m ~labels "arc_op_calls_total";
+    Metrics.observe m ~labels "arc_op_duration_ns"
+      (Int64.to_float sp.Obs.duration_ns);
+    List.iter
+      (fun (k, v) ->
+        match v with
+        | Obs.Int n when n >= 0 ->
+            Metrics.inc m
+              ~labels:(("counter", k) :: labels)
+              ~by:n "arc_op_counter_total"
+        | _ -> ())
+      sp.Obs.attrs;
+    List.iter walk sp.Obs.children
+  in
+  List.iter walk spans;
+  m
+
+(* per-operator totals and latency distributions, for --profile *)
 let print_profile spans =
-  let rows = Obs.summary spans in
-  print_endline "-- profile: per-operator totals --";
-  Printf.printf "%-24s %8s %12s  %s\n" "operator" "calls" "total" "counters";
-  List.iter
-    (fun (a : Obs.agg) ->
-      Printf.printf "%-24s %8d %12s  %s\n" a.Obs.agg_name a.Obs.calls
-        (Sink.duration_to_string a.Obs.total_ns)
-        (String.concat ", "
-           (List.map
-              (fun (k, v) -> Printf.sprintf "%s=%d" k v)
-              a.Obs.counters)))
-    rows
+  print_endline "-- profile: operator metrics --";
+  print_string (Metrics.summary (metrics_of_spans spans))
 
 let profile_flag =
   Arg.(
@@ -449,7 +482,7 @@ let trace_out =
     value
     & opt (some string) None
     & info [ "out" ] ~docv:"FILE"
-        ~doc:"Write the trace to $(docv) instead of stdout.")
+        ~doc:"Write the trace to $(docv) instead of stdout ('-' is stdout).")
 
 let strategy_arg =
   Arg.(
@@ -482,13 +515,7 @@ let trace_run lang conv engine strategy fmt out tables text =
         | `Plan -> Arc_engine.Exec.run ~conv ~strategy ~tracer ~db prog
       in
       let spans = Obs.spans tracer in
-      let emit s =
-        match out with
-        | None -> print_string s
-        | Some file ->
-            Out_channel.with_open_text file (fun oc -> output_string oc s);
-            Printf.printf "trace written to %s\n" file
-      in
+      let emit = write_out ~label:"trace" out in
       match fmt with
       | `Pretty ->
           (match outcome with
@@ -566,6 +593,152 @@ let explain_cmd =
       ret
         (const explain_run $ input_lang $ conv_arg $ tables_arg $ schemas_arg
        $ no_opt_flag $ query_arg))
+
+(* ------------------------------------------------------------------ *)
+(* analyze                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Ir = Arc_plan.Ir
+module Explain = Arc_plan.Explain
+
+let warn_q_arg =
+  Arg.(
+    value & opt float 4.0
+    & info [ "warn-q-error" ] ~docv:"Q"
+        ~doc:
+          "Flag nodes whose Q-error — max(est,act)/min(est,act), both \
+           clamped to at least 1 — reaches $(docv). These are the \
+           misestimates that can drive a bad join order.")
+
+let analyze_fmt =
+  Arg.(
+    value
+    & opt (enum [ ("pretty", `Pretty); ("json", `Json) ]) `Pretty
+    & info [ "f"; "format" ] ~docv:"FMT"
+        ~doc:
+          "Output format: pretty (annotated plan tree) or json (flat \
+           per-node records).")
+
+let analyze_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"FILE"
+        ~doc:
+          "Write the analysis to $(docv) instead of stdout ('-' is \
+           stdout).")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Export the run's metrics registry to $(docv): Prometheus text \
+           format, or the JSON exposition when $(docv) ends in .json. '-' \
+           writes to stdout.")
+
+let analyze_json infos =
+  Json.List
+    (List.map
+       (fun (ni : Explain.node_info) ->
+         let base =
+           [
+             ("id", Json.Int ni.Explain.ni_id);
+             ("def", Json.Str ni.Explain.ni_def);
+             ("op", Json.Str ni.Explain.ni_op);
+             ("label", Json.Str ni.Explain.ni_label);
+             ("est_rows", Json.Int ni.Explain.ni_est);
+           ]
+         in
+         let actual =
+           match ni.Explain.ni_actual with
+           | None -> [ ("executed", Json.Bool false) ]
+           | Some a ->
+               [
+                 ("executed", Json.Bool true);
+                 ("invocations", Json.Int a.Ir.a_invocations);
+                 ("act_rows", Json.Int a.Ir.a_rows);
+                 ("incl_ns", Json.Int (Int64.to_int a.Ir.a_incl_ns));
+                 ("excl_ns", Json.Int (Int64.to_int ni.Explain.ni_excl_ns));
+               ]
+               @ (match ni.Explain.ni_q with
+                 | Some q -> [ ("q_error", Json.Float q) ]
+                 | None -> [])
+               @ (if a.Ir.a_build > 0 || a.Ir.a_probe > 0 then
+                    [
+                      ("build", Json.Int a.Ir.a_build);
+                      ("probe", Json.Int a.Ir.a_probe);
+                      ("matches", Json.Int a.Ir.a_matches);
+                    ]
+                  else [])
+               @
+               if a.Ir.a_iterations > 0 then
+                 [
+                   ("iterations", Json.Int a.Ir.a_iterations);
+                   ( "deltas",
+                     Json.List
+                       (List.rev_map (fun d -> Json.Int d) a.Ir.a_deltas) );
+                 ]
+               else []
+         in
+         Json.Obj (base @ actual))
+       infos)
+
+let analyze_run lang conv strategy tables warn_q fmt out metrics_out text =
+  wrap (fun () ->
+      let tables = List.map parse_table tables in
+      let db = Database.of_list tables in
+      let schemas =
+        List.map
+          (fun (n, r) ->
+            (n, Arc_relation.Schema.attrs (Relation.schema r)))
+          tables
+      in
+      let prog = parse_input lang text schemas in
+      let ctx, _raw, optimized, _report =
+        Arc_engine.Exec.compile ~conv ~strategy ~db prog
+      in
+      let stats = Ir.fresh_stats () in
+      let outcome = Arc_engine.Exec.exec_program ~stats ctx optimized in
+      (match fmt with
+      | `Pretty ->
+          (match outcome with
+          | Arc_engine.Eval.Rows r ->
+              print_endline (Relation.to_table (Relation.sort r))
+          | Arc_engine.Eval.Truth t ->
+              print_endline (Arc_value.Bool3.to_string t));
+          print_newline ();
+          write_out ~label:"analysis" out
+            (Explain.analyze_to_string ~warn_q_error:warn_q ~stats optimized)
+      | `Json ->
+          write_out ~label:"analysis" out
+            (Json.pretty (analyze_json (Explain.analyze_info optimized ~stats))
+            ^ "\n"));
+      Option.iter
+        (fun file ->
+          let m = Metrics.create () in
+          Arc_engine.Exec.export_stats m optimized stats;
+          write_metrics m file)
+        metrics_out)
+
+let analyze_cmd =
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "EXPLAIN ANALYZE for the plan engine: compile and execute a query \
+          with per-node statistics on, then print the physical plan tree \
+          annotated with estimated vs actual rows, Q-error, exclusive time \
+          per node, hash-join build/probe/match counts, and fixpoint \
+          iteration deltas. Nodes whose Q-error reaches --warn-q-error are \
+          flagged — those misestimates are what the join-order heuristic \
+          acted on. --metrics-out additionally exports operator-level \
+          metrics (Prometheus text or JSON).")
+    Term.(
+      ret
+        (const analyze_run $ input_lang $ conv_arg $ strategy_arg
+       $ tables_arg $ warn_q_arg $ analyze_fmt $ analyze_out
+       $ metrics_out_arg $ query_arg))
 
 (* ------------------------------------------------------------------ *)
 (* fragment                                                            *)
@@ -789,7 +962,7 @@ let chaos_seed =
     & info [ "seed" ] ~docv:"SEED"
         ~doc:"Seed for the fault-injection RNG (probabilistic faults).")
 
-let chaos_run seed =
+let chaos_run seed metrics_out =
   wrap (fun () ->
       let module E = Arc_engine.Externals in
       let module C = Arc_engine.Chaos in
@@ -853,7 +1026,17 @@ let chaos_run seed =
       Printf.printf
         "latency injection: %d ns injected via sleep hook, results unchanged\n"
         !slept;
-      print_endline "chaos smoke: all scenarios passed")
+      print_endline "chaos smoke: all scenarios passed";
+      Option.iter
+        (fun file ->
+          let m = Metrics.create () in
+          let labels = [ ("scenario", "fail_once") ] in
+          Metrics.inc m ~labels ~by:st.C.calls "arc_chaos_calls_total";
+          Metrics.inc m ~labels ~by:st.C.failures
+            "arc_chaos_injected_failures_total";
+          Metrics.inc m ~by:!slept "arc_chaos_injected_latency_ns_total";
+          write_metrics m file)
+        metrics_out)
 
 let chaos_cmd =
   Cmd.v
@@ -863,8 +1046,9 @@ let chaos_cmd =
           must be absorbed by retry, a fail-always external must surface \
           as a typed failure after exhausting retries, and injected \
           latency must not change results. Exits nonzero if any scenario \
-          misbehaves.")
-    Term.(ret (const chaos_run $ chaos_seed))
+          misbehaves. With --metrics-out, exports the campaign counters \
+          (calls, injected failures, injected latency) as metrics.")
+    Term.(ret (const chaos_run $ chaos_seed $ metrics_out_arg))
 
 (* ------------------------------------------------------------------ *)
 (* fuzz                                                                *)
@@ -907,7 +1091,7 @@ let rec mkdirs d =
     Sys.mkdir d 0o755
   end
 
-let fuzz_run seed count shrink out =
+let fuzz_run seed count shrink out metrics_out =
   wrap (fun () ->
       Option.iter mkdirs out;
       let tracer = Obs.collector () in
@@ -931,6 +1115,21 @@ let fuzz_run seed count shrink out =
         (Obs.counter_total spans "fuzz.skipped")
         (Obs.counter_total spans "fuzz.diverged")
         seed;
+      Option.iter
+        (fun file ->
+          let m = Metrics.create () in
+          Metrics.inc m
+            ~by:(Obs.counter_total spans "fuzz.generated")
+            "arc_fuzz_generated_total";
+          Metrics.inc m
+            ~by:(Obs.counter_total spans "fuzz.skipped")
+            "arc_fuzz_skipped_total";
+          Metrics.inc m
+            ~by:(Obs.counter_total spans "fuzz.diverged")
+            "arc_fuzz_diverged_total";
+          Metrics.set_gauge m "arc_fuzz_seed" (Float.of_int seed);
+          write_metrics m file)
+        metrics_out;
       if stats.Arc_fuzz.Driver.diverged > 0 then exit 1)
 
 let fuzz_cmd =
@@ -943,8 +1142,12 @@ let fuzz_cmd =
           recursion strategies, round-trip them through the SQL / Datalog / \
           TRC frontends where the fragment permits, and greedily shrink any \
           divergence into a replayable repro directory. Exits nonzero if \
-          any divergence was found. See docs/fuzzing.md.")
-    Term.(ret (const fuzz_run $ fuzz_seed $ fuzz_count $ fuzz_shrink $ fuzz_out))
+          any divergence was found. See docs/fuzzing.md. With \
+          --metrics-out, exports the campaign counters as metrics.")
+    Term.(
+      ret
+        (const fuzz_run $ fuzz_seed $ fuzz_count $ fuzz_shrink $ fuzz_out
+       $ metrics_out_arg))
 
 (* ------------------------------------------------------------------ *)
 (* main                                                                *)
@@ -957,8 +1160,8 @@ let main_cmd =
          "Abstract Relational Calculus: a semantics-first reference \
           metalanguage for relational queries.")
     [
-      render_cmd; validate_cmd; eval_cmd; explain_cmd; trace_cmd; fragment_cmd;
-      compare_cmd; catalog_cmd; chaos_cmd; fuzz_cmd;
+      render_cmd; validate_cmd; eval_cmd; explain_cmd; analyze_cmd; trace_cmd;
+      fragment_cmd; compare_cmd; catalog_cmd; chaos_cmd; fuzz_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

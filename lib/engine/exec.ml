@@ -26,10 +26,18 @@ exception Eval_error = Eval.Eval_error
 
 let raise_kind kind = raise (Eval_error (Err.make kind))
 
-type env = { ctx : I.ctx; outer : I.benv }
+(* [stats] is the EXPLAIN ANALYZE sink: when present, every operator
+   records per-node actuals keyed by the stable ids of [Ir.program_ids].
+   When absent the executor takes a branch per node and nothing else. *)
+type env = { ctx : I.ctx; outer : I.benv; stats : Ir.stats option }
 
 let tracer env = I.tracer env.ctx
 let gov env = I.gov env.ctx
+
+let clock = Arc_obs.Metrics.now_ns
+
+let with_actual env id f =
+  match env.stats with None -> () | Some st -> f (Ir.touch st id)
 
 let pred_true env full p = I.eval_pred env.ctx full p = B3.True
 let formula_true env full f = I.eval_formula env.ctx full f = B3.True
@@ -54,7 +62,25 @@ let group_key env (full : I.benv) keys =
 (* Pipeline execution: benv-level operators                            *)
 (* ------------------------------------------------------------------ *)
 
-let rec exec_rows env (t : Ir.t) : I.benv list =
+(* Every operator is a wrapper around an [_inner] worker: with stats on,
+   the wrapper brackets the worker with two clock reads and accumulates
+   invocations / rows / inclusive time on the node's id; with stats off it
+   is a single branch. Child ids use the same arithmetic as
+   [Ir.child_ids] / [Explain]. *)
+let rec exec_rows env id (t : Ir.t) : I.benv list =
+  match env.stats with
+  | None -> exec_rows_inner env id t
+  | Some st ->
+      let t0 = clock () in
+      let rows = exec_rows_inner env id t in
+      let t1 = clock () in
+      let a = Ir.touch st id in
+      a.Ir.a_invocations <- a.Ir.a_invocations + 1;
+      a.Ir.a_rows <- a.Ir.a_rows + List.length rows;
+      a.Ir.a_incl_ns <- Int64.add a.Ir.a_incl_ns (Int64.sub t1 t0);
+      rows
+
+and exec_rows_inner env id (t : Ir.t) : I.benv list =
   match t with
   | One -> [ [] ]
   | Scan { var; rel; filters; _ } ->
@@ -77,15 +103,18 @@ let rec exec_rows env (t : Ir.t) : I.benv list =
       Obs.leave (tracer env) sp;
       kept
   | Subquery { var; plan } ->
-      let r = exec_coll env plan in
+      let r = exec_coll env (id + 1) plan in
       List.map (fun tp -> [ (var, tp) ]) (Relation.tuples r)
   | Lateral { input; var; plan } ->
-      let rows = exec_rows env input in
+      let rows = exec_rows env (id + 1) input in
+      let plan_id = id + 1 + Ir.size input in
       let sp = Obs.enter (tracer env) "lateral" in
       let out =
         List.concat_map
           (fun (row : I.benv) ->
-            let r = exec_coll { env with outer = row @ env.outer } plan in
+            let r =
+              exec_coll { env with outer = row @ env.outer } plan_id plan
+            in
             List.map (fun tp -> (var, tp) :: row) (Relation.tuples r))
           rows
       in
@@ -96,13 +125,13 @@ let rec exec_rows env (t : Ir.t) : I.benv list =
       Obs.leave (tracer env) sp;
       out
   | Product { left; right } ->
-      let l = exec_rows env left in
-      let r = exec_rows env right in
+      let l = exec_rows env (id + 1) left in
+      let r = exec_rows env (id + 1 + Ir.size left) right in
       List.concat_map (fun lr -> List.map (fun rr -> rr @ lr) r) l
   | Hash_join { left; right; keys } ->
       Gov.tick (gov env);
       let sp = Obs.enter (tracer env) "hash_join" in
-      let build = exec_rows env right in
+      let build = exec_rows env (id + 1 + Ir.size left) right in
       let inner_terms = List.map (fun k -> k.Ir.inner) keys in
       let outer_terms = List.map (fun k -> k.Ir.outer) keys in
       let tbl = Hashtbl.create (max 16 (List.length build)) in
@@ -112,7 +141,7 @@ let rec exec_rows env (t : Ir.t) : I.benv list =
           | Some k -> Hashtbl.add tbl k rrow
           | None -> ())
         build;
-      let probe = exec_rows env left in
+      let probe = exec_rows env (id + 1) left in
       let out =
         List.concat_map
           (fun lrow ->
@@ -122,6 +151,10 @@ let rec exec_rows env (t : Ir.t) : I.benv list =
             | None -> [])
           probe
       in
+      with_actual env id (fun a ->
+          a.Ir.a_build <- a.Ir.a_build + List.length build;
+          a.Ir.a_probe <- a.Ir.a_probe + List.length probe;
+          a.Ir.a_matches <- a.Ir.a_matches + List.length out);
       if Obs.enabled (tracer env) then begin
         Obs.set sp "build" (Obs.Int (List.length build));
         Obs.set sp "probe" (Obs.Int (List.length probe));
@@ -130,7 +163,7 @@ let rec exec_rows env (t : Ir.t) : I.benv list =
       Obs.leave (tracer env) sp;
       out
   | Filter { input; preds } ->
-      let rows = exec_rows env input in
+      let rows = exec_rows env (id + 1) input in
       let sp = Obs.enter (tracer env) "filter" in
       let kept =
         List.filter
@@ -145,7 +178,7 @@ let rec exec_rows env (t : Ir.t) : I.benv list =
       Obs.leave (tracer env) sp;
       kept
   | Residual { input; conjs } ->
-      let rows = exec_rows env input in
+      let rows = exec_rows env (id + 1) input in
       let sp = Obs.enter (tracer env) "residual" in
       let kept =
         List.filter
@@ -164,7 +197,7 @@ let rec exec_rows env (t : Ir.t) : I.benv list =
       let sp =
         Obs.enter (tracer env) (if anti then "anti_join" else "semi_join")
       in
-      let sub_rows = exec_rows env sub in
+      let sub_rows = exec_rows env (id + 1 + Ir.size input) sub in
       let witness row candidates =
         List.exists
           (fun (srow : I.benv) ->
@@ -173,7 +206,7 @@ let rec exec_rows env (t : Ir.t) : I.benv list =
               residual)
           candidates
       in
-      let rows = exec_rows env input in
+      let rows = exec_rows env (id + 1) input in
       let kept =
         match keys with
         | [] -> List.filter (fun row -> witness row sub_rows <> anti) rows
@@ -197,6 +230,10 @@ let rec exec_rows env (t : Ir.t) : I.benv list =
                 found <> anti)
               rows
       in
+      with_actual env id (fun a ->
+          a.Ir.a_build <- a.Ir.a_build + List.length sub_rows;
+          a.Ir.a_probe <- a.Ir.a_probe + List.length rows;
+          a.Ir.a_matches <- a.Ir.a_matches + List.length kept);
       if Obs.enabled (tracer env) then begin
         Obs.set sp "sub_rows" (Obs.Int (List.length sub_rows));
         Obs.set sp "candidates" (Obs.Int (List.length rows));
@@ -206,19 +243,34 @@ let rec exec_rows env (t : Ir.t) : I.benv list =
       kept
   | Resolve { input; binding; scope } ->
       Gov.tick (gov env);
-      let rows = exec_rows env input in
+      let rows = exec_rows env (id + 1) input in
       I.resolve_deferred env.ctx env.outer scope rows [ binding ]
   | Prune { input; keep } ->
       List.map
         (fun (row : I.benv) ->
           List.filter (fun (v, _) -> List.mem v keep) row)
-        (exec_rows env input)
+        (exec_rows env (id + 1) input)
 
 (* ------------------------------------------------------------------ *)
 (* Disjuncts and collections                                           *)
 (* ------------------------------------------------------------------ *)
 
-and exec_disjunct env (head : head) (d : Ir.disjunct_plan) : Tuple.t list =
+and exec_disjunct env id (head : head) (d : Ir.disjunct_plan) : Tuple.t list
+    =
+  match env.stats with
+  | None -> exec_disjunct_inner env id head d
+  | Some st ->
+      let t0 = clock () in
+      let tuples = exec_disjunct_inner env id head d in
+      let t1 = clock () in
+      let a = Ir.touch st id in
+      a.Ir.a_invocations <- a.Ir.a_invocations + 1;
+      a.Ir.a_rows <- a.Ir.a_rows + List.length tuples;
+      a.Ir.a_incl_ns <- Int64.add a.Ir.a_incl_ns (Int64.sub t1 t0);
+      tuples
+
+and exec_disjunct_inner env id (head : head) (d : Ir.disjunct_plan) :
+    Tuple.t list =
   let schema = Schema.make head.head_attrs in
   let assign_term assigns a =
     match List.assoc_opt a assigns with
@@ -228,7 +280,7 @@ and exec_disjunct env (head : head) (d : Ir.disjunct_plan) : Tuple.t list =
   in
   match d with
   | Project { input; assigns } ->
-      let rows = exec_rows env input in
+      let rows = exec_rows env (id + 1) input in
       List.map
         (fun (row : I.benv) ->
           let full = row @ env.outer in
@@ -239,7 +291,7 @@ and exec_disjunct env (head : head) (d : Ir.disjunct_plan) : Tuple.t list =
                   head.head_attrs)))
         rows
   | Aggregate { input; keys; scope_vars; post; assigns } ->
-      let rows = exec_rows env input in
+      let rows = exec_rows env (id + 1) input in
       Gov.tick (gov env);
       let sp = Obs.enter (tracer env) "hash_aggregate" in
       let groups =
@@ -291,7 +343,20 @@ and exec_disjunct env (head : head) (d : Ir.disjunct_plan) : Tuple.t list =
           else None)
         groups
 
-and exec_coll env (p : Ir.coll_plan) : Relation.t =
+and exec_coll env id (p : Ir.coll_plan) : Relation.t =
+  match env.stats with
+  | None -> exec_coll_inner env id p
+  | Some st ->
+      let t0 = clock () in
+      let r = exec_coll_inner env id p in
+      let t1 = clock () in
+      let a = Ir.touch st id in
+      a.Ir.a_invocations <- a.Ir.a_invocations + 1;
+      a.Ir.a_rows <- a.Ir.a_rows + Relation.cardinality r;
+      a.Ir.a_incl_ns <- Int64.add a.Ir.a_incl_ns (Int64.sub t1 t0);
+      r
+
+and exec_coll_inner env id (p : Ir.coll_plan) : Relation.t =
   match p with
   | Fallback { coll; _ } -> I.eval_collection env.ctx env.outer coll
   | Union { head; disjuncts } -> (
@@ -302,7 +367,12 @@ and exec_coll env (p : Ir.coll_plan) : Relation.t =
       else
         let sp = Obs.enter (tracer env) ("collection:" ^ name) in
         let compute () =
-          let tuples = List.concat_map (exec_disjunct env head) disjuncts in
+          let tuples =
+            List.concat
+              (List.map2
+                 (fun did d -> exec_disjunct env did head d)
+                 (Ir.coll_child_ids id p) disjuncts)
+          in
           let tuples =
             if not (Gov.active (gov env)) then tuples
             else
@@ -461,12 +531,12 @@ let seminaive_eligible component (dps : Ir.def_plan list) =
       count_scans_coll component dp.Ir.dplan = ast_refs)
     dps
 
-let naive_fixpoint env (dps : Ir.def_plan list) =
+let naive_fixpoint env (dps : (Ir.def_plan * int) list) =
   let ctx = env.ctx in
   let sp = Obs.enter (tracer env) "fixpoint:naive" in
   if Obs.enabled (tracer env) then
     Obs.set sp "stratum"
-      (Obs.Str (String.concat "," (List.map (fun d -> d.Ir.dname) dps)));
+      (Obs.Str (String.concat "," (List.map (fun (d, _) -> d.Ir.dname) dps)));
   let changed = ref true in
   let iterations = ref 0 in
   while !changed do
@@ -477,16 +547,19 @@ let naive_fixpoint env (dps : Ir.def_plan list) =
     then begin
       let isp = Obs.enter (tracer env) "iteration" in
       List.iter
-        (fun dp ->
+        (fun (dp, id) ->
           let n = dp.Ir.dname in
           let current = Option.get (I.idb_get ctx n) in
           let next =
-            Relation.dedup (Relation.union current (exec_coll env dp.Ir.dplan))
+            Relation.dedup
+              (Relation.union current (exec_coll env id dp.Ir.dplan))
           in
+          let delta =
+            Relation.cardinality next - Relation.cardinality current
+          in
+          with_actual env id (fun a -> a.Ir.a_deltas <- delta :: a.Ir.a_deltas);
           if Obs.enabled (tracer env) then
-            Obs.set isp ("delta:" ^ n)
-              (Obs.Int
-                 (Relation.cardinality next - Relation.cardinality current));
+            Obs.set isp ("delta:" ^ n) (Obs.Int delta);
           if not (Relation.equal_set next current) then begin
             I.idb_set ctx n next;
             changed := true
@@ -495,21 +568,26 @@ let naive_fixpoint env (dps : Ir.def_plan list) =
       Obs.leave (tracer env) isp
     end
   done;
+  List.iter
+    (fun (_, id) -> with_actual env id (fun a -> a.Ir.a_iterations <- !iterations))
+    dps;
   Obs.set sp "iterations" (Obs.Int !iterations);
   Obs.leave (tracer env) sp
 
-let seminaive_fixpoint env component (dps : Ir.def_plan list) =
+let seminaive_fixpoint env component (dps : (Ir.def_plan * int) list) =
   let ctx = env.ctx in
   let sp = Obs.enter (tracer env) "fixpoint:seminaive" in
   if Obs.enabled (tracer env) then
     Obs.set sp "stratum" (Obs.Str (String.concat "," component));
   let ssp = Obs.enter (tracer env) "seed" in
   List.iter
-    (fun dp ->
+    (fun (dp, id) ->
       let n = dp.Ir.dname in
-      let seed = Relation.dedup (exec_coll env dp.Ir.dplan) in
+      let seed = Relation.dedup (exec_coll env id dp.Ir.dplan) in
       I.idb_set ctx n seed;
       I.idb_set ctx (delta_name n) seed;
+      with_actual env id (fun a ->
+          a.Ir.a_deltas <- Relation.cardinality seed :: a.Ir.a_deltas);
       if Obs.enabled (tracer env) then
         Obs.set ssp ("delta:" ^ n) (Obs.Int (Relation.cardinality seed)))
     dps;
@@ -527,12 +605,14 @@ let seminaive_fixpoint env component (dps : Ir.def_plan list) =
       let isp = Obs.enter (tracer env) "iteration" in
       let new_deltas =
         List.map
-          (fun dp ->
+          (fun (dp, id) ->
             let n = dp.Ir.dname in
             let occurrences = count_scans_coll component dp.Ir.dplan in
             let derived =
               List.init occurrences (fun i ->
-                  exec_coll env (subst_scan component i dp.Ir.dplan))
+                  (* the substituted plan is shape-identical, so node ids
+                     carry over to the delta rewrite *)
+                  exec_coll env id (subst_scan component i dp.Ir.dplan))
             in
             let full = Option.get (I.idb_get ctx n) in
             let attrs =
@@ -547,7 +627,10 @@ let seminaive_fixpoint env component (dps : Ir.def_plan list) =
                 (Relation.empty ~name:n attrs)
                 derived
             in
-            (n, Relation.dedup fresh))
+            let fresh = Relation.dedup fresh in
+            with_actual env id (fun a ->
+                a.Ir.a_deltas <- Relation.cardinality fresh :: a.Ir.a_deltas);
+            (n, fresh))
           dps
       in
       List.iter
@@ -568,16 +651,30 @@ let seminaive_fixpoint env component (dps : Ir.def_plan list) =
       then continue_ := false
     end
   done;
+  List.iter
+    (fun (_, id) -> with_actual env id (fun a -> a.Ir.a_iterations <- !iterations))
+    dps;
   Obs.set sp "iterations" (Obs.Int !iterations);
   Obs.leave (tracer env) sp;
   List.iter (fun n -> I.idb_remove ctx (delta_name n)) component
 
-let exec_stratum env (s : Ir.stratum) =
+(* [base] is the id of the stratum's first definition; consecutive
+   definitions follow at offsets of [Ir.size_coll], mirroring
+   [Ir.program_ids]. *)
+let exec_stratum env base (s : Ir.stratum) =
   let ctx = env.ctx in
   match s with
-  | Ir.Nonrecursive dp -> I.idb_set ctx dp.dname (exec_coll env dp.dplan)
+  | Ir.Nonrecursive dp -> I.idb_set ctx dp.dname (exec_coll env base dp.dplan)
   | Ir.Recursive dps ->
       let component = List.map (fun d -> d.Ir.dname) dps in
+      let dps_ids =
+        List.rev
+          (fst
+             (List.fold_left
+                (fun (acc, next) dp ->
+                  ((dp, next) :: acc, next + Ir.size_coll dp.Ir.dplan))
+                ([], base) dps))
+      in
       (* stratification check, as in the reference *)
       List.iter
         (fun dp ->
@@ -602,8 +699,8 @@ let exec_stratum env (s : Ir.stratum) =
         | _ -> `Naive
       in
       (match strategy with
-      | `Naive -> naive_fixpoint env dps
-      | `Seminaive -> seminaive_fixpoint env component dps)
+      | `Naive -> naive_fixpoint env dps_ids
+      | `Seminaive -> seminaive_fixpoint env component dps_ids)
 
 (* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)
@@ -621,12 +718,24 @@ let compile ?conv ?externals ?strategy ?tracer ?guard ~db (prog : program) =
   let optimized, report = Opt.optimize lenv raw in
   (ctx, raw, optimized, report)
 
-let exec_program ctx (pp : Ir.program_plan) : Eval.outcome =
-  let env = { ctx; outer = [] } in
+let exec_program ?stats ctx (pp : Ir.program_plan) : Eval.outcome =
+  let env = { ctx; outer = []; stats } in
   let tracer = I.tracer ctx in
+  let counter = ref 0 in
+  let stratum_base s =
+    let v = !counter in
+    let sz =
+      match s with
+      | Ir.Nonrecursive dp -> Ir.size_coll dp.Ir.dplan
+      | Ir.Recursive dps ->
+          List.fold_left (fun acc dp -> acc + Ir.size_coll dp.Ir.dplan) 0 dps
+    in
+    counter := !counter + sz;
+    v
+  in
   if pp.strata <> [] then begin
     let sp = Obs.enter tracer "definitions" in
-    (try List.iter (exec_stratum env) pp.strata
+    (try List.iter (fun s -> exec_stratum env (stratum_base s) s) pp.strata
      with
     | Err.Guard_error e ->
         Obs.leave tracer sp;
@@ -638,7 +747,7 @@ let exec_program ctx (pp : Ir.program_plan) : Eval.outcome =
   end;
   try
     match pp.main with
-    | Ir.Main_coll p -> Eval.Rows (exec_coll env p)
+    | Ir.Main_coll p -> Eval.Rows (exec_coll env !counter p)
     | Ir.Main_sentence f -> Eval.Truth (I.eval_formula ctx [] f)
   with
   | Err.Guard_error e -> raise (Eval_error e)
@@ -663,3 +772,32 @@ let run_truth ?conv ?externals ?strategy ?tracer ?guard ~db prog =
   | Eval.Truth t -> t
   | Eval.Rows _ ->
       raise_kind (Err.Msg "expected a sentence result, got a collection")
+
+(* ------------------------------------------------------------------ *)
+(* Metrics export                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Metrics = Arc_obs.Metrics
+module Explain = Arc_plan.Explain
+
+(* Aggregates a run's per-node actuals into operator-level series: totals
+   as counters, per-node distributions as histograms. This is what
+   [arc eval --profile] prints and what [--metrics-out] exports. *)
+let export_stats (m : Metrics.t) (pp : Ir.program_plan) (stats : Ir.stats) =
+  List.iter
+    (fun ni ->
+      match ni.Explain.ni_actual with
+      | None -> ()
+      | Some a ->
+          let labels = [ ("op", ni.Explain.ni_op) ] in
+          Metrics.inc m ~labels ~by:a.Ir.a_invocations
+            "arc_node_invocations_total";
+          Metrics.inc m ~labels ~by:a.Ir.a_rows "arc_node_rows_total";
+          Metrics.observe m ~labels "arc_node_excl_ns"
+            (Int64.to_float ni.Explain.ni_excl_ns);
+          Metrics.observe m ~labels "arc_node_rows"
+            (Float.of_int a.Ir.a_rows);
+          (match ni.Explain.ni_q with
+          | Some q -> Metrics.observe m ~labels "arc_node_q_error" q
+          | None -> ()))
+    (Explain.analyze_info pp ~stats)

@@ -21,11 +21,32 @@ val compile :
     evaluation context, the raw lowered plan, the optimized plan, and the
     rewrite report (pass name, whether it changed the plan). *)
 
-val exec_program : Eval.Internal.ctx -> Arc_plan.Ir.program_plan -> Eval.outcome
+val exec_program :
+  ?stats:Arc_plan.Ir.stats ->
+  Eval.Internal.ctx ->
+  Arc_plan.Ir.program_plan ->
+  Eval.outcome
 (** Execute a compiled plan: materializes definition strata into the
     context's IDB (hash-based naive or seminaive fixpoints for recursive
     strata), then runs the main plan. Raises {!Eval.Eval_error} like the
-    reference evaluator. *)
+    reference evaluator.
+
+    When [stats] is given, every operator additionally records per-node
+    actuals (invocations, rows emitted, inclusive wall-clock, hash
+    build/probe/match counts, fixpoint iterations and delta sizes) into
+    it, keyed by the stable node ids of {!Arc_plan.Ir.program_ids} — the
+    raw material for [arc analyze] (see
+    {!Arc_plan.Explain.analyze_to_string}). *)
+
+val export_stats :
+  Arc_obs.Metrics.t ->
+  Arc_plan.Ir.program_plan ->
+  Arc_plan.Ir.stats ->
+  unit
+(** Aggregate a run's per-node actuals into operator-level metrics
+    series ([arc_node_invocations_total], [arc_node_rows_total],
+    [arc_node_excl_ns], [arc_node_rows], [arc_node_q_error], all labeled
+    by [op]). *)
 
 val run :
   ?conv:Arc_value.Conventions.t ->

@@ -19,9 +19,13 @@ let escape s =
       | '\n' -> Buffer.add_string buf "\\n"
       | '\r' -> Buffer.add_string buf "\\r"
       | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
+      | c when Char.code c < 0x20 || Char.code c = 0x7F ->
           Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
+      | c ->
+          (* bytes >= 0x80 are passed through untouched: strings are
+             treated as UTF-8 and multi-byte sequences must survive
+             verbatim for [parse (to_string j) = Ok j] to hold *)
+          Buffer.add_char buf c)
     s;
   Buffer.contents buf
 
@@ -108,6 +112,44 @@ let parse (s : string) : (t, string) result =
     end
     else fail_at (Printf.sprintf "expected %S" word)
   in
+  let hex_digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> fail_at "bad \\u escape"
+  in
+  let read_hex4 () =
+    if !pos + 4 > n then fail_at "truncated \\u escape"
+    else begin
+      let code =
+        (hex_digit s.[!pos] lsl 12)
+        lor (hex_digit s.[!pos + 1] lsl 8)
+        lor (hex_digit s.[!pos + 2] lsl 4)
+        lor hex_digit s.[!pos + 3]
+      in
+      pos := !pos + 4;
+      code
+    end
+  in
+  let add_utf8 buf code =
+    if code < 0x80 then Buffer.add_char buf (Char.chr code)
+    else if code < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else if code < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+  in
   let parse_string () =
     expect '"';
     let buf = Buffer.create 16 in
@@ -143,29 +185,33 @@ let parse (s : string) : (t, string) result =
                   Buffer.add_char buf '\012';
                   loop ()
               | 'u' ->
-                  if !pos + 4 > n then fail_at "truncated \\u escape"
-                  else begin
-                    let hex = String.sub s !pos 4 in
-                    (match int_of_string_opt ("0x" ^ hex) with
-                    | None -> fail_at "bad \\u escape"
-                    | Some code ->
-                        (* keep it simple: BMP code points as UTF-8 *)
-                        if code < 0x80 then Buffer.add_char buf (Char.chr code)
-                        else if code < 0x800 then begin
-                          Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
-                          Buffer.add_char buf
-                            (Char.chr (0x80 lor (code land 0x3F)))
-                        end
-                        else begin
-                          Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
-                          Buffer.add_char buf
-                            (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
-                          Buffer.add_char buf
-                            (Char.chr (0x80 lor (code land 0x3F)))
-                        end);
-                    pos := !pos + 4;
-                    loop ()
-                  end
+                  let code = read_hex4 () in
+                  let code =
+                    (* surrogate pair: a high surrogate must be followed
+                       by an escaped low surrogate, together encoding one
+                       astral code point *)
+                    if code >= 0xD800 && code <= 0xDBFF then begin
+                      if
+                        !pos + 1 < n
+                        && s.[!pos] = '\\'
+                        && s.[!pos + 1] = 'u'
+                      then begin
+                        pos := !pos + 2;
+                        let low = read_hex4 () in
+                        if low >= 0xDC00 && low <= 0xDFFF then
+                          0x10000
+                          + ((code - 0xD800) lsl 10)
+                          + (low - 0xDC00)
+                        else fail_at "unpaired high surrogate"
+                      end
+                      else fail_at "unpaired high surrogate"
+                    end
+                    else if code >= 0xDC00 && code <= 0xDFFF then
+                      fail_at "unpaired low surrogate"
+                    else code
+                  in
+                  add_utf8 buf code;
+                  loop ()
               | _ -> fail_at "bad escape")
         | c ->
             Buffer.add_char buf c;

@@ -38,108 +38,122 @@ type node = { label : string; children : node list }
 
 let est_suffix t = Printf.sprintf "  (\xe2\x89\x88%d rows)" (Ir.estimate t)
 
-let rec node_of (t : Ir.t) : node =
+(* Core (suffix-free) labels, shared by the plain explain rendering and the
+   analyze rendering. *)
+let t_label (t : Ir.t) : string =
   match t with
-  | One -> { label = "unit"; children = [] }
+  | One -> "unit"
   | Scan { var; rel; filters; _ } ->
       let f =
         if filters = [] then "" else " [" ^ preds_to_string filters ^ "]"
       in
-      {
-        label = Printf.sprintf "scan %s as %s%s%s" rel var f (est_suffix t);
-        children = [];
-      }
-  | Subquery { var; plan } ->
-      {
-        label = "subquery " ^ var ^ " :=";
-        children = [ node_of_coll plan ];
-      }
-  | Lateral { input; var; plan } ->
-      {
-        label = "lateral " ^ var ^ " := (per input row)";
-        children = [ node_of input; node_of_coll plan ];
-      }
-  | Product { left; right } ->
-      {
-        label = "product" ^ est_suffix t;
-        children = [ node_of left; node_of right ];
-      }
-  | Hash_join { left; right; keys } ->
-      {
-        label = "hash join on " ^ keys_to_string keys ^ est_suffix t;
-        children = [ node_of left; node_of right ];
-      }
-  | Filter { input; preds } ->
-      { label = "filter " ^ preds_to_string preds; children = [ node_of input ] }
-  | Residual { input; conjs } ->
-      {
-        label =
-          "residual filter "
-          ^ String.concat " \xe2\x88\xa7 " (List.map formula_to_string conjs);
-        children = [ node_of input ];
-      }
-  | Semi { anti; input; sub; keys; residual; _ } ->
+      Printf.sprintf "scan %s as %s%s" rel var f
+  | Subquery { var; _ } -> "subquery " ^ var ^ " :="
+  | Lateral { var; _ } -> "lateral " ^ var ^ " := (per input row)"
+  | Product _ -> "product"
+  | Hash_join { keys; _ } -> "hash join on " ^ keys_to_string keys
+  | Filter { preds; _ } -> "filter " ^ preds_to_string preds
+  | Residual { conjs; _ } ->
+      "residual filter "
+      ^ String.concat " \xe2\x88\xa7 " (List.map formula_to_string conjs)
+  | Semi { anti; keys; residual; _ } ->
       let kind = if anti then "hash anti join" else "hash semi join" in
       let on = if keys = [] then "" else " on " ^ keys_to_string keys in
       let res =
-        if residual = [] then ""
-        else " where " ^ preds_to_string residual
+        if residual = [] then "" else " where " ^ preds_to_string residual
       in
-      { label = kind ^ on ^ res; children = [ node_of input; node_of sub ] }
-  | Resolve { input; binding; _ } ->
+      kind ^ on ^ res
+  | Resolve { binding; _ } ->
       let name =
         match binding.source with Base n -> n | Nested _ -> "<nested>"
       in
-      {
-        label =
-          Printf.sprintf "resolve %s \xe2\x88\x88 %s (external/abstract)"
-            binding.var name;
-        children = [ node_of input ];
-      }
-  | Prune { input; keep } ->
-      {
-        label = "prune to {" ^ String.concat ", " keep ^ "}";
-        children = [ node_of input ];
-      }
+      Printf.sprintf "resolve %s \xe2\x88\x88 %s (external/abstract)"
+        binding.var name
+  | Prune { keep; _ } -> "prune to {" ^ String.concat ", " keep ^ "}"
 
-and node_of_disjunct (d : Ir.disjunct_plan) : node =
+let disjunct_label (d : Ir.disjunct_plan) : string =
   match d with
-  | Project { input; assigns } ->
-      {
-        label = "project [" ^ assigns_to_string assigns ^ "]";
-        children = [ node_of input ];
-      }
-  | Aggregate { input; keys; post; assigns; _ } ->
+  | Project { assigns; _ } -> "project [" ^ assigns_to_string assigns ^ "]"
+  | Aggregate { keys; post; assigns; _ } ->
       let post_s =
         if post = [] then ""
         else
           " having "
           ^ String.concat " \xe2\x88\xa7 " (List.map formula_to_string post)
       in
-      {
-        label =
-          "hash aggregate " ^ Pp.grouping keys ^ " [" ^ assigns_to_string assigns
-          ^ "]" ^ post_s;
-        children = [ node_of input ];
-      }
+      "hash aggregate " ^ Pp.grouping keys ^ " [" ^ assigns_to_string assigns
+      ^ "]" ^ post_s
 
-and node_of_coll (p : Ir.coll_plan) : node =
+let coll_label (p : Ir.coll_plan) : string =
   match p with
   | Union { head; disjuncts } ->
-      {
-        label =
-          Printf.sprintf "%s \xe2\x86\x90 union (%d disjunct%s)" (Pp.head head)
-            (List.length disjuncts)
-            (if List.length disjuncts = 1 then "" else "s");
-        children = List.map node_of_disjunct disjuncts;
-      }
+      Printf.sprintf "%s \xe2\x86\x90 union (%d disjunct%s)" (Pp.head head)
+        (List.length disjuncts)
+        (if List.length disjuncts = 1 then "" else "s")
   | Fallback { head; reason; _ } ->
-      {
-        label =
-          Printf.sprintf "%s \xe2\x86\x90 reference evaluator (%s)"
-            (Pp.head head) reason;
-        children = [];
-      }
+      Printf.sprintf "%s \xe2\x86\x90 reference evaluator (%s)" (Pp.head head)
+        reason
+
+(* One annotated traversal serves both renderings: the annotation callback
+   receives each node's stable id (see [Ir.program_ids]) and produces the
+   label suffix. *)
+type ann = {
+  on_t : int -> Ir.t -> string;
+  on_d : int -> Ir.disjunct_plan -> string;
+  on_c : int -> Ir.coll_plan -> string;
+}
+
+let explain_ann =
+  {
+    on_t =
+      (fun _ t ->
+        match t with
+        | Ir.Scan _ | Ir.Product _ | Ir.Hash_join _ -> est_suffix t
+        | _ -> "");
+    on_d = (fun _ _ -> "");
+    on_c = (fun _ _ -> "");
+  }
+
+let rec node_of ann id (t : Ir.t) : node =
+  let children =
+    match t with
+    | Ir.One | Ir.Scan _ -> []
+    | Ir.Subquery { plan; _ } -> [ node_of_coll ann (id + 1) plan ]
+    | Ir.Lateral { input; plan; _ } ->
+        [
+          node_of ann (id + 1) input;
+          node_of_coll ann (id + 1 + Ir.size input) plan;
+        ]
+    | Ir.Product { left; right } | Ir.Hash_join { left; right; _ } ->
+        [ node_of ann (id + 1) left; node_of ann (id + 1 + Ir.size left) right ]
+    | Ir.Filter { input; _ }
+    | Ir.Residual { input; _ }
+    | Ir.Resolve { input; _ }
+    | Ir.Prune { input; _ } ->
+        [ node_of ann (id + 1) input ]
+    | Ir.Semi { input; sub; _ } ->
+        [ node_of ann (id + 1) input; node_of ann (id + 1 + Ir.size input) sub ]
+  in
+  { label = t_label t ^ ann.on_t id t; children }
+
+and node_of_disjunct ann id (d : Ir.disjunct_plan) : node =
+  let children =
+    match d with
+    | Ir.Project { input; _ } | Ir.Aggregate { input; _ } ->
+        [ node_of ann (id + 1) input ]
+  in
+  { label = disjunct_label d ^ ann.on_d id d; children }
+
+and node_of_coll ann id (p : Ir.coll_plan) : node =
+  let children =
+    match p with
+    | Ir.Union { disjuncts; _ } ->
+        List.map2
+          (fun did d -> node_of_disjunct ann did d)
+          (Ir.coll_child_ids id p) disjuncts
+    | Ir.Fallback _ -> []
+  in
+  { label = coll_label p ^ ann.on_c id p; children }
 
 let render (n : node) : string =
   let buf = Buffer.create 256 in
@@ -167,34 +181,212 @@ let render (n : node) : string =
   go "" `Root n;
   Buffer.contents buf
 
-let coll_plan_to_string p = render (node_of_coll p)
+let coll_plan_to_string p = render (node_of_coll explain_ann 0 p)
 
-let program_plan_to_string (pp : Ir.program_plan) : string =
+(* Renders a whole program, threading base ids with the same counter walk
+   as [Ir.program_ids] so annotations line up with executor-recorded
+   stats. *)
+let program_render ann (pp : Ir.program_plan) : string =
   let buf = Buffer.create 512 in
+  let counter = ref 0 in
+  let render_def dp =
+    let id = !counter in
+    counter := !counter + Ir.size_coll dp.Ir.dplan;
+    render (node_of_coll ann id dp.Ir.dplan)
+  in
   List.iter
     (fun s ->
       match s with
       | Ir.Nonrecursive dp ->
           Buffer.add_string buf
-            (Printf.sprintf "definition %s:\n%s" dp.dname
-               (coll_plan_to_string dp.dplan))
+            (Printf.sprintf "definition %s:\n%s" dp.dname (render_def dp))
       | Ir.Recursive dps ->
           Buffer.add_string buf
             (Printf.sprintf "recursive stratum {%s} (least fixpoint):\n"
                (String.concat ", " (List.map (fun d -> d.Ir.dname) dps)));
           List.iter
-            (fun dp ->
-              Buffer.add_string buf (coll_plan_to_string dp.Ir.dplan))
+            (fun dp -> Buffer.add_string buf (render_def dp))
             dps)
     pp.strata;
   (match pp.main with
   | Ir.Main_coll p ->
+      let id = !counter in
+      counter := !counter + Ir.size_coll p;
       Buffer.add_string buf "main:\n";
-      Buffer.add_string buf (coll_plan_to_string p)
+      Buffer.add_string buf (render (node_of_coll ann id p))
   | Ir.Main_sentence f ->
       Buffer.add_string buf
         ("main (sentence): " ^ formula_to_string f ^ "\n"));
   Buffer.contents buf
+
+let program_plan_to_string (pp : Ir.program_plan) : string =
+  program_render explain_ann pp
+
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN ANALYZE                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Local duration formatter; [lib/plan] sits below [lib/obs] in the
+   dependency order, so it cannot reuse the one there. *)
+let ns_to_string ns =
+  let f = Int64.to_float ns in
+  if f >= 1e9 then Printf.sprintf "%.2fs" (f /. 1e9)
+  else if f >= 1e6 then Printf.sprintf "%.2fms" (f /. 1e6)
+  else if f >= 1e3 then Printf.sprintf "%.2f\xc2\xb5s" (f /. 1e3)
+  else Printf.sprintf "%.0fns" f
+
+let incl_ns (stats : Ir.stats) id =
+  match Ir.actual_of stats id with Some a -> a.Ir.a_incl_ns | None -> 0L
+
+(* Exclusive time = this node's inclusive time minus its direct
+   children's; children only ever run inside their parent's timed
+   region, so the difference is the parent's own work (clamped at 0
+   against clock jitter). *)
+let excl_ns (stats : Ir.stats) id children =
+  let kids =
+    List.fold_left (fun acc c -> Int64.add acc (incl_ns stats c)) 0L children
+  in
+  let e = Int64.sub (incl_ns stats id) kids in
+  if Int64.compare e 0L < 0 then 0L else e
+
+let node_suffix ~warn_q_error (stats : Ir.stats) id ~est ~children ~extras_of
+    =
+  match Ir.actual_of stats id with
+  | None -> Printf.sprintf "  [est=%d act=\xe2\x80\x93]" est
+  | Some a ->
+      let q = Ir.q_error est a.Ir.a_rows in
+      let inv =
+        if a.Ir.a_invocations > 1 then
+          Printf.sprintf " inv=%d" a.Ir.a_invocations
+        else ""
+      in
+      let warn =
+        if q >= warn_q_error then "  \xe2\x9a\xa0 misestimate" else ""
+      in
+      Printf.sprintf "  [est=%d act=%d q=%.1f excl=%s%s%s]%s" est a.Ir.a_rows
+        q
+        (ns_to_string (excl_ns stats id children))
+        inv (extras_of a) warn
+
+let analyze_ann ~warn_q_error (stats : Ir.stats) =
+  {
+    on_t =
+      (fun id t ->
+        node_suffix ~warn_q_error stats id ~est:(Ir.estimate t)
+          ~children:(Ir.child_ids id t) ~extras_of:(fun a ->
+            match t with
+            | Ir.Hash_join _ | Ir.Semi _ ->
+                Printf.sprintf " build=%d probe=%d matches=%d" a.Ir.a_build
+                  a.Ir.a_probe a.Ir.a_matches
+            | _ -> ""));
+    on_d =
+      (fun id d ->
+        node_suffix ~warn_q_error stats id ~est:(Ir.estimate_disjunct d)
+          ~children:(Ir.disjunct_child_ids id d)
+          ~extras_of:(fun _ -> ""));
+    on_c =
+      (fun id c ->
+        node_suffix ~warn_q_error stats id ~est:(Ir.estimate_coll c)
+          ~children:(Ir.coll_child_ids id c) ~extras_of:(fun a ->
+            match c with
+            | Ir.Union _ when a.Ir.a_iterations > 0 ->
+                Printf.sprintf " iters=%d deltas=[%s]" a.Ir.a_iterations
+                  (String.concat ";"
+                     (List.map string_of_int (List.rev a.Ir.a_deltas)))
+            | _ -> ""));
+  }
+
+let analyze_to_string ?(warn_q_error = 4.0) ~(stats : Ir.stats)
+    (pp : Ir.program_plan) : string =
+  program_render (analyze_ann ~warn_q_error stats) pp
+
+(* Flat per-node record for machine consumers (the CLI's JSON output and
+   the bench harness). Preorder over the whole program. *)
+type node_info = {
+  ni_id : int;
+  ni_def : string;  (* definition name, or "main" *)
+  ni_op : string;
+  ni_label : string;
+  ni_est : int;
+  ni_actual : Ir.actual option;
+  ni_excl_ns : int64;
+  ni_q : float option;
+}
+
+let analyze_info (pp : Ir.program_plan) ~(stats : Ir.stats) : node_info list
+    =
+  let acc = ref [] in
+  let add section id op label est children =
+    let actual = Ir.actual_of stats id in
+    let q = Option.map (fun a -> Ir.q_error est a.Ir.a_rows) actual in
+    acc :=
+      {
+        ni_id = id;
+        ni_def = section;
+        ni_op = op;
+        ni_label = label;
+        ni_est = est;
+        ni_actual = actual;
+        ni_excl_ns = excl_ns stats id children;
+        ni_q = q;
+      }
+      :: !acc
+  in
+  let rec go_t section id t =
+    add section id (Ir.op_name t) (t_label t) (Ir.estimate t)
+      (Ir.child_ids id t);
+    match t with
+    | Ir.One | Ir.Scan _ -> ()
+    | Ir.Subquery { plan; _ } -> go_c section (id + 1) plan
+    | Ir.Lateral { input; plan; _ } ->
+        go_t section (id + 1) input;
+        go_c section (id + 1 + Ir.size input) plan
+    | Ir.Product { left; right } | Ir.Hash_join { left; right; _ } ->
+        go_t section (id + 1) left;
+        go_t section (id + 1 + Ir.size left) right
+    | Ir.Filter { input; _ }
+    | Ir.Residual { input; _ }
+    | Ir.Resolve { input; _ }
+    | Ir.Prune { input; _ } ->
+        go_t section (id + 1) input
+    | Ir.Semi { input; sub; _ } ->
+        go_t section (id + 1) input;
+        go_t section (id + 1 + Ir.size input) sub
+  and go_d section id d =
+    add section id (Ir.disjunct_op_name d) (disjunct_label d)
+      (Ir.estimate_disjunct d)
+      (Ir.disjunct_child_ids id d);
+    match d with
+    | Ir.Project { input; _ } | Ir.Aggregate { input; _ } ->
+        go_t section (id + 1) input
+  and go_c section id c =
+    add section id (Ir.coll_op_name c) (coll_label c) (Ir.estimate_coll c)
+      (Ir.coll_child_ids id c);
+    match c with
+    | Ir.Union { disjuncts; _ } ->
+        List.iter2
+          (fun did d -> go_d section did d)
+          (Ir.coll_child_ids id c) disjuncts
+    | Ir.Fallback _ -> ()
+  in
+  let counter = ref 0 in
+  let walk_def dp =
+    let id = !counter in
+    counter := !counter + Ir.size_coll dp.Ir.dplan;
+    go_c dp.Ir.dname id dp.Ir.dplan
+  in
+  List.iter
+    (function
+      | Ir.Nonrecursive dp -> walk_def dp
+      | Ir.Recursive dps -> List.iter walk_def dps)
+    pp.strata;
+  (match pp.main with
+  | Ir.Main_coll p ->
+      let id = !counter in
+      counter := !counter + Ir.size_coll p;
+      go_c "main" id p
+  | Ir.Main_sentence _ -> ());
+  List.rev !acc
 
 let report_to_string (report : (string * bool) list) : string =
   "rewrites: "

@@ -86,6 +86,162 @@ let rec estimate = function
   | Residual { input; _ } | Semi { input; _ } -> max 1 (estimate input lsr 1)
   | Resolve { input; _ } | Prune { input; _ } -> estimate input
 
+let estimate_disjunct = function
+  | Project { input; _ } -> estimate input
+  | Aggregate { input; keys; _ } ->
+      if keys = [] then 1 else max 1 (estimate input / 4)
+
+let estimate_coll = function
+  | Union { disjuncts; _ } ->
+      List.fold_left (fun acc d -> acc + estimate_disjunct d) 0 disjuncts
+  | Fallback _ -> 32
+
+(* ------------------------------------------------------------------ *)
+(* Stable node ids                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Every node of a program plan — pipeline nodes, disjuncts, and collection
+   heads, including nested sub-plans — carries a stable id: its preorder
+   position in a canonical traversal. Ids are *derived*, not stored: a
+   node's children occupy the id range right after it, offset by the sizes
+   of their elder siblings. The executor and the explain/analyze renderers
+   walk plans with the same arithmetic, so actuals recorded at execution
+   time line up with the rendered tree — and with the estimates the
+   optimizer made for the very same ids. Structural rewrites that preserve
+   shape (notably the fixpoint's delta-scan substitution) preserve ids. *)
+
+let rec size = function
+  | One | Scan _ -> 1
+  | Subquery { plan; _ } -> 1 + size_coll plan
+  | Lateral { input; plan; _ } -> 1 + size input + size_coll plan
+  | Product { left; right } | Hash_join { left; right; _ } ->
+      1 + size left + size right
+  | Filter { input; _ } | Residual { input; _ } | Resolve { input; _ }
+  | Prune { input; _ } ->
+      1 + size input
+  | Semi { input; sub; _ } -> 1 + size input + size sub
+
+and size_disjunct = function
+  | Project { input; _ } | Aggregate { input; _ } -> 1 + size input
+
+and size_coll = function
+  | Union { disjuncts; _ } ->
+      1 + List.fold_left (fun acc d -> acc + size_disjunct d) 0 disjuncts
+  | Fallback _ -> 1
+
+(* Direct-children ids, in canonical (preorder) order. Children of
+   [Subquery]/[Lateral] include the nested collection plan. *)
+let child_ids id = function
+  | One | Scan _ -> []
+  | Subquery _ -> [ id + 1 ]
+  | Lateral { input; _ } -> [ id + 1; id + 1 + size input ]
+  | Product { left; _ } | Hash_join { left; _ } -> [ id + 1; id + 1 + size left ]
+  | Filter _ | Residual _ | Resolve _ | Prune _ -> [ id + 1 ]
+  | Semi { input; _ } -> [ id + 1; id + 1 + size input ]
+
+let disjunct_child_ids id = function Project _ | Aggregate _ -> [ id + 1 ]
+
+let coll_child_ids id = function
+  | Union { disjuncts; _ } ->
+      List.rev
+        (fst
+           (List.fold_left
+              (fun (acc, next) d -> (next :: acc, next + size_disjunct d))
+              ([], id + 1) disjuncts))
+  | Fallback _ -> []
+
+(* Base ids for a whole program: strata in order (each definition's
+   collection plan), then the main plan. *)
+let program_ids (pp : program_plan) : (rel_name * int) list * int option =
+  let counter = ref 0 in
+  let take n =
+    let v = !counter in
+    counter := !counter + n;
+    v
+  in
+  let defs =
+    List.concat_map
+      (function
+        | Nonrecursive dp -> [ (dp.dname, take (size_coll dp.dplan)) ]
+        | Recursive dps ->
+            List.map (fun dp -> (dp.dname, take (size_coll dp.dplan))) dps)
+      pp.strata
+  in
+  let main =
+    match pp.main with
+    | Main_coll p -> Some (take (size_coll p))
+    | Main_sentence _ -> None
+  in
+  (defs, main)
+
+let op_name = function
+  | One -> "unit"
+  | Scan _ -> "scan"
+  | Subquery _ -> "subquery"
+  | Lateral _ -> "lateral"
+  | Product _ -> "product"
+  | Hash_join _ -> "hash_join"
+  | Filter _ -> "filter"
+  | Residual _ -> "residual"
+  | Semi { anti; _ } -> if anti then "anti_join" else "semi_join"
+  | Resolve _ -> "resolve"
+  | Prune _ -> "prune"
+
+let disjunct_op_name = function
+  | Project _ -> "project"
+  | Aggregate _ -> "hash_aggregate"
+
+let coll_op_name = function Union _ -> "union" | Fallback _ -> "fallback"
+
+(* ------------------------------------------------------------------ *)
+(* Per-node runtime actuals (EXPLAIN ANALYZE)                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Filled in by the executor when it runs with a stats table; accumulated
+   across invocations (fixpoint iterations, per-row laterals), so [a_rows]
+   is the total number of rows the node emitted over the whole run. *)
+type actual = {
+  mutable a_invocations : int;
+  mutable a_rows : int;
+  mutable a_incl_ns : int64;  (* inclusive wall-clock, children included *)
+  mutable a_build : int;  (* hash-table build-side rows *)
+  mutable a_probe : int;  (* probe-side rows *)
+  mutable a_matches : int;  (* probe hits that produced output *)
+  mutable a_iterations : int;  (* fixpoint rounds (collection heads) *)
+  mutable a_deltas : int list;  (* per-iteration delta sizes, reversed *)
+}
+
+type stats = (int, actual) Hashtbl.t
+
+let fresh_stats () : stats = Hashtbl.create 64
+
+let touch (st : stats) id =
+  match Hashtbl.find_opt st id with
+  | Some a -> a
+  | None ->
+      let a =
+        {
+          a_invocations = 0;
+          a_rows = 0;
+          a_incl_ns = 0L;
+          a_build = 0;
+          a_probe = 0;
+          a_matches = 0;
+          a_iterations = 0;
+          a_deltas = [];
+        }
+      in
+      Hashtbl.replace st id a;
+      a
+
+let actual_of (st : stats) id = Hashtbl.find_opt st id
+
+(* Q-error of an estimate against an actual: max/min of the two, both
+   clamped to >= 1 so empty results stay finite. 1.0 is a perfect guess. *)
+let q_error est act =
+  let est = max 1 est and act = max 1 act in
+  Float.of_int (max est act) /. Float.of_int (min est act)
+
 (* all range variables syntactically referenced anywhere in a fragment —
    a safe over-approximation of the inputs it needs *)
 let term_ref_vars t = List.map fst (term_vars t)

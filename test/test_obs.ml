@@ -242,6 +242,98 @@ let json_roundtrip () =
   | Ok _ -> Alcotest.fail "pretty round-trip changed the value"
   | Error msg -> Alcotest.failf "pretty round-trip failed: %s" msg
 
+(* every string the fuzzer can generate — plus worse — survives a
+   to_string/parse round-trip, byte for byte *)
+let json_hostile_roundtrip () =
+  let hostile =
+    Arc_fuzz.Gen.str_pool
+    @ [
+        "\x00\x01\x1f";          (* C0 controls, escaped as \u00XX *)
+        "\x7f";                  (* DEL, likewise *)
+        "caf\xc3\xa9";           (* 2-byte UTF-8 *)
+        "\xe2\x9a\xa0 warn";     (* 3-byte UTF-8 *)
+        "\xf0\x9f\x98\x80";      (* 4-byte UTF-8 (astral) *)
+        "back\\slash \"quote\"";
+        "mixed\n\t\r\x0b\x0c";
+      ]
+  in
+  List.iter
+    (fun s ->
+      let j = Json.Obj [ ("k", Json.Str s); (s, Json.Int 1) ] in
+      match Json.parse (Json.to_string j) with
+      | Ok j' when j' = j -> ()
+      | Ok _ -> Alcotest.failf "round-trip changed %S" s
+      | Error msg -> Alcotest.failf "round-trip of %S failed: %s" s msg)
+    hostile
+
+(* \u escapes: surrogate pairs decode to one astral code point; unpaired
+   halves and malformed hex are rejected rather than smuggled through *)
+let json_unicode_escapes () =
+  (match Json.parse {|"\ud83d\ude00"|} with
+  | Ok (Json.Str s) ->
+      Alcotest.(check string) "surrogate pair decodes" "\xf0\x9f\x98\x80" s
+  | Ok _ -> Alcotest.fail "surrogate pair parsed to a non-string"
+  | Error msg -> Alcotest.failf "surrogate pair rejected: %s" msg);
+  (match Json.parse {|"\u00e9"|} with
+  | Ok (Json.Str s) -> Alcotest.(check string) "BMP escape" "\xc3\xa9" s
+  | _ -> Alcotest.fail "BMP \\u escape failed");
+  List.iter
+    (fun bad ->
+      match Json.parse bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted malformed input %s" bad)
+    [
+      {|"\ud83d"|};        (* unpaired high surrogate *)
+      {|"\ud83dx"|};       (* high surrogate not followed by \u *)
+      {|"\ude00"|};        (* unpaired low surrogate *)
+      {|"\ud83d\u0041"|}; (* high surrogate followed by a non-low \u *)
+      {|"\u12g4"|};        (* bad hex digit *)
+      {|"\u12"|};          (* truncated *)
+    ]
+
+(* spans whose names and attributes contain newlines, quotes and raw UTF-8
+   still produce machine-parsable chrome and JSONL output *)
+let sinks_hostile_attrs () =
+  let tracer = Obs.collector () in
+  let h = Obs.enter tracer "outer \"op\"\nline2" in
+  Obs.set h "note" (Obs.Str "it's \"quoted\"\n\ttab \xe2\x9a\xa0");
+  Obs.set h "caf\xc3\xa9" (Obs.Str "\x01control\x7f");
+  let inner = Obs.enter tracer "inner,comma" in
+  Obs.set inner "n" (Obs.Int 3);
+  Obs.leave tracer inner;
+  Obs.leave tracer h;
+  let spans = Obs.spans tracer in
+  (match Json.parse (Sink.chrome spans) with
+  | Ok (Json.List (_ :: _)) -> ()
+  | Ok _ -> Alcotest.fail "chrome trace is not a non-empty array"
+  | Error msg -> Alcotest.failf "chrome trace unparsable: %s" msg);
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' (Sink.jsonl spans))
+  in
+  Alcotest.(check int) "one JSONL line per span" 2 (List.length lines);
+  List.iter
+    (fun line ->
+      match Json.parse line with
+      | Error msg -> Alcotest.failf "unparsable JSONL line (%s): %s" msg line
+      | Ok doc -> (
+          match Json.member "name" doc with
+          | Some (Json.Str _) -> ()
+          | _ -> Alcotest.failf "JSONL line lacks string name: %s" line))
+    lines;
+  (* the hostile attribute value survives the trip through JSONL intact *)
+  let first = List.nth lines 0 in
+  match Json.parse first with
+  | Ok doc -> (
+      match Json.member "attrs" doc with
+      | Some (Json.Obj attrs) -> (
+          match List.assoc_opt "note" attrs with
+          | Some (Json.Str s) ->
+              Alcotest.(check string) "attr round-trips"
+                "it's \"quoted\"\n\ttab \xe2\x9a\xa0" s
+          | _ -> Alcotest.fail "note attr missing from JSONL")
+      | _ -> Alcotest.fail "attrs missing from JSONL")
+  | Error msg -> Alcotest.failf "unparsable first line: %s" msg
+
 let () =
   Alcotest.run "arc_obs"
     [
@@ -266,5 +358,11 @@ let () =
           Alcotest.test_case "pretty and chrome sinks" `Quick sinks_smoke;
           Alcotest.test_case "JSON emitter/parser round-trip" `Quick
             json_roundtrip;
+          Alcotest.test_case "hostile strings round-trip" `Quick
+            json_hostile_roundtrip;
+          Alcotest.test_case "unicode escapes and surrogate pairs" `Quick
+            json_unicode_escapes;
+          Alcotest.test_case "sinks survive hostile attributes" `Quick
+            sinks_hostile_attrs;
         ] );
     ]
