@@ -156,6 +156,91 @@ let eq16 =
     main = Arc_core.Ast.Coll Data.eq16_main;
   }
 
+(* orders/customers rollup, the join+aggregate workload of Parts 7-9 *)
+let analytics_db n =
+  Database.of_list
+    [
+      ( "Orders",
+        Relation.of_rows [ "oid"; "cust"; "amount" ]
+          (List.init n (fun i ->
+               [ V.Int i; V.Int (i mod 29); V.Int ((i * 13 mod 50) + 1) ])) );
+      ( "Customers",
+        Relation.of_rows [ "cust"; "region" ]
+          (List.init 29 (fun i -> [ V.Int i; V.Int (i mod 5) ])) );
+    ]
+
+let analytics_q =
+  let open Arc_core.Build in
+  Arc_core.Ast.program
+    (Arc_core.Ast.Coll
+       (collection "Q" [ "region"; "total" ]
+          (exists
+             ~grouping:[ ("c", "region") ]
+             [ bind "o" "Orders"; bind "c" "Customers" ]
+             (conj
+                [
+                  eq (attr "o" "cust") (attr "c" "cust");
+                  eq (attr "Q" "region") (attr "c" "region");
+                  eq (attr "Q" "total") (sum (attr "o" "amount"));
+                ]))))
+
+(* ------------------------------------------------------------------ *)
+(* Run metadata: stamped into every BENCH_*.json so the bench           *)
+(* trajectory across commits stays comparable                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Resolve HEAD by hand (no git subprocess): .git/HEAD either holds the
+   sha directly (detached) or a ref, looked up loose then packed. *)
+let git_sha () =
+  let read f =
+    try Some (String.trim (In_channel.with_open_text f In_channel.input_all))
+    with _ -> None
+  in
+  let packed_lookup r =
+    match read ".git/packed-refs" with
+    | None -> None
+    | Some txt ->
+        List.find_map
+          (fun line ->
+            match String.index_opt line ' ' with
+            | Some i
+              when String.sub line (i + 1) (String.length line - i - 1) = r ->
+                Some (String.sub line 0 i)
+            | _ -> None)
+          (String.split_on_char '\n' txt)
+  in
+  match read ".git/HEAD" with
+  | None -> "unknown"
+  | Some head -> (
+      match
+        if String.length head > 5 && String.sub head 0 5 = "ref: " then
+          let r = String.sub head 5 (String.length head - 5) in
+          match read (Filename.concat ".git" r) with
+          | Some sha -> Some sha
+          | None -> packed_lookup r
+        else Some head
+      with
+      | Some sha -> sha
+      | None -> "unknown")
+
+let run_meta ~iterations =
+  Json.Obj
+    [
+      ("git_sha", Json.Str (git_sha ()));
+      ("ocaml_version", Json.Str Sys.ocaml_version);
+      ("iterations", Json.Obj iterations);
+    ]
+
+(* the Bechamel config every run_bench group uses (see run_bench) *)
+let bechamel_meta =
+  run_meta
+    ~iterations:
+      [
+        ("bechamel_limit", Json.Int 1000);
+        ("bechamel_quota_s", Json.Float 0.2);
+        ("bechamel_kde", Json.Int 500);
+      ]
+
 (* ------------------------------------------------------------------ *)
 (* Part 2: one timed benchmark per experiment                          *)
 (* ------------------------------------------------------------------ *)
@@ -444,34 +529,6 @@ let guard_benches () =
 (* The three workloads of the engine ablation (Part 7), reused by the
    EXPLAIN ANALYZE report (Part 8). *)
 let engine_workloads () =
-  let analytics_db n =
-    Database.of_list
-      [
-        ( "Orders",
-          Relation.of_rows [ "oid"; "cust"; "amount" ]
-            (List.init n (fun i ->
-                 [ V.Int i; V.Int (i mod 29); V.Int ((i * 13 mod 50) + 1) ]))
-        );
-        ( "Customers",
-          Relation.of_rows [ "cust"; "region" ]
-            (List.init 29 (fun i -> [ V.Int i; V.Int (i mod 5) ])) );
-      ]
-  in
-  let analytics_q =
-    let open Arc_core.Build in
-    Arc_core.Ast.program
-      (Arc_core.Ast.Coll
-         (collection "Q" [ "region"; "total" ]
-            (exists
-               ~grouping:[ ("c", "region") ]
-               [ bind "o" "Orders"; bind "c" "Customers" ]
-               (conj
-                  [
-                    eq (attr "o" "cust") (attr "c" "cust");
-                    eq (attr "Q" "region") (attr "c" "region");
-                    eq (attr "Q" "total") (sum (attr "o" "amount"));
-                  ]))))
-  in
   let matrices n =
     (* n×n matrices, ~half the entries present *)
     let mat seed =
@@ -638,6 +695,146 @@ let analyze_report () =
     (engine_workloads ())
 
 (* ------------------------------------------------------------------ *)
+(* Part 9: IVM — incremental maintenance vs full re-evaluation         *)
+(* ------------------------------------------------------------------ *)
+
+module Ivm = Arc_ivm.Ivm
+
+let ivm_warmup = 2
+let ivm_repeats = 15
+
+(* Fresh state per sample: [setup] (view registration = compile + first
+   full evaluation, or nothing for the re-eval arm) stays outside the
+   timed region; only [run] is measured. Minimum of the repeats, for the
+   same reason as [min_pair_ns]. *)
+let ivm_best ~setup ~run =
+  Gc.compact ();
+  let sample () =
+    let st = setup () in
+    let t0 = Metrics.now_ns () in
+    ignore (run st);
+    let t1 = Metrics.now_ns () in
+    Int64.to_float (Int64.sub t1 t0)
+  in
+  for _ = 1 to ivm_warmup do
+    ignore (sample ())
+  done;
+  let best = ref Float.infinity in
+  for _ = 1 to ivm_repeats do
+    best := Float.min !best (sample ())
+  done;
+  !best
+
+(* The rollup (counting + dirty-group aggregate) and TC chain (DRed)
+   workloads of Part 7, now maintained incrementally under single-row and
+   small mixed batches and raced against full re-evaluation on the updated
+   database. Every arm is gated on [Ivm.check]: the maintained result must
+   be bag-equal to from-scratch recomputation before its time counts. *)
+let ivm_benches () =
+  section "PART 9 — IVM: incremental maintenance vs full re-evaluation";
+  let order_row i =
+    [ V.Int i; V.Int (i mod 29); V.Int ((i * 13 mod 50) + 1) ]
+  in
+  let row db rel vs =
+    Tuple.make (Relation.schema (Database.find db rel)) (Array.of_list vs)
+  in
+  let workloads =
+    [
+      ( "analytics rollup, 400 orders",
+        (fun () -> analytics_db 400),
+        analytics_q,
+        [
+          ( "single-row insert",
+            fun db ->
+              [ ("Orders", [ (row db "Orders" (order_row 400), 1) ]) ] );
+          ( "1% mixed batch (4 rows)",
+            fun db ->
+              [
+                ( "Orders",
+                  [
+                    (row db "Orders" (order_row 401), 1);
+                    (row db "Orders" (order_row 402), 1);
+                    (row db "Orders" (order_row 0), -1);
+                    (row db "Orders" (order_row 1), -1);
+                  ] );
+              ] );
+        ] );
+      ( "recursion: TC chain 48 (eq16)",
+        (fun () -> chain 48),
+        eq16,
+        [
+          ( "single-row insert",
+            fun db -> [ ("P", [ (row db "P" [ V.Int 48; V.Int 49 ], 1) ]) ]
+          );
+          ( "mixed batch (4 rows)",
+            fun db ->
+              [
+                ( "P",
+                  [
+                    (row db "P" [ V.Int 48; V.Int 49 ], 1);
+                    (row db "P" [ V.Int 49; V.Int 50 ], 1);
+                    (row db "P" [ V.Int 0; V.Int 1 ], -1);
+                    (row db "P" [ V.Int 1; V.Int 2 ], -1);
+                  ] );
+              ] );
+        ] );
+    ]
+  in
+  let all_ok = ref true in
+  let rows =
+    List.concat_map
+      (fun (wname, mk_db, prog, batches) ->
+        List.map
+          (fun (bname, mk_batch) ->
+            let fresh () =
+              let db = mk_db () in
+              let t = Ivm.create ~db () in
+              Ivm.register t ~name:"v" prog;
+              (t, mk_batch db)
+            in
+            (* correctness and reporting pass, untimed *)
+            let t0, batch0 = fresh () in
+            let r = List.hd (Ivm.apply t0 batch0) in
+            let check_ok = Ivm.check t0 = [] in
+            if not check_ok then begin
+              all_ok := false;
+              Printf.printf "!!! %s / %s: maintained result diverges\n" wname
+                bname
+            end;
+            let updated = Ivm.db t0 in
+            let incr_ns =
+              ivm_best ~setup:fresh ~run:(fun (t, batch) -> Ivm.apply t batch)
+            in
+            let reeval_ns =
+              ivm_best
+                ~setup:(fun () -> ())
+                ~run:(fun () -> Exec.run_rows ~db:updated prog)
+            in
+            let speedup = reeval_ns /. incr_ns in
+            Printf.printf
+              "%s / %s:\n    mode=%s |Δout|=%d fallbacks=%d\n    incremental \
+               %8.1f µs, re-eval %8.1f µs, speedup %.1fx\n"
+              wname bname r.Ivm.vr_mode r.Ivm.vr_out_delta r.Ivm.vr_fallbacks
+              (incr_ns /. 1e3) (reeval_ns /. 1e3) speedup;
+            Json.Obj
+              [
+                ("workload", Json.Str wname);
+                ("batch", Json.Str bname);
+                ("batch_rows", Json.Int (Ivm.batch_rows batch0));
+                ("mode", Json.Str r.Ivm.vr_mode);
+                ("out_delta", Json.Int r.Ivm.vr_out_delta);
+                ("fallbacks", Json.Int r.Ivm.vr_fallbacks);
+                ("incremental_ns", Json.Float incr_ns);
+                ("reeval_ns", Json.Float reeval_ns);
+                ("speedup", Json.Float speedup);
+                ("check_ok", Json.Bool check_ok);
+              ])
+          batches)
+      workloads
+  in
+  (rows, !all_ok)
+
+(* ------------------------------------------------------------------ *)
 (* JSON report (BENCH_1.json)                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -690,6 +887,7 @@ let () =
       [
         ("version", Json.Int 1);
         ("harness", Json.Str "arc-bench");
+        ("meta", bechamel_meta);
         ( "reproduction",
           Json.Obj
             [ ("checks", Json.Int checks); ("failures", Json.Int failures) ] );
@@ -709,6 +907,7 @@ let () =
       [
         ("version", Json.Int 1);
         ("harness", Json.Str "arc-bench-guard");
+        ("meta", bechamel_meta);
         ("rows", time_rows_to_json guard_rows);
         ("overhead", Json.List guard_overhead);
       ]
@@ -727,6 +926,7 @@ let () =
       [
         ("version", Json.Int 1);
         ("harness", Json.Str "arc-bench-engine");
+        ("meta", bechamel_meta);
         ("results_match", Json.Bool engine_match);
         ("rows", time_rows_to_json engine_rows);
         ("speedups", Json.List engine_speedups);
@@ -746,6 +946,13 @@ let () =
       [
         ("version", Json.Int 1);
         ("harness", Json.Str "arc-bench-analyze");
+        ( "meta",
+          run_meta
+            ~iterations:
+              [
+                ("min_pair_warmup", Json.Int 3);
+                ("min_pair_repeats", Json.Int 21);
+              ] );
         ("workloads", Json.List analyze_rows);
       ]
   in
@@ -757,6 +964,31 @@ let () =
   Out_channel.with_open_text analyze_out (fun oc ->
       output_string oc (Json.pretty analyze_json);
       output_char oc '\n');
+  let ivm_rows, ivm_ok = ivm_benches () in
+  let ivm_json =
+    Json.Obj
+      [
+        ("version", Json.Int 1);
+        ("harness", Json.Str "arc-bench-ivm");
+        ( "meta",
+          run_meta
+            ~iterations:
+              [
+                ("ivm_warmup", Json.Int ivm_warmup);
+                ("ivm_repeats", Json.Int ivm_repeats);
+              ] );
+        ("checks_ok", Json.Bool ivm_ok);
+        ("results", Json.List ivm_rows);
+      ]
+  in
+  let ivm_out =
+    match Sys.getenv_opt "BENCH7_OUT" with
+    | Some f -> f
+    | None -> "BENCH_7.json"
+  in
+  Out_channel.with_open_text ivm_out (fun oc ->
+      output_string oc (Json.pretty ivm_json);
+      output_char oc '\n');
   rule ();
-  Printf.printf "bench complete; JSON reports written to %s, %s, %s and %s\n"
-    out guard_out engine_out analyze_out
+  Printf.printf "bench complete; JSON reports written to %s, %s, %s, %s and %s\n"
+    out guard_out engine_out analyze_out ivm_out

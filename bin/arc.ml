@@ -28,6 +28,20 @@ let parse_schema s =
   | [ name; attrs ] -> (String.trim name, String.split_on_char ',' (String.trim attrs))
   | _ -> die "bad schema %S (expected Name:attr1,attr2)" s
 
+(* literal syntax shared by inline tables and batch CSVs *)
+let parse_value v =
+  let v = String.trim v in
+  if v = "null" then V.Null
+  else if String.length v >= 2 && v.[0] = '\'' then
+    V.Str (String.sub v 1 (String.length v - 2))
+  else
+    match int_of_string_opt v with
+    | Some n -> V.Int n
+    | None -> (
+        match float_of_string_opt v with
+        | Some f -> V.Float f
+        | None -> V.Str v)
+
 (* "R(A,B)=1,10;2,20" inline table syntax *)
 let parse_table s =
   match String.index_opt s '=' with
@@ -43,19 +57,6 @@ let parse_table s =
                 (String.sub header (l + 1) (String.length header - l - 2))
               |> List.map String.trim )
         | _ -> die "bad table header %S" header
-      in
-      let parse_value v =
-        let v = String.trim v in
-        if v = "null" then V.Null
-        else if String.length v >= 2 && v.[0] = '\'' then
-          V.Str (String.sub v 1 (String.length v - 2))
-        else
-          match int_of_string_opt v with
-          | Some n -> V.Int n
-          | None -> (
-              match float_of_string_opt v with
-              | Some f -> V.Float f
-              | None -> V.Str v)
       in
       let rows =
         if String.trim data = "" then []
@@ -143,6 +144,7 @@ let wrap f = try `Ok (f ()) with
   | Arc_sql.Eval_sql.Sql_error m ->
       `Error (false, m)
   | Arc_engine.Eval.Eval_error e -> `Error (false, Arc_guard.Error.to_string e)
+  | Arc_ivm.Ivm.Ivm_error m -> `Error (false, m)
   | Arc_guard.Error.Guard_error e -> `Error (false, Arc_guard.Error.to_string e)
   | Arc_engine.Externals.External_error { relation; cause } ->
       `Error (false, Printf.sprintf "external relation %S failed: %s" relation cause)
@@ -1051,6 +1053,185 @@ let chaos_cmd =
     Term.(ret (const chaos_run $ chaos_seed $ metrics_out_arg))
 
 (* ------------------------------------------------------------------ *)
+(* ivm                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Ivm = Arc_ivm.Ivm
+
+let views_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "view" ] ~docv:"NAME=QUERY"
+        ~doc:
+          "Register a maintained view: a name, '=', and an ARC program \
+           (definitions allowed). Repeatable.")
+
+let batches_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "batch" ] ~docv:"FILE"
+        ~doc:
+          "Apply a batch of signed updates, in order. CSV lines are \
+           'relation,multiplicity,v1,v2,...' (negative multiplicity \
+           deletes); with a .jsonl extension each line is \
+           '{\"rel\": \"R\", \"n\": -1, \"row\": [1, 10]}' ('n' defaults \
+           to 1). Repeatable.")
+
+let ivm_check_flag =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:
+          "After each batch, re-evaluate every view from scratch and fail \
+           (exit 1) unless the maintained results are bag-equal — the \
+           differential oracle.")
+
+let batch_row db rel vs =
+  match Database.find_opt db rel with
+  | None -> die "batch references unknown relation %S" rel
+  | Some r ->
+      Arc_relation.Tuple.make (Relation.schema r) (Array.of_list vs)
+
+let parse_batch_csv db text : Ivm.batch =
+  List.filter_map
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then None
+      else
+        match String.split_on_char ',' line with
+        | rel :: mult :: vs -> (
+            match int_of_string_opt (String.trim mult) with
+            | None -> die "bad batch line %S (multiplicity not an int)" line
+            | Some n ->
+                Some
+                  ( String.trim rel,
+                    [ (batch_row db (String.trim rel) (List.map parse_value vs), n) ]
+                  ))
+        | _ -> die "bad batch line %S (expected rel,mult,v1,...)" line)
+    (String.split_on_char '\n' text)
+
+let parse_batch_jsonl db text : Ivm.batch =
+  let value_of_json = function
+    | Json.Null -> V.Null
+    | Json.Bool b -> V.Bool b
+    | Json.Int n -> V.Int n
+    | Json.Float f -> V.Float f
+    | Json.Str s -> V.Str s
+    | j -> die "bad batch value %s" (Json.to_string j)
+  in
+  List.filter_map
+    (fun line ->
+      let line = String.trim line in
+      if line = "" then None
+      else
+        match Json.parse line with
+        | Error m -> die "bad batch line %S: %s" line m
+        | Ok j ->
+            let rel =
+              match Json.member "rel" j with
+              | Some (Json.Str r) -> r
+              | _ -> die "batch line %S lacks a \"rel\" field" line
+            in
+            let n =
+              match Json.member "n" j with
+              | Some (Json.Int n) -> n
+              | None -> 1
+              | Some _ -> die "batch line %S: \"n\" must be an int" line
+            in
+            let vs =
+              match Json.member "row" j with
+              | Some (Json.List vs) -> List.map value_of_json vs
+              | _ -> die "batch line %S lacks a \"row\" array" line
+            in
+            Some (rel, [ (batch_row db rel vs, n) ]))
+    (String.split_on_char '\n' text)
+
+let parse_batch_file db file : Ivm.batch =
+  let text = In_channel.with_open_text file In_channel.input_all in
+  if Filename.check_suffix file ".jsonl" then parse_batch_jsonl db text
+  else parse_batch_csv db text
+
+let parse_view s =
+  match String.index_opt s '=' with
+  | Some k when k > 0 ->
+      ( String.trim (String.sub s 0 k),
+        Arc_syntax.Parser.program_of_string
+          (String.sub s (k + 1) (String.length s - k - 1)) )
+  | _ -> die "bad view %S (expected NAME={Q(...) | ...})" s
+
+let ivm_run conv tables views batches check timeout max_rows max_iterations
+    max_bindings max_depth on_limit metrics_out =
+  wrap (fun () ->
+      if views = [] then die "no views; pass --view NAME=QUERY at least once";
+      let db = Database.of_list (List.map parse_table tables) in
+      let m = Metrics.create () in
+      let ivm = Ivm.create ~conv ~metrics:m ~db () in
+      List.iter
+        (fun vs ->
+          let name, prog = parse_view vs in
+          Ivm.register ivm ~name prog)
+        views;
+      Printf.printf "registered %d view(s); maintenance state holds %d rows\n"
+        (List.length (Ivm.views ivm))
+        (Ivm.state_rows ivm);
+      List.iteri
+        (fun bi file ->
+          let batch = parse_batch_file (Ivm.db ivm) file in
+          let guard =
+            build_guard ~timeout ~max_rows ~max_iterations ~max_bindings
+              ~max_depth ~on_limit
+          in
+          let reports = Ivm.apply ~guard ivm batch in
+          Printf.printf "batch %d (%s): %d row(s) over %d relation(s)\n"
+            (bi + 1) file (Ivm.batch_rows batch) (List.length batch);
+          List.iter
+            (fun (r : Ivm.view_report) ->
+              Printf.printf "  %-16s %-11s |output delta|=%-5d %s%.3f ms\n"
+                r.Ivm.vr_view r.Ivm.vr_mode r.Ivm.vr_out_delta
+                (if r.Ivm.vr_fallbacks > 0 then
+                   Printf.sprintf "fallbacks=%d " r.Ivm.vr_fallbacks
+                 else "")
+                (Int64.to_float r.Ivm.vr_ns /. 1e6))
+            reports;
+          print_guard_report guard;
+          if check then
+            match Ivm.check ivm with
+            | [] -> Printf.printf "  check: ok (views bag-equal to re-evaluation)\n"
+            | mismatches ->
+                List.iter
+                  (fun (v, maintained, fresh) ->
+                    Printf.eprintf
+                      "check FAILED for %s:\nmaintained:\n%sfresh:\n%s" v
+                      (Relation.to_table maintained)
+                      (Relation.to_table fresh))
+                  mismatches;
+                die "differential check failed after batch %d" (bi + 1))
+        batches;
+      List.iter
+        (fun name ->
+          Printf.printf "-- %s --\n%s" name
+            (Relation.to_table (Ivm.result ivm name)))
+        (Ivm.views ivm);
+      Option.iter (write_metrics m) metrics_out)
+
+let ivm_cmd =
+  Cmd.v
+    (Cmd.info "ivm"
+       ~doc:
+         "Incremental view maintenance: register views over inline tables, \
+          apply signed update batches (CSV or JSONL), and keep the view \
+          results up to date by delta propagation — counting for \
+          non-recursive plans, over-delete/re-derive (DRed) for recursive \
+          strata, counted fallback re-evaluation otherwise. With --check, \
+          every batch is verified against from-scratch re-evaluation. See \
+          docs/ivm.md.")
+    Term.(
+      ret
+        (const ivm_run $ conv_arg $ tables_arg $ views_arg $ batches_arg
+       $ ivm_check_flag $ timeout_arg $ max_rows_arg $ max_iterations_arg
+       $ max_bindings_arg $ max_depth_arg $ on_limit_arg $ metrics_out_arg))
+
+(* ------------------------------------------------------------------ *)
 (* fuzz                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -1075,6 +1256,17 @@ let fuzz_shrink =
           "Greedily shrink each divergent case (preserving its divergence \
            kind) before saving the repro.")
 
+let fuzz_ivm =
+  Arg.(
+    value & flag
+    & info [ "ivm" ]
+        ~doc:
+          "IVM mode: instead of the cross-engine oracles, register each \
+           generated case as a maintained view under every convention \
+           combo, apply random signed batches derived from the seed, and \
+           assert the incrementally maintained result stays bag-equal to \
+           from-scratch re-evaluation after every batch.")
+
 let fuzz_out =
   Arg.(
     value
@@ -1091,12 +1283,12 @@ let rec mkdirs d =
     Sys.mkdir d 0o755
   end
 
-let fuzz_run seed count shrink out metrics_out =
+let fuzz_run seed count shrink ivm out metrics_out =
   wrap (fun () ->
       Option.iter mkdirs out;
       let tracer = Obs.collector () in
       let stats, findings =
-        Arc_fuzz.Driver.run ~tracer ~shrink ?out ~seed ~count ()
+        Arc_fuzz.Driver.run ~tracer ~shrink ~ivm ?out ~seed ~count ()
       in
       List.iter
         (fun (f : Arc_fuzz.Driver.finding) ->
@@ -1146,8 +1338,8 @@ let fuzz_cmd =
           --metrics-out, exports the campaign counters as metrics.")
     Term.(
       ret
-        (const fuzz_run $ fuzz_seed $ fuzz_count $ fuzz_shrink $ fuzz_out
-       $ metrics_out_arg))
+        (const fuzz_run $ fuzz_seed $ fuzz_count $ fuzz_shrink $ fuzz_ivm
+       $ fuzz_out $ metrics_out_arg))
 
 (* ------------------------------------------------------------------ *)
 (* main                                                                *)
@@ -1161,7 +1353,7 @@ let main_cmd =
           metalanguage for relational queries.")
     [
       render_cmd; validate_cmd; eval_cmd; explain_cmd; analyze_cmd; trace_cmd;
-      fragment_cmd; compare_cmd; catalog_cmd; chaos_cmd; fuzz_cmd;
+      fragment_cmd; compare_cmd; catalog_cmd; chaos_cmd; fuzz_cmd; ivm_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

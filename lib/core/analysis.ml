@@ -55,6 +55,16 @@ type error =
   | Grouping_var_not_bound of var
   | Head_in_nested_collection of rel_name
   | Ungrouped_head_dependency of rel_name * attr
+  | Reserved_relation_name of rel_name
+
+(* Names the engine mangles into the shared relation namespace: the
+   fixpoints register "__delta__<def>" entries (Exec/Eval seminaive) and
+   the maintenance layer registers "__ivm__…" working relations. A user
+   relation in either namespace would silently collide with them. *)
+let reserved_prefixes = [ "__delta__"; "__ivm__" ]
+
+let is_reserved_name n =
+  List.exists (fun p -> String.starts_with ~prefix:p n) reserved_prefixes
 
 let error_to_string = function
   | Duplicate_binding v -> Printf.sprintf "duplicate binding for variable %S" v
@@ -86,6 +96,11 @@ let error_to_string = function
         "head attribute %s.%s is assigned a non-aggregate term that is not a \
          grouping key"
         h a
+  | Reserved_relation_name r ->
+      Printf.sprintf
+        "relation name %S begins with a reserved engine prefix (%s)" r
+        (String.concat ", "
+           (List.map (Printf.sprintf "%S") reserved_prefixes))
 
 type vctx = {
   venv : env;
@@ -176,6 +191,8 @@ and check_scope ctx scope =
         let attrs =
           match b.source with
           | Base name ->
+              if is_reserved_name name then
+                err acc (Reserved_relation_name name);
               if not (known_relation acc name) && acc.venv.base_schemas <> []
               then err acc (Unknown_relation name);
               source_attrs acc name
@@ -228,6 +245,8 @@ and check_nested_collection ctx c =
   check_collection ctx' c
 
 and check_collection ctx c =
+  if is_reserved_name c.head.head_name then
+    err ctx (Reserved_relation_name c.head.head_name);
   let seen = Hashtbl.create 8 in
   List.iter
     (fun a ->
@@ -258,6 +277,10 @@ let def_schemas defs =
 let validate ?(env = default_env) (prog : program) =
   let defs = def_schemas prog.defs in
   let ctx = initial_ctx env defs in
+  List.iter
+    (fun (n, _) ->
+      if is_reserved_name n then err ctx (Reserved_relation_name n))
+    env.base_schemas;
   List.iter (fun d -> check_collection ctx d.def_body) prog.defs;
   (match prog.main with
   | Coll c -> check_collection ctx c

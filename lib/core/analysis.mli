@@ -65,8 +65,16 @@ type error =
       (** In a grouping scope, a head attribute was assigned a non-aggregate
           term that is not a grouping key (SQL: "column must appear in the
           GROUP BY clause"). *)
+  | Reserved_relation_name of rel_name
+      (** A definition head, base binding, or supplied base schema uses a
+          name in the engine's reserved namespace ([__delta__…] fixpoint
+          deltas, [__ivm__…] maintenance state); such a relation would
+          collide with engine-registered IDB entries. *)
 
 val error_to_string : error -> string
+
+val is_reserved_name : rel_name -> bool
+(** True for names the engine reserves ([__delta__]/[__ivm__] prefixes). *)
 
 val validate : ?env:env -> program -> (unit, error list) result
 val validate_query : ?env:env -> query -> (unit, error list) result

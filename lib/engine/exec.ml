@@ -411,125 +411,11 @@ and exec_coll_inner env id (p : Ir.coll_plan) : Relation.t =
 (* Recursive strata: hash-based fixpoints over plans                   *)
 (* ------------------------------------------------------------------ *)
 
-let delta_name n = "__delta__" ^ n
-
-(* Count / substitute scans of component relations, preorder, descending
-   into nested sub-plans and semi-join subtrees. The traversal order only
-   needs to be self-consistent between [count_scans] and [subst_scan]. *)
-let rec count_scans component (t : Ir.t) : int =
-  match t with
-  | One -> 0
-  | Scan { rel; _ } -> if List.mem rel component then 1 else 0
-  | Subquery { plan; _ } -> count_scans_coll component plan
-  | Lateral { input; plan; _ } ->
-      count_scans component input + count_scans_coll component plan
-  | Product { left; right } | Hash_join { left; right; _ } ->
-      count_scans component left + count_scans component right
-  | Filter { input; _ } | Residual { input; _ } | Resolve { input; _ }
-  | Prune { input; _ } ->
-      count_scans component input
-  | Semi { input; sub; _ } ->
-      count_scans component input + count_scans component sub
-
-and count_scans_disjunct component = function
-  | Ir.Project { input; _ } | Ir.Aggregate { input; _ } ->
-      count_scans component input
-
-and count_scans_coll component = function
-  | Ir.Union { disjuncts; _ } ->
-      List.fold_left
-        (fun acc d -> acc + count_scans_disjunct component d)
-        0 disjuncts
-  | Ir.Fallback _ -> 0
-
-let subst_scan component i (p : Ir.coll_plan) : Ir.coll_plan =
-  let k = ref (-1) in
-  let rec go_t (t : Ir.t) : Ir.t =
-    match t with
-    | One -> t
-    | Scan s when List.mem s.rel component ->
-        incr k;
-        if !k = i then Scan { s with rel = delta_name s.rel } else t
-    | Scan _ -> t
-    | Subquery s -> Subquery { s with plan = go_coll s.plan }
-    | Lateral l -> Lateral { l with input = go_t l.input; plan = go_coll l.plan }
-    | Product { left; right } -> Product { left = go_t left; right = go_t right }
-    | Hash_join j -> Hash_join { j with left = go_t j.left; right = go_t j.right }
-    | Filter f -> Filter { f with input = go_t f.input }
-    | Residual r -> Residual { r with input = go_t r.input }
-    | Resolve r -> Resolve { r with input = go_t r.input }
-    | Prune p -> Prune { p with input = go_t p.input }
-    | Semi s -> Semi { s with input = go_t s.input; sub = go_t s.sub }
-  and go_disjunct = function
-    | Ir.Project pr -> Ir.Project { pr with input = go_t pr.input }
-    | Ir.Aggregate ag -> Ir.Aggregate { ag with input = go_t ag.input }
-  and go_coll = function
-    | Ir.Union u -> Ir.Union { u with disjuncts = List.map go_disjunct u.disjuncts }
-    | Ir.Fallback _ as f -> f
-  in
-  go_coll p
-
-(* Plan-level delta substitution is sound only when every reference to a
-   component relation is a plan [Scan]; references hidden inside fragments
-   the reference evaluator executes as callbacks (residual formulas,
-   resolve scopes, fallbacks, aggregate post-conditions) cannot be
-   substituted, so such components run the naive iteration instead. *)
-let mentions_component component deps =
-  List.exists (fun (n, _) -> List.mem n component) deps
-
-let rec opaque_refs component (t : Ir.t) : bool =
-  let formula_refs f =
-    mentions_component component
-      (Depend.formula_deps ~neg:false ~grouped:false [] f)
-  in
-  match t with
-  | One -> false
-  | Scan { filters; _ } ->
-      List.exists (fun p -> formula_refs (Pred p)) filters
-  | Subquery { plan; _ } -> opaque_refs_coll component plan
-  | Lateral { input; plan; _ } ->
-      opaque_refs component input || opaque_refs_coll component plan
-  | Product { left; right } | Hash_join { left; right; _ } ->
-      opaque_refs component left || opaque_refs component right
-  | Filter { input; _ } | Prune { input; _ } -> opaque_refs component input
-  | Residual { input; conjs } ->
-      List.exists formula_refs conjs || opaque_refs component input
-  | Resolve { input; scope; _ } ->
-      formula_refs (Exists scope) || opaque_refs component input
-  | Semi { input; sub; _ } ->
-      opaque_refs component input || opaque_refs component sub
-
-and opaque_refs_coll component = function
-  | Ir.Union { disjuncts; _ } ->
-      List.exists
-        (fun d ->
-          match d with
-          | Ir.Project { input; _ } -> opaque_refs component input
-          | Ir.Aggregate { input; post; _ } ->
-              opaque_refs component input
-              || List.exists
-                   (fun f ->
-                     mentions_component component
-                       (Depend.formula_deps ~neg:false ~grouped:false [] f))
-                   post)
-        disjuncts
-  | Ir.Fallback { coll; _ } ->
-      mentions_component component (Depend.collection_deps coll)
-
-let seminaive_eligible component (dps : Ir.def_plan list) =
-  List.for_all
-    (fun dp ->
-      (not (opaque_refs_coll component dp.Ir.dplan))
-      &&
-      (* every AST-level reference must correspond to a plan scan *)
-      let ast_refs =
-        List.length
-          (List.filter
-             (fun (n, _) -> List.mem n component)
-             (Depend.collection_deps dp.Ir.dcoll))
-      in
-      count_scans_coll component dp.Ir.dplan = ast_refs)
-    dps
+(* The delta-substitution helpers ([delta_name], [count_scans_coll],
+   [subst_scan], [opaque_refs_coll], [seminaive_eligible]) live in
+   [Arc_plan.Ir] so the incremental maintenance layer (Arc_ivm) shares
+   them with the fixpoints below. *)
+let delta_name = Ir.delta_name
 
 let naive_fixpoint env (dps : (Ir.def_plan * int) list) =
   let ctx = env.ctx in
@@ -607,12 +493,12 @@ let seminaive_fixpoint env component (dps : (Ir.def_plan * int) list) =
         List.map
           (fun (dp, id) ->
             let n = dp.Ir.dname in
-            let occurrences = count_scans_coll component dp.Ir.dplan in
+            let occurrences = Ir.count_scans_coll component dp.Ir.dplan in
             let derived =
               List.init occurrences (fun i ->
                   (* the substituted plan is shape-identical, so node ids
                      carry over to the delta rewrite *)
-                  exec_coll env id (subst_scan component i dp.Ir.dplan))
+                  exec_coll env id (Ir.subst_scan component i dp.Ir.dplan))
             in
             let full = Option.get (I.idb_get ctx n) in
             let attrs =
@@ -695,7 +581,7 @@ let exec_stratum env base (s : Ir.stratum) =
         dps;
       let strategy =
         match I.strategy ctx with
-        | Eval.Seminaive when seminaive_eligible component dps -> `Seminaive
+        | Eval.Seminaive when Ir.seminaive_eligible component dps -> `Seminaive
         | _ -> `Naive
       in
       (match strategy with
@@ -772,6 +658,23 @@ let run_truth ?conv ?externals ?strategy ?tracer ?guard ~db prog =
   | Eval.Truth t -> t
   | Eval.Rows _ ->
       raise_kind (Err.Msg "expected a sentence result, got a collection")
+
+(* ------------------------------------------------------------------ *)
+(* Incremental-maintenance hooks (Arc_ivm)                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The maintenance layer differentiates pipelines and recomputes fallback
+   strata itself; it needs the raw operators on an explicit context, with
+   stats off (node ids are irrelevant without a stats table). *)
+
+let exec_pipeline ctx ?(outer = []) (t : Ir.t) : I.benv list =
+  exec_rows { ctx; outer; stats = None } 0 t
+
+let exec_collection ctx (p : Ir.coll_plan) : Relation.t =
+  exec_coll { ctx; outer = []; stats = None } 0 p
+
+let exec_stratum_plan ctx (s : Ir.stratum) : unit =
+  exec_stratum { ctx; outer = []; stats = None } 0 s
 
 (* ------------------------------------------------------------------ *)
 (* Metrics export                                                      *)

@@ -48,6 +48,28 @@ val export_stats :
     [arc_node_excl_ns], [arc_node_rows], [arc_node_q_error], all labeled
     by [op]). *)
 
+(** {1 Incremental-maintenance hooks}
+
+    Raw operator entry points for {!Arc_ivm}: execute a bare pipeline, a
+    collection plan, or one definition stratum against an explicit
+    context (stats off). The pipeline form returns binding environments —
+    derivations before projection/deduplication — which is what counting-
+    based maintenance needs. *)
+
+val exec_pipeline :
+  Eval.Internal.ctx ->
+  ?outer:Eval.Internal.benv ->
+  Arc_plan.Ir.t ->
+  Eval.Internal.benv list
+
+val exec_collection :
+  Eval.Internal.ctx -> Arc_plan.Ir.coll_plan -> Arc_relation.Relation.t
+
+val exec_stratum_plan : Eval.Internal.ctx -> Arc_plan.Ir.stratum -> unit
+(** Materializes the stratum's definitions into the context's IDB,
+    running a hash fixpoint for recursive strata (with the same
+    stratification check as {!exec_program}). *)
+
 val run :
   ?conv:Arc_value.Conventions.t ->
   ?externals:Externals.impl list ->

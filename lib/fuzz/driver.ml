@@ -36,11 +36,12 @@ let sanitize s =
 let same_kind kind divs =
   List.exists (fun d -> d.Oracle.d_kind = kind) divs
 
-let run ?(tracer = Obs.null) ?(shrink = true) ?out ~seed ~count () =
+let run ?(tracer = Obs.null) ?(shrink = true) ?(ivm = false) ?out ~seed
+    ~count () =
   let stats = { generated = 0; skipped = 0; diverged = 0 } in
   let span = Obs.enter tracer "fuzz" in
   let findings = ref [] in
-  let record label case divs =
+  let record ?(recheck = Oracle.check) label case divs =
     stats.diverged <- stats.diverged + 1;
     Obs.count tracer "fuzz.diverged" 1;
     let repro =
@@ -50,7 +51,7 @@ let run ?(tracer = Obs.null) ?(shrink = true) ?out ~seed ~count () =
           let c, _steps =
             if shrink then
               Shrink.shrink
-                ~fails:(fun v -> same_kind d0.Oracle.d_kind (Oracle.check v))
+                ~fails:(fun v -> same_kind d0.Oracle.d_kind (recheck v))
                 c
             else (c, 0)
           in
@@ -59,7 +60,7 @@ let run ?(tracer = Obs.null) ?(shrink = true) ?out ~seed ~count () =
             match
               List.find_opt
                 (fun d -> d.Oracle.d_kind = d0.Oracle.d_kind)
-                (Oracle.check c)
+                (recheck c)
             with
             | Some d -> d
             | None -> d0
@@ -86,6 +87,19 @@ let run ?(tracer = Obs.null) ?(shrink = true) ?out ~seed ~count () =
     | Error _ ->
         stats.skipped <- stats.skipped + 1;
         Obs.count tracer "fuzz.skipped" 1
+    | Ok () when ivm -> (
+        (* IVM mode: replay random batches through incremental
+           maintenance; the batch stream is a pure function of (seed, i),
+           so shrinking re-derives the same batches on every probe. *)
+        let ivm_rng () = Random.State.make [| seed; i; 977 |] in
+        match Oracle.check_ivm ~rng:(ivm_rng ()) case with
+        | [] -> ()
+        | divs ->
+            let kind = (List.hd divs).Oracle.d_kind in
+            record
+              ~recheck:(fun v -> Oracle.check_ivm ~rng:(ivm_rng ()) v)
+              (Printf.sprintf "s%d-c%d-%s" seed i (sanitize kind))
+              (Some case) divs)
     | Ok () -> (
         match Oracle.check case with
         | [] -> ()
@@ -94,14 +108,14 @@ let run ?(tracer = Obs.null) ?(shrink = true) ?out ~seed ~count () =
             record
               (Printf.sprintf "s%d-c%d-%s" seed i (sanitize kind))
               (Some case) divs));
-    (if i mod 3 = 0 then
+    (if (not ivm) && i mod 3 = 0 then
        let tc = Gen.gen_trc st in
        stats.generated <- stats.generated + 1;
        Obs.count tracer "fuzz.generated" 1;
        match Oracle.check_trc tc with
        | [] -> ()
        | divs -> record (Printf.sprintf "s%d-c%d-trc" seed i) None divs);
-    if i mod 4 = 0 then
+    if (not ivm) && i mod 4 = 0 then
       let dc = Gen.gen_datalog st in
       stats.generated <- stats.generated + 1;
       Obs.count tracer "fuzz.generated" 1;

@@ -401,3 +401,92 @@ let check_datalog (dc : Gen.datalog_case) =
           ]
   in
   roundtrip @ cross
+
+(* ------------------------------------------------------------------ *)
+(* IVM: maintained views vs from-scratch re-evaluation                 *)
+(* ------------------------------------------------------------------ *)
+
+module Ivm = Arc_ivm.Ivm
+
+(* A random signed batch against the engine's current database: deletions
+   pick live rows (so a single entry never underflows), insertions re-add
+   or duplicate rows from the case's original data. An accidentally
+   invalid batch (e.g. the same lone row deleted twice) is rejected
+   atomically by [Ivm.apply] and simply skipped. *)
+let gen_ivm_batch rng (orig : Arc_relation.Database.t)
+    (db : Arc_relation.Database.t) : Ivm.batch =
+  let names = Arc_relation.Database.names db in
+  if names = [] then []
+  else
+    List.filter_map
+      (fun _ ->
+        let r = List.nth names (Random.State.int rng (List.length names)) in
+        let cur_rows = Relation.tuples (Arc_relation.Database.find db r) in
+        let orig_rows = Relation.tuples (Arc_relation.Database.find orig r) in
+        if Random.State.bool rng && cur_rows <> [] then
+          Some
+            ( r,
+              [
+                ( List.nth cur_rows (Random.State.int rng (List.length cur_rows)),
+                  -1 );
+              ] )
+        else if orig_rows <> [] then
+          Some
+            ( r,
+              [
+                ( List.nth orig_rows
+                    (Random.State.int rng (List.length orig_rows)),
+                  1 + Random.State.int rng 2 );
+              ] )
+        else None)
+      (List.init (1 + Random.State.int rng 3) Fun.id)
+
+(* Register the case as a view under every convention combo, push random
+   batches through incremental maintenance, and demand bag-equality with
+   from-scratch evaluation after each one. Budget trips skip the combo,
+   as in the engine oracle. *)
+let check_ivm ?(batches = 3) ~rng (case : Case.t) =
+  match case.Case.prog.main with
+  | Sentence _ -> []
+  | Coll _ ->
+      List.concat_map
+        (fun (cname, conv) ->
+          try
+            let ivm = Ivm.create ~conv ~db:case.Case.db () in
+            Ivm.register ivm ~name:"main" case.Case.prog;
+            let divs = ref [] in
+            for _ = 1 to batches do
+              if !divs = [] then begin
+                let batch = gen_ivm_batch rng case.Case.db (Ivm.db ivm) in
+                match
+                  if batch = [] then None
+                  else Some (Ivm.apply ~guard:(guard ()) ivm batch)
+                with
+                | exception Ivm.Ivm_error _ -> ()  (* invalid batch: skipped *)
+                | None -> ()
+                | Some _ -> (
+                    match Ivm.check ivm with
+                    | [] -> ()
+                    | (_, maintained, fresh) :: _ ->
+                        divs :=
+                          [
+                            {
+                              d_kind = "ivm-vs-scratch";
+                              d_conv = cname;
+                              d_detail =
+                                Printf.sprintf
+                                  "after a %d-row batch: maintained %s, \
+                                   scratch %s"
+                                  (Ivm.batch_rows batch)
+                                  (outcome_to_string (bag_of maintained))
+                                  (outcome_to_string (bag_of fresh));
+                            };
+                          ])
+              end
+            done;
+            !divs
+          with
+          | Eval.Eval_error _ | Err.Guard_error _ -> []  (* budget: skip *)
+          | Ivm.Ivm_error m ->
+              [ { d_kind = "ivm-error"; d_conv = cname; d_detail = m } ])
+        all_conventions

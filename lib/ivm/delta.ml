@@ -1,0 +1,49 @@
+module Tuple = Arc_relation.Tuple
+
+type t = (string, Tuple.t * int) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+
+let add (d : t) tp n =
+  if n <> 0 then
+    let k = Tuple.key tp in
+    match Hashtbl.find_opt d k with
+    | Some (rep, m) ->
+        if m + n = 0 then Hashtbl.remove d k
+        else Hashtbl.replace d k (rep, m + n)
+    | None -> Hashtbl.add d k (tp, n)
+
+let of_list entries =
+  let d = create () in
+  List.iter (fun (tp, n) -> add d tp n) entries;
+  d
+
+let to_list (d : t) =
+  Hashtbl.fold (fun _ e acc -> e :: acc) d []
+  |> List.sort (fun (a, _) (b, _) -> Tuple.compare a b)
+
+let is_empty (d : t) = Hashtbl.length d = 0
+
+let cardinality (d : t) =
+  Hashtbl.fold (fun _ (_, n) acc -> acc + abs n) d 0
+
+let negate (d : t) =
+  let d' = create () in
+  Hashtbl.iter (fun k (tp, n) -> Hashtbl.add d' k (tp, -n)) d;
+  d'
+
+let count (d : t) tp =
+  match Hashtbl.find_opt d (Tuple.key tp) with
+  | Some (_, n) -> n
+  | None -> 0
+
+let positive d =
+  List.filter_map (fun (tp, n) -> if n > 0 then Some (tp, n) else None)
+    (to_list d)
+
+let negative d =
+  List.filter_map (fun (tp, n) -> if n < 0 then Some (tp, -n) else None)
+    (to_list d)
+
+let expand entries =
+  List.concat_map (fun (tp, n) -> List.init (max 0 n) (fun _ -> tp)) entries

@@ -299,3 +299,156 @@ and disjunct_ref_vars = function
 and coll_plan_ref_vars = function
   | Union { disjuncts; _ } -> List.concat_map disjunct_ref_vars disjuncts
   | Fallback { coll; _ } -> formula_ref_vars coll.body
+
+(* ------------------------------------------------------------------ *)
+(* Delta substitution                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Shared by the executor's seminaive fixpoint and the incremental view
+   maintenance layer (Arc_ivm): count scan occurrences of a set of
+   relations and rewrite a single occurrence to read a different relation.
+   The traversal order only needs to be self-consistent between
+   [count_scans] and [subst_scan_with]; both use the same preorder,
+   descending into nested sub-plans and semi-join subtrees. *)
+
+let delta_name n = "__delta__" ^ n
+
+let rec count_scans component (t : t) : int =
+  match t with
+  | One -> 0
+  | Scan { rel; _ } -> if List.mem rel component then 1 else 0
+  | Subquery { plan; _ } -> count_scans_coll component plan
+  | Lateral { input; plan; _ } ->
+      count_scans component input + count_scans_coll component plan
+  | Product { left; right } | Hash_join { left; right; _ } ->
+      count_scans component left + count_scans component right
+  | Filter { input; _ } | Residual { input; _ } | Resolve { input; _ }
+  | Prune { input; _ } ->
+      count_scans component input
+  | Semi { input; sub; _ } ->
+      count_scans component input + count_scans component sub
+
+and count_scans_disjunct component = function
+  | Project { input; _ } | Aggregate { input; _ } -> count_scans component input
+
+and count_scans_coll component = function
+  | Union { disjuncts; _ } ->
+      List.fold_left
+        (fun acc d -> acc + count_scans_disjunct component d)
+        0 disjuncts
+  | Fallback _ -> 0
+
+(* Occurrence [j] (preorder index among scans of [component] relations) is
+   renamed with [rename j rel]; [None] leaves the scan untouched. The
+   rewrite is shape-preserving, so stable node ids carry over. *)
+let subst_scans_with component (rename : int -> rel_name -> rel_name option)
+    (p : coll_plan) : coll_plan =
+  let k = ref (-1) in
+  let rec go_t (t : t) : t =
+    match t with
+    | One -> t
+    | Scan s when List.mem s.rel component -> (
+        incr k;
+        match rename !k s.rel with
+        | Some rel -> Scan { s with rel }
+        | None -> t)
+    | Scan _ -> t
+    | Subquery s -> Subquery { s with plan = go_coll s.plan }
+    | Lateral l -> Lateral { l with input = go_t l.input; plan = go_coll l.plan }
+    | Product { left; right } -> Product { left = go_t left; right = go_t right }
+    | Hash_join j -> Hash_join { j with left = go_t j.left; right = go_t j.right }
+    | Filter f -> Filter { f with input = go_t f.input }
+    | Residual r -> Residual { r with input = go_t r.input }
+    | Resolve r -> Resolve { r with input = go_t r.input }
+    | Prune p -> Prune { p with input = go_t p.input }
+    | Semi s -> Semi { s with input = go_t s.input; sub = go_t s.sub }
+  and go_disjunct = function
+    | Project pr -> Project { pr with input = go_t pr.input }
+    | Aggregate ag -> Aggregate { ag with input = go_t ag.input }
+  and go_coll = function
+    | Union u -> Union { u with disjuncts = List.map go_disjunct u.disjuncts }
+    | Fallback _ as f -> f
+  in
+  go_coll p
+
+let subst_scan component i (p : coll_plan) : coll_plan =
+  subst_scans_with component
+    (fun j rel -> if j = i then Some (delta_name rel) else None)
+    p
+
+(* Same traversal over a bare pipeline, for callers that differentiate one
+   disjunct's input rather than a whole collection plan. *)
+let subst_scans_with_t component (rename : int -> rel_name -> rel_name option)
+    (t0 : t) : t =
+  match
+    subst_scans_with component rename
+      (Union
+         {
+           head = { head_name = "__subst__"; head_attrs = [] };
+           disjuncts = [ Project { input = t0; assigns = [] } ];
+         })
+  with
+  | Union { disjuncts = [ Project { input; _ } ]; _ } -> input
+  | _ -> assert false
+
+(* Plan-level delta substitution is sound only when every reference to a
+   component relation is a plan [Scan]; references hidden inside fragments
+   the reference evaluator executes as callbacks (residual formulas,
+   resolve scopes, fallbacks, aggregate post-conditions) cannot be
+   substituted, so such components run the naive iteration instead. *)
+let mentions_component component deps =
+  List.exists (fun (n, _) -> List.mem n component) deps
+
+let rec opaque_refs component (t : t) : bool =
+  let formula_refs f =
+    mentions_component component
+      (Arc_core.Depend.formula_deps ~neg:false ~grouped:false [] f)
+  in
+  match t with
+  | One -> false
+  | Scan { filters; _ } -> List.exists (fun p -> formula_refs (Pred p)) filters
+  | Subquery { plan; _ } -> opaque_refs_coll component plan
+  | Lateral { input; plan; _ } ->
+      opaque_refs component input || opaque_refs_coll component plan
+  | Product { left; right } | Hash_join { left; right; _ } ->
+      opaque_refs component left || opaque_refs component right
+  | Filter { input; _ } | Prune { input; _ } -> opaque_refs component input
+  | Residual { input; conjs } ->
+      List.exists formula_refs conjs || opaque_refs component input
+  | Resolve { input; scope; _ } ->
+      formula_refs (Exists scope) || opaque_refs component input
+  | Semi { input; sub; _ } ->
+      opaque_refs component input || opaque_refs component sub
+
+and opaque_refs_coll component = function
+  | Union { disjuncts; _ } ->
+      List.exists
+        (fun d ->
+          match d with
+          | Project { input; _ } -> opaque_refs component input
+          | Aggregate { input; post; _ } ->
+              opaque_refs component input
+              || List.exists
+                   (fun f ->
+                     mentions_component component
+                       (Arc_core.Depend.formula_deps ~neg:false ~grouped:false
+                          [] f))
+                   post)
+        disjuncts
+  | Fallback { coll; _ } ->
+      mentions_component component (Arc_core.Depend.collection_deps coll)
+
+let seminaive_eligible component (dps : def_plan list) =
+  List.for_all
+    (fun dp ->
+      (not (opaque_refs_coll component dp.dplan))
+      &&
+      (* every AST-level reference must correspond to a plan scan *)
+      let ast_refs =
+        List.length
+          (List.filter
+             (fun (n, _) -> List.mem n component)
+             (Arc_core.Depend.collection_deps dp.dcoll))
+      in
+      count_scans_coll component dp.dplan = ast_refs)
+    dps

@@ -131,6 +131,77 @@ let intersect t1 t2 =
   in
   { name = None; schema = t1.schema; rows }
 
+(* Signed deltas: multiplicities keyed by [Tuple.key] — the same canonical
+   serialization [dedup]/[minus]/[intersect] use, so Null matches Null and
+   Int 1 matches Float 1.0 under either null-logic convention. *)
+
+let align_to schema tp =
+  if Schema.equal (Tuple.schema tp) schema then tp
+  else Tuple.project tp (Schema.attrs schema)
+
+let apply_delta t (delta : (Tuple.t * int) list) =
+  List.iter
+    (fun (tp, _) ->
+      if not (Schema.equal_names (Tuple.schema tp) t.schema) then
+        invalid_arg "Relation.apply_delta: tuple schema mismatch")
+    delta;
+  let to_remove = Hashtbl.create 16 in
+  let inserts =
+    List.concat_map
+      (fun (tp, n) ->
+        let tp = align_to t.schema tp in
+        if n > 0 then List.init n (fun _ -> tp)
+        else begin
+          if n < 0 then begin
+            let k = Tuple.key tp in
+            Hashtbl.replace to_remove k
+              (-n + Option.value ~default:0 (Hashtbl.find_opt to_remove k))
+          end;
+          []
+        end)
+      delta
+  in
+  let rows =
+    if Hashtbl.length to_remove = 0 then t.rows
+    else
+      List.filter
+        (fun tp ->
+          let k = Tuple.key tp in
+          match Hashtbl.find_opt to_remove k with
+          | Some n when n > 0 ->
+              Hashtbl.replace to_remove k (n - 1);
+              false
+          | _ -> true)
+        t.rows
+  in
+  Hashtbl.iter
+    (fun _ n ->
+      if n > 0 then
+        invalid_arg "Relation.apply_delta: delete exceeds multiplicity")
+    to_remove;
+  { t with rows = rows @ inserts }
+
+let diff_signed t_old t_new =
+  if not (Schema.equal_names t_old.schema t_new.schema) then
+    invalid_arg "Relation.diff_signed: schema mismatch";
+  let reps = Hashtbl.create 64 in
+  let tally sign rows =
+    List.iter
+      (fun tp ->
+        let tp = align_to t_old.schema tp in
+        let k = Tuple.key tp in
+        match Hashtbl.find_opt reps k with
+        | Some (rep, n) -> Hashtbl.replace reps k (rep, n + sign)
+        | None -> Hashtbl.add reps k (tp, sign))
+      rows
+  in
+  tally 1 t_new.rows;
+  tally (-1) t_old.rows;
+  Hashtbl.fold
+    (fun _ (tp, n) acc -> if n = 0 then acc else (tp, n) :: acc)
+    reps []
+  |> List.sort (fun (a, _) (b, _) -> Tuple.compare a b)
+
 let join t1 t2 =
   let shared =
     List.filter (fun a -> Schema.mem t2.schema a) (Schema.attrs t1.schema)

@@ -52,6 +52,32 @@ val join : t -> t -> t
 (** Natural join on shared attribute names (name-based equality,
     [Null] ≠ [Null] here, as in SQL join predicates). *)
 
+(** {1 Signed deltas}
+
+    A signed delta is a list of [(tuple, multiplicity)] pairs: positive
+    multiplicities insert copies, negative ones delete occurrences matched
+    by {!Tuple.key} — the canonical serialization {!dedup} uses, so
+    [Null] matches [Null] (under both 2VL and 3VL, as in GROUP
+    BY/DISTINCT) and [Int 1] matches [Float 1.0]. These are the atoms the
+    incremental view maintenance layer ([Arc_ivm]) propagates. *)
+
+val align_to : Schema.t -> Tuple.t -> Tuple.t
+(** Reorder a tuple's cells to a schema over the same attribute names
+    (identity when already aligned); raises [Unknown_attribute] when the
+    attribute sets differ. *)
+
+val apply_delta : t -> (Tuple.t * int) list -> t
+(** Apply a signed delta: deletions filter existing rows (preserving
+    order), insertions append. Raises [Invalid_argument] if a tuple's
+    schema differs from the relation's or a deletion exceeds the present
+    multiplicity — deltas are exact, never clamped, so
+    [apply_delta (apply_delta r d) (inverse of d)] restores [r]. *)
+
+val diff_signed : t -> t -> (Tuple.t * int) list
+(** [diff_signed old new] is the signed delta turning [old] into [new]
+    (bag-wise): [apply_delta old (diff_signed old new)] is bag-equal to
+    [new]. Sorted by tuple for determinism; zero entries omitted. *)
+
 val equal_set : t -> t -> bool
 (** Equality under set semantics (same distinct tuples). *)
 

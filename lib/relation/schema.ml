@@ -1,4 +1,10 @@
-type t = { names : string list; idx : (string, int) Hashtbl.t }
+type t = {
+  names : string list;
+  idx : (string, int) Hashtbl.t;
+  sorted : string list;  (* names sorted, for name-based equality *)
+  key_parts : string array;  (* per sorted attr: "a<len>:<name>" *)
+  sorted_ixs : int array;  (* cell index of each sorted attr *)
+}
 
 exception Duplicate_attribute of string
 exception Unknown_attribute of string
@@ -10,7 +16,20 @@ let make names =
       if Hashtbl.mem idx n then raise (Duplicate_attribute n)
       else Hashtbl.add idx n i)
     names;
-  { names; idx }
+  let sorted_pairs =
+    List.sort compare (List.mapi (fun i n -> (n, i)) names)
+  in
+  {
+    names;
+    idx;
+    sorted = List.map fst sorted_pairs;
+    key_parts =
+      Array.of_list
+        (List.map
+           (fun (n, _) -> "a" ^ string_of_int (String.length n) ^ ":" ^ n)
+           sorted_pairs);
+    sorted_ixs = Array.of_list (List.map snd sorted_pairs);
+  }
 
 let attrs t = t.names
 let arity t = List.length t.names
@@ -22,9 +41,10 @@ let index t n =
   | None -> raise (Unknown_attribute n)
 
 let equal t1 t2 = t1.names = t2.names
-
-let equal_names t1 t2 =
-  List.sort compare t1.names = List.sort compare t2.names
+let equal_names t1 t2 = t1.sorted = t2.sorted
+let sorted_attrs t = t.sorted
+let key_parts t = t.key_parts
+let sorted_ixs t = t.sorted_ixs
 
 let union t1 t2 = make (t1.names @ t2.names)
 

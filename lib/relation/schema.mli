@@ -21,6 +21,17 @@ val index : t -> string -> int
 (** Position of an attribute (internal storage only).
     Raises {!Unknown_attribute}. *)
 
+val sorted_attrs : t -> string list
+(** The attribute names in sorted order, precomputed at {!make} — the
+    iteration order of name-based tuple equality/comparison. *)
+
+val key_parts : t -> string array
+(** Per sorted attribute, its length-prefixed header ["a<len>:<name>"]
+    of the canonical tuple key (internal to {!Tuple.key}). *)
+
+val sorted_ixs : t -> int array
+(** Cell index of each sorted attribute (internal to {!Tuple.key}). *)
+
 val equal_names : t -> t -> bool
 (** Same attribute sets, ignoring order. *)
 

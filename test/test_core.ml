@@ -77,6 +77,54 @@ let validate_dup_head_attr () =
        (exists [ bind "r" "R" ] (eq (attr "Q" "A") (attr "r" "A"))))
     (function Analysis.Duplicate_head_attr ("Q", "A") -> true | _ -> false)
 
+(* "__delta__"/"__ivm__" prefixes are reserved for engine working
+   relations (seminaive deltas, IVM state); user programs must not be
+   able to name or reference them *)
+let validate_reserved_names () =
+  expect_error "reserved head name"
+    (coll "__delta__Q" [ "A" ]
+       (exists [ bind "r" "R" ] (eq (attr "__delta__Q" "A") (attr "r" "A"))))
+    (function
+      | Analysis.Reserved_relation_name "__delta__Q" -> true
+      | _ -> false);
+  expect_error "reserved scan name"
+    (coll "Q" [ "A" ]
+       (exists [ bind "r" "__ivm__pos__R" ] (eq (attr "Q" "A") (attr "r" "A"))))
+    (function
+      | Analysis.Reserved_relation_name "__ivm__pos__R" -> true
+      | _ -> false);
+  let bad_env =
+    Analysis.env ~schemas:(("__delta__R", [ "A" ]) :: schemas) ()
+  in
+  (match
+     Analysis.validate ~env:bad_env
+       (program
+          (coll "Q" [ "A" ]
+             (exists [ bind "r" "R" ] (eq (attr "Q" "A") (attr "r" "A")))))
+   with
+  | Error es
+    when List.exists
+           (function
+             | Analysis.Reserved_relation_name "__delta__R" -> true
+             | _ -> false)
+           es ->
+      ()
+  | Ok () -> Alcotest.fail "reserved base schema: expected an error"
+  | Error es ->
+      Alcotest.failf "reserved base schema: wrong errors: %s"
+        (String.concat "; " (List.map Analysis.error_to_string es)));
+  Alcotest.(check bool)
+    "error message names the offender" true
+    (let msg =
+       Analysis.error_to_string (Analysis.Reserved_relation_name "__delta__X")
+     in
+     let needle = "__delta__X" in
+     let nl = String.length needle and ml = String.length msg in
+     let rec at k =
+       k + nl <= ml && (String.sub msg k nl = needle || at (k + 1))
+     in
+     at 0)
+
 let validate_agg_needs_grouping () =
   expect_error "aggregate without grouping"
     (coll "Q" [ "sm" ]
@@ -416,6 +464,8 @@ let () =
           Alcotest.test_case "unknown relation" `Quick validate_unknown_rel;
           Alcotest.test_case "duplicate binding" `Quick validate_dup_binding;
           Alcotest.test_case "duplicate head attr" `Quick validate_dup_head_attr;
+          Alcotest.test_case "reserved relation names" `Quick
+            validate_reserved_names;
           Alcotest.test_case "aggregate needs grouping" `Quick
             validate_agg_needs_grouping;
           Alcotest.test_case "nested aggregate" `Quick validate_nested_agg;

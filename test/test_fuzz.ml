@@ -161,6 +161,16 @@ let driver_clean_campaign () =
     (List.map (fun f -> f.Driver.f_name) findings);
   Alcotest.(check bool) "cases were generated" true (stats.Driver.generated > 15)
 
+(* IVM mode: every generated case becomes a maintained view; random
+   signed batches (a pure function of the seed) are pushed through
+   incremental maintenance and compared against from-scratch
+   re-evaluation under all convention combos. *)
+let driver_clean_ivm_campaign () =
+  let stats, findings = Driver.run ~shrink:false ~ivm:true ~seed:42 ~count:25 () in
+  Alcotest.(check int) "no ivm divergences" 0 stats.Driver.diverged;
+  Alcotest.(check (list string)) "no ivm findings" []
+    (List.map (fun f -> f.Driver.f_name) findings)
+
 let () =
   Alcotest.run "arc_fuzz"
     [
@@ -178,5 +188,10 @@ let () =
             shrink_driver_style_predicate;
         ] );
       ( "driver",
-        [ Alcotest.test_case "fixed-seed campaign is clean" `Quick driver_clean_campaign ] );
+        [
+          Alcotest.test_case "fixed-seed campaign is clean" `Quick
+            driver_clean_campaign;
+          Alcotest.test_case "fixed-seed ivm campaign is clean" `Quick
+            driver_clean_ivm_campaign;
+        ] );
     ]

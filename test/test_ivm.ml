@@ -1,0 +1,418 @@
+(* Incremental view maintenance tests.
+
+   The single invariant everything here enforces: after any sequence of
+   batches, every maintained view is bag-equal to evaluating its program
+   from scratch on the updated database — across all eight convention
+   combos ({Set,Bag} x {2VL,3VL} x {Agg_null,Agg_zero}), for counting
+   views (joins/filters/projections and grouped aggregates), DRed
+   (recursive transitive closure), and the counted fallback path. *)
+
+open Arc_core.Ast
+open Arc_core.Build
+module V = Arc_value.Value
+module Conventions = Arc_value.Conventions
+module Relation = Arc_relation.Relation
+module Tuple = Arc_relation.Tuple
+module Schema = Arc_relation.Schema
+module Database = Arc_relation.Database
+module Eval = Arc_engine.Eval
+module Ivm = Arc_ivm.Ivm
+module Delta = Arc_ivm.Delta
+
+let i = V.int
+let s = V.str
+
+let all_convs =
+  List.concat_map
+    (fun collection ->
+      List.concat_map
+        (fun null_logic ->
+          List.map
+            (fun agg_empty ->
+              { Conventions.collection; null_logic; agg_empty })
+            [ Conventions.Agg_null; Conventions.Agg_zero ])
+        [ Conventions.Two_valued; Conventions.Three_valued ])
+    [ Conventions.Set; Conventions.Bag ]
+
+(* A batch row against a named relation's schema. *)
+let row db rel vs =
+  Tuple.make (Relation.schema (Database.find db rel)) (Array.of_list vs)
+
+let check_against_scratch ~conv ivm name prog =
+  let fresh =
+    match Eval.run ~conv ~db:(Ivm.db ivm) prog with
+    | Eval.Rows r -> Relation.sort r
+    | Eval.Truth _ -> Alcotest.fail "expected rows"
+  in
+  let maintained = Ivm.result ivm name in
+  if not (Relation.equal_bag maintained fresh) then
+    Alcotest.failf "[%s] %s diverged from scratch:@.maintained:@.%s@.fresh:@.%s"
+      (Conventions.to_string conv) name
+      (Relation.to_table maintained)
+      (Relation.to_table fresh);
+  match Ivm.check ivm with
+  | [] -> ()
+  | (v, _, _) :: _ ->
+      Alcotest.failf "[%s] Ivm.check flagged %s" (Conventions.to_string conv) v
+
+let for_all_convs f () = List.iter f all_convs
+
+(* ------------------------------------------------------------------ *)
+(* Non-recursive: join + filter + projection                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Q(a, c) from R(a, b) |><| S(b, c) with a filter on c. *)
+let join_prog =
+  program
+    (coll "Q" [ "a"; "c" ]
+       (exists
+          [ bind "r" "R"; bind "s" "S" ]
+          (conj
+             [
+               eq (attr "Q" "a") (attr "r" "a");
+               eq (attr "r" "b") (attr "s" "b");
+               eq (attr "Q" "c") (attr "s" "c");
+               lt (attr "s" "c") (cint 100);
+             ])))
+
+let join_db () =
+  Database.of_list
+    [
+      ( "R",
+        Relation.of_rows [ "a"; "b" ]
+          [ [ i 1; i 10 ]; [ i 2; i 20 ]; [ i 2; i 20 ]; [ i 3; i 30 ] ] );
+      ( "S",
+        Relation.of_rows [ "b"; "c" ]
+          [ [ i 10; i 7 ]; [ i 20; i 8 ]; [ i 30; i 999 ] ] );
+    ]
+
+let join_incremental conv =
+  let db = join_db () in
+  let ivm = Ivm.create ~conv ~db () in
+  Ivm.register ivm ~name:"Q" join_prog;
+  let step batch =
+    let reports = Ivm.apply ivm batch in
+    List.iter
+      (fun r ->
+        if r.Ivm.vr_fallbacks > 0 then
+          Alcotest.failf "[%s] join view fell back (%s)"
+            (Conventions.to_string conv) r.Ivm.vr_mode)
+      reports;
+    check_against_scratch ~conv ivm "Q" join_prog
+  in
+  (* insert a matching pair, delete one duplicate, touch both sides *)
+  step [ ("R", [ (row db "R" [ i 4; i 20 ], 1) ]) ];
+  step [ ("R", [ (row db "R" [ i 2; i 20 ], -1) ]) ];
+  step
+    [
+      ("R", [ (row db "R" [ i 1; i 10 ], -1); (row db "R" [ i 5; i 30 ], 1) ]);
+      ("S", [ (row db "S" [ i 30; i 9 ], 1); (row db "S" [ i 10; i 7 ], -1) ]);
+    ];
+  step [ ("S", [ (row db "S" [ i 20; i 8 ], -1) ]) ]
+
+(* ------------------------------------------------------------------ *)
+(* Non-recursive: grouped aggregate                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* T(k, total) = sum of v per key k, groups appearing and vanishing. *)
+let agg_prog =
+  program
+    (coll "T" [ "k"; "total" ]
+       (exists
+          ~grouping:[ ("o", "k") ]
+          [ bind "o" "O" ]
+          (conj
+             [
+               eq (attr "T" "k") (attr "o" "k");
+               eq (attr "T" "total") (sum (attr "o" "v"));
+             ])))
+
+let agg_db () =
+  Database.of_list
+    [
+      ( "O",
+        Relation.of_rows [ "k"; "v" ]
+          [
+            [ i 1; i 10 ];
+            [ i 1; i 32 ];
+            [ i 2; i 5 ];
+            [ V.Null; i 3 ];
+          ] );
+    ]
+
+let agg_incremental conv =
+  let db = agg_db () in
+  let ivm = Ivm.create ~conv ~db () in
+  Ivm.register ivm ~name:"T" agg_prog;
+  let step batch =
+    ignore (Ivm.apply ivm batch);
+    check_against_scratch ~conv ivm "T" agg_prog
+  in
+  (* grow an existing group *)
+  step [ ("O", [ (row db "O" [ i 1; i 100 ], 1) ]) ];
+  (* delete a whole group *)
+  step [ ("O", [ (row db "O" [ i 2; i 5 ], -1) ]) ];
+  (* new group + NULL-keyed rows (canonical key groups NULL with NULL) *)
+  step
+    [ ("O", [ (row db "O" [ i 7; i 1 ], 1); (row db "O" [ V.Null; i 4 ], 1) ]) ];
+  step [ ("O", [ (row db "O" [ V.Null; i 3 ], -1) ]) ];
+  Alcotest.(check int)
+    "aggregate stays on the counting path" 0 (Ivm.fallback_total ivm)
+
+(* ------------------------------------------------------------------ *)
+(* Recursive: transitive closure under DRed                            *)
+(* ------------------------------------------------------------------ *)
+
+let tc_defs =
+  [
+    define "A"
+      (collection "A" [ "s"; "t" ]
+         (disj
+            [
+              exists [ bind "p" "P" ]
+                (conj
+                   [
+                     eq (attr "A" "s") (attr "p" "s");
+                     eq (attr "A" "t") (attr "p" "t");
+                   ]);
+              exists
+                [ bind "p" "P"; bind "a" "A" ]
+                (conj
+                   [
+                     eq (attr "A" "s") (attr "p" "s");
+                     eq (attr "p" "t") (attr "a" "s");
+                     eq (attr "A" "t") (attr "a" "t");
+                   ]);
+            ]));
+  ]
+
+let tc_prog =
+  program ~defs:tc_defs
+    (coll "Q" [ "s"; "t" ]
+       (exists [ bind "a" "A" ]
+          (conj
+             [
+               eq (attr "Q" "s") (attr "a" "s");
+               eq (attr "Q" "t") (attr "a" "t");
+             ])))
+
+let tc_db () =
+  Database.of_list
+    [
+      ( "P",
+        Relation.of_rows [ "s"; "t" ]
+          [ [ i 1; i 2 ]; [ i 2; i 3 ]; [ i 3; i 4 ]; [ i 5; i 1 ] ] );
+    ]
+
+let tc_incremental conv =
+  let db = tc_db () in
+  let ivm = Ivm.create ~conv ~db () in
+  Ivm.register ivm ~name:"TC" tc_prog;
+  let step batch =
+    ignore (Ivm.apply ivm batch);
+    check_against_scratch ~conv ivm "TC" tc_prog
+  in
+  (* pure insertion: connect a new node *)
+  step [ ("P", [ (row db "P" [ i 4; i 6 ], 1) ]) ];
+  (* pure deletion: cut the chain in the middle; paths through (2,3)
+     must disappear, including transitively derived ones *)
+  step [ ("P", [ (row db "P" [ i 2; i 3 ], -1) ]) ];
+  (* mixed: remove one edge, add a shortcut that re-derives some pairs *)
+  step
+    [ ("P", [ (row db "P" [ i 3; i 4 ], -1); (row db "P" [ i 1; i 4 ], 1) ]) ];
+  (* deletion where an alternative derivation survives *)
+  step [ ("P", [ (row db "P" [ i 1; i 2 ], 1); (row db "P" [ i 1; i 2 ], -1) ]) ];
+  Alcotest.(check int)
+    "TC stays on the DRed path" 0 (Ivm.fallback_total ivm)
+
+(* ------------------------------------------------------------------ *)
+(* Fallback: anti-join views recompute but stay correct                *)
+(* ------------------------------------------------------------------ *)
+
+let anti_prog =
+  program
+    (coll "Q" [ "a" ]
+       (exists [ bind "r" "R" ]
+          (conj
+             [
+               eq (attr "Q" "a") (attr "r" "a");
+               not_
+                 (exists [ bind "s" "S" ]
+                    (eq (attr "r" "b") (attr "s" "b")));
+             ])))
+
+let anti_fallback conv =
+  let db =
+    Database.of_list
+      [
+        ( "R",
+          Relation.of_rows [ "a"; "b" ] [ [ i 1; i 10 ]; [ i 2; i 20 ] ] );
+        ("S", Relation.of_rows [ "b" ] [ [ i 20 ] ]);
+      ]
+  in
+  let ivm = Ivm.create ~conv ~db () in
+  Ivm.register ivm ~name:"Q" anti_prog;
+  let reports = Ivm.apply ivm [ ("S", [ (row db "S" [ i 10 ], 1) ]) ] in
+  check_against_scratch ~conv ivm "Q" anti_prog;
+  let q = List.find (fun r -> r.Ivm.vr_view = "Q") reports in
+  Alcotest.(check string) "anti-join recomputes" "fallback" q.Ivm.vr_mode;
+  Alcotest.(check bool) "fallback is counted" true (Ivm.fallback_total ivm > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Batch semantics                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let inverse_roundtrip conv =
+  let db = join_db () in
+  let ivm = Ivm.create ~conv ~db () in
+  Ivm.register ivm ~name:"Q" join_prog;
+  let before_db = Ivm.db ivm in
+  let before = Ivm.result ivm "Q" in
+  let batch =
+    [
+      ("R", [ (row db "R" [ i 9; i 20 ], 2); (row db "R" [ i 1; i 10 ], -1) ]);
+      ("S", [ (row db "S" [ i 20; i 8 ], -1) ]);
+    ]
+  in
+  ignore (Ivm.apply ivm batch);
+  ignore (Ivm.apply ivm (Ivm.inverse batch));
+  Alcotest.(check bool)
+    "view restored" true
+    (Relation.equal_bag before (Ivm.result ivm "Q"));
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " restored") true
+        (Relation.equal_bag (Database.find before_db n)
+           (Database.find (Ivm.db ivm) n)))
+    (Database.names before_db);
+  check_against_scratch ~conv ivm "Q" join_prog
+
+let atomic_on_error () =
+  let db = join_db () in
+  let ivm = Ivm.create ~conv:Conventions.sql ~db () in
+  Ivm.register ivm ~name:"Q" join_prog;
+  let before = Ivm.result ivm "Q" in
+  (* second relation is unknown: nothing may have been applied *)
+  (try
+     ignore
+       (Ivm.apply ivm
+          [
+            ("R", [ (row db "R" [ i 8; i 10 ], 1) ]);
+            ("Nope", [ (row db "R" [ i 8; i 10 ], 1) ]);
+          ]);
+     Alcotest.fail "expected Ivm_error"
+   with Ivm.Ivm_error _ -> ());
+  Alcotest.(check bool)
+    "db untouched" true
+    (Relation.equal_bag
+       (Database.find db "R")
+       (Database.find (Ivm.db ivm) "R"));
+  Alcotest.(check bool)
+    "view untouched" true
+    (Relation.equal_bag before (Ivm.result ivm "Q"));
+  (* deleting beyond multiplicity is also atomic *)
+  (try
+     ignore (Ivm.apply ivm [ ("S", [ (row db "S" [ i 10; i 7 ], -5) ]) ]);
+     Alcotest.fail "expected Ivm_error"
+   with Ivm.Ivm_error _ -> ());
+  Alcotest.(check bool)
+    "db untouched after underflow" true
+    (Relation.equal_bag
+       (Database.find db "S")
+       (Database.find (Ivm.db ivm) "S"))
+
+let unchanged_views_skipped () =
+  let db =
+    Database.of_list
+      [
+        ("R", Relation.of_rows [ "a"; "b" ] [ [ i 1; i 10 ] ]);
+        ("S", Relation.of_rows [ "b"; "c" ] [ [ i 10; i 7 ] ]);
+        ("Z", Relation.of_rows [ "z" ] [ [ i 1 ] ]);
+      ]
+  in
+  let ivm = Ivm.create ~conv:Conventions.sql_set ~db () in
+  Ivm.register ivm ~name:"Q" join_prog;
+  let reports = Ivm.apply ivm [ ("Z", [ (row db "Z" [ i 2 ], 1) ]) ] in
+  let q = List.find (fun r -> r.Ivm.vr_view = "Q") reports in
+  Alcotest.(check string) "untouched deps skip work" "unchanged" q.Ivm.vr_mode;
+  Alcotest.(check int) "no output delta" 0 q.Ivm.vr_out_delta
+
+(* View names must stay out of the engine's working namespace: a view
+   registered as "__ivm__X" would collide with maintenance scratch
+   relations (and "__delta__X" with seminaive deltas). *)
+let reserved_view_names_rejected () =
+  let db = join_db () in
+  let ivm = Ivm.create ~conv:Conventions.sql_set ~db () in
+  List.iter
+    (fun name ->
+      try
+        Ivm.register ivm ~name join_prog;
+        Alcotest.failf "view name %S unexpectedly accepted" name
+      with Ivm.Ivm_error msg ->
+        let contains needle hay =
+          let nl = String.length needle and hl = String.length hay in
+          let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool)
+          (name ^ " error names the reserved namespace")
+          true
+          (contains "reserved" msg))
+    [ "__ivm__X"; "__ivm__old__R"; "__delta__Q" ];
+  Alcotest.(check (list string)) "nothing registered" [] (Ivm.views ivm)
+
+(* ------------------------------------------------------------------ *)
+(* Delta module basics                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let delta_basics () =
+  let sch = Schema.make [ "a" ] in
+  let t1 = Tuple.make sch [| i 1 |] and t2 = Tuple.make sch [| i 2 |] in
+  let d = Delta.of_list [ (t1, 2); (t2, -1); (t1, -2) ] in
+  Alcotest.(check int) "cancelled entry dropped" 0 (Delta.count d t1);
+  Alcotest.(check int) "net count" (-1) (Delta.count d t2);
+  Alcotest.(check int) "cardinality is abs sum" 1 (Delta.cardinality d);
+  Alcotest.(check int) "negate flips" 1 (Delta.count (Delta.negate d) t2);
+  (* Int/Float and Null/Null match under the canonical key *)
+  let tf = Tuple.make sch [| V.float 1.0 |] in
+  let d2 = Delta.of_list [ (t1, 1); (tf, -1) ] in
+  Alcotest.(check bool) "Int 1 cancels Float 1.0" true (Delta.is_empty d2);
+  let tn = Tuple.make sch [| V.Null |] in
+  let d3 = Delta.of_list [ (tn, 1); (tn, 1) ] in
+  Alcotest.(check int) "Null matches Null" 2 (Delta.count d3 tn)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "ivm"
+    [
+      ( "delta",
+        [ Alcotest.test_case "signed multiset basics" `Quick delta_basics ] );
+      ( "counting",
+        [
+          Alcotest.test_case "join/filter/projection, all convs" `Quick
+            (for_all_convs join_incremental);
+          Alcotest.test_case "grouped aggregate, all convs" `Quick
+            (for_all_convs agg_incremental);
+        ] );
+      ( "dred",
+        [
+          Alcotest.test_case "transitive closure, all convs" `Quick
+            (for_all_convs tc_incremental);
+        ] );
+      ( "fallback",
+        [
+          Alcotest.test_case "anti-join recomputes, all convs" `Quick
+            (for_all_convs anti_fallback);
+        ] );
+      ( "batches",
+        [
+          Alcotest.test_case "inverse batch restores, all convs" `Quick
+            (for_all_convs inverse_roundtrip);
+          Alcotest.test_case "atomic on error" `Quick atomic_on_error;
+          Alcotest.test_case "unchanged views are skipped" `Quick
+            unchanged_views_skipped;
+          Alcotest.test_case "reserved view names rejected" `Quick
+            reserved_view_names_rejected;
+        ] );
+    ]

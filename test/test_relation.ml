@@ -233,6 +233,57 @@ let prop_product_card =
       Relation.cardinality (Relation.product r s)
       = Relation.cardinality r * Relation.cardinality s)
 
+(* signed deltas: exact bag updates, canonical-key matching *)
+
+let rel_apply_delta () =
+  let r = Relation.of_rows [ "A" ] [ [ i 1 ]; [ i 1 ]; [ i 2 ] ] in
+  let t v = Tuple.make (Relation.schema r) [| v |] in
+  let r' =
+    Relation.apply_delta r [ (t (i 1), -1); (t (i 3), 2); (t (i 2), -1) ]
+  in
+  Alcotest.(check bool) "delta applied" true
+    (Relation.equal_bag r'
+       (Relation.of_rows [ "A" ] [ [ i 1 ]; [ i 3 ]; [ i 3 ] ]));
+  Alcotest.check_raises "underflow is an error"
+    (Invalid_argument "Relation.apply_delta: delete exceeds multiplicity")
+    (fun () -> ignore (Relation.apply_delta r [ (t (i 2), -2) ]));
+  (* Int/Float unify under the canonical key, as in dedup/grouping *)
+  let r'' = Relation.apply_delta r [ (t (V.float 2.0), -1) ] in
+  Alcotest.(check int) "Float 2.0 deletes Int 2" 2 (Relation.cardinality r'')
+
+(* NULL deletes NULL under the canonical key — the 2VL/3VL distinction is
+   about predicate evaluation, not identity, so both conventions share
+   this behavior *)
+let rel_delta_nulls () =
+  let r = Relation.of_rows [ "A" ] [ [ V.Null ]; [ i 1 ] ] in
+  let t v = Tuple.make (Relation.schema r) [| v |] in
+  let r' = Relation.apply_delta r [ (t V.Null, -1) ] in
+  Alcotest.(check bool) "NULL row deleted" true
+    (Relation.equal_bag r' (Relation.of_rows [ "A" ] [ [ i 1 ] ]));
+  let d = Relation.diff_signed r r' in
+  Alcotest.(check int) "diff sees the NULL deletion" 1 (List.length d);
+  (match d with
+  | [ (tp, n) ] ->
+      Alcotest.(check int) "deletion sign" (-1) n;
+      Alcotest.(check bool) "NULL representative" true
+        (V.equal (Tuple.get tp "A") V.Null)
+  | _ -> Alcotest.fail "expected exactly one entry");
+  Alcotest.(check bool) "apply of diff reproduces" true
+    (Relation.equal_bag r' (Relation.apply_delta r d))
+
+let prop_diff_then_apply =
+  QCheck.Test.make ~name:"apply_delta (diff_signed r s) r ~ s" ~count:300
+    (QCheck.pair gen_rel gen_rel) (fun (r, s) ->
+      Relation.equal_bag s (Relation.apply_delta r (Relation.diff_signed r s)))
+
+let prop_delta_inverse =
+  QCheck.Test.make ~name:"inverse delta restores the original" ~count:300
+    (QCheck.pair gen_rel gen_rel) (fun (r, s) ->
+      let d = Relation.diff_signed r s in
+      let s' = Relation.apply_delta r d in
+      Relation.equal_bag r
+        (Relation.apply_delta s' (List.map (fun (tp, n) -> (tp, -n)) d)))
+
 let () =
   Alcotest.run "arc_relation"
     [
@@ -258,6 +309,8 @@ let () =
           Alcotest.test_case "errors" `Quick rel_errors;
           Alcotest.test_case "table rendering" `Quick table_render;
           Alcotest.test_case "csv roundtrip" `Quick csv_roundtrip;
+          Alcotest.test_case "apply_delta" `Quick rel_apply_delta;
+          Alcotest.test_case "signed deltas and NULL" `Quick rel_delta_nulls;
         ] );
       ("database", [ Alcotest.test_case "basics" `Quick database ]);
       ( "properties",
@@ -267,5 +320,7 @@ let () =
             prop_union_card;
             prop_minus_then_union;
             prop_product_card;
+            prop_diff_then_apply;
+            prop_delta_inverse;
           ] );
     ]
