@@ -397,11 +397,29 @@ let engine_arg =
            plans with hash-based operators; same results, see 'arc \
            explain').")
 
+let no_stats_flag =
+  Arg.(
+    value & flag
+    & info [ "no-stats" ]
+        ~doc:
+          "Skip the implicit ANALYZE of inline tables: the planner falls \
+           back to the legacy structural heuristic instead of \
+           statistics-driven selectivity estimates.")
+
+let no_batch_flag =
+  Arg.(
+    value & flag
+    & info [ "no-batch" ]
+        ~doc:
+          "Run the plan engine tuple-at-a-time instead of block-at-a-time. \
+           Same results, same order; kept for ablation and debugging.")
+
 let eval_run lang conv engine tables profile timeout max_rows max_iterations
-    max_bindings max_depth on_limit text =
+    max_bindings max_depth on_limit no_stats no_batch text =
   wrap (fun () ->
       let tables = List.map parse_table tables in
       let db = Database.of_list tables in
+      let db = if no_stats then db else Database.analyze db in
       let schemas =
         List.map
           (fun (n, r) ->
@@ -438,7 +456,9 @@ let eval_run lang conv engine tables profile timeout max_rows max_iterations
           let outcome =
             match engine with
             | `Reference -> Arc_engine.Eval.run ~conv ~tracer ~guard ~db prog
-            | `Plan -> Arc_engine.Exec.run ~conv ~tracer ~guard ~db prog
+            | `Plan ->
+                Arc_engine.Exec.run ~conv ~tracer ~guard
+                  ~batched:(not no_batch) ~db prog
           in
           (match outcome with
           | Arc_engine.Eval.Rows r ->
@@ -462,7 +482,8 @@ let eval_cmd =
       ret
         (const eval_run $ input_lang $ conv_arg $ engine_arg $ tables_arg
        $ profile_flag $ timeout_arg $ max_rows_arg $ max_iterations_arg
-       $ max_bindings_arg $ max_depth_arg $ on_limit_arg $ query_arg))
+       $ max_bindings_arg $ max_depth_arg $ on_limit_arg $ no_stats_flag
+       $ no_batch_flag $ query_arg))
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                               *)
@@ -555,10 +576,11 @@ let no_opt_flag =
           "Print only the raw lowered logical plan, skipping the rewrite \
            pipeline.")
 
-let explain_run lang conv tables schemas no_opt text =
+let explain_run lang conv tables schemas no_opt no_stats text =
   wrap (fun () ->
       let tables = List.map parse_table tables in
       let db = Database.of_list tables in
+      let db = if no_stats then db else Database.analyze db in
       let schemas =
         List.map parse_schema schemas
         @ List.map
@@ -570,13 +592,18 @@ let explain_run lang conv tables schemas no_opt text =
       let _ctx, raw, optimized, report =
         Arc_engine.Exec.compile ~conv ~db prog
       in
-      if no_opt then print_string (Arc_plan.Explain.program_plan_to_string raw)
+      let cenv =
+        if Database.analyzed db then Some (Database.stats_bindings db)
+        else None
+      in
+      if no_opt then
+        print_string (Arc_plan.Explain.program_plan_to_string ?cenv raw)
       else begin
         print_endline "-- logical plan (lowered) --";
-        print_string (Arc_plan.Explain.program_plan_to_string raw);
+        print_string (Arc_plan.Explain.program_plan_to_string ?cenv raw);
         print_newline ();
         print_endline "-- physical plan (after rewrites) --";
-        print_string (Arc_plan.Explain.program_plan_to_string optimized);
+        print_string (Arc_plan.Explain.program_plan_to_string ?cenv optimized);
         print_newline ();
         print_endline (Arc_plan.Explain.report_to_string report)
       end)
@@ -594,7 +621,7 @@ let explain_cmd =
     Term.(
       ret
         (const explain_run $ input_lang $ conv_arg $ tables_arg $ schemas_arg
-       $ no_opt_flag $ query_arg))
+       $ no_opt_flag $ no_stats_flag $ query_arg))
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                             *)
@@ -651,6 +678,7 @@ let analyze_json infos =
              ("op", Json.Str ni.Explain.ni_op);
              ("label", Json.Str ni.Explain.ni_label);
              ("est_rows", Json.Int ni.Explain.ni_est);
+             ("est_src", Json.Str ni.Explain.ni_src);
            ]
          in
          let actual =
@@ -687,10 +715,12 @@ let analyze_json infos =
          Json.Obj (base @ actual))
        infos)
 
-let analyze_run lang conv strategy tables warn_q fmt out metrics_out text =
+let analyze_run lang conv strategy tables warn_q fmt out metrics_out no_stats
+    no_batch text =
   wrap (fun () ->
       let tables = List.map parse_table tables in
       let db = Database.of_list tables in
+      let db = if no_stats then db else Database.analyze db in
       let schemas =
         List.map
           (fun (n, r) ->
@@ -701,8 +731,15 @@ let analyze_run lang conv strategy tables warn_q fmt out metrics_out text =
       let ctx, _raw, optimized, _report =
         Arc_engine.Exec.compile ~conv ~strategy ~db prog
       in
+      let cenv =
+        if Database.analyzed db then Some (Database.stats_bindings db)
+        else None
+      in
       let stats = Ir.fresh_stats () in
-      let outcome = Arc_engine.Exec.exec_program ~stats ctx optimized in
+      let outcome =
+        Arc_engine.Exec.exec_program ~stats ~batched:(not no_batch) ctx
+          optimized
+      in
       (match fmt with
       | `Pretty ->
           (match outcome with
@@ -712,10 +749,12 @@ let analyze_run lang conv strategy tables warn_q fmt out metrics_out text =
               print_endline (Arc_value.Bool3.to_string t));
           print_newline ();
           write_out ~label:"analysis" out
-            (Explain.analyze_to_string ~warn_q_error:warn_q ~stats optimized)
+            (Explain.analyze_to_string ~warn_q_error:warn_q ?cenv ~stats
+               optimized)
       | `Json ->
           write_out ~label:"analysis" out
-            (Json.pretty (analyze_json (Explain.analyze_info optimized ~stats))
+            (Json.pretty
+               (analyze_json (Explain.analyze_info ?cenv optimized ~stats))
             ^ "\n"));
       Option.iter
         (fun file ->
@@ -740,7 +779,40 @@ let analyze_cmd =
       ret
         (const analyze_run $ input_lang $ conv_arg $ strategy_arg
        $ tables_arg $ warn_q_arg $ analyze_fmt $ analyze_out
-       $ metrics_out_arg $ query_arg))
+       $ metrics_out_arg $ no_stats_flag $ no_batch_flag $ query_arg))
+
+(* ------------------------------------------------------------------ *)
+(* stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let only_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "only" ] ~docv:"REL"
+        ~doc:"Collect statistics only for relation $(docv) (repeatable).")
+
+let stats_run tables only =
+  wrap (fun () ->
+      let tables = List.map parse_table tables in
+      if tables = [] then die "no tables given (-t)";
+      let db = Database.of_list tables in
+      let only = match only with [] -> None | l -> Some l in
+      let db = Database.analyze ?only db in
+      List.iter
+        (fun (n, s) -> print_string (Arc_relation.Stats.to_string ~name:n s))
+        (Database.stats_bindings db))
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "ANALYZE inline tables and print the collected per-column \
+          statistics: row count, distinct count, null count, min/max \
+          range, most-common values, and equi-depth histogram buckets — \
+          the input to the plan engine's cost model. 'arc \
+          eval/explain/analyze' collect the same statistics implicitly; \
+          --no-stats disables that.")
+    Term.(ret (const stats_run $ tables_arg $ only_arg))
 
 (* ------------------------------------------------------------------ *)
 (* fragment                                                            *)
@@ -1352,7 +1424,8 @@ let main_cmd =
          "Abstract Relational Calculus: a semantics-first reference \
           metalanguage for relational queries.")
     [
-      render_cmd; validate_cmd; eval_cmd; explain_cmd; analyze_cmd; trace_cmd;
+      render_cmd; validate_cmd; eval_cmd; explain_cmd; analyze_cmd; stats_cmd;
+      trace_cmd;
       fragment_cmd; compare_cmd; catalog_cmd; chaos_cmd; fuzz_cmd; ivm_cmd;
     ]
 

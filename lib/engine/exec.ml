@@ -28,8 +28,17 @@ let raise_kind kind = raise (Eval_error (Err.make kind))
 
 (* [stats] is the EXPLAIN ANALYZE sink: when present, every operator
    records per-node actuals keyed by the stable ids of [Ir.program_ids].
-   When absent the executor takes a branch per node and nothing else. *)
-type env = { ctx : I.ctx; outer : I.benv; stats : Ir.stats option }
+   When absent the executor takes a branch per node and nothing else.
+   [batched] selects the block-at-a-time pipeline (arrays of rows,
+   amortized governor probes, buffer-reused hash keys); the tuple-at-a-time
+   path is kept verbatim as the ablation baseline and for the incremental
+   maintenance hooks. Both paths produce rows in the same order. *)
+type env = {
+  ctx : I.ctx;
+  outer : I.benv;
+  stats : Ir.stats option;
+  batched : bool;
+}
 
 let tracer env = I.tracer env.ctx
 let gov env = I.gov env.ctx
@@ -57,6 +66,97 @@ let key_of env (row : I.benv) terms =
 let group_key env (full : I.benv) keys =
   let kv = List.map (fun (v, a) -> I.eval_term env.ctx full (Attr (v, a))) keys in
   String.concat "" (List.map V.canonical kv)
+
+(* ------------------------------------------------------------------ *)
+(* Batched-path helpers                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Rows per governor probe on the batched path: cheap enough that a
+   cancel/deadline is still noticed promptly, large enough that the probe
+   vanishes from per-row cost. *)
+let block_rows = 256
+
+(* [row @ env.outer] without the append when there is no outer context —
+   the common case for top-level pipelines, where the tuple path pays a
+   per-row allocation for nothing. *)
+let full_of env (row : I.benv) =
+  match env.outer with [] -> row | o -> row @ o
+
+(* Same composite key as [key_of], built into a caller-owned reusable
+   buffer instead of [String.concat]. The encodings agree, but each join
+   only ever compares keys produced by one of the two. *)
+let key_of_buf env buf (row : I.benv) terms =
+  let full = full_of env row in
+  Buffer.clear buf;
+  let ok =
+    match (I.conv env.ctx).Conventions.null_logic with
+    | Conventions.Three_valued ->
+        List.for_all
+          (fun t ->
+            let v = I.eval_term env.ctx full t in
+            if V.is_null v then false
+            else begin
+              Buffer.add_string buf (V.canonical v);
+              true
+            end)
+          terms
+    | _ ->
+        List.iter
+          (fun t ->
+            Buffer.add_string buf
+              (V.canonical (I.eval_term env.ctx full t)))
+          terms;
+        true
+  in
+  if ok then Some (Buffer.contents buf) else None
+
+(* Whole-tuple join keys: when a side's key terms are attribute references
+   on one variable, [whole_var_attrs] returns that variable and the sorted
+   attribute set. If the set covers the row's entire schema on BOTH sides
+   of a join, the memoized [Tuple.key] is an equivalent composite key
+   (injective up to [Tuple.equal] over canonical cells), so the per-row
+   term evaluation disappears. Both sides must switch together — the two
+   encodings differ. *)
+let whole_var_attrs terms =
+  match terms with
+  | Attr (v, _) :: _ ->
+      let rec attrs_of = function
+        | [] -> Some []
+        | Attr (v', a) :: tl when String.equal v' v ->
+            Option.map (fun r -> a :: r) (attrs_of tl)
+        | _ -> None
+      in
+      Option.map
+        (fun attrs -> (v, List.sort_uniq compare attrs))
+        (attrs_of terms)
+  | _ -> None
+
+let all_whole v attrs (rows : I.benv array) =
+  Array.for_all
+    (fun (row : I.benv) ->
+      match row with
+      | [ (v', tp) ] ->
+          String.equal v' v
+          && Schema.sorted_attrs (Tuple.schema tp) = attrs
+      | _ -> false)
+    rows
+
+(* Filter an array of rows, probing the governor once per block. *)
+let filter_block env pass (rows : I.benv array) : I.benv array =
+  let g = gov env in
+  let n = Array.length rows in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    Gov.tick g;
+    let stop = min n (!i + block_rows) in
+    while !i < stop do
+      let row = rows.(!i) in
+      if pass row then out := row :: !out;
+      incr i
+    done
+  done;
+  Array.of_list (List.rev !out)
 
 (* ------------------------------------------------------------------ *)
 (* Pipeline execution: benv-level operators                            *)
@@ -252,6 +352,258 @@ and exec_rows_inner env id (t : Ir.t) : I.benv list =
         (exec_rows env (id + 1) input)
 
 (* ------------------------------------------------------------------ *)
+(* Batched pipeline: the same operators over row arrays                *)
+(* ------------------------------------------------------------------ *)
+
+(* Mirrors [exec_rows]/[exec_rows_inner] block-at-a-time. Row order is
+   identical to the tuple path (the differential oracle and BENCH gates
+   check bag-equality; keeping order avoids even spurious diffs), so the
+   two paths differ only in cost: governor probes and tracer updates are
+   amortized per block, hash keys go through a reused buffer or the
+   memoized whole-tuple [Tuple.key], and grouping appends are O(1). *)
+and exec_block env id (t : Ir.t) : I.benv array =
+  match env.stats with
+  | None -> exec_block_inner env id t
+  | Some st ->
+      let t0 = clock () in
+      let rows = exec_block_inner env id t in
+      let t1 = clock () in
+      let a = Ir.touch st id in
+      a.Ir.a_invocations <- a.Ir.a_invocations + 1;
+      a.Ir.a_rows <- a.Ir.a_rows + Array.length rows;
+      a.Ir.a_incl_ns <- Int64.add a.Ir.a_incl_ns (Int64.sub t1 t0);
+      rows
+
+and exec_block_inner env id (t : Ir.t) : I.benv array =
+  match t with
+  | One -> [| [] |]
+  | Scan { var; rel; filters; _ } ->
+      let sp = Obs.enter (tracer env) "scan" in
+      let tuples = I.source_rows env.ctx env.outer (Base rel) in
+      let rows =
+        Array.of_list (List.map (fun tp -> [ (var, tp) ]) tuples)
+      in
+      let kept =
+        if filters = [] then rows
+        else
+          filter_block env
+            (fun row ->
+              List.for_all (pred_true env (full_of env row)) filters)
+            rows
+      in
+      if Obs.enabled (tracer env) then begin
+        Obs.set sp "relation" (Obs.Str rel);
+        Obs.set sp "candidates" (Obs.Int (Array.length rows));
+        Obs.set sp "survivors" (Obs.Int (Array.length kept))
+      end;
+      Obs.leave (tracer env) sp;
+      kept
+  | Subquery { var; plan } ->
+      let r = exec_coll env (id + 1) plan in
+      Array.of_list
+        (List.map (fun tp -> [ (var, tp) ]) (Relation.tuples r))
+  | Lateral { input; var; plan } ->
+      let rows = exec_block env (id + 1) input in
+      let plan_id = id + 1 + Ir.size input in
+      let sp = Obs.enter (tracer env) "lateral" in
+      let out = ref [] in
+      Array.iter
+        (fun (row : I.benv) ->
+          let r =
+            exec_coll { env with outer = row @ env.outer } plan_id plan
+          in
+          List.iter
+            (fun tp -> out := ((var, tp) :: row) :: !out)
+            (Relation.tuples r))
+        rows;
+      let out = Array.of_list (List.rev !out) in
+      if Obs.enabled (tracer env) then begin
+        Obs.set sp "rows_in" (Obs.Int (Array.length rows));
+        Obs.set sp "rows_out" (Obs.Int (Array.length out))
+      end;
+      Obs.leave (tracer env) sp;
+      out
+  | Product { left; right } ->
+      let l = exec_block env (id + 1) left in
+      let r = exec_block env (id + 1 + Ir.size left) right in
+      let nl = Array.length l and nr = Array.length r in
+      if nl = 0 || nr = 0 then [||]
+      else begin
+        let out = Array.make (nl * nr) [] in
+        for i = 0 to nl - 1 do
+          let lr = l.(i) in
+          for j = 0 to nr - 1 do
+            out.((i * nr) + j) <- r.(j) @ lr
+          done
+        done;
+        out
+      end
+  | Hash_join { left; right; keys } ->
+      Gov.tick (gov env);
+      let sp = Obs.enter (tracer env) "hash_join" in
+      let build = exec_block env (id + 1 + Ir.size left) right in
+      let probe = exec_block env (id + 1) left in
+      let inner_terms = List.map (fun k -> k.Ir.inner) keys in
+      let outer_terms = List.map (fun k -> k.Ir.outer) keys in
+      let fast =
+        match (whole_var_attrs inner_terms, whole_var_attrs outer_terms) with
+        | Some (iv, ia), Some (ov, oa)
+          when ia = oa && all_whole iv ia build && all_whole ov oa probe ->
+            true
+        | _ -> false
+      in
+      let three_valued =
+        match (I.conv env.ctx).Conventions.null_logic with
+        | Conventions.Three_valued -> true
+        | _ -> false
+      in
+      let fast_key (row : I.benv) =
+        match row with
+        | [ (_, tp) ] ->
+            if three_valued && List.exists V.is_null (Tuple.values tp) then
+              None
+            else Some (Tuple.key tp)
+        | _ -> None
+      in
+      let buf = Buffer.create 64 in
+      let key_build rrow =
+        if fast then fast_key rrow else key_of_buf env buf rrow inner_terms
+      in
+      let key_probe lrow =
+        if fast then fast_key lrow else key_of_buf env buf lrow outer_terms
+      in
+      let tbl = Hashtbl.create (max 16 (Array.length build)) in
+      Array.iter
+        (fun rrow ->
+          match key_build rrow with
+          | Some k -> Hashtbl.add tbl k rrow
+          | None -> ())
+        build;
+      let g = gov env in
+      let n = Array.length probe in
+      let out = ref [] in
+      let matches = ref 0 in
+      let i = ref 0 in
+      while !i < n do
+        Gov.tick g;
+        let stop = min n (!i + block_rows) in
+        while !i < stop do
+          let lrow = probe.(!i) in
+          (match key_probe lrow with
+          | Some k ->
+              List.iter
+                (fun rrow ->
+                  incr matches;
+                  out := (rrow @ lrow) :: !out)
+                (Hashtbl.find_all tbl k)
+          | None -> ());
+          incr i
+        done
+      done;
+      let out = Array.of_list (List.rev !out) in
+      with_actual env id (fun a ->
+          a.Ir.a_build <- a.Ir.a_build + Array.length build;
+          a.Ir.a_probe <- a.Ir.a_probe + Array.length probe;
+          a.Ir.a_matches <- a.Ir.a_matches + !matches);
+      if Obs.enabled (tracer env) then begin
+        Obs.set sp "build" (Obs.Int (Array.length build));
+        Obs.set sp "probe" (Obs.Int (Array.length probe));
+        Obs.set sp "rows_out" (Obs.Int (Array.length out))
+      end;
+      Obs.leave (tracer env) sp;
+      out
+  | Filter { input; preds } ->
+      let rows = exec_block env (id + 1) input in
+      let sp = Obs.enter (tracer env) "filter" in
+      let kept =
+        filter_block env
+          (fun row -> List.for_all (pred_true env (full_of env row)) preds)
+          rows
+      in
+      if Obs.enabled (tracer env) then begin
+        Obs.set sp "candidates" (Obs.Int (Array.length rows));
+        Obs.set sp "survivors" (Obs.Int (Array.length kept))
+      end;
+      Obs.leave (tracer env) sp;
+      kept
+  | Residual { input; conjs } ->
+      let rows = exec_block env (id + 1) input in
+      let sp = Obs.enter (tracer env) "residual" in
+      let kept =
+        filter_block env
+          (fun row ->
+            List.for_all (formula_true env (full_of env row)) conjs)
+          rows
+      in
+      if Obs.enabled (tracer env) then begin
+        Obs.set sp "candidates" (Obs.Int (Array.length rows));
+        Obs.set sp "survivors" (Obs.Int (Array.length kept))
+      end;
+      Obs.leave (tracer env) sp;
+      kept
+  | Semi { anti; input; sub; keys; residual; _ } ->
+      Gov.tick (gov env);
+      let sp =
+        Obs.enter (tracer env) (if anti then "anti_join" else "semi_join")
+      in
+      let sub_rows = exec_block env (id + 1 + Ir.size input) sub in
+      let witness row candidates =
+        List.exists
+          (fun (srow : I.benv) ->
+            List.for_all (pred_true env (srow @ row @ env.outer)) residual)
+          candidates
+      in
+      let rows = exec_block env (id + 1) input in
+      let kept =
+        match keys with
+        | [] ->
+            let cands = Array.to_list sub_rows in
+            filter_block env (fun row -> witness row cands <> anti) rows
+        | _ ->
+            let inner_terms = List.map (fun k -> k.Ir.inner) keys in
+            let outer_terms = List.map (fun k -> k.Ir.outer) keys in
+            let buf = Buffer.create 64 in
+            let tbl = Hashtbl.create (max 16 (Array.length sub_rows)) in
+            Array.iter
+              (fun srow ->
+                match key_of_buf env buf srow inner_terms with
+                | Some k -> Hashtbl.add tbl k srow
+                | None -> ())
+              sub_rows;
+            filter_block env
+              (fun row ->
+                let found =
+                  match key_of_buf env buf row outer_terms with
+                  | Some k -> witness row (Hashtbl.find_all tbl k)
+                  | None -> false
+                in
+                found <> anti)
+              rows
+      in
+      with_actual env id (fun a ->
+          a.Ir.a_build <- a.Ir.a_build + Array.length sub_rows;
+          a.Ir.a_probe <- a.Ir.a_probe + Array.length rows;
+          a.Ir.a_matches <- a.Ir.a_matches + Array.length kept);
+      if Obs.enabled (tracer env) then begin
+        Obs.set sp "sub_rows" (Obs.Int (Array.length sub_rows));
+        Obs.set sp "candidates" (Obs.Int (Array.length rows));
+        Obs.set sp "survivors" (Obs.Int (Array.length kept))
+      end;
+      Obs.leave (tracer env) sp;
+      kept
+  | Resolve { input; binding; scope } ->
+      Gov.tick (gov env);
+      let rows = exec_block env (id + 1) input in
+      Array.of_list
+        (I.resolve_deferred env.ctx env.outer scope (Array.to_list rows)
+           [ binding ])
+  | Prune { input; keep } ->
+      Array.map
+        (fun (row : I.benv) ->
+          List.filter (fun (v, _) -> List.mem v keep) row)
+        (exec_block env (id + 1) input)
+
+(* ------------------------------------------------------------------ *)
 (* Disjuncts and collections                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -278,7 +630,36 @@ and exec_disjunct_inner env id (head : head) (d : Ir.disjunct_plan) :
     | None ->
         raise_kind (Err.Head_unassigned { head = head.head_name; attr = a })
   in
+  let emit_group scope_vars post assigns (rep, group) =
+    if
+      List.for_all
+        (fun f -> I.eval_gformula env.ctx ~rep ~group ~scope_vars f = B3.True)
+        post
+    then
+      Some
+        (Tuple.make schema
+           (Array.of_list
+              (List.map
+                 (fun a ->
+                   I.eval_gterm env.ctx ~rep ~group ~scope_vars
+                     (assign_term assigns a))
+                 head.head_attrs)))
+    else None
+  in
   match d with
+  | Project { input; assigns } when env.batched ->
+      let rows = exec_block env (id + 1) input in
+      Array.to_list
+        (Array.map
+           (fun (row : I.benv) ->
+             let full = full_of env row in
+             Tuple.make schema
+               (Array.of_list
+                  (List.map
+                     (fun a ->
+                       I.eval_term env.ctx full (assign_term assigns a))
+                     head.head_attrs)))
+           rows)
   | Project { input; assigns } ->
       let rows = exec_rows env (id + 1) input in
       List.map
@@ -290,6 +671,46 @@ and exec_disjunct_inner env id (head : head) (d : Ir.disjunct_plan) :
                   (fun a -> I.eval_term env.ctx full (assign_term assigns a))
                   head.head_attrs)))
         rows
+  | Aggregate { input; keys; scope_vars; post; assigns } when env.batched ->
+      let rows = exec_block env (id + 1) input in
+      Gov.tick (gov env);
+      let sp = Obs.enter (tracer env) "hash_aggregate" in
+      let groups =
+        if keys = [] then
+          let full =
+            Array.to_list (Array.map (fun r -> full_of env r) rows)
+          in
+          [ ((match full with [] -> env.outer | r :: _ -> r), full) ]
+        else begin
+          (* groups accumulate in reversed ref cells: O(1) append instead
+             of the tuple path's quadratic [rs @ [full]] *)
+          let tbl = Hashtbl.create (max 16 (Array.length rows / 4)) in
+          let order = ref [] in
+          Array.iter
+            (fun (row : I.benv) ->
+              let full = full_of env row in
+              let k = group_key env full keys in
+              match Hashtbl.find_opt tbl k with
+              | Some cell -> cell := full :: !cell
+              | None ->
+                  let cell = ref [ full ] in
+                  order := cell :: !order;
+                  Hashtbl.replace tbl k cell)
+            rows;
+          List.rev_map
+            (fun cell ->
+              let group = List.rev !cell in
+              (List.hd group, group))
+            !order
+        end
+      in
+      if Obs.enabled (tracer env) then begin
+        Obs.set sp "rows_in" (Obs.Int (Array.length rows));
+        Obs.set sp "keys" (Obs.Int (List.length keys));
+        Obs.set sp "buckets" (Obs.Int (List.length groups))
+      end;
+      Obs.leave (tracer env) sp;
+      List.filter_map (emit_group scope_vars post assigns) groups
   | Aggregate { input; keys; scope_vars; post; assigns } ->
       let rows = exec_rows env (id + 1) input in
       Gov.tick (gov env);
@@ -324,24 +745,7 @@ and exec_disjunct_inner env id (head : head) (d : Ir.disjunct_plan) :
         Obs.set sp "buckets" (Obs.Int (List.length groups))
       end;
       Obs.leave (tracer env) sp;
-      List.filter_map
-        (fun (rep, group) ->
-          if
-            List.for_all
-              (fun f ->
-                I.eval_gformula env.ctx ~rep ~group ~scope_vars f = B3.True)
-              post
-          then
-            Some
-              (Tuple.make schema
-                 (Array.of_list
-                    (List.map
-                       (fun a ->
-                         I.eval_gterm env.ctx ~rep ~group ~scope_vars
-                           (assign_term assigns a))
-                       head.head_attrs)))
-          else None)
-        groups
+      List.filter_map (emit_group scope_vars post assigns) groups
 
 and exec_coll env id (p : Ir.coll_plan) : Relation.t =
   match env.stats with
@@ -604,8 +1008,9 @@ let compile ?conv ?externals ?strategy ?tracer ?guard ~db (prog : program) =
   let optimized, report = Opt.optimize lenv raw in
   (ctx, raw, optimized, report)
 
-let exec_program ?stats ctx (pp : Ir.program_plan) : Eval.outcome =
-  let env = { ctx; outer = []; stats } in
+let exec_program ?stats ?(batched = true) ctx (pp : Ir.program_plan) :
+    Eval.outcome =
+  let env = { ctx; outer = []; stats; batched } in
   let tracer = I.tracer ctx in
   let counter = ref 0 in
   let stratum_base s =
@@ -639,22 +1044,23 @@ let exec_program ?stats ctx (pp : Ir.program_plan) : Eval.outcome =
   | Err.Guard_error e -> raise (Eval_error e)
   | V.Type_error m -> raise (Eval_error { Err.kind = Err.Msg ("type error: " ^ m); context = [] })
 
-let run ?conv ?externals ?strategy ?tracer ?guard ~db (prog : program) =
+let run ?conv ?externals ?strategy ?tracer ?guard ?batched ~db
+    (prog : program) =
   try
     let ctx, _, optimized, _ =
       compile ?conv ?externals ?strategy ?tracer ?guard ~db prog
     in
-    exec_program ctx optimized
+    exec_program ?batched ctx optimized
   with V.Type_error m -> raise (Eval_error { Err.kind = Err.Msg ("type error: " ^ m); context = [] })
 
-let run_rows ?conv ?externals ?strategy ?tracer ?guard ~db prog =
-  match run ?conv ?externals ?strategy ?tracer ?guard ~db prog with
+let run_rows ?conv ?externals ?strategy ?tracer ?guard ?batched ~db prog =
+  match run ?conv ?externals ?strategy ?tracer ?guard ?batched ~db prog with
   | Eval.Rows r -> r
   | Eval.Truth _ ->
       raise_kind (Err.Msg "expected a collection result, got a sentence")
 
-let run_truth ?conv ?externals ?strategy ?tracer ?guard ~db prog =
-  match run ?conv ?externals ?strategy ?tracer ?guard ~db prog with
+let run_truth ?conv ?externals ?strategy ?tracer ?guard ?batched ~db prog =
+  match run ?conv ?externals ?strategy ?tracer ?guard ?batched ~db prog with
   | Eval.Truth t -> t
   | Eval.Rows _ ->
       raise_kind (Err.Msg "expected a sentence result, got a collection")
@@ -668,13 +1074,13 @@ let run_truth ?conv ?externals ?strategy ?tracer ?guard ~db prog =
    stats off (node ids are irrelevant without a stats table). *)
 
 let exec_pipeline ctx ?(outer = []) (t : Ir.t) : I.benv list =
-  exec_rows { ctx; outer; stats = None } 0 t
+  exec_rows { ctx; outer; stats = None; batched = false } 0 t
 
 let exec_collection ctx (p : Ir.coll_plan) : Relation.t =
-  exec_coll { ctx; outer = []; stats = None } 0 p
+  exec_coll { ctx; outer = []; stats = None; batched = false } 0 p
 
 let exec_stratum_plan ctx (s : Ir.stratum) : unit =
-  exec_stratum { ctx; outer = []; stats = None } 0 s
+  exec_stratum { ctx; outer = []; stats = None; batched = false } 0 s
 
 (* ------------------------------------------------------------------ *)
 (* Metrics export                                                      *)

@@ -23,6 +23,7 @@ val compile :
 
 val exec_program :
   ?stats:Arc_plan.Ir.stats ->
+  ?batched:bool ->
   Eval.Internal.ctx ->
   Arc_plan.Ir.program_plan ->
   Eval.outcome
@@ -30,6 +31,12 @@ val exec_program :
     context's IDB (hash-based naive or seminaive fixpoints for recursive
     strata), then runs the main plan. Raises {!Eval.Eval_error} like the
     reference evaluator.
+
+    [batched] (default [true]) selects the block-at-a-time pipeline:
+    operators work on row arrays with amortized governor probes,
+    buffer-reused (or memoized whole-tuple) hash keys, and constant-time
+    group appends. Both paths emit the same rows in the same order;
+    [batched:false] is the tuple-at-a-time baseline kept for ablation.
 
     When [stats] is given, every operator additionally records per-node
     actuals (invocations, rows emitted, inclusive wall-clock, hash
@@ -76,6 +83,7 @@ val run :
   ?strategy:Eval.recursion_strategy ->
   ?tracer:Arc_obs.Obs.t ->
   ?guard:Arc_guard.Gov.t ->
+  ?batched:bool ->
   db:Arc_relation.Database.t ->
   program ->
   Eval.outcome
@@ -87,6 +95,7 @@ val run_rows :
   ?strategy:Eval.recursion_strategy ->
   ?tracer:Arc_obs.Obs.t ->
   ?guard:Arc_guard.Gov.t ->
+  ?batched:bool ->
   db:Arc_relation.Database.t ->
   program ->
   Arc_relation.Relation.t
@@ -97,6 +106,7 @@ val run_truth :
   ?strategy:Eval.recursion_strategy ->
   ?tracer:Arc_obs.Obs.t ->
   ?guard:Arc_guard.Gov.t ->
+  ?batched:bool ->
   db:Arc_relation.Database.t ->
   program ->
   Arc_value.Bool3.t

@@ -152,6 +152,55 @@ let check_engines (case : Case.t) =
     all_conventions
 
 (* ------------------------------------------------------------------ *)
+(* Check 1b: execution modes must be result-invisible                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Statistics only steer plan choice and batching only changes the
+   physical iteration, so both must be bag-invisible: the plan engine run
+   against an ANALYZEd database, and the tuple-at-a-time path, must each
+   agree with the default run under every convention combo. *)
+let check_modes (case : Case.t) =
+  let analyzed = Arc_relation.Database.analyze case.Case.db in
+  List.concat_map
+    (fun (cname, conv) ->
+      let base = run_exec ~conv ~db:case.Case.db case.prog in
+      let with_stats =
+        outcome_of (fun () ->
+            Exec.run ~conv ~guard:(guard ()) ~db:analyzed case.prog)
+      in
+      let tuple =
+        outcome_of (fun () ->
+            Exec.run ~conv ~guard:(guard ()) ~batched:false ~db:case.db
+              case.prog)
+      in
+      (if agree base with_stats then []
+       else
+         [
+           {
+             d_kind = "stats-vs-plain";
+             d_conv = cname;
+             d_detail =
+               Printf.sprintf "without stats %s, with stats %s"
+                 (outcome_to_string base)
+                 (outcome_to_string with_stats);
+           };
+         ])
+      @
+      if agree base tuple then []
+      else
+        [
+          {
+            d_kind = "batched-vs-tuple";
+            d_conv = cname;
+            d_detail =
+              Printf.sprintf "batched %s, tuple-at-a-time %s"
+                (outcome_to_string base)
+                (outcome_to_string tuple);
+          };
+        ])
+    all_conventions
+
+(* ------------------------------------------------------------------ *)
 (* Check 2: ARC concrete-syntax round-trip                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -250,7 +299,8 @@ let check_sql (case : Case.t) =
     [ ("sql", Conventions.sql); ("sql_set", Conventions.sql_set) ]
 
 let check (case : Case.t) =
-  check_engines case @ check_arc_roundtrip case @ check_sql case
+  check_engines case @ check_modes case @ check_arc_roundtrip case
+  @ check_sql case
 
 (* ------------------------------------------------------------------ *)
 (* TRC cases: print/parse round-trip, then both engines                *)

@@ -1148,9 +1148,22 @@ let apply ?guard t (batch : batch) =
       !order
   in
   (* Commit, then fold each relation's net delta into its cache to get
-     the visible-level change without any whole-relation pass. *)
+     the visible-level change without any whole-relation pass. [add]
+     drops the replaced relation's planner statistics; re-attach them
+     with the row count patched and finer column detail marked stale, so
+     subsequent compiles keep a fresh base cardinality without paying a
+     full re-ANALYZE per batch. *)
   t.tdb <-
-    List.fold_left (fun db (r, _, nr) -> Database.add db r nr) t.tdb updates;
+    List.fold_left
+      (fun db (r, _, nr) ->
+        let prior = Database.stats db r in
+        let db = Database.add db r nr in
+        match prior with
+        | None -> db
+        | Some s ->
+            Database.set_stats db r
+              (Arc_relation.Stats.patch_rows s (Relation.cardinality nr)))
+      t.tdb updates;
   let changed_base : (rel_name, change) Hashtbl.t = Hashtbl.create 8 in
   List.iter
     (fun (r, old_rel, new_rel) ->

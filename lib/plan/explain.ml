@@ -36,7 +36,26 @@ let assigns_to_string assigns =
    with box characters. *)
 type node = { label : string; children : node list }
 
-let est_suffix t = Printf.sprintf "  (\xe2\x89\x88%d rows)" (Ir.estimate t)
+(* Estimates come from [Card] when a statistics environment is supplied
+   (so the annotation can say which estimator produced the number) and
+   fall back to the legacy heuristic otherwise — by [Card]'s reconcile
+   invariant the two agree when no statistics exist. *)
+let est_of cenv estimator heur node =
+  match cenv with
+  | None -> (heur node, None)
+  | Some env ->
+      let e = estimator env node in
+      (Card.rows e, Some (Card.src_name e.Card.src))
+
+let est_t cenv t = est_of cenv Card.estimate Ir.estimate t
+let est_d cenv d = est_of cenv Card.estimate_disjunct Ir.estimate_disjunct d
+let est_c cenv c = est_of cenv Card.estimate_coll Ir.estimate_coll c
+
+let est_suffix cenv t =
+  let est, src = est_t cenv t in
+  match src with
+  | None -> Printf.sprintf "  (\xe2\x89\x88%d rows)" est
+  | Some s -> Printf.sprintf "  (\xe2\x89\x88%d rows, %s)" est s
 
 (* Core (suffix-free) labels, shared by the plain explain rendering and the
    analyze rendering. *)
@@ -103,12 +122,12 @@ type ann = {
   on_c : int -> Ir.coll_plan -> string;
 }
 
-let explain_ann =
+let explain_ann cenv =
   {
     on_t =
       (fun _ t ->
         match t with
-        | Ir.Scan _ | Ir.Product _ | Ir.Hash_join _ -> est_suffix t
+        | Ir.Scan _ | Ir.Product _ | Ir.Hash_join _ -> est_suffix cenv t
         | _ -> "");
     on_d = (fun _ _ -> "");
     on_c = (fun _ _ -> "");
@@ -181,7 +200,7 @@ let render (n : node) : string =
   go "" `Root n;
   Buffer.contents buf
 
-let coll_plan_to_string p = render (node_of_coll explain_ann 0 p)
+let coll_plan_to_string ?cenv p = render (node_of_coll (explain_ann cenv) 0 p)
 
 (* Renders a whole program, threading base ids with the same counter walk
    as [Ir.program_ids] so annotations line up with executor-recorded
@@ -219,8 +238,8 @@ let program_render ann (pp : Ir.program_plan) : string =
         ("main (sentence): " ^ formula_to_string f ^ "\n"));
   Buffer.contents buf
 
-let program_plan_to_string (pp : Ir.program_plan) : string =
-  program_render explain_ann pp
+let program_plan_to_string ?cenv (pp : Ir.program_plan) : string =
+  program_render (explain_ann cenv) pp
 
 (* ------------------------------------------------------------------ *)
 (* EXPLAIN ANALYZE                                                     *)
@@ -249,10 +268,11 @@ let excl_ns (stats : Ir.stats) id children =
   let e = Int64.sub (incl_ns stats id) kids in
   if Int64.compare e 0L < 0 then 0L else e
 
-let node_suffix ~warn_q_error (stats : Ir.stats) id ~est ~children ~extras_of
-    =
+let node_suffix ~warn_q_error (stats : Ir.stats) id ~est ~src ~children
+    ~extras_of =
+  let src_s = match src with None -> "" | Some s -> " src=" ^ s in
   match Ir.actual_of stats id with
-  | None -> Printf.sprintf "  [est=%d act=\xe2\x80\x93]" est
+  | None -> Printf.sprintf "  [est=%d%s act=\xe2\x80\x93]" est src_s
   | Some a ->
       let q = Ir.q_error est a.Ir.a_rows in
       let inv =
@@ -263,16 +283,17 @@ let node_suffix ~warn_q_error (stats : Ir.stats) id ~est ~children ~extras_of
       let warn =
         if q >= warn_q_error then "  \xe2\x9a\xa0 misestimate" else ""
       in
-      Printf.sprintf "  [est=%d act=%d q=%.1f excl=%s%s%s]%s" est a.Ir.a_rows
-        q
+      Printf.sprintf "  [est=%d%s act=%d q=%.1f excl=%s%s%s]%s" est src_s
+        a.Ir.a_rows q
         (ns_to_string (excl_ns stats id children))
         inv (extras_of a) warn
 
-let analyze_ann ~warn_q_error (stats : Ir.stats) =
+let analyze_ann ~warn_q_error ?cenv (stats : Ir.stats) =
   {
     on_t =
       (fun id t ->
-        node_suffix ~warn_q_error stats id ~est:(Ir.estimate t)
+        let est, src = est_t cenv t in
+        node_suffix ~warn_q_error stats id ~est ~src
           ~children:(Ir.child_ids id t) ~extras_of:(fun a ->
             match t with
             | Ir.Hash_join _ | Ir.Semi _ ->
@@ -281,12 +302,14 @@ let analyze_ann ~warn_q_error (stats : Ir.stats) =
             | _ -> ""));
     on_d =
       (fun id d ->
-        node_suffix ~warn_q_error stats id ~est:(Ir.estimate_disjunct d)
+        let est, src = est_d cenv d in
+        node_suffix ~warn_q_error stats id ~est ~src
           ~children:(Ir.disjunct_child_ids id d)
           ~extras_of:(fun _ -> ""));
     on_c =
       (fun id c ->
-        node_suffix ~warn_q_error stats id ~est:(Ir.estimate_coll c)
+        let est, src = est_c cenv c in
+        node_suffix ~warn_q_error stats id ~est ~src
           ~children:(Ir.coll_child_ids id c) ~extras_of:(fun a ->
             match c with
             | Ir.Union _ when a.Ir.a_iterations > 0 ->
@@ -296,9 +319,9 @@ let analyze_ann ~warn_q_error (stats : Ir.stats) =
             | _ -> ""));
   }
 
-let analyze_to_string ?(warn_q_error = 4.0) ~(stats : Ir.stats)
+let analyze_to_string ?(warn_q_error = 4.0) ?cenv ~(stats : Ir.stats)
     (pp : Ir.program_plan) : string =
-  program_render (analyze_ann ~warn_q_error stats) pp
+  program_render (analyze_ann ~warn_q_error ?cenv stats) pp
 
 (* Flat per-node record for machine consumers (the CLI's JSON output and
    the bench harness). Preorder over the whole program. *)
@@ -308,15 +331,16 @@ type node_info = {
   ni_op : string;
   ni_label : string;
   ni_est : int;
+  ni_src : string;  (* which estimator produced ni_est *)
   ni_actual : Ir.actual option;
   ni_excl_ns : int64;
   ni_q : float option;
 }
 
-let analyze_info (pp : Ir.program_plan) ~(stats : Ir.stats) : node_info list
-    =
+let analyze_info ?cenv (pp : Ir.program_plan) ~(stats : Ir.stats) :
+    node_info list =
   let acc = ref [] in
-  let add section id op label est children =
+  let add section id op label (est, src) children =
     let actual = Ir.actual_of stats id in
     let q = Option.map (fun a -> Ir.q_error est a.Ir.a_rows) actual in
     acc :=
@@ -326,6 +350,7 @@ let analyze_info (pp : Ir.program_plan) ~(stats : Ir.stats) : node_info list
         ni_op = op;
         ni_label = label;
         ni_est = est;
+        ni_src = Option.value ~default:"heuristic" src;
         ni_actual = actual;
         ni_excl_ns = excl_ns stats id children;
         ni_q = q;
@@ -333,7 +358,7 @@ let analyze_info (pp : Ir.program_plan) ~(stats : Ir.stats) : node_info list
       :: !acc
   in
   let rec go_t section id t =
-    add section id (Ir.op_name t) (t_label t) (Ir.estimate t)
+    add section id (Ir.op_name t) (t_label t) (est_t cenv t)
       (Ir.child_ids id t);
     match t with
     | Ir.One | Ir.Scan _ -> ()
@@ -353,14 +378,13 @@ let analyze_info (pp : Ir.program_plan) ~(stats : Ir.stats) : node_info list
         go_t section (id + 1) input;
         go_t section (id + 1 + Ir.size input) sub
   and go_d section id d =
-    add section id (Ir.disjunct_op_name d) (disjunct_label d)
-      (Ir.estimate_disjunct d)
+    add section id (Ir.disjunct_op_name d) (disjunct_label d) (est_d cenv d)
       (Ir.disjunct_child_ids id d);
     match d with
     | Ir.Project { input; _ } | Ir.Aggregate { input; _ } ->
         go_t section (id + 1) input
   and go_c section id c =
-    add section id (Ir.coll_op_name c) (coll_label c) (Ir.estimate_coll c)
+    add section id (Ir.coll_op_name c) (coll_label c) (est_c cenv c)
       (Ir.coll_child_ids id c);
     match c with
     | Ir.Union { disjuncts; _ } ->

@@ -6,10 +6,17 @@ module Database = Arc_relation.Database
 
 (* What the lowering needs to know about the world: which relation names are
    finite (base relations with a cardinality estimate, safe definitions),
-   everything else being deferred to external/abstract resolution. *)
-type env = { cards : (rel_name * int) list; defs : rel_name list }
+   everything else being deferred to external/abstract resolution. [stats]
+   carries whatever per-relation column statistics the database has
+   collected (ANALYZE); the cost model ([Card]) degrades gracefully when it
+   is empty. *)
+type env = {
+  cards : (rel_name * int) list;
+  defs : rel_name list;
+  stats : (rel_name * Arc_relation.Stats.t) list;
+}
 
-let env ?(cards = []) ?(defs = []) () = { cards; defs }
+let env ?(cards = []) ?(defs = []) ?(stats = []) () = { cards; defs; stats }
 
 let env_of_db ~db ~defs =
   {
@@ -18,6 +25,7 @@ let env_of_db ~db ~defs =
         (fun n -> (n, Relation.cardinality (Database.find db n)))
         (Database.names db);
     defs;
+    stats = Database.stats_bindings db;
   }
 
 let default_card = 64

@@ -137,10 +137,58 @@ let pushdown_pipeline (t : Ir.t) : Ir.t =
   in
   go t
 
+(* With statistics, order each scan's filter list by ascending estimated
+   selectivity: the most selective predicate runs first, so later (more
+   expensive) predicates see fewer rows. Predicate evaluation is pure and
+   conjunction is commutative under both null logics, so only cost
+   changes. Without statistics the order is untouched. *)
+let order_scan_filters (env : env) (t : Ir.t) : Ir.t =
+  if env.Lower.stats = [] then t
+  else
+    let sort_filters var rel filters =
+      let smap = [ (var, rel) ] in
+      let keyed =
+        List.mapi
+          (fun i p ->
+            let sel =
+              match Card.pred_sel env.Lower.stats smap p with
+              | Some f -> f
+              | None -> 0.5
+            in
+            ((sel, i), p))
+          filters
+      in
+      List.map snd (List.stable_sort (fun (a, _) (b, _) -> compare a b) keyed)
+    in
+    let rec go t =
+      match t with
+      | Ir.One -> t
+      | Ir.Scan s when List.length s.filters > 1 ->
+          Ir.Scan { s with filters = sort_filters s.var s.rel s.filters }
+      | Ir.Scan _ -> t
+      | Ir.Subquery s -> Ir.Subquery { s with plan = map_pipelines go s.plan }
+      | Ir.Lateral l ->
+          Ir.Lateral
+            { l with input = go l.input; plan = map_pipelines go l.plan }
+      | Ir.Product p -> Ir.Product { left = go p.left; right = go p.right }
+      | Ir.Hash_join j ->
+          Ir.Hash_join { j with left = go j.left; right = go j.right }
+      | Ir.Filter f -> Ir.Filter { f with input = go f.input }
+      | Ir.Residual r -> Ir.Residual { r with input = go r.input }
+      | Ir.Semi s -> Ir.Semi { s with input = go s.input; sub = go s.sub }
+      | Ir.Resolve r -> Ir.Resolve { r with input = go r.input }
+      | Ir.Prune p -> Ir.Prune { p with input = go p.input }
+    in
+    go t
+
 let pass_pushdown =
   {
     name = "predicate-pushdown";
-    transform = (fun _env p -> map_pipelines pushdown_pipeline p);
+    transform =
+      (fun env p ->
+        map_pipelines
+          (fun t -> order_scan_filters env (pushdown_pipeline t))
+          p);
   }
 
 (* ------------------------------------------------------------------ *)
@@ -258,8 +306,14 @@ let pass_decorrelate =
    (hash join), falling back to the smallest remaining unit (product).
    Predicates become hash keys when one side evaluates on the bound prefix
    and the other on the new unit alone; they are applied as filters at the
-   first point all their variables are bound. *)
-let reorder_region (t : Ir.t) : Ir.t =
+   first point all their variables are bound.
+
+   Estimates come from [Card]: with statistics they reflect selectivity
+   math, without they reconcile to the legacy heuristic, so plan shapes
+   only move once the database has been ANALYZEd. Each unit's estimate is
+   computed once and memoized (the previous code re-ran the recursive
+   estimator inside every sort comparison). *)
+let reorder_region (env : env) (t : Ir.t) : Ir.t =
   let rec flatten t =
     match t with
     | Ir.Product { left; right } ->
@@ -298,8 +352,16 @@ let reorder_region (t : Ir.t) : Ir.t =
             else None
         | _ -> None
       in
+      let stats = env.Lower.stats in
+      let unit_est =
+        List.map (fun u -> (u, Card.rows (Card.estimate stats u))) units
+      in
+      let est u = List.assq u unit_est in
       let by_est us =
-        List.sort (fun a b -> compare (Ir.estimate a) (Ir.estimate b)) us
+        List.map snd
+          (List.stable_sort
+             (fun (a, _) (b, _) -> compare a b)
+             (List.map (fun u -> (est u, u)) us))
       in
       let first = List.hd (by_est units) in
       let remaining = ref (List.filter (fun u -> u != first) units) in
@@ -326,12 +388,28 @@ let reorder_region (t : Ir.t) : Ir.t =
         let next, keys =
           match candidates with
           | [] -> (List.hd (by_est !remaining), [])
-          | _ ->
+          | _ when stats = [] ->
+              (* heuristic mode: smallest joinable unit, memoized *)
               List.hd
-                (List.sort
-                   (fun (a, _) (b, _) ->
-                     compare (Ir.estimate a) (Ir.estimate b))
+                (List.stable_sort
+                   (fun (a, _) (b, _) -> compare (est a) (est b))
                    candidates)
+          | _ ->
+              (* statistics mode: rank each candidate by the estimated
+                 output of the join it would form, computed once per
+                 candidate rather than once per comparison *)
+              let scored =
+                List.map
+                  (fun (u, keys) ->
+                    ( Card.rows
+                        (Card.estimate stats
+                           (Ir.Hash_join { left = !acc; right = u; keys })),
+                      (u, keys) ))
+                  candidates
+              in
+              snd
+                (List.hd
+                   (List.stable_sort (fun (a, _) (b, _) -> compare a b) scored))
         in
         remaining := List.filter (fun u -> u != next) !remaining;
         let key_preds =
@@ -357,7 +435,52 @@ let reorder_region (t : Ir.t) : Ir.t =
       List.iter (fun p -> acc := filter_above !acc p) !pending;
       !acc
 
-let reorder_pipeline (t : Ir.t) : Ir.t =
+(* Semi/anti placement: a semi-join whose outer references all live on one
+   side of the join below it commutes with that join (each joined row
+   passes iff its one-sided prefix does), so it can run before the join
+   and shrink the probe input. Only attempted in statistics mode, and only
+   kept when the estimated cost does not grow. *)
+let reorder_pipeline (env : env) (t : Ir.t) : Ir.t =
+  let cost t = Card.rows (Card.estimate env.Lower.stats t) in
+  let rec sink_semi t =
+    match t with
+    | Ir.Semi s -> (
+        let refs =
+          List.filter
+            (fun v -> not (List.mem v s.sub_vars))
+            (List.concat_map (fun k -> Ir.term_ref_vars k.Ir.outer) s.keys
+            @ List.concat_map Ir.pred_ref_vars s.residual)
+        in
+        match s.input with
+        | Ir.Hash_join j when subset refs (Ir.bound_vars j.left) ->
+            let sunk =
+              Ir.Hash_join
+                { j with left = sink_semi (Ir.Semi { s with input = j.left }) }
+            in
+            if cost sunk <= cost t then sunk else t
+        | Ir.Hash_join j when subset refs (Ir.bound_vars j.right) ->
+            let sunk =
+              Ir.Hash_join
+                { j with right = sink_semi (Ir.Semi { s with input = j.right })
+                }
+            in
+            if cost sunk <= cost t then sunk else t
+        | Ir.Product p when subset refs (Ir.bound_vars p.left) ->
+            let sunk =
+              Ir.Product
+                { p with left = sink_semi (Ir.Semi { s with input = p.left }) }
+            in
+            if cost sunk <= cost t then sunk else t
+        | Ir.Product p when subset refs (Ir.bound_vars p.right) ->
+            let sunk =
+              Ir.Product
+                { p with right = sink_semi (Ir.Semi { s with input = p.right })
+                }
+            in
+            if cost sunk <= cost t then sunk else t
+        | _ -> t)
+    | t -> t
+  in
   let rec go t =
     match t with
     | Ir.Product _ | Ir.Filter _ ->
@@ -369,9 +492,11 @@ let reorder_pipeline (t : Ir.t) : Ir.t =
           | Ir.Filter f -> Ir.Filter { f with input = go f.input }
           | t -> t
         in
-        reorder_region t
+        reorder_region env t
     | Ir.Residual r -> Residual { r with input = go r.input }
-    | Ir.Semi s -> Semi { s with input = go s.input }
+    | Ir.Semi s ->
+        let t = Ir.Semi { s with input = go s.input } in
+        if env.Lower.stats = [] then t else sink_semi t
     | Ir.Resolve r -> Resolve { r with input = go r.input }
     | Ir.Lateral l -> Lateral { l with input = go l.input }
     | t -> t
@@ -381,7 +506,7 @@ let reorder_pipeline (t : Ir.t) : Ir.t =
 let pass_reorder =
   {
     name = "hash-join-order";
-    transform = (fun _env p -> map_pipelines reorder_pipeline p);
+    transform = (fun env p -> map_pipelines (reorder_pipeline env) p);
   }
 
 (* ------------------------------------------------------------------ *)

@@ -14,4 +14,25 @@ val find : t -> string -> Relation.t
 val find_opt : t -> string -> Relation.t option
 val mem : t -> string -> bool
 val names : t -> string list
+
+(** {1 Statistics (ANALYZE)}
+
+    Optional per-relation {!Stats.t}, stored alongside the relations and
+    consumed by the plan-layer cost model. Statistics are advisory:
+    replacing a relation with {!add} drops its entry, so a present entry
+    always describes the current relation (or a patched row count marked
+    stale — see {!Stats.patch_rows}). *)
+
+val analyze : ?only:string list -> t -> t
+(** Collect statistics for every relation (or just [only]). *)
+
+val stats : t -> string -> Stats.t option
+val stats_bindings : t -> (string * Stats.t) list
+val analyzed : t -> bool
+(** Whether any relation has statistics. *)
+
+val set_stats : t -> string -> Stats.t -> t
+(** No-op when the relation does not exist. *)
+
+val clear_stats : t -> t
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,251 @@
+module V = Arc_value.Value
+
+(* Per-relation column statistics, in the classic ANALYZE shape: row count,
+   and per column the null count, distinct count, min/max, the most common
+   values with their frequencies, and an equi-depth histogram over the
+   non-null values. Value identity everywhere is [Value.compare] (so
+   [Int 1] and [Float 1.0] count as one distinct value, exactly as they
+   group and deduplicate). Collection is a full pass over the relation —
+   these are exact statistics, not samples; the planner treats them as
+   approximate anyway because they describe the relation at ANALYZE time,
+   not at execution time (see [stale]). *)
+
+let mcv_target = 8
+let histogram_buckets = 16
+
+type bucket = {
+  b_hi : V.t;  (** inclusive upper bound; a value never spans buckets *)
+  b_rows : int;
+  b_distinct : int;
+}
+
+type col = {
+  c_nulls : int;
+  c_distinct : int;  (** distinct non-null values *)
+  c_min : V.t option;  (** smallest non-null value *)
+  c_max : V.t option;
+  c_mcvs : (V.t * int) list;
+      (** most common values with occurrence counts, most frequent first;
+          only values occurring more than once qualify *)
+  c_hist : bucket list;  (** equi-depth, ascending by [b_hi] *)
+}
+
+type t = {
+  s_rows : int;
+  s_cols : (string * col) list;  (** in schema attribute order *)
+  s_stale : bool;
+      (** row count has been patched since collection (e.g. by incremental
+          maintenance); column-level details may no longer be accurate *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Collection                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Runs of equal values in an ascending sort: the common substrate for
+   distinct counts, MCVs and histogram buckets. *)
+let runs_of sorted =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | v :: rest -> (
+        match acc with
+        | (v0, n) :: tl when V.compare v0 v = 0 -> go ((v0, n + 1) :: tl) rest
+        | _ -> go ((v, 1) :: acc) rest)
+  in
+  go [] sorted
+
+let mcvs_of runs =
+  let indexed = List.mapi (fun i (v, n) -> (i, v, n)) runs in
+  let frequent = List.filter (fun (_, _, n) -> n > 1) indexed in
+  let top =
+    List.sort
+      (fun (i1, _, n1) (i2, _, n2) -> compare (-n1, i1) (-n2, i2))
+      frequent
+  in
+  let rec take k = function
+    | (_, v, n) :: rest when k > 0 -> (v, n) :: take (k - 1) rest
+    | _ -> []
+  in
+  take mcv_target top
+
+(* Equi-depth buckets over the value runs: close a bucket once it holds at
+   least [depth] rows; boundaries always fall between runs, so every
+   occurrence of a value lands in one bucket. *)
+let histogram_of runs nonnull =
+  if runs = [] then []
+  else begin
+    let depth = max 1 ((nonnull + histogram_buckets - 1) / histogram_buckets) in
+    let buckets = ref [] in
+    let cur_rows = ref 0 and cur_distinct = ref 0 and cur_hi = ref None in
+    let flush () =
+      match !cur_hi with
+      | None -> ()
+      | Some hi ->
+          buckets :=
+            { b_hi = hi; b_rows = !cur_rows; b_distinct = !cur_distinct }
+            :: !buckets;
+          cur_rows := 0;
+          cur_distinct := 0;
+          cur_hi := None
+    in
+    List.iter
+      (fun (v, n) ->
+        cur_rows := !cur_rows + n;
+        incr cur_distinct;
+        cur_hi := Some v;
+        if !cur_rows >= depth then flush ())
+      runs;
+    flush ();
+    List.rev !buckets
+  end
+
+let collect_column rows attr =
+  let values = List.map (fun tp -> Tuple.get tp attr) rows in
+  let nulls, nonnull = List.partition V.is_null values in
+  let sorted = List.sort V.compare nonnull in
+  let runs = runs_of sorted in
+  {
+    c_nulls = List.length nulls;
+    c_distinct = List.length runs;
+    c_min = (match sorted with [] -> None | v :: _ -> Some v);
+    c_max =
+      (match List.rev sorted with [] -> None | v :: _ -> Some v);
+    c_mcvs = mcvs_of runs;
+    c_hist = histogram_of runs (List.length sorted);
+  }
+
+let collect (r : Relation.t) : t =
+  let rows = Relation.tuples r in
+  {
+    s_rows = Relation.cardinality r;
+    s_cols =
+      List.map
+        (fun a -> (a, collect_column rows a))
+        (Schema.attrs (Relation.schema r));
+    s_stale = false;
+  }
+
+let col t attr = List.assoc_opt attr t.s_cols
+
+(* Incremental maintenance keeps the row count truthful and flags the
+   column details as unreliable; the cost model then uses [s_rows] but
+   falls back to heuristics for selectivities. *)
+let patch_rows t rows = { t with s_rows = max 0 rows; s_stale = true }
+
+(* ------------------------------------------------------------------ *)
+(* Selectivity fractions                                               *)
+(* ------------------------------------------------------------------ *)
+
+let nonnull_rows t c = max 0 (t.s_rows - c.c_nulls)
+
+let null_fraction t c =
+  if t.s_rows = 0 then 0.0
+  else float_of_int c.c_nulls /. float_of_int t.s_rows
+
+let in_range c v =
+  match (c.c_min, c.c_max) with
+  | Some lo, Some hi -> V.compare v lo >= 0 && V.compare v hi <= 0
+  | _ -> false
+
+(* P(column = v) over all rows. MCV hit: exact frequency. Otherwise the
+   non-MCV rows are assumed uniform over the non-MCV distinct values; out
+   of [min,max] range the fraction is zero. *)
+let eq_fraction t c v =
+  if t.s_rows = 0 then 0.0
+  else if V.is_null v then null_fraction t c
+  else
+    match List.find_opt (fun (m, _) -> V.compare m v = 0) c.c_mcvs with
+    | Some (_, n) -> float_of_int n /. float_of_int t.s_rows
+    | None ->
+        if c.c_distinct = 0 || not (in_range c v) then 0.0
+        else
+          let mcv_rows =
+            List.fold_left (fun acc (_, n) -> acc + n) 0 c.c_mcvs
+          in
+          let rest_rows = nonnull_rows t c - mcv_rows in
+          let rest_distinct = c.c_distinct - List.length c.c_mcvs in
+          if rest_distinct <= 0 || rest_rows <= 0 then 0.0
+          else
+            float_of_int rest_rows
+            /. float_of_int rest_distinct
+            /. float_of_int t.s_rows
+
+(* P(column = some unknown value): uniform over distinct values. *)
+let eq_unknown_fraction t c =
+  if t.s_rows = 0 || c.c_distinct = 0 then 0.0
+  else
+    float_of_int (nonnull_rows t c)
+    /. float_of_int c.c_distinct
+    /. float_of_int t.s_rows
+
+(* P(column <= v) over all rows, via the histogram: full buckets below [v]
+   count entirely, the bucket containing [v] counts half (the within-bucket
+   distribution is unknown). [None] when there is no histogram. *)
+let le_fraction t c v =
+  match c.c_hist with
+  | [] -> None
+  | hist ->
+      if t.s_rows = 0 then Some 0.0
+      else begin
+        let below = ref 0.0 in
+        let rec go = function
+          | [] -> ()
+          | b :: rest ->
+              if V.compare b.b_hi v <= 0 then begin
+                below := !below +. float_of_int b.b_rows;
+                go rest
+              end
+              else if
+                (* [v] falls inside this bucket iff it is >= the previous
+                   bucket's bound; buckets are ascending so it suffices to
+                   check against the bucket's own contents via min *)
+                match c.c_min with
+                | Some lo -> V.compare v lo >= 0
+                | None -> false
+              then below := !below +. (float_of_int b.b_rows /. 2.0)
+        in
+        go hist;
+        Some (min 1.0 (!below /. float_of_int t.s_rows))
+      end
+
+let cmp_fraction t c op v =
+  let le = le_fraction t c v in
+  let eq = eq_fraction t c v in
+  match (op, le) with
+  | `Le, Some f -> Some f
+  | `Lt, Some f -> Some (max 0.0 (f -. eq))
+  | `Ge, Some f -> Some (max 0.0 (1.0 -. null_fraction t c -. f +. eq))
+  | `Gt, Some f -> Some (max 0.0 (1.0 -. null_fraction t c -. f))
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let to_string ?(name = "") t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "%s: %d rows%s\n" name t.s_rows
+       (if t.s_stale then " (stale)" else ""));
+  List.iter
+    (fun (a, c) ->
+      let range =
+        match (c.c_min, c.c_max) with
+        | Some lo, Some hi ->
+            Printf.sprintf " range=[%s..%s]" (V.to_string lo) (V.to_string hi)
+        | _ -> ""
+      in
+      let mcvs =
+        if c.c_mcvs = [] then ""
+        else
+          " mcvs="
+          ^ String.concat ","
+              (List.map
+                 (fun (v, n) -> Printf.sprintf "%s:%d" (V.to_string v) n)
+                 c.c_mcvs)
+      in
+      Buffer.add_string b
+        (Printf.sprintf "  %s: distinct=%d nulls=%d%s%s buckets=%d\n" a
+           c.c_distinct c.c_nulls range mcvs (List.length c.c_hist)))
+    t.s_cols;
+  Buffer.contents b

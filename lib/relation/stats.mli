@@ -1,0 +1,67 @@
+(** Per-relation column statistics (ANALYZE): row count, and per column the
+    null count, distinct count, min/max, most-common values, and an
+    equi-depth histogram — exact (full-pass) statistics under
+    {!Arc_value.Value.compare} identity. The plan-layer cost model
+    ([Arc_plan.Card]) turns these into selectivities; everything here is
+    advisory and can never change results, only plans. *)
+
+module V = Arc_value.Value
+
+val mcv_target : int
+(** Maximum number of most-common values retained per column. *)
+
+val histogram_buckets : int
+(** Target number of equi-depth histogram buckets per column. *)
+
+type bucket = {
+  b_hi : V.t;  (** inclusive upper bound; a value never spans buckets *)
+  b_rows : int;
+  b_distinct : int;
+}
+
+type col = {
+  c_nulls : int;
+  c_distinct : int;  (** distinct non-null values *)
+  c_min : V.t option;
+  c_max : V.t option;
+  c_mcvs : (V.t * int) list;
+      (** occurrence counts, most frequent first; only values occurring
+          more than once qualify *)
+  c_hist : bucket list;  (** ascending by [b_hi] *)
+}
+
+type t = {
+  s_rows : int;
+  s_cols : (string * col) list;  (** in schema attribute order *)
+  s_stale : bool;
+      (** the row count has been patched since collection; column details
+          may be out of date *)
+}
+
+val collect : Relation.t -> t
+val col : t -> string -> col option
+
+val patch_rows : t -> int -> t
+(** Update the row count and mark the column details stale — what
+    incremental maintenance applies after a batch. *)
+
+(** {1 Selectivity fractions}
+
+    All fractions are of {e all} rows (nulls included) and lie in [0,1]. *)
+
+val null_fraction : t -> col -> float
+
+val eq_fraction : t -> col -> V.t -> float
+(** P(column = v): exact for MCVs, uniform over the remaining distinct
+    values otherwise, zero outside [min,max]. *)
+
+val eq_unknown_fraction : t -> col -> float
+(** P(column = ?) for an unknown comparand: uniform over distinct values. *)
+
+val le_fraction : t -> col -> V.t -> float option
+(** P(column <= v) via the histogram; [None] without one. *)
+
+val cmp_fraction :
+  t -> col -> [ `Lt | `Le | `Gt | `Ge ] -> V.t -> float option
+
+val to_string : ?name:string -> t -> string
