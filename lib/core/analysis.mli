@@ -43,6 +43,35 @@ val assignment_of : heads:rel_name list -> pred -> ((var * attr) * term) option
 (** [Some ((h, a), t)] when the predicate assigns term [t] to head attribute
     [h.a] (returns the head side normalized to the left). *)
 
+(** {1 Join annotations (Fig 12)}
+
+    The shared decomposition of a join-annotated scope, used by both the
+    reference evaluator and the plan lowering so the two engines agree
+    predicate-by-predicate on outer-join semantics. *)
+
+val prepare_join_literals : scope -> scope * (var * Arc_value.Value.t) list
+(** Rewrites literal leaves ([J_lit c]) into fresh ["_litN"] variables bound
+    as singleton relations of schema [["val"]], redirecting one body
+    comparison against each literal constant to that attribute. Returns the
+    rewritten scope and the [(var, constant)] pairs. Identity when the scope
+    has no annotation or no literal leaves. *)
+
+val split_join_conditions :
+  heads:rel_name list -> scope -> formula list * formula list
+(** Partitions the body conjuncts of an annotated scope into (attachable ON
+    conditions, residual WHERE conjuncts). Must be called on the
+    post-[prepare_join_literals] scope. *)
+
+val smallest_cover : join_tree -> var list -> join_tree option
+(** The smallest annotation node covering all [vars]; [None] when even the
+    root does not. Node identity is physical equality against the handed-in
+    tree. *)
+
+val node_join_preds :
+  join_tree -> scope -> attached:formula list -> join_tree -> pred list
+(** Of the [attached] conditions, those whose smallest cover is the given
+    node (physical identity within [tree]). *)
+
 (** {1 Validation} *)
 
 type error =

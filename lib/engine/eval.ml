@@ -134,70 +134,18 @@ let eval_pred ctx benv p =
 (* Literal join-tree leaves (Fig 12)                                   *)
 (* ------------------------------------------------------------------ *)
 
-(* Literal leaves become fresh singleton bindings with single attribute
-   "val"; one body comparison against the literal's constant is redirected
-   to that attribute so it acts as a join condition at the annotation node
-   rather than as a filter on the other operand. *)
+(* The pure decomposition (which comparison each literal consumes, how the
+   tree is rewritten) lives in [Analysis.prepare_join_literals], shared
+   with the plan lowering; this wrapper only materializes the singleton
+   tuples the evaluator binds. *)
 let prepare_literals (scope : scope) =
-  match scope.join with
-  | None -> (scope, [])
-  | Some jt ->
-      let counter = ref 0 in
-      let lit_binds = ref [] in
-      let rec rewrite = function
-        | J_var v -> J_var v
-        | J_lit c ->
-            incr counter;
-            let v = Printf.sprintf "_lit%d" !counter in
-            lit_binds := (v, c) :: !lit_binds;
-            J_var v
-        | J_inner l -> J_inner (List.map rewrite l)
-        | J_left (a, b) -> J_left (rewrite a, rewrite b)
-        | J_full (a, b) -> J_full (rewrite a, rewrite b)
-      in
-      let jt' = rewrite jt in
-      let lits = List.rev !lit_binds in
-      if lits = [] then (scope, [])
-      else
-        let tree_vars = join_tree_vars jt in
-        let in_tree t =
-          let vs = List.map fst (term_vars t) in
-          vs <> [] && List.for_all (fun v -> List.mem v tree_vars) vs
-        in
-        let remaining = ref lits in
-        let redirect c mk =
-          match List.find_opt (fun (_, c') -> V.equal c c') !remaining with
-          | Some (v, _) ->
-              remaining := List.filter (fun (v', _) -> v' <> v) !remaining;
-              Some (mk (Attr (v, "val")))
-          | None -> None
-        in
-        let rec rewrite_formula f =
-          match f with
-          | Pred (Cmp (op, l, Const c)) when (not (term_has_agg l)) && in_tree l
-            -> (
-              match redirect c (fun t -> Pred (Cmp (op, l, t))) with
-              | Some f' -> f'
-              | None -> f)
-          | Pred (Cmp (op, Const c, r)) when (not (term_has_agg r)) && in_tree r
-            -> (
-              match redirect c (fun t -> Pred (Cmp (op, t, r))) with
-              | Some f' -> f'
-              | None -> f)
-          | And fs -> And (List.map rewrite_formula fs)
-          | f -> f
-        in
-        let body' = rewrite_formula scope.body in
-        let lit_bindings =
-          List.map (fun (v, _) -> { var = v; source = Base v }) lits
-        in
-        ( { scope with join = Some jt'; body = body';
-            bindings = scope.bindings @ lit_bindings },
-          List.map
-            (fun (v, c) ->
-              let schema = Schema.make [ "val" ] in
-              (v, Tuple.make schema [| c |]))
-            lits )
+  let scope', lits = Analysis.prepare_join_literals scope in
+  ( scope',
+    List.map
+      (fun (v, c) ->
+        let schema = Schema.make [ "val" ] in
+        (v, Tuple.make schema [| c |]))
+      lits )
 
 (* ------------------------------------------------------------------ *)
 (* Scope enumeration                                                   *)
@@ -268,71 +216,18 @@ and source_schema ctx = function
 
 (* --- join-annotation trees ----------------------------------------- *)
 
-(* Splits the scope body conjuncts into join conditions (attached to the
-   smallest annotation node covering their scope variables, where they act
-   like SQL ON conditions) and the residual formula (evaluated after the
-   join, like SQL WHERE — so it also filters NULL-padded rows). *)
+(* The ON/WHERE split and condition-to-node attachment are shared with the
+   plan lowering through [Analysis] (split_join_conditions, smallest_cover,
+   node_join_preds), so both engines decompose an annotated scope
+   identically. *)
 and split_join_conditions ~heads (scope : scope) =
-  let tree = Option.get scope.join in
-  let tree_vars = join_tree_vars tree in
-  let scope_var v = List.exists (fun b -> b.var = v) scope.bindings in
-  let conjs = conjuncts scope.body in
-  let is_attachable f =
-    match f with
-    | Pred p ->
-        (not (pred_has_agg p))
-        && (not (Analysis.classify ~heads p).Analysis.is_assignment)
-        &&
-        let vs =
-          List.concat_map (fun t -> List.map fst (term_vars t)) (pred_terms p)
-        in
-        let scope_vs = List.filter scope_var vs in
-        scope_vs <> [] && List.for_all (fun v -> List.mem v tree_vars) scope_vs
-    | _ -> false
-  in
-  List.partition is_attachable conjs
-
-and smallest_cover tree vars =
-  let covers node =
-    let nv = join_tree_vars node in
-    List.for_all (fun v -> List.mem v nv) vars
-  in
-  let rec descend node =
-    match node with
-    | J_var _ | J_lit _ -> node
-    | J_inner l -> (
-        match List.find_opt covers l with
-        | Some child -> descend child
-        | None -> node)
-    | J_left (a, b) | J_full (a, b) ->
-        if covers a then descend a
-        else if covers b then descend b
-        else node
-  in
-  if covers tree then Some (descend tree) else None
+  Analysis.split_join_conditions ~heads scope
 
 and enum_join_tree ctx benv (scope : scope) ~attached : benv list =
   Gov.tick ctx.gov;
   let sp = Obs.enter ctx.tracer "join" in
   let tree = Option.get scope.join in
-  let scope_var v = List.exists (fun b -> b.var = v) scope.bindings in
-  let node_preds node =
-    List.filter_map
-      (fun f ->
-        match f with
-        | Pred p ->
-            let vs =
-              List.concat_map
-                (fun t -> List.map fst (term_vars t))
-                (pred_terms p)
-              |> List.filter scope_var
-            in
-            (match smallest_cover tree vs with
-            | Some n when n == node -> Some p
-            | _ -> None)
-        | _ -> None)
-      attached
-  in
+  let node_preds node = Analysis.node_join_preds tree scope ~attached node in
   let binding_of v =
     match List.find_opt (fun b -> b.var = v) scope.bindings with
     | Some b -> b

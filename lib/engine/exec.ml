@@ -26,18 +26,116 @@ exception Eval_error = Eval.Eval_error
 
 let raise_kind kind = raise (Eval_error (Err.make kind))
 
+(* ------------------------------------------------------------------ *)
+(* Fixpoint index caches                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Persistent per-delta-rule state for the indexed seminaive fixpoint.
+   [fc_stable] marks the maximal subtrees of the rule's plan that scan
+   neither the recursive component nor its __delta__ relations: their
+   result cannot change between rounds, so [fc_rows] memoizes it on first
+   execution. [fc_joins] marks hash joins with such a stable subtree on
+   one side; [fc_tables] keeps the hash table built from that side alive
+   across rounds, so each round only probes it with the current delta.
+   Cached tables are always keyed through the buffer-serialized term path:
+   the whole-tuple fast key is negotiated per call from the probe rows of
+   one particular round and must not leak into state that outlives it. *)
+type fix_cache = {
+  fc_stable : (int, unit) Hashtbl.t;
+  fc_rows : (int, I.benv array) Hashtbl.t;
+  fc_joins : (int, [ `Left | `Right ]) Hashtbl.t;
+  fc_tables : (int, (string, I.benv) Hashtbl.t * int) Hashtbl.t;
+}
+
+(* A subtree is stable when no scan under it resolves a [banned] relation
+   (the component and its deltas). Correlated or context-dependent nodes
+   (laterals, subqueries, deferred resolution) are conservatively treated
+   as unstable — they may evaluate under a different outer row each time.
+   Residual formulas and filters cannot reference the component at all
+   here: [Ir.seminaive_eligible] rejects opaque component references
+   before a stratum ever reaches the seminaive path. *)
+let rec stable_subtree banned (t : Ir.t) =
+  match t with
+  | Ir.One -> true
+  | Ir.Scan { rel; _ } -> not (List.mem rel banned)
+  | Ir.Product { left; right } | Ir.Hash_join { left; right; _ } ->
+      stable_subtree banned left && stable_subtree banned right
+  | Ir.Filter { input; _ } | Ir.Residual { input; _ } | Ir.Prune { input; _ }
+    ->
+      stable_subtree banned input
+  | Ir.Semi { input; sub; _ } ->
+      stable_subtree banned input && stable_subtree banned sub
+  | Ir.Append ts -> List.for_all (stable_subtree banned) ts
+  | Ir.Lateral _ | Ir.Subquery _ | Ir.Resolve _ -> false
+
+(* Mark the maximal stable subtrees (and the hash joins that should keep a
+   persistent build table) of one delta rule, using the same positional id
+   arithmetic the executor walks with. Inner plans of laterals and
+   subqueries are never marked: their nodes execute under per-row outer
+   environments, where memoized results would be wrong. *)
+let rec mark_fix fc banned id (t : Ir.t) =
+  if stable_subtree banned t then (
+    match t with Ir.One -> () | _ -> Hashtbl.replace fc.fc_stable id ())
+  else
+    match t with
+    | Ir.One | Ir.Scan _ | Ir.Subquery _ -> ()
+    | Ir.Product { left; right } ->
+        mark_fix fc banned (id + 1) left;
+        mark_fix fc banned (id + 1 + Ir.size left) right
+    | Ir.Hash_join { left; right; _ } ->
+        let lid = id + 1 and rid = id + 1 + Ir.size left in
+        if stable_subtree banned right then begin
+          Hashtbl.replace fc.fc_joins id `Right;
+          mark_fix fc banned lid left
+        end
+        else if stable_subtree banned left then begin
+          Hashtbl.replace fc.fc_joins id `Left;
+          mark_fix fc banned rid right
+        end
+        else begin
+          mark_fix fc banned lid left;
+          mark_fix fc banned rid right
+        end
+    | Ir.Filter { input; _ }
+    | Ir.Residual { input; _ }
+    | Ir.Prune { input; _ }
+    | Ir.Resolve { input; _ }
+    | Ir.Lateral { input; _ } ->
+        mark_fix fc banned (id + 1) input
+    | Ir.Semi { input; sub; _ } ->
+        mark_fix fc banned (id + 1) input;
+        mark_fix fc banned (id + 1 + Ir.size input) sub
+    | Ir.Append ts -> List.iter2 (mark_fix fc banned) (Ir.child_ids id t) ts
+
+let make_fix_cache banned did (d : Ir.disjunct_plan) =
+  let fc =
+    {
+      fc_stable = Hashtbl.create 16;
+      fc_rows = Hashtbl.create 16;
+      fc_joins = Hashtbl.create 8;
+      fc_tables = Hashtbl.create 8;
+    }
+  in
+  (match d with
+  | Ir.Project { input; _ } | Ir.Aggregate { input; _ } ->
+      mark_fix fc banned (did + 1) input);
+  fc
+
 (* [stats] is the EXPLAIN ANALYZE sink: when present, every operator
    records per-node actuals keyed by the stable ids of [Ir.program_ids].
    When absent the executor takes a branch per node and nothing else.
    [batched] selects the block-at-a-time pipeline (arrays of rows,
    amortized governor probes, buffer-reused hash keys); the tuple-at-a-time
    path is kept verbatim as the ablation baseline and for the incremental
-   maintenance hooks. Both paths produce rows in the same order. *)
+   maintenance hooks. Both paths produce rows in the same order.
+   [fix] is only set while executing a delta rule inside the indexed
+   seminaive fixpoint. *)
 type env = {
   ctx : I.ctx;
   outer : I.benv;
   stats : Ir.stats option;
   batched : bool;
+  fix : fix_cache option;
 }
 
 let tracer env = I.tracer env.ctx
@@ -350,6 +448,9 @@ and exec_rows_inner env id (t : Ir.t) : I.benv list =
         (fun (row : I.benv) ->
           List.filter (fun (v, _) -> List.mem v keep) row)
         (exec_rows env (id + 1) input)
+  | Append ts ->
+      List.concat
+        (List.map2 (fun cid b -> exec_rows env cid b) (Ir.child_ids id t) ts)
 
 (* ------------------------------------------------------------------ *)
 (* Batched pipeline: the same operators over row arrays                *)
@@ -375,6 +476,19 @@ and exec_block env id (t : Ir.t) : I.benv array =
       rows
 
 and exec_block_inner env id (t : Ir.t) : I.benv array =
+  (* Inside an indexed fixpoint rule, maximal component-free subtrees are
+     memoized: round 1 computes them, every later round reuses the rows. *)
+  match env.fix with
+  | Some fc when Hashtbl.mem fc.fc_stable id -> (
+      match Hashtbl.find_opt fc.fc_rows id with
+      | Some rows -> rows
+      | None ->
+          let rows = exec_block_node env id t in
+          Hashtbl.replace fc.fc_rows id rows;
+          rows)
+  | _ -> exec_block_node env id t
+
+and exec_block_node env id (t : Ir.t) : I.benv array =
   match t with
   | One -> [| [] |]
   | Scan { var; rel; filters; _ } ->
@@ -438,6 +552,15 @@ and exec_block_inner env id (t : Ir.t) : I.benv array =
         done;
         out
       end
+  | Hash_join { left; right; keys }
+    when (match env.fix with
+         | Some fc -> Hashtbl.mem fc.fc_joins id
+         | None -> false) -> (
+      match env.fix with
+      | Some fc ->
+          exec_indexed_join env fc id left right keys
+            (Hashtbl.find fc.fc_joins id)
+      | None -> assert false)
   | Hash_join { left; right; keys } ->
       Gov.tick (gov env);
       let sp = Obs.enter (tracer env) "hash_join" in
@@ -602,6 +725,85 @@ and exec_block_inner env id (t : Ir.t) : I.benv array =
         (fun (row : I.benv) ->
           List.filter (fun (v, _) -> List.mem v keep) row)
         (exec_block env (id + 1) input)
+  | Append ts ->
+      Array.concat
+        (List.map2 (fun cid b -> exec_block env cid b) (Ir.child_ids id t) ts)
+
+(* A hash join inside an indexed fixpoint rule with a stable [side]: that
+   side's hash table is built once, kept in the rule's cache, and probed
+   by each round with the side that reaches the __delta__ scan. When the
+   stable side is the left one the roles swap, but output rows still
+   concatenate right-rows before left-rows, so downstream attribute
+   lookups see the usual layout; only row order can differ, which the
+   set-level fixpoint ignores. *)
+and exec_indexed_join env fc id left right keys side : I.benv array =
+  Gov.tick (gov env);
+  let sp = Obs.enter (tracer env) "hash_join" in
+  let inner_terms = List.map (fun k -> k.Ir.inner) keys in
+  let outer_terms = List.map (fun k -> k.Ir.outer) keys in
+  let lid = id + 1 and rid = id + 1 + Ir.size left in
+  let build_id, build_plan, build_terms, probe_id, probe_plan, probe_terms =
+    match side with
+    | `Right -> (rid, right, inner_terms, lid, left, outer_terms)
+    | `Left -> (lid, left, outer_terms, rid, right, inner_terms)
+  in
+  let buf = Buffer.create 64 in
+  let tbl, build_n =
+    match Hashtbl.find_opt fc.fc_tables id with
+    | Some entry -> entry
+    | None ->
+        let rows = exec_block env build_id build_plan in
+        let tbl = Hashtbl.create (max 16 (Array.length rows)) in
+        Array.iter
+          (fun row ->
+            match key_of_buf env buf row build_terms with
+            | Some k -> Hashtbl.add tbl k row
+            | None -> ())
+          rows;
+        let entry = (tbl, Array.length rows) in
+        Hashtbl.replace fc.fc_tables id entry;
+        with_actual env id (fun a ->
+            a.Ir.a_build <- a.Ir.a_build + Array.length rows);
+        entry
+  in
+  let probe = exec_block env probe_id probe_plan in
+  let g = gov env in
+  let n = Array.length probe in
+  let out = ref [] in
+  let matches = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    Gov.tick g;
+    let stop = min n (!i + block_rows) in
+    while !i < stop do
+      let prow = probe.(!i) in
+      (match key_of_buf env buf prow probe_terms with
+      | Some k ->
+          List.iter
+            (fun brow ->
+              incr matches;
+              out :=
+                (match side with
+                | `Right -> brow @ prow
+                | `Left -> prow @ brow)
+                :: !out)
+            (Hashtbl.find_all tbl k)
+      | None -> ());
+      incr i
+    done
+  done;
+  let out = Array.of_list (List.rev !out) in
+  with_actual env id (fun a ->
+      a.Ir.a_probe <- a.Ir.a_probe + n;
+      a.Ir.a_matches <- a.Ir.a_matches + !matches);
+  if Obs.enabled (tracer env) then begin
+    Obs.set sp "build" (Obs.Int build_n);
+    Obs.set sp "probe" (Obs.Int n);
+    Obs.set sp "indexed" (Obs.Bool true);
+    Obs.set sp "rows_out" (Obs.Int (Array.length out))
+  end;
+  Obs.leave (tracer env) sp;
+  out
 
 (* ------------------------------------------------------------------ *)
 (* Disjuncts and collections                                           *)
@@ -948,10 +1150,157 @@ let seminaive_fixpoint env component (dps : (Ir.def_plan * int) list) =
   Obs.leave (tracer env) sp;
   List.iter (fun n -> I.idb_remove ctx (delta_name n)) component
 
+(* The indexed seminaive fixpoint: the same round structure as
+   [seminaive_fixpoint], made incremental in three ways. One delta rule
+   per component-scan occurrence, restricted to the single disjunct that
+   contains the occurrence — the other disjuncts are independent of that
+   delta and are skipped instead of re-run every round. Per-rule caches
+   ([fix_cache]) memoize every component-free subtree and keep hash-join
+   build tables alive across rounds, so the stable side of a delta join
+   is built once and only probed thereafter. And a per-definition seen-set
+   of canonical tuple keys replaces the per-round dedup/minus against the
+   accumulated relation, so per-round cost tracks the delta, not the
+   closure. Rules run on the batched block pipeline; budgets charge at the
+   same points as the tuple path (a tick plus a row charge per rule run,
+   iteration checks once per round). *)
+let indexed_seminaive_fixpoint env component (dps : (Ir.def_plan * int) list)
+    =
+  let ctx = env.ctx in
+  let env = { env with batched = true } in
+  let banned = component @ List.map delta_name component in
+  let sp = Obs.enter (tracer env) "fixpoint:seminaive" in
+  if Obs.enabled (tracer env) then begin
+    Obs.set sp "stratum" (Obs.Str (String.concat "," component));
+    Obs.set sp "mode" (Obs.Str "indexed")
+  end;
+  let ssp = Obs.enter (tracer env) "seed" in
+  let defs =
+    List.map
+      (fun (dp, id) ->
+        let n = dp.Ir.dname in
+        let head, disjuncts =
+          match dp.Ir.dplan with
+          | Ir.Union { head; disjuncts } -> (head, disjuncts)
+          (* Fallback plans never pass [Ir.seminaive_eligible] *)
+          | Ir.Fallback { head; _ } -> (head, [])
+        in
+        let seed = Relation.dedup (exec_coll env id dp.Ir.dplan) in
+        I.idb_set ctx n seed;
+        I.idb_set ctx (delta_name n) seed;
+        with_actual env id (fun a ->
+            a.Ir.a_deltas <- Relation.cardinality seed :: a.Ir.a_deltas);
+        if Obs.enabled (tracer env) then
+          Obs.set ssp ("delta:" ^ n) (Obs.Int (Relation.cardinality seed));
+        let seen = Hashtbl.create (max 64 (4 * Relation.cardinality seed)) in
+        List.iter
+          (fun tp -> Hashtbl.replace seen (Tuple.key tp) ())
+          (Relation.tuples seed);
+        let dids = Ir.coll_child_ids id dp.Ir.dplan in
+        let occurrences = Ir.count_scans_coll component dp.Ir.dplan in
+        let rules =
+          List.init occurrences (fun i ->
+              match Ir.subst_scan component i dp.Ir.dplan with
+              | Ir.Union { disjuncts = subst; _ } ->
+                  (* exactly one disjunct was rewritten: the one holding
+                     occurrence [i] *)
+                  let rec pick ds ss ids =
+                    match (ds, ss, ids) with
+                    | d :: _, s :: _, did :: _ when d <> s -> (s, did)
+                    | _ :: ds, _ :: ss, _ :: ids -> pick ds ss ids
+                    | _ -> assert false
+                  in
+                  let sd, did = pick disjuncts subst dids in
+                  (sd, did, make_fix_cache banned did sd)
+              | Ir.Fallback _ -> assert false)
+        in
+        (n, id, head, Schema.make head.head_attrs, rules, seen))
+      dps
+  in
+  Obs.leave (tracer env) ssp;
+  let iterations = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    incr iterations;
+    Gov.tick (gov env);
+    if
+      (not (Gov.iteration_allowed (gov env) !iterations))
+      || Gov.stopped (gov env)
+    then continue_ := false
+    else begin
+      let isp = Obs.enter (tracer env) "iteration" in
+      let new_deltas =
+        List.map
+          (fun (n, id, head, schema, rules, seen) ->
+            let fresh = ref [] in
+            List.iter
+              (fun (sd, did, fc) ->
+                Gov.tick (gov env);
+                if Gov.enter_collection (gov env) then begin
+                  let tuples =
+                    match
+                      exec_disjunct { env with fix = Some fc } did head sd
+                    with
+                    | tuples -> tuples
+                    | exception Eval_error e ->
+                        Gov.leave_collection (gov env);
+                        raise (Eval_error (Err.in_collection n e))
+                    | exception Err.Guard_error e ->
+                        Gov.leave_collection (gov env);
+                        raise (Eval_error (Err.in_collection n e))
+                    | exception e ->
+                        Gov.leave_collection (gov env);
+                        raise e
+                  in
+                  let tuples =
+                    if not (Gov.active (gov env)) then tuples
+                    else
+                      let c = List.length tuples in
+                      let allowed = Gov.charge_rows (gov env) c in
+                      if allowed >= c then tuples else I.take allowed tuples
+                  in
+                  Gov.leave_collection (gov env);
+                  List.iter
+                    (fun tp ->
+                      let k = Tuple.key tp in
+                      if not (Hashtbl.mem seen k) then begin
+                        Hashtbl.add seen k ();
+                        fresh := tp :: !fresh
+                      end)
+                    tuples
+                end)
+              rules;
+            (n, id, Relation.make ~name:n schema (List.rev !fresh)))
+          defs
+      in
+      List.iter
+        (fun (n, id, fresh) ->
+          let card = Relation.cardinality fresh in
+          with_actual env id (fun a -> a.Ir.a_deltas <- card :: a.Ir.a_deltas);
+          if Obs.enabled (tracer env) then
+            Obs.set isp ("delta:" ^ n) (Obs.Int card);
+          (* [fresh] is disjoint from the accumulated relation by the
+             seen-set, so a plain bag union keeps it a set *)
+          I.idb_set ctx n
+            (Relation.union (Option.get (I.idb_get ctx n)) fresh);
+          I.idb_set ctx (delta_name n) fresh)
+        new_deltas;
+      Obs.leave (tracer env) isp;
+      if List.for_all (fun (_, _, f) -> Relation.is_empty f) new_deltas then
+        continue_ := false
+    end
+  done;
+  List.iter
+    (fun (_, id, _, _, _, _) ->
+      with_actual env id (fun a -> a.Ir.a_iterations <- !iterations))
+    defs;
+  Obs.set sp "iterations" (Obs.Int !iterations);
+  Obs.leave (tracer env) sp;
+  List.iter (fun n -> I.idb_remove ctx (delta_name n)) component
+
 (* [base] is the id of the stratum's first definition; consecutive
    definitions follow at offsets of [Ir.size_coll], mirroring
    [Ir.program_ids]. *)
-let exec_stratum env base (s : Ir.stratum) =
+let exec_stratum ?(fixpoint = `Indexed) env base (s : Ir.stratum) =
   let ctx = env.ctx in
   match s with
   | Ir.Nonrecursive dp -> I.idb_set ctx dp.dname (exec_coll env base dp.dplan)
@@ -988,9 +1337,10 @@ let exec_stratum env base (s : Ir.stratum) =
         | Eval.Seminaive when Ir.seminaive_eligible component dps -> `Seminaive
         | _ -> `Naive
       in
-      (match strategy with
-      | `Naive -> naive_fixpoint env dps_ids
-      | `Seminaive -> seminaive_fixpoint env component dps_ids)
+      (match (strategy, fixpoint) with
+      | `Naive, _ -> naive_fixpoint env dps_ids
+      | `Seminaive, `Indexed -> indexed_seminaive_fixpoint env component dps_ids
+      | `Seminaive, `Tuple -> seminaive_fixpoint env component dps_ids)
 
 (* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)
@@ -1000,17 +1350,21 @@ let exec_stratum env base (s : Ir.stratum) =
    (with abstracts registered, IDB empty), the raw and optimized plans, and
    the per-pass change report. *)
 let compile ?conv ?externals ?strategy ?tracer ?guard ~db (prog : program) =
+  (* goal-directed recursion: restrict recursive definitions to the
+     constants the main query demands (AST-level, before validation, so
+     the magic relation is prepared and stratified like any other def) *)
+  let prog, magic_changed = Opt.magic_sets prog in
   let ctx, safe = I.prepare ?conv ?externals ?strategy ?tracer ?guard ~db prog in
   let lenv =
     Lower.env_of_db ~db ~defs:(List.map (fun d -> d.def_name) safe)
   in
   let raw = Lower.lower_program lenv ~safe prog in
   let optimized, report = Opt.optimize lenv raw in
-  (ctx, raw, optimized, report)
+  (ctx, raw, optimized, ("magic-sets", magic_changed) :: report)
 
-let exec_program ?stats ?(batched = true) ctx (pp : Ir.program_plan) :
-    Eval.outcome =
-  let env = { ctx; outer = []; stats; batched } in
+let exec_program ?stats ?(batched = true) ?(fixpoint = `Indexed) ctx
+    (pp : Ir.program_plan) : Eval.outcome =
+  let env = { ctx; outer = []; stats; batched; fix = None } in
   let tracer = I.tracer ctx in
   let counter = ref 0 in
   let stratum_base s =
@@ -1026,7 +1380,9 @@ let exec_program ?stats ?(batched = true) ctx (pp : Ir.program_plan) :
   in
   if pp.strata <> [] then begin
     let sp = Obs.enter tracer "definitions" in
-    (try List.iter (fun s -> exec_stratum env (stratum_base s) s) pp.strata
+    (try
+       List.iter (fun s -> exec_stratum ~fixpoint env (stratum_base s) s)
+         pp.strata
      with
     | Err.Guard_error e ->
         Obs.leave tracer sp;
@@ -1044,23 +1400,29 @@ let exec_program ?stats ?(batched = true) ctx (pp : Ir.program_plan) :
   | Err.Guard_error e -> raise (Eval_error e)
   | V.Type_error m -> raise (Eval_error { Err.kind = Err.Msg ("type error: " ^ m); context = [] })
 
-let run ?conv ?externals ?strategy ?tracer ?guard ?batched ~db
+let run ?conv ?externals ?strategy ?tracer ?guard ?batched ?fixpoint ~db
     (prog : program) =
   try
     let ctx, _, optimized, _ =
       compile ?conv ?externals ?strategy ?tracer ?guard ~db prog
     in
-    exec_program ?batched ctx optimized
+    exec_program ?batched ?fixpoint ctx optimized
   with V.Type_error m -> raise (Eval_error { Err.kind = Err.Msg ("type error: " ^ m); context = [] })
 
-let run_rows ?conv ?externals ?strategy ?tracer ?guard ?batched ~db prog =
-  match run ?conv ?externals ?strategy ?tracer ?guard ?batched ~db prog with
+let run_rows ?conv ?externals ?strategy ?tracer ?guard ?batched ?fixpoint ~db
+    prog =
+  match
+    run ?conv ?externals ?strategy ?tracer ?guard ?batched ?fixpoint ~db prog
+  with
   | Eval.Rows r -> r
   | Eval.Truth _ ->
       raise_kind (Err.Msg "expected a collection result, got a sentence")
 
-let run_truth ?conv ?externals ?strategy ?tracer ?guard ?batched ~db prog =
-  match run ?conv ?externals ?strategy ?tracer ?guard ?batched ~db prog with
+let run_truth ?conv ?externals ?strategy ?tracer ?guard ?batched ?fixpoint ~db
+    prog =
+  match
+    run ?conv ?externals ?strategy ?tracer ?guard ?batched ?fixpoint ~db prog
+  with
   | Eval.Truth t -> t
   | Eval.Rows _ ->
       raise_kind (Err.Msg "expected a sentence result, got a collection")
@@ -1074,13 +1436,15 @@ let run_truth ?conv ?externals ?strategy ?tracer ?guard ?batched ~db prog =
    stats off (node ids are irrelevant without a stats table). *)
 
 let exec_pipeline ctx ?(outer = []) (t : Ir.t) : I.benv list =
-  exec_rows { ctx; outer; stats = None; batched = false } 0 t
+  exec_rows { ctx; outer; stats = None; batched = false; fix = None } 0 t
 
 let exec_collection ctx (p : Ir.coll_plan) : Relation.t =
-  exec_coll { ctx; outer = []; stats = None; batched = false } 0 p
+  exec_coll { ctx; outer = []; stats = None; batched = false; fix = None } 0 p
 
 let exec_stratum_plan ctx (s : Ir.stratum) : unit =
-  exec_stratum { ctx; outer = []; stats = None; batched = false } 0 s
+  exec_stratum
+    { ctx; outer = []; stats = None; batched = false; fix = None }
+    0 s
 
 (* ------------------------------------------------------------------ *)
 (* Metrics export                                                      *)

@@ -24,6 +24,7 @@ val compile :
 val exec_program :
   ?stats:Arc_plan.Ir.stats ->
   ?batched:bool ->
+  ?fixpoint:[ `Indexed | `Tuple ] ->
   Eval.Internal.ctx ->
   Arc_plan.Ir.program_plan ->
   Eval.outcome
@@ -37,6 +38,16 @@ val exec_program :
     buffer-reused (or memoized whole-tuple) hash keys, and constant-time
     group appends. Both paths emit the same rows in the same order;
     [batched:false] is the tuple-at-a-time baseline kept for ablation.
+
+    [fixpoint] (default [`Indexed]) selects the seminaive fixpoint
+    implementation for recursive strata: [`Indexed] runs one delta rule
+    per component-scan occurrence on the batched pipeline with
+    persistent caches — hash-join build tables and component-free
+    subtree results survive across rounds, and a seen-set of canonical
+    tuple keys replaces per-round dedup/diff — while [`Tuple] is the
+    legacy per-occurrence whole-plan re-execution kept as the ablation
+    baseline (BENCH_9). Both produce identical relations and trip
+    governor budgets at the same rounds.
 
     When [stats] is given, every operator additionally records per-node
     actuals (invocations, rows emitted, inclusive wall-clock, hash
@@ -84,6 +95,7 @@ val run :
   ?tracer:Arc_obs.Obs.t ->
   ?guard:Arc_guard.Gov.t ->
   ?batched:bool ->
+  ?fixpoint:[ `Indexed | `Tuple ] ->
   db:Arc_relation.Database.t ->
   program ->
   Eval.outcome
@@ -96,6 +108,7 @@ val run_rows :
   ?tracer:Arc_obs.Obs.t ->
   ?guard:Arc_guard.Gov.t ->
   ?batched:bool ->
+  ?fixpoint:[ `Indexed | `Tuple ] ->
   db:Arc_relation.Database.t ->
   program ->
   Arc_relation.Relation.t
@@ -107,6 +120,7 @@ val run_truth :
   ?tracer:Arc_obs.Obs.t ->
   ?guard:Arc_guard.Gov.t ->
   ?batched:bool ->
+  ?fixpoint:[ `Indexed | `Tuple ] ->
   db:Arc_relation.Database.t ->
   program ->
   Arc_value.Bool3.t

@@ -155,10 +155,12 @@ let check_engines (case : Case.t) =
 (* Check 1b: execution modes must be result-invisible                  *)
 (* ------------------------------------------------------------------ *)
 
-(* Statistics only steer plan choice and batching only changes the
-   physical iteration, so both must be bag-invisible: the plan engine run
-   against an ANALYZEd database, and the tuple-at-a-time path, must each
-   agree with the default run under every convention combo. *)
+(* Statistics only steer plan choice, batching only changes the physical
+   iteration, and the fixpoint implementation only changes how recursive
+   strata are driven, so all three must be bag-invisible: the plan engine
+   run against an ANALYZEd database, the tuple-at-a-time path, and the
+   legacy tuple fixpoint must each agree with the default run under every
+   convention combo. *)
 let check_modes (case : Case.t) =
   let analyzed = Arc_relation.Database.analyze case.Case.db in
   List.concat_map
@@ -173,6 +175,11 @@ let check_modes (case : Case.t) =
             Exec.run ~conv ~guard:(guard ()) ~batched:false ~db:case.db
               case.prog)
       in
+      let tuple_fixpoint =
+        outcome_of (fun () ->
+            Exec.run ~conv ~guard:(guard ()) ~fixpoint:`Tuple ~db:case.db
+              case.prog)
+      in
       (if agree base with_stats then []
        else
          [
@@ -185,17 +192,29 @@ let check_modes (case : Case.t) =
                  (outcome_to_string with_stats);
            };
          ])
+      @ (if agree base tuple then []
+         else
+           [
+             {
+               d_kind = "batched-vs-tuple";
+               d_conv = cname;
+               d_detail =
+                 Printf.sprintf "batched %s, tuple-at-a-time %s"
+                   (outcome_to_string base)
+                   (outcome_to_string tuple);
+             };
+           ])
       @
-      if agree base tuple then []
+      if agree base tuple_fixpoint then []
       else
         [
           {
-            d_kind = "batched-vs-tuple";
+            d_kind = "fixpoint-indexed-vs-tuple";
             d_conv = cname;
             d_detail =
-              Printf.sprintf "batched %s, tuple-at-a-time %s"
+              Printf.sprintf "indexed fixpoint %s, tuple fixpoint %s"
                 (outcome_to_string base)
-                (outcome_to_string tuple);
+                (outcome_to_string tuple_fixpoint);
           };
         ])
     all_conventions

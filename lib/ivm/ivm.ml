@@ -66,6 +66,10 @@ let rec pipeline_blocker (t : Ir.t) : string option =
   | Ir.Lateral _ -> Some "lateral"
   | Ir.Subquery _ -> Some "subquery"
   | Ir.Resolve _ -> Some "resolve"
+  (* A branch union is affine, not linear, in each branch's occurrences
+     (zeroing one branch leaves the others' output), so per-occurrence
+     scan substitution would over-count. *)
+  | Ir.Append _ -> Some "append"
 
 let disjunct_blocker = function
   | Ir.Project { input; _ } -> pipeline_blocker input

@@ -21,21 +21,25 @@ module V = Arc_value.Value
 
 type env = (rel_name * Stats.t) list
 
-type src = Exact | Stats | Heuristic | Mixed
+type src = Exact | Stats | Stale | Heuristic | Mixed
 
 type est = { rows : float; src : src }
 
 let src_name = function
   | Exact -> "exact"
   | Stats -> "stats"
+  | Stale -> "stale"
   | Heuristic -> "heuristic"
   | Mixed -> "mixed"
 
-(* [Exact] is the identity: it never degrades a neighbour. Anything mixing
-   statistics with guesswork is [Mixed]. *)
+(* [Exact] is the identity: it never degrades a neighbour. [Stale] is
+   sticky: any estimate that leaned on post-ANALYZE-drift statistics stays
+   flagged, so [arc analyze] can attribute misestimates to stale details.
+   Anything else mixing statistics with guesswork is [Mixed]. *)
 let meet a b =
   match (a, b) with
   | Exact, x | x, Exact -> x
+  | Stale, _ | _, Stale -> Stale
   | Heuristic, Heuristic -> Heuristic
   | Stats, Stats -> Stats
   | _ -> Mixed
@@ -66,6 +70,7 @@ let rec scan_map (t : Ir.t) : (var * rel_name) list =
   | Semi { input; _ }
   | Prune { input; _ } ->
       scan_map input
+  | Append ts -> List.concat_map scan_map ts
   | Resolve { input; binding; _ } -> (
       match binding.source with
       | Base n -> (binding.var, n) :: scan_map input
@@ -77,12 +82,22 @@ let resolve_col env smap = function
       | None -> None
       | Some rel -> (
           match List.assoc_opt rel env with
-          | Some s when not s.Stats.s_stale -> (
+          | Some s -> (
               match Stats.col s a with
               | Some c -> Some (s, c)
               | None -> None)
-          | _ -> None))
+          | None -> None))
   | _ -> None
+
+(* Stale column details are not discarded — they are discounted: the
+   grounded selectivity is blended toward [default] (the heuristic for the
+   context) by the relative row-count drift since ANALYZE. Fresh statistics
+   have zero drift, so the blend is the identity. Returns the blended
+   selectivity and whether any contributing statistics were stale. *)
+let blend ss ~default sel =
+  let w = List.fold_left (fun acc s -> Float.max acc (Stats.drift s)) 0.0 ss in
+  let stale = List.exists (fun s -> s.Stats.s_stale) ss in
+  (((1.0 -. w) *. sel) +. (w *. default), stale)
 
 (* ------------------------------------------------------------------ *)
 (* Predicate selectivity                                               *)
@@ -90,21 +105,24 @@ let resolve_col env smap = function
 
 let clamp01 f = Float.max 0.0 (Float.min 1.0 f)
 
-(* Selectivity of one predicate under a scan map: [Some f] when statistics
-   could ground it, [None] for the heuristic fallback. *)
-let pred_sel env smap (p : pred) : float option =
+(* Selectivity of one predicate under a scan map: [Some (f, stale)] when
+   statistics could ground it (with stale details discounted toward the
+   historical factor-2 default), [None] for the heuristic fallback. *)
+let pred_sel env smap (p : pred) : (float * bool) option =
   let col = resolve_col env smap in
+  let one s sel = Some (blend [ s ] ~default:0.5 sel) in
   match p with
   | Cmp (op, l, r) -> (
       let ranged s c op v =
-        Option.map clamp01 (Stats.cmp_fraction s c op v)
+        Option.map (fun f -> blend [ s ] ~default:0.5 (clamp01 f))
+          (Stats.cmp_fraction s c op v)
       in
       match (op, col l, r, col r, l) with
       (* column vs constant *)
       | Eq, Some (s, c), Const v, _, _ | Eq, _, _, Some (s, c), Const v ->
-          Some (clamp01 (Stats.eq_fraction s c v))
+          one s (clamp01 (Stats.eq_fraction s c v))
       | Neq, Some (s, c), Const v, _, _ | Neq, _, _, Some (s, c), Const v ->
-          Some (clamp01 (1.0 -. Stats.eq_fraction s c v))
+          one s (clamp01 (1.0 -. Stats.eq_fraction s c v))
       | Lt, Some (s, c), Const v, _, _ -> ranged s c `Lt v
       | Leq, Some (s, c), Const v, _, _ -> ranged s c `Le v
       | Gt, Some (s, c), Const v, _, _ -> ranged s c `Gt v
@@ -115,7 +133,7 @@ let pred_sel env smap (p : pred) : float option =
       | Gt, _, _, Some (s, c), Const v -> ranged s c `Lt v
       | Geq, _, _, Some (s, c), Const v -> ranged s c `Le v
       (* column vs column within one region: equality via distinct overlap *)
-      | Eq, Some (_, c1), _, Some (_, c2), _ ->
+      | Eq, Some (s1, c1), _, Some (s2, c2), _ ->
           let disjoint =
             match (c1.Stats.c_min, c1.Stats.c_max, c2.Stats.c_min, c2.Stats.c_max)
             with
@@ -123,21 +141,24 @@ let pred_sel env smap (p : pred) : float option =
                 V.compare hi1 lo2 < 0 || V.compare hi2 lo1 < 0
             | _ -> false
           in
-          if disjoint then Some 0.0
-          else
-            let d = max c1.Stats.c_distinct c2.Stats.c_distinct in
-            if d = 0 then Some 0.0 else Some (clamp01 (1.0 /. float_of_int d))
+          let sel =
+            if disjoint then 0.0
+            else
+              let d = max c1.Stats.c_distinct c2.Stats.c_distinct in
+              if d = 0 then 0.0 else clamp01 (1.0 /. float_of_int d)
+          in
+          Some (blend [ s1; s2 ] ~default:0.5 sel)
       (* column vs arbitrary expression: uniform over distinct values *)
       | Eq, Some (s, c), _, _, _ | Eq, _, _, Some (s, c), _ ->
-          Some (clamp01 (Stats.eq_unknown_fraction s c))
+          one s (clamp01 (Stats.eq_unknown_fraction s c))
       | _ -> None)
   | Is_null t -> (
       match col t with
-      | Some (s, c) -> Some (Stats.null_fraction s c)
+      | Some (s, c) -> one s (Stats.null_fraction s c)
       | None -> None)
   | Not_null t -> (
       match col t with
-      | Some (s, c) -> Some (clamp01 (1.0 -. Stats.null_fraction s c))
+      | Some (s, c) -> one s (clamp01 (1.0 -. Stats.null_fraction s c))
       | None -> None)
   | Like _ -> None
 
@@ -145,18 +166,20 @@ let pred_sel env smap (p : pred) : float option =
    cost the historical factor-2 each (capped at 4 total, matching
    [Ir.estimate]'s [lsr min 4 n]). *)
 let preds_sel env smap preds =
-  let heur = ref 0 and sel = ref 1.0 and used = ref false in
+  let heur = ref 0 and sel = ref 1.0 and used = ref false and stale = ref false in
   List.iter
     (fun p ->
       match pred_sel env smap p with
-      | Some f ->
+      | Some (f, st) ->
           used := true;
+          if st then stale := true;
           sel := !sel *. f
       | None -> incr heur)
     preds;
   let heur_sel = 1.0 /. float_of_int (1 lsl min 4 !heur) in
   let src =
     if preds = [] then Exact
+    else if !stale then Stale
     else if !heur = 0 then Stats
     else if !used then Mixed
     else Heuristic
@@ -170,13 +193,18 @@ let preds_sel env smap preds =
 (* One equi-join key: with distinct counts on both sides, the classic
    containment bound 1/max(d_l, d_r), sharpened to 0 when the key ranges
    cannot overlap; with one side, 1/d; with neither, the historical
-   16-fold guess per key. Returns the selectivity and whether statistics
-   grounded it. *)
+   16-fold guess per key. Returns the selectivity (stale details discounted
+   toward the per-key 1/16 default) and whether statistics grounded it,
+   with the stale flag. *)
 let key_sel env lmap rmap (k : Ir.key) =
   let outer = resolve_col env lmap k.Ir.outer in
   let inner = resolve_col env rmap k.Ir.inner in
+  let finish ss sel =
+    let f, stale = blend ss ~default:(1.0 /. 16.0) sel in
+    `Grounded (f, stale)
+  in
   match (outer, inner) with
-  | Some (_, c1), Some (_, c2) ->
+  | Some (s1, c1), Some (s2, c2) ->
       let disjoint =
         match (c1.Stats.c_min, c1.Stats.c_max, c2.Stats.c_min, c2.Stats.c_max)
         with
@@ -184,24 +212,26 @@ let key_sel env lmap rmap (k : Ir.key) =
             V.compare hi1 lo2 < 0 || V.compare hi2 lo1 < 0
         | _ -> false
       in
-      if disjoint then (0.0, true)
+      if disjoint then finish [ s1; s2 ] 0.0
       else
         let d = max c1.Stats.c_distinct c2.Stats.c_distinct in
-        if d = 0 then (0.0, true) else (1.0 /. float_of_int d, true)
-  | Some (_, c), None | None, Some (_, c) ->
-      if c.Stats.c_distinct = 0 then (0.0, true)
-      else (1.0 /. float_of_int c.Stats.c_distinct, true)
-  | None, None -> (1.0, false)
+        finish [ s1; s2 ] (if d = 0 then 0.0 else 1.0 /. float_of_int d)
+  | Some (s, c), None | None, Some (s, c) ->
+      finish [ s ]
+        (if c.Stats.c_distinct = 0 then 0.0
+         else 1.0 /. float_of_int c.Stats.c_distinct)
+  | None, None -> `Heur
 
 let keys_sel env lmap rmap keys =
-  let grounded = ref 0 and sel = ref 1.0 in
+  let grounded = ref 0 and sel = ref 1.0 and stale = ref false in
   List.iter
     (fun k ->
-      let f, g = key_sel env lmap rmap k in
-      if g then begin
-        incr grounded;
-        sel := !sel *. f
-      end)
+      match key_sel env lmap rmap k with
+      | `Grounded (f, st) ->
+          incr grounded;
+          if st then stale := true;
+          sel := !sel *. f
+      | `Heur -> ())
     keys;
   let heur = List.length keys - !grounded in
   (* ungrounded keys contribute the historical 4-bit shift, capped at 12
@@ -209,6 +239,7 @@ let keys_sel env lmap rmap keys =
   let heur_sel = 1.0 /. float_of_int (1 lsl min 12 (4 * heur)) in
   let src =
     if keys = [] then Exact
+    else if !stale then Stale
     else if heur = 0 then Stats
     else if !grounded > 0 then Mixed
     else Heuristic
@@ -268,14 +299,24 @@ let rec estimate env (t : Ir.t) : est =
             conjs
         in
         if List.for_all Option.is_some sels then
+          let stale = List.exists (fun s -> snd (Option.get s)) sels in
           {
             rows =
               List.fold_left
-                (fun acc s -> acc *. Option.get s)
+                (fun acc s -> acc *. fst (Option.get s))
                 i.rows sels;
-            src = meet i.src (if conjs = [] then Exact else Stats);
+            src =
+              meet i.src
+                (if conjs = [] then Exact else if stale then Stale else Stats);
           }
         else { rows = i.rows /. 2.0; src = meet i.src Heuristic }
+    | Append ts ->
+        List.fold_left
+          (fun acc t ->
+            let e = estimate env t in
+            { rows = acc.rows +. e.rows; src = meet acc.src e.src })
+          { rows = 0.0; src = Exact }
+          ts
     | Semi { anti; input; sub; keys; _ } ->
         let i = estimate env input in
         let s = estimate env sub in
@@ -290,7 +331,7 @@ let rec estimate env (t : Ir.t) : est =
                     let outer = resolve_col env lmap k.Ir.outer in
                     let inner = resolve_col env rmap k.Ir.inner in
                     match (outer, inner) with
-                    | Some (_, c1), Some (_, c2) ->
+                    | Some (s1, c1), Some (s2, c2) ->
                         let disjoint =
                           match
                             ( c1.Stats.c_min,
@@ -302,29 +343,37 @@ let rec estimate env (t : Ir.t) : est =
                               V.compare hi1 lo2 < 0 || V.compare hi2 lo1 < 0
                           | _ -> false
                         in
-                        if disjoint then Some 0.0
-                        else if c1.Stats.c_distinct = 0 then Some 0.0
-                        else
-                          (* fraction of probe-side key values with a build
-                             partner, under containment *)
-                          Some
-                            (clamp01
-                               (float_of_int c2.Stats.c_distinct
-                               /. float_of_int c1.Stats.c_distinct))
+                        let f =
+                          if disjoint then 0.0
+                          else if c1.Stats.c_distinct = 0 then 0.0
+                          else
+                            (* fraction of probe-side key values with a build
+                               partner, under containment *)
+                            clamp01
+                              (float_of_int c2.Stats.c_distinct
+                              /. float_of_int c1.Stats.c_distinct)
+                        in
+                        Some (f, [ s1; s2 ])
                     | _ -> None)
                   keys
               in
               if List.for_all Option.is_some grounded then
-                Some
-                  (List.fold_left
-                     (fun acc s -> Float.min acc (Option.get s))
-                     1.0 grounded)
+                let sel =
+                  List.fold_left
+                    (fun acc s -> Float.min acc (fst (Option.get s)))
+                    1.0 grounded
+                in
+                let ss = List.concat_map (fun s -> snd (Option.get s)) grounded in
+                Some (blend ss ~default:0.5 sel)
               else None)
         in
         (match match_sel with
-        | Some sel ->
+        | Some (sel, stale) ->
             let sel = if anti then 1.0 -. sel else sel in
-            { rows = i.rows *. clamp01 sel; src = meet (meet i.src s.src) Stats }
+            {
+              rows = i.rows *. clamp01 sel;
+              src = meet (meet i.src s.src) (if stale then Stale else Stats);
+            }
         | None -> { rows = i.rows /. 2.0; src = meet (meet i.src s.src) Heuristic })
     | Resolve { input; _ } -> estimate env input
     | Prune { input; _ } -> estimate env input)
@@ -351,7 +400,13 @@ and estimate_disjunct env (d : Ir.disjunct_plan) : est =
                   *. float_of_int (max 1 (snd (Option.get c)).Stats.c_distinct))
                 1.0 ds
             in
-            { rows = Float.min i.rows groups; src = meet i.src Stats }
+            let ss = List.map (fun c -> fst (Option.get c)) ds in
+            (* stale distinct counts widen toward the historical rows/4 *)
+            let groups, stale = blend ss ~default:(i.rows /. 4.0) groups in
+            {
+              rows = Float.min i.rows groups;
+              src = meet i.src (if stale then Stale else Stats);
+            }
           else { rows = i.rows /. 4.0; src = meet i.src Heuristic })
 
 and estimate_coll env (c : Ir.coll_plan) : est =
@@ -364,4 +419,7 @@ and estimate_coll env (c : Ir.coll_plan) : est =
             { rows = acc.rows +. e.rows; src = meet acc.src e.src })
           { rows = 0.0; src = Exact }
           disjuncts
-    | Fallback _ -> { rows = 32.0; src = Heuristic })
+    | Fallback { fcard; _ } ->
+        (* the lowering estimated [fcard] from the scope's referenced
+           relations; still a guess, so tagged honestly *)
+        { rows = float_of_int (max 1 fcard); src = Heuristic })

@@ -89,6 +89,9 @@ let t_label (t : Ir.t) : string =
       Printf.sprintf "resolve %s \xe2\x88\x88 %s (external/abstract)"
         binding.var name
   | Prune { keep; _ } -> "prune to {" ^ String.concat ", " keep ^ "}"
+  | Append ts ->
+      Printf.sprintf "append (%d branch%s)" (List.length ts)
+        (if List.length ts = 1 then "" else "es")
 
 let disjunct_label (d : Ir.disjunct_plan) : string =
   match d with
@@ -152,6 +155,7 @@ let rec node_of ann id (t : Ir.t) : node =
         [ node_of ann (id + 1) input ]
     | Ir.Semi { input; sub; _ } ->
         [ node_of ann (id + 1) input; node_of ann (id + 1 + Ir.size input) sub ]
+    | Ir.Append ts -> List.map2 (node_of ann) (Ir.child_ids id t) ts
   in
   { label = t_label t ^ ann.on_t id t; children }
 
@@ -377,6 +381,7 @@ let analyze_info ?cenv (pp : Ir.program_plan) ~(stats : Ir.stats) :
     | Ir.Semi { input; sub; _ } ->
         go_t section (id + 1) input;
         go_t section (id + 1 + Ir.size input) sub
+    | Ir.Append ts -> List.iter2 (go_t section) (Ir.child_ids id t) ts
   and go_d section id d =
     add section id (Ir.disjunct_op_name d) (disjunct_label d) (est_d cenv d)
       (Ir.disjunct_child_ids id d);

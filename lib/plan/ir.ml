@@ -31,6 +31,11 @@ type t =
       (** Deferred external/abstract binding, resolved from seed equations
           in the (pre-extraction) scope body. *)
   | Prune of { input : t; keep : var list }
+  | Append of t list
+      (** Bag union of pipelines binding the same variable set; the RANF
+          translation of outer-join annotations (matched branch plus
+          NULL-padded unmatched branches), concatenated before any
+          downstream aggregation so groups span all branches. *)
 
 and disjunct_plan =
   | Project of { input : t; assigns : (attr * term) list }
@@ -44,7 +49,15 @@ and disjunct_plan =
 
 and coll_plan =
   | Union of { head : head; disjuncts : disjunct_plan list }
-  | Fallback of { head : head; coll : collection; reason : string }
+  | Fallback of {
+      head : head;
+      coll : collection;
+      reason : string;
+      fcard : int;
+          (** Cardinality estimate derived from the referenced relations at
+              lowering time (saturating product); an honest heuristic
+              instead of the historical hardcoded 32. *)
+    }
 
 type def_plan = { dname : rel_name; dcoll : collection; dplan : coll_plan }
 
@@ -68,10 +81,15 @@ let rec bound_vars = function
       bound_vars input
   | Resolve { input; binding; _ } -> binding.var :: bound_vars input
   | Prune { keep; _ } -> keep
+  | Append ts -> ( match ts with [] -> [] | t :: _ -> bound_vars t)
 
 let sat_mul a b =
   let cap = 1_000_000_000 in
   if a <= 0 || b <= 0 then 1 else if a > cap / b then cap else a * b
+
+let sat_add a b =
+  let cap = 1_000_000_000 in
+  if a > cap - b then cap else a + b
 
 let rec estimate = function
   | One -> 1
@@ -85,6 +103,7 @@ let rec estimate = function
   | Filter { input; preds } -> max 1 (estimate input lsr min 4 (List.length preds))
   | Residual { input; _ } | Semi { input; _ } -> max 1 (estimate input lsr 1)
   | Resolve { input; _ } | Prune { input; _ } -> estimate input
+  | Append ts -> max 1 (List.fold_left (fun acc t -> sat_add acc (estimate t)) 0 ts)
 
 let estimate_disjunct = function
   | Project { input; _ } -> estimate input
@@ -94,7 +113,7 @@ let estimate_disjunct = function
 let estimate_coll = function
   | Union { disjuncts; _ } ->
       List.fold_left (fun acc d -> acc + estimate_disjunct d) 0 disjuncts
-  | Fallback _ -> 32
+  | Fallback { fcard; _ } -> max 1 fcard
 
 (* ------------------------------------------------------------------ *)
 (* Stable node ids                                                     *)
@@ -120,6 +139,7 @@ let rec size = function
   | Prune { input; _ } ->
       1 + size input
   | Semi { input; sub; _ } -> 1 + size input + size sub
+  | Append ts -> 1 + List.fold_left (fun acc t -> acc + size t) 0 ts
 
 and size_disjunct = function
   | Project { input; _ } | Aggregate { input; _ } -> 1 + size input
@@ -138,6 +158,12 @@ let child_ids id = function
   | Product { left; _ } | Hash_join { left; _ } -> [ id + 1; id + 1 + size left ]
   | Filter _ | Residual _ | Resolve _ | Prune _ -> [ id + 1 ]
   | Semi { input; _ } -> [ id + 1; id + 1 + size input ]
+  | Append ts ->
+      List.rev
+        (fst
+           (List.fold_left
+              (fun (acc, next) t -> (next :: acc, next + size t))
+              ([], id + 1) ts))
 
 let disjunct_child_ids id = function Project _ | Aggregate _ -> [ id + 1 ]
 
@@ -186,6 +212,7 @@ let op_name = function
   | Semi { anti; _ } -> if anti then "anti_join" else "semi_join"
   | Resolve _ -> "resolve"
   | Prune _ -> "prune"
+  | Append _ -> "append"
 
 let disjunct_op_name = function
   | Project _ -> "project"
@@ -286,6 +313,7 @@ let rec plan_ref_vars = function
   | Resolve { input; scope; _ } ->
       plan_ref_vars input @ formula_ref_vars scope.body
   | Prune { input; _ } -> plan_ref_vars input
+  | Append ts -> List.concat_map plan_ref_vars ts
 
 and disjunct_ref_vars = function
   | Project { input; assigns } ->
@@ -327,6 +355,8 @@ let rec count_scans component (t : t) : int =
       count_scans component input
   | Semi { input; sub; _ } ->
       count_scans component input + count_scans component sub
+  | Append ts ->
+      List.fold_left (fun acc t -> acc + count_scans component t) 0 ts
 
 and count_scans_disjunct component = function
   | Project { input; _ } | Aggregate { input; _ } -> count_scans component input
@@ -362,6 +392,7 @@ let subst_scans_with component (rename : int -> rel_name -> rel_name option)
     | Resolve r -> Resolve { r with input = go_t r.input }
     | Prune p -> Prune { p with input = go_t p.input }
     | Semi s -> Semi { s with input = go_t s.input; sub = go_t s.sub }
+    | Append ts -> Append (List.map go_t ts)
   and go_disjunct = function
     | Project pr -> Project { pr with input = go_t pr.input }
     | Aggregate ag -> Aggregate { ag with input = go_t ag.input }
@@ -419,6 +450,7 @@ let rec opaque_refs component (t : t) : bool =
       formula_refs (Exists scope) || opaque_refs component input
   | Semi { input; sub; _ } ->
       opaque_refs component input || opaque_refs component sub
+  | Append ts -> List.exists (opaque_refs component) ts
 
 and opaque_refs_coll component = function
   | Union { disjuncts; _ } ->

@@ -51,6 +51,8 @@ and map_nested f (t : Ir.t) : Ir.t =
         { s with input = map_nested f s.input; sub = f (map_nested f s.sub) }
   | Resolve r -> Resolve { r with input = map_nested f r.input }
   | Prune p -> Prune { p with input = map_nested f p.input }
+  (* each append branch is an independent pipeline region *)
+  | Append ts -> Append (List.map (fun t -> f (map_nested f t)) ts)
 
 let subset xs ys = List.for_all (fun x -> List.mem x ys) xs
 
@@ -90,6 +92,8 @@ let rec sink rv pd (t : Ir.t) : Ir.t =
       Resolve { r with input = sink rv pd r.input }
   | Lateral l when not (List.mem l.var rv) ->
       Lateral { l with input = sink rv pd l.input }
+  (* a filter distributes over a bag union: push into every branch *)
+  | Append ts -> Append (List.map (sink rv pd) ts)
   | _ -> filter_above t pd
 
 let pushdown_pipeline (t : Ir.t) : Ir.t =
@@ -152,7 +156,7 @@ let order_scan_filters (env : env) (t : Ir.t) : Ir.t =
           (fun i p ->
             let sel =
               match Card.pred_sel env.Lower.stats smap p with
-              | Some f -> f
+              | Some (f, _) -> f
               | None -> 0.5
             in
             ((sel, i), p))
@@ -178,6 +182,7 @@ let order_scan_filters (env : env) (t : Ir.t) : Ir.t =
       | Ir.Semi s -> Ir.Semi { s with input = go s.input; sub = go s.sub }
       | Ir.Resolve r -> Ir.Resolve { r with input = go r.input }
       | Ir.Prune p -> Ir.Prune { p with input = go p.input }
+      | Ir.Append ts -> Ir.Append (List.map go ts)
     in
     go t
 
@@ -572,6 +577,8 @@ let rec prune_t needed (t : Ir.t) : Ir.t =
   | Lateral l ->
       let n = union_vars needed (Ir.coll_plan_ref_vars l.plan) in
       Lateral { l with input = prune_t n l.input }
+  (* branches bind the same variable set; prune each with the same needs *)
+  | Append ts -> Append (List.map (prune_t needed) ts)
 
 let prune_coll (p : Ir.coll_plan) : Ir.coll_plan =
   match p with
@@ -639,6 +646,7 @@ and prune_nested (t : Ir.t) : Ir.t =
       Semi { s with input = prune_nested s.input; sub = prune_nested s.sub }
   | Resolve r -> Resolve { r with input = prune_nested r.input }
   | Prune p -> Prune { p with input = prune_nested p.input }
+  | Append ts -> Append (List.map prune_nested ts)
 
 let pass_prune =
   { name = "prune-columns"; transform = (fun _env p -> deep_prune p) }
@@ -655,6 +663,242 @@ let optimize_coll ?(passes = pipeline) env (p : Ir.coll_plan) =
       let p' = pass.transform env p in
       (p', report @ [ (pass.name, p' <> p) ]))
     (p, []) passes
+
+(* ------------------------------------------------------------------ *)
+(* AST-level pass: demand / magic sets                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Goal-directed recursion: when a recursive definition D is only ever
+   consumed through constant selections on one head attribute (the query
+   asks for T(c, _), not all of T), the full fixpoint derives facts the
+   query immediately throws away. The rewrite materializes the demanded
+   constants as a one-column magic relation __magic__D and guards every
+   disjunct of D with a join against it, so the fixpoint only derives
+   facts whose bound attribute is demanded.
+
+   The restriction is sound only when the bound attribute passes through
+   the recursion unchanged — every recursive occurrence t of D inside
+   its own body must carry a top-level equality D.a = t.a. Then the
+   guarded fixpoint computes exactly σ_{a ∈ seeds}(D) (induction on
+   derivation depth: a base fact with a ∈ seeds passes the guard; a
+   derived fact inherits a from a recursive fact that, by hypothesis,
+   was already derived), and every use site re-applies its own constant,
+   so query results are unchanged. Linear recursions whose bound side
+   shifts through the recursion (e.g. left-linear TC bound on src) would
+   need derived magic rules and are left alone. *)
+
+let magic_prefix = "__magic__"
+
+(* every base relation name referenced by a formula, through nested
+   scopes and nested collection sources *)
+let rec formula_base_refs f =
+  match f with
+  | True | Pred _ -> []
+  | And fs | Or fs -> List.concat_map formula_base_refs fs
+  | Not f -> formula_base_refs f
+  | Exists s -> scope_base_refs s
+
+and scope_base_refs s =
+  List.concat_map
+    (fun b ->
+      match b.source with
+      | Base n -> [ n ]
+      | Nested c -> formula_base_refs c.body)
+    s.bindings
+  @ formula_base_refs s.body
+
+let query_base_refs = function
+  | Coll c -> formula_base_refs c.body
+  | Sentence f -> formula_base_refs f
+
+(* For every binding of [rel] in the query, the (attr, const) selections
+   its enclosing scope applies as top-level conjuncts. A use site with no
+   selection contributes []. *)
+let rec formula_uses rel acc f =
+  match f with
+  | True | Pred _ -> acc
+  | And fs | Or fs -> List.fold_left (formula_uses rel) acc fs
+  | Not f -> formula_uses rel acc f
+  | Exists s -> scope_uses rel acc s
+
+and scope_uses rel acc s =
+  let cs = conjuncts s.body in
+  let acc =
+    List.fold_left
+      (fun acc b ->
+        match b.source with
+        | Base n when n = rel ->
+            List.filter_map
+              (fun f ->
+                match f with
+                | Pred (Cmp (Eq, Attr (v, a), Const c))
+                | Pred (Cmp (Eq, Const c, Attr (v, a)))
+                  when v = b.var ->
+                    Some (a, c)
+                | _ -> None)
+              cs
+            :: acc
+        | Base _ -> acc
+        | Nested c -> formula_uses rel acc c.body)
+      acc s.bindings
+  in
+  formula_uses rel acc s.body
+
+let query_uses rel = function
+  | Coll c -> formula_uses rel [] c.body
+  | Sentence f -> formula_uses rel [] f
+
+(* The rewrite fires for a definition D when: D is self-recursive; no
+   other definition uses it; every use site in the main query selects a
+   constant on the same head attribute a; and every disjunct of D's body
+   is a plain scope (no grouping or join annotation) whose recursive
+   bindings pass a through unchanged and which does not mention D any
+   deeper. Returns the bound attribute, the magic relation name, and the
+   distinct demanded constants. *)
+let magic_candidate (prog : program) (d : definition) =
+  let h = d.def_body.head.head_attrs in
+  let hname = d.def_body.head.head_name in
+  let mname = magic_prefix ^ d.def_name in
+  let others = List.filter (fun d' -> d'.def_name <> d.def_name) prog.defs in
+  let self_rec = List.mem d.def_name (formula_base_refs d.def_body.body) in
+  let main_only =
+    not
+      (List.exists
+         (fun d' -> List.mem d.def_name (formula_base_refs d'.def_body.body))
+         others)
+  in
+  let no_collision =
+    (not (List.exists (fun d' -> d'.def_name = mname) prog.defs))
+    && not
+         (List.mem mname
+            (List.concat_map
+               (fun d' -> formula_base_refs d'.def_body.body)
+               prog.defs
+            @ query_base_refs prog.main))
+  in
+  if not (self_rec && main_only && no_collision) then None
+  else
+    let uses = query_uses d.def_name prog.main in
+    if uses = [] then None
+    else
+      let bound_attr =
+        List.find_opt
+          (fun a ->
+            List.for_all
+              (fun sels -> List.exists (fun (a', _) -> a' = a) sels)
+              uses)
+          h
+      in
+      match bound_attr with
+      | None -> None
+      | Some a ->
+          let ok_disjunct f =
+            match f with
+            | Exists s ->
+                s.grouping = None && s.join = None
+                && (not (List.mem d.def_name (formula_base_refs s.body)))
+                && List.for_all
+                     (fun b ->
+                       match b.source with
+                       | Base n when n = d.def_name ->
+                           List.exists
+                             (fun f ->
+                               match f with
+                               | Pred (Cmp (Eq, Attr (x, ax), Attr (y, ay)))
+                                 ->
+                                   ax = a && ay = a
+                                   && ((x = hname && y = b.var)
+                                      || (x = b.var && y = hname))
+                               | _ -> false)
+                             (conjuncts s.body)
+                       | Base _ -> true
+                       | Nested c ->
+                           not
+                             (List.mem d.def_name (formula_base_refs c.body)))
+                     s.bindings
+            | _ -> false
+          in
+          if not (List.for_all ok_disjunct (disjuncts d.def_body.body)) then
+            None
+          else
+            let seeds =
+              List.fold_left
+                (fun acc sels ->
+                  List.fold_left
+                    (fun acc (a', c) ->
+                      if a' = a && not (List.exists (Arc_value.Value.equal c) acc)
+                      then acc @ [ c ]
+                      else acc)
+                    acc sels)
+                [] uses
+            in
+            if seeds = [] then None else Some (a, mname, seeds)
+
+(* One seed disjunct per demanded constant. Each seed is wrapped in an
+   empty quantifier scope: a bare predicate disjunct would be rejected as
+   unsafe (no scope to range-restrict the head), while an empty scope
+   restricts the head attribute through the constant equality itself. *)
+let magic_def mname a seeds =
+  {
+    def_name = mname;
+    def_body =
+      {
+        head = { head_name = mname; head_attrs = [ a ] };
+        body =
+          Or
+            (List.map
+               (fun c ->
+                 Exists
+                   {
+                     bindings = [];
+                     grouping = None;
+                     join = None;
+                     body = Pred (Cmp (Eq, Attr (mname, a), Const c));
+                   })
+               seeds);
+      };
+  }
+
+(* guard every disjunct of D with a join against the magic relation *)
+let magic_guard_def (d : definition) a mname =
+  let hname = d.def_body.head.head_name in
+  let guard f =
+    match f with
+    | Exists s ->
+        let used = List.map (fun b -> b.var) s.bindings in
+        let rec fresh v = if List.mem v used then fresh (v ^ "_") else v in
+        let mv = fresh "__m" in
+        Exists
+          {
+            s with
+            bindings = s.bindings @ [ { var = mv; source = Base mname } ];
+            body =
+              And
+                (conjuncts s.body
+                @ [ Pred (Cmp (Eq, Attr (hname, a), Attr (mv, a))) ]);
+          }
+    | f -> f
+  in
+  {
+    d with
+    def_body =
+      {
+        d.def_body with
+        body = Or (List.map guard (disjuncts d.def_body.body));
+      };
+  }
+
+let magic_sets (prog : program) : program * bool =
+  let defs, changed =
+    List.fold_left
+      (fun (defs, changed) d ->
+        match magic_candidate prog d with
+        | Some (a, mname, seeds) ->
+            (defs @ [ magic_def mname a seeds; magic_guard_def d a mname ], true)
+        | None -> (defs @ [ d ], changed))
+      ([], false) prog.defs
+  in
+  ({ prog with defs }, changed)
 
 let optimize ?(passes = pipeline) env (pp : Ir.program_plan) =
   let changed = Hashtbl.create 8 in

@@ -32,6 +32,9 @@ type col = {
 
 type t = {
   s_rows : int;
+  s_analyzed_rows : int;
+      (** row count at collection time; the gap to [s_rows] measures how far
+          the relation has drifted since the column details were gathered *)
   s_cols : (string * col) list;  (** in schema attribute order *)
   s_stale : bool;
       (** row count has been patched since collection (e.g. by incremental
@@ -118,6 +121,7 @@ let collect (r : Relation.t) : t =
   let rows = Relation.tuples r in
   {
     s_rows = Relation.cardinality r;
+    s_analyzed_rows = Relation.cardinality r;
     s_cols =
       List.map
         (fun a -> (a, collect_column rows a))
@@ -129,8 +133,18 @@ let col t attr = List.assoc_opt attr t.s_cols
 
 (* Incremental maintenance keeps the row count truthful and flags the
    column details as unreliable; the cost model then uses [s_rows] but
-   falls back to heuristics for selectivities. *)
+   discounts column-level selectivities in proportion to the drift from
+   [s_analyzed_rows]. *)
 let patch_rows t rows = { t with s_rows = max 0 rows; s_stale = true }
+
+(* Fraction in [0,1] measuring how much the row count has drifted since
+   ANALYZE; 0 for fresh statistics, 1 once the relation has doubled or
+   emptied relative to collection time. *)
+let drift t =
+  if not t.s_stale then 0.0
+  else
+    let base = max 1 t.s_analyzed_rows in
+    min 1.0 (Float.abs (float_of_int (t.s_rows - t.s_analyzed_rows)) /. float_of_int base)
 
 (* ------------------------------------------------------------------ *)
 (* Selectivity fractions                                               *)

@@ -32,6 +32,9 @@ type col = {
 
 type t = {
   s_rows : int;
+  s_analyzed_rows : int;
+      (** row count at collection time; the gap to [s_rows] measures drift
+          since the column details were gathered *)
   s_cols : (string * col) list;  (** in schema attribute order *)
   s_stale : bool;
       (** the row count has been patched since collection; column details
@@ -44,6 +47,12 @@ val col : t -> string -> col option
 val patch_rows : t -> int -> t
 (** Update the row count and mark the column details stale — what
     incremental maintenance applies after a batch. *)
+
+val drift : t -> float
+(** Relative row-count drift since collection, in [0,1]: 0 for fresh
+    statistics, saturating at 1 once the relation has doubled or emptied.
+    The cost model blends stale column selectivities toward heuristics by
+    this weight. *)
 
 (** {1 Selectivity fractions}
 

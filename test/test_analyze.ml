@@ -128,6 +128,39 @@ let recursion_annotations () =
         Alcotest.failf "recursive analyze output lacks %S:\n%s" needle out)
     [ "iters="; "deltas=[" ]
 
+(* IVM batches patch relation row counts without re-gathering column
+   details; the cost model discounts those details and analyze must
+   attribute the resulting estimates to stale statistics end-to-end *)
+let stale_statistics_flagged () =
+  let module Database = Arc_relation.Database in
+  let module Tuple = Arc_relation.Tuple in
+  let module V = Arc_value.Value in
+  let module Ivm = Arc_ivm.Ivm in
+  let db = Database.analyze Data.db_rs in
+  let prog = { defs = []; main = Coll Data.eq1 } in
+  let fresh_out =
+    let ctx, _, opt, _ = Exec.compile ~db prog in
+    let stats = Ir.fresh_stats () in
+    ignore (Exec.exec_program ~stats ctx opt);
+    Explain.analyze_to_string ~cenv:(Database.stats_bindings db) ~stats opt
+  in
+  if contains ~needle:"src=stale" fresh_out then
+    Alcotest.fail "freshly analyzed statistics flagged stale";
+  let ivm = Ivm.create ~db () in
+  Ivm.register ivm ~name:"v" prog;
+  let s = Database.find db "S" in
+  let row = Tuple.make (Relation.schema s) [| V.Int 42; V.Int 0 |] in
+  ignore (Ivm.apply ivm [ ("S", [ (row, 1) ]) ]);
+  let db' = Ivm.db ivm in
+  let ctx, _, opt, _ = Exec.compile ~db:db' prog in
+  let stats = Ir.fresh_stats () in
+  ignore (Exec.exec_program ~stats ctx opt);
+  let out =
+    Explain.analyze_to_string ~cenv:(Database.stats_bindings db') ~stats opt
+  in
+  if not (contains ~needle:"src=stale" out) then
+    Alcotest.failf "post-batch analyze does not flag stale statistics:\n%s" out
+
 let q_error_algebra () =
   let check msg expected actual =
     Alcotest.(check (float 1e-9)) msg expected actual
@@ -251,6 +284,8 @@ let () =
             render_smoke;
           Alcotest.test_case "fixpoint iterations and deltas" `Quick
             recursion_annotations;
+          Alcotest.test_case "stale statistics flagged after IVM batches"
+            `Quick stale_statistics_flagged;
         ] );
       ( "q-error",
         [ Alcotest.test_case "q-error algebra" `Quick q_error_algebra ] );

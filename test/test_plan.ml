@@ -66,13 +66,69 @@ let lowering_shape () =
   Alcotest.(check bool) "no residual product left" false
     (contains opt "product")
 
-let fallback_shape () =
-  (* eq18 carries an explicit join-tree annotation: lowered to a fallback *)
+let no_fallback_shape () =
+  (* eq18 carries an explicit join-tree annotation; the RANF-style
+     translation lowers it to an append of matched/null-padded branches
+     instead of the reference-evaluator fallback *)
   let raw, opt, _ = explain_of ~db:Data.db_outer Data.eq18 in
-  Alcotest.(check bool) "raw is a reference fallback" true
+  Alcotest.(check bool) "eq18 lowers without a fallback" false
     (contains raw "reference evaluator");
-  Alcotest.(check bool) "fallback survives optimization" true
-    (contains opt "reference evaluator")
+  Alcotest.(check bool) "eq18 lowers to an append of branches" true
+    (contains raw "append");
+  Alcotest.(check bool) "optimized eq18 stays fallback-free" false
+    (contains opt "reference evaluator");
+  (* and no catalog query reaches the fallback node at all *)
+  let db_xy =
+    Database.of_list
+      [
+        ("X", Relation.of_rows [ "A" ] [ [ V.Int 1 ]; [ V.Int 5 ] ]);
+        ("Y", Relation.of_rows [ "A" ] [ [ V.Int 2 ]; [ V.Int 6 ] ]);
+      ]
+  in
+  let db_sec27 =
+    Database.of_list
+      [
+        ("R", Relation.of_rows [ "A"; "B" ] [ [ V.Int 1; V.Int 7 ] ]);
+        ("S", Relation.of_rows [ "B" ] [ [ V.Int 7 ]; [ V.Int 7 ] ]);
+      ]
+  in
+  let cases =
+    [
+      ("eq1", Data.db_rs, [], Coll Data.eq1);
+      ("eq2", db_xy, [], Coll Data.eq2);
+      ("eq3", Data.db_grouping, [], Coll Data.eq3);
+      ("eq7", Data.db_grouping, [], Coll Data.eq7);
+      ("eq8", Data.db_payroll, [], Coll Data.eq8);
+      ("eq10", Data.db_payroll, [], Coll Data.eq10);
+      ("eq12", Data.db_payroll, [], Coll Data.eq12);
+      ("eq15", Data.db_souffle, [], Coll Data.eq15);
+      ("eq16", Data.db_parent, Data.eq16_defs, Coll Data.eq16_main);
+      ("eq17", Data.db_nulls, [], Coll Data.eq17);
+      ("eq17-plain", Data.db_nulls, [], Coll Data.eq17_plain_not_exists);
+      ("eq18", Data.db_outer, [], Coll Data.eq18);
+      ("fig13-lateral", Data.db_fig13, [], Coll Data.fig13_lateral);
+      ("fig13-leftjoin", Data.db_fig13, [], Coll Data.fig13_leftjoin);
+      ("eq19", Data.db_external, [], Coll Data.eq19);
+      ("eq20", Data.db_external, [], Coll Data.eq20);
+      ("eq21", Data.db_external, [], Coll Data.eq21);
+      ("eq22", Data.db_beers, [], Coll Data.eq22);
+      ("eq24", Data.db_beers, [ Data.eq23_subset ], Coll Data.eq24);
+      ("eq26", Data.db_matrices, [], Coll Data.eq26);
+      ("eq26-external", Data.db_matrices, [], Coll Data.eq26_external);
+      ("eq27", Data.db_countbug, [], Coll Data.eq27);
+      ("eq28", Data.db_countbug, [], Coll Data.eq28);
+      ("eq29", Data.db_countbug, [], Coll Data.eq29);
+      ("sec27-nested", db_sec27, [], Coll Data.sec27_nested);
+      ("sec27-unnested", db_sec27, [], Coll Data.sec27_unnested);
+    ]
+  in
+  List.iter
+    (fun (name, db, defs, main) ->
+      let _, _, plan, _ = Exec.compile ~db { defs; main } in
+      let s = Explain.program_plan_to_string plan in
+      Alcotest.(check bool) (name ^ " compiles without fallback") false
+        (contains s "reference evaluator"))
+    cases
 
 let semi_shape () =
   let q =
@@ -269,6 +325,159 @@ let explain_program () =
        [ "predicate-pushdown"; "decorrelate-exists"; "hash-join-order";
          "prune-columns" ])
 
+let magic_sets_rewrite () =
+  let db = db_chain 16 in
+  (* goal-directed: only paths out of node 0 are demanded *)
+  let bound_main =
+    collection "Q" [ "dst" ]
+      (exists [ bind "t" "T" ]
+         (conj
+            [
+              eq (attr "t" "src") (cint 0);
+              eq (attr "Q" "dst") (attr "t" "dst");
+            ]))
+  in
+  let prog = program ~defs:tc_defs (Coll bound_main) in
+  let ctx, _, opt, report = Exec.compile ~db prog in
+  Alcotest.(check bool) "magic-sets pass fired" true
+    (List.assoc "magic-sets" report);
+  let s = Explain.program_plan_to_string opt in
+  Alcotest.(check bool) "magic relation in the plan" true
+    (contains s "__magic__T");
+  (match Exec.exec_program ctx opt with
+  | Eval.Rows r ->
+      check_same_bag "magic rewrite preserves the query result"
+        (Eval.run_rows ~db prog) r
+  | Eval.Truth _ -> Alcotest.fail "expected rows");
+  (* the guarded fixpoint derives only the demanded slice of the closure:
+     16 facts from source 0, not the full 136-fact closure *)
+  (match Eval.Internal.idb_get ctx "T" with
+  | Some t ->
+      Alcotest.(check int) "only demanded facts derived" 16
+        (Relation.cardinality t)
+  | None -> Alcotest.fail "T not materialized");
+  (match Eval.Internal.idb_get ctx "__magic__T" with
+  | Some m -> Alcotest.(check int) "one seed" 1 (Relation.cardinality m)
+  | None -> Alcotest.fail "__magic__T not materialized");
+  (* an unbound use of T keeps the full fixpoint: no demand, no rewrite *)
+  let _, _, _, report_unbound =
+    Exec.compile ~db (program ~defs:tc_defs (Coll tc_main))
+  in
+  Alcotest.(check bool) "no constants, no rewrite" false
+    (List.assoc "magic-sets" report_unbound)
+
+(* cyclic graph: every closure fact is re-derivable each round, so the
+   indexed fixpoint's seen-set (not per-round novelty) must terminate it *)
+let db_cycle n =
+  Database.of_list
+    [
+      ( "E",
+        Relation.of_rows [ "src"; "dst" ]
+          (List.init n (fun i -> [ V.Int i; V.Int ((i + 1) mod n) ])) );
+    ]
+
+let all_convs : (string * Conventions.t) list =
+  List.concat_map
+    (fun (cs, cn) ->
+      List.concat_map
+        (fun (nl, nn) ->
+          List.map
+            (fun (ae, an) ->
+              ( Printf.sprintf "%s/%s/%s" cn nn an,
+                Conventions.{ collection = cs; null_logic = nl; agg_empty = ae }
+              ))
+            [
+              (Conventions.Agg_null, "agg_null");
+              (Conventions.Agg_zero, "agg_zero");
+            ])
+        [ (Conventions.Two_valued, "2vl"); (Conventions.Three_valued, "3vl") ])
+    [ (Conventions.Set, "set"); (Conventions.Bag, "bag") ]
+
+(* indexed fixpoint ≡ tuple fixpoint ≡ naive ≡ reference, on a chain and
+   a cycle, under every convention combination *)
+let fixpoint_modes_agree () =
+  let prog = program ~defs:tc_defs (Coll tc_main) in
+  List.iter
+    (fun (dbname, db) ->
+      List.iter
+        (fun (cname, conv) ->
+          let reference = Eval.run_rows ~conv ~db prog in
+          List.iter
+            (fun (mname, fixpoint, batched) ->
+              check_same_bag
+                (Printf.sprintf "%s %s %s" dbname cname mname)
+                reference
+                (Exec.run_rows ~conv ~fixpoint ~batched ~db prog))
+            [
+              ("indexed", `Indexed, true);
+              ("indexed/tuple-exec", `Indexed, false);
+              ("tuple", `Tuple, true);
+              ("tuple/tuple-exec", `Tuple, false);
+            ];
+          check_same_bag
+            (Printf.sprintf "%s %s naive" dbname cname)
+            reference
+            (Exec.run_rows ~conv ~strategy:Eval.Naive ~db prog))
+        all_convs)
+    [ ("chain-12", db_chain 12); ("cycle-8", db_cycle 8) ]
+
+(* Guard parity: both fixpoint implementations must trip the governor at
+   the same budgets. Under a tight iteration cap with `Truncate both stop
+   after the same rounds with identical partial closures; under a row cap
+   both clip to at most the budget and report truncation; under `Fail
+   both raise. *)
+let fixpoint_guard_parity () =
+  let db = db_chain 10 in
+  let prog = program ~defs:tc_defs (Coll tc_main) in
+  let run ?guard fixpoint batched =
+    Exec.run_rows ?guard ~fixpoint ~batched ~db prog
+  in
+  let modes =
+    [
+      ("indexed", `Indexed, true);
+      ("indexed/tuple-exec", `Indexed, false);
+      ("tuple", `Tuple, true);
+      ("tuple/tuple-exec", `Tuple, false);
+    ]
+  in
+  (* iteration cap, `Truncate: identical partial closures across modes *)
+  let iter_budget = { Budget.default with max_iterations = Some 3 } in
+  let results =
+    List.map
+      (fun (n, f, b) ->
+        (n, run ~guard:(Gov.make ~on_limit:`Truncate iter_budget) f b))
+      modes
+  in
+  let _, first = List.hd results in
+  Alcotest.(check bool) "iteration cap yields a partial closure" true
+    (Relation.cardinality first < 55);
+  List.iter
+    (fun (n, r) ->
+      check_same_bag (Printf.sprintf "iteration-capped %s = indexed" n) first r)
+    (List.tl results);
+  (* row cap, `Truncate: every mode clips to the budget and reports it *)
+  List.iter
+    (fun (n, f, b) ->
+      let guard =
+        Gov.make ~on_limit:`Truncate
+          { Budget.default with max_rows = Some 10 }
+      in
+      let r = run ~guard f b in
+      Alcotest.(check bool) (Printf.sprintf "row cap clips %s" n) true
+        (Relation.cardinality r <= 10);
+      Alcotest.(check bool)
+        (Printf.sprintf "row-cap truncation reported for %s" n)
+        true (Gov.report guard).Gov.truncated)
+    modes;
+  (* iteration cap, `Fail: every mode raises the same typed error *)
+  List.iter
+    (fun (n, f, b) ->
+      let guard = Gov.make ~on_limit:`Fail iter_budget in
+      match run ~guard f b with
+      | _ -> Alcotest.fail (Printf.sprintf "%s did not trip the guard" n)
+      | exception Eval.Eval_error _ -> ())
+    modes
+
 let () =
   Alcotest.run "arc_plan"
     [
@@ -276,8 +485,8 @@ let () =
         [
           Alcotest.test_case "join lowers and optimizes to hash join" `Quick
             lowering_shape;
-          Alcotest.test_case "join annotation falls back to reference" `Quick
-            fallback_shape;
+          Alcotest.test_case "catalog queries lower without fallback" `Quick
+            no_fallback_shape;
           Alcotest.test_case "negated exists decorrelates" `Quick semi_shape;
         ] );
       ( "rewrites",
@@ -297,5 +506,11 @@ let () =
             guard_truncates;
           Alcotest.test_case "explain renders program plans" `Quick
             explain_program;
+          Alcotest.test_case "magic sets restrict goal-directed recursion"
+            `Quick magic_sets_rewrite;
+          Alcotest.test_case "fixpoint modes agree across all conventions"
+            `Quick fixpoint_modes_agree;
+          Alcotest.test_case "fixpoint guard parity across modes" `Quick
+            fixpoint_guard_parity;
         ] );
     ]
